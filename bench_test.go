@@ -1,0 +1,459 @@
+// Package benches is the paper-reproduction benchmark harness: one bench
+// per table and figure of the evaluation (see DESIGN.md §4 for the
+// experiment index).
+//
+// Two kinds of benchmarks coexist:
+//
+//   - Native measurements (Benchmark*Native / *Generic / *Bignum): real
+//     wall-clock time of the plain-Go scalar tier and the two baseline
+//     backends on the host CPU. These validate the baseline gaps the
+//     figure generators anchor to.
+//   - Model projections (BenchmarkFigure* / BenchmarkTable6): the port-model
+//     pipeline that produces the paper's figures; projected metrics are
+//     attached with b.ReportMetric (e.g. model-ns/butterfly).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package benches
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/blas"
+	"mqxgo/internal/core"
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/multiword"
+	"mqxgo/internal/ntt"
+	"mqxgo/internal/perfmodel"
+	"mqxgo/internal/pisa"
+	"mqxgo/internal/u128"
+)
+
+func randResidues(seed int64, mod *modmath.Modulus128, n int) []u128.U128 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]u128.U128, n)
+	for i := range xs {
+		xs[i] = u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q)
+	}
+	return xs
+}
+
+// --- Kernel-level native measurements (Table 1 / Listing 1 territory) ---
+
+func BenchmarkModAdd128Native(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	xs := randResidues(1, mod, 1024)
+	b.ResetTimer()
+	acc := u128.Zero
+	for i := 0; i < b.N; i++ {
+		acc = mod.Add(acc, xs[i%1024])
+	}
+	sinkU128 = acc
+}
+
+func BenchmarkModMul128Schoolbook(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	xs := randResidues(2, mod, 1024)
+	b.ResetTimer()
+	acc := u128.One
+	for i := 0; i < b.N; i++ {
+		acc = mod.Mul(acc, xs[i%1024])
+	}
+	sinkU128 = acc
+}
+
+func BenchmarkModMul128Karatsuba(b *testing.B) {
+	mod := modmath.DefaultModulus128().WithAlgorithm(modmath.Karatsuba)
+	xs := randResidues(3, mod, 1024)
+	b.ResetTimer()
+	acc := u128.One
+	for i := 0; i < b.N; i++ {
+		acc = mod.Mul(acc, xs[i%1024])
+	}
+	sinkU128 = acc
+}
+
+func BenchmarkModMul64Shoup(b *testing.B) {
+	ps, err := modmath.FindNTTPrimes64(60, 1<<10, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := modmath.MustModulus64(ps[0])
+	w := ps[0] / 3
+	pre := mod.ShoupPrecompute(w)
+	b.ResetTimer()
+	acc := uint64(1)
+	for i := 0; i < b.N; i++ {
+		acc = mod.MulShoup(acc, w, pre)
+	}
+	sinkU64 = acc
+}
+
+var (
+	sinkU128 u128.U128
+	sinkU64  uint64
+)
+
+func BenchmarkModMul128Montgomery(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	mg, err := modmath.NewMontgomery128(mod.Q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := randResidues(4, mod, 1024)
+	// In-domain chain: the regime Montgomery is designed for.
+	for i := range xs {
+		xs[i] = mg.ToMont(xs[i])
+	}
+	b.ResetTimer()
+	acc := mg.ToMont(u128.One)
+	for i := 0; i < b.N; i++ {
+		acc = mg.MulMont(acc, xs[i%1024])
+	}
+	sinkU128 = acc
+}
+
+func BenchmarkModMulGoldilocks(b *testing.B) {
+	g := modmath.Goldilocks{}
+	acc := uint64(0x123456789abcdef)
+	w := uint64(0xfedcba987654321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = g.Mul(acc, w)
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkModMulMultiword256(b *testing.B) {
+	q, err := multiword.FindNTTPrime(252, 4, 1<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := multiword.MustModulus(q)
+	x := multiword.Int{0x1234, 0x5678, 0x9abc, 0x0def}
+	acc := mod.Reduce(x)
+	w := mod.Reduce(multiword.Int{7, 11, 13, 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = mod.Mul(acc, w)
+	}
+	if acc.IsZero() {
+		b.Fatal("unexpected zero")
+	}
+}
+
+func BenchmarkNTT64Native4096(b *testing.B) {
+	ps, err := modmath.FindNTTPrimes64(60, 1<<13, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := ntt.NewPlan64(modmath.MustModulus64(ps[0]), 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(77))
+	x := make([]uint64, 1<<12)
+	for i := range x {
+		x[i] = r.Uint64() % ps[0]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+	butterflies := float64(1<<11) * 12
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkNTTInPlace4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randResidues(78, ctx.Mod, 1<<12)
+	buf := make([]u128.U128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		p.ForwardInPlace(buf)
+	}
+	butterflies := float64(1<<11) * 12
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkBatchNTTParallel(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	inputs := make([][]u128.U128, batch)
+	for i := range inputs {
+		inputs[i] = randResidues(int64(80+i), ctx.Mod, 1<<10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BatchForward(inputs, 0)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/transform")
+}
+
+// --- Figure 4: BLAS kernels, native baselines measured for real ---
+
+func benchBLASNative(b *testing.B, op blas.Op) {
+	mod := modmath.DefaultModulus128()
+	nat := blas.Native{Mod: mod}
+	n := core.BLASVectorLength
+	x := randResidues(4, mod, n)
+	y := randResidues(5, mod, n)
+	dst := make([]u128.U128, n)
+	a := x[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch op {
+		case blas.OpVecAdd:
+			nat.VecAddMod(dst, x, y)
+		case blas.OpVecSub:
+			nat.VecSubMod(dst, x, y)
+		case blas.OpVecPMul:
+			nat.VecPMulMod(dst, x, y)
+		case blas.OpAxpy:
+			nat.Axpy(a, x, dst)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/element")
+}
+
+func BenchmarkFigure4VecAddNative(b *testing.B)  { benchBLASNative(b, blas.OpVecAdd) }
+func BenchmarkFigure4VecSubNative(b *testing.B)  { benchBLASNative(b, blas.OpVecSub) }
+func BenchmarkFigure4VecPMulNative(b *testing.B) { benchBLASNative(b, blas.OpVecPMul) }
+func BenchmarkFigure4AxpyNative(b *testing.B)    { benchBLASNative(b, blas.OpAxpy) }
+
+func BenchmarkFigure4VecPMulGeneric(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	gen := blas.Generic{Q: mod.Q}
+	n := core.BLASVectorLength
+	x := randResidues(6, mod, n)
+	y := randResidues(7, mod, n)
+	dst := make([]u128.U128, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.VecPMulMod(dst, x, y)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/element")
+}
+
+func BenchmarkFigure4VecPMulBignum(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	big := blas.NewBignum(mod.Q)
+	n := core.BLASVectorLength
+	x := blas.ToBigVector(randResidues(8, mod, n))
+	y := blas.ToBigVector(randResidues(9, mod, n))
+	dst := blas.BigVector(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		big.VecPMulMod(dst, x, y)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/element")
+}
+
+// BenchmarkFigure4Model projects the full Figure 4 grid and reports the
+// modeled per-element times of the AVX-512 and MQX tiers on both machines.
+func BenchmarkFigure4Model(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var figs []core.BLASFigure
+	for i := 0; i < b.N; i++ {
+		figs = figs[:0]
+		for _, mach := range perfmodel.MeasurementMachines {
+			figs = append(figs, core.Figure4(mach, mod, core.DefaultBaselineRatios))
+		}
+	}
+	for _, fig := range figs {
+		tag := "intel"
+		if fig.Machine == perfmodel.AMDEPYC9654 {
+			tag = "amd"
+		}
+		for _, s := range fig.Series {
+			if s.Name == "avx512" || s.Name == "mqx" {
+				b.ReportMetric(s.Values[2], "model-ns/el-pmul-"+s.Name+"-"+tag)
+			}
+		}
+	}
+}
+
+// --- Figure 5: NTT across sizes ---
+
+func benchNTTNative(b *testing.B, n int) {
+	ctx := core.Default()
+	p, err := ctx.Plan(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randResidues(10, ctx.Mod, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardNative(x)
+	}
+	butterflies := float64(n/2) * float64(p.M)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkFigure5NTTNative1024(b *testing.B)  { benchNTTNative(b, 1<<10) }
+func BenchmarkFigure5NTTNative4096(b *testing.B)  { benchNTTNative(b, 1<<12) }
+func BenchmarkFigure5NTTNative16384(b *testing.B) { benchNTTNative(b, 1<<14) }
+func BenchmarkFigure5NTTNative65536(b *testing.B) { benchNTTNative(b, 1<<16) }
+
+func BenchmarkFigure5NTTGeneric4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := core.GenericArith{Q: ctx.Mod.Q}
+	x := randResidues(11, ctx.Mod, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardWith(g, x)
+	}
+	butterflies := float64(1<<11) * float64(p.M)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkFigure5NTTBignum4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp := core.NewBigPlan(p)
+	xs := randResidues(12, ctx.Mod, 1<<12)
+	x := make([]*big.Int, len(xs))
+	for i := range x {
+		x[i] = xs[i].ToBig()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Forward(x)
+	}
+	butterflies := float64(1<<11) * float64(p.M)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+// BenchmarkFigure5Model projects the full Figure 5 grid on both machines
+// and reports the modeled MQX per-butterfly times at 2^14.
+func BenchmarkFigure5Model(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var figs []core.NTTFigure
+	for i := 0; i < b.N; i++ {
+		figs = figs[:0]
+		for _, mach := range perfmodel.MeasurementMachines {
+			figs = append(figs, core.Figure5(mach, mod, core.DefaultBaselineRatios))
+		}
+	}
+	for _, fig := range figs {
+		tag := "intel"
+		if fig.Machine == perfmodel.AMDEPYC9654 {
+			tag = "amd"
+		}
+		for _, s := range fig.Series {
+			if s.Name == "mqx" || s.Name == "avx512" {
+				b.ReportMetric(s.Values[4], "model-ns/bf-"+s.Name+"-"+tag)
+			}
+		}
+	}
+}
+
+// --- Figure 6: MQX component ablation ---
+
+func BenchmarkFigure6Model(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var rows []core.SensitivityRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Figure6(mod)
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.Normalized, "norm-"+row.Label)
+	}
+}
+
+// --- Table 6: PISA validation ---
+
+func BenchmarkTable6PISA(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var res []pisa.ValidationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = pisa.Validate(perfmodel.IntelXeon8352Y, mod)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res {
+		b.ReportMetric(r.EpsilonPct, "eps%-"+r.Pair.Target.String())
+	}
+}
+
+// --- Figures 1 and 7: roofline / SOL ---
+
+func BenchmarkFigure7Model(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var fig core.SOLFigure
+	var err error
+	for i := 0; i < b.N; i++ {
+		for _, mach := range perfmodel.MeasurementMachines {
+			fig, err = core.Figure7(mach, mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(fig.MQXSOL.Points[0].TimeNs, "model-ns-sol-1024")
+}
+
+func BenchmarkFigure1Model(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	var bars []core.Figure1Bar
+	for i := 0; i < b.N; i++ {
+		bars = core.Figure1(mod, core.DefaultBaselineRatios)
+	}
+	for _, bar := range bars {
+		switch bar.Label {
+		case "This work, AVX-512 (1 core)":
+			b.ReportMetric(bar.TimeNs, "model-ns-avx512-1c")
+		case "RPU (ASIC)":
+			b.ReportMetric(bar.TimeNs, "model-ns-rpu")
+		}
+	}
+}
+
+// --- Per-butterfly model across every tier (headline §5.4 numbers) ---
+
+func BenchmarkButterflyModelAllTiers(b *testing.B) {
+	mod := modmath.DefaultModulus128()
+	levels := []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512, isa.LevelMQX}
+	type key struct {
+		mach  *perfmodel.Machine
+		level isa.Level
+	}
+	out := map[key]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, mach := range perfmodel.MeasurementMachines {
+			for _, level := range levels {
+				m := perfmodel.ProjectNTT(mach, level, mod, 1<<14)
+				out[key{mach, level}] = m.NsPerButterfly()
+			}
+		}
+	}
+	for k, v := range out {
+		tag := "intel"
+		if k.mach == perfmodel.AMDEPYC9654 {
+			tag = "amd"
+		}
+		b.ReportMetric(v, "model-ns/bf-"+k.level.String()+"-"+tag)
+	}
+}

@@ -1,0 +1,69 @@
+// Command benchblas regenerates the paper's Figure 4: runtime per element
+// for the four BLAS kernels (vector add, vector sub, point-wise vector
+// mul, axpy) at vector length 1024, across the GMP baseline and the
+// scalar / AVX2 / AVX-512 / MQX tiers.
+//
+// Usage:
+//
+//	benchblas [-cpu intel|amd|both] [-measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+)
+
+func main() {
+	cpu := flag.String("cpu", "both", "intel, amd, or both")
+	measure := flag.Bool("measure", false, "re-measure baseline anchor ratios on this host")
+	flag.Parse()
+
+	mod := modmath.DefaultModulus128()
+	ctx := core.NewContext(mod)
+
+	ratios := core.DefaultBaselineRatios
+	if *measure {
+		r, err := ctx.MeasureNTTBaselineRatios(1 << 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratios = r
+		fmt.Printf("host-measured anchors: GMP/scalar = %.1fx\n\n", ratios.BignumOverNative)
+	}
+
+	var machines []*perfmodel.Machine
+	switch *cpu {
+	case "intel":
+		machines = []*perfmodel.Machine{perfmodel.IntelXeon8352Y}
+	case "amd":
+		machines = []*perfmodel.Machine{perfmodel.AMDEPYC9654}
+	case "both":
+		machines = perfmodel.MeasurementMachines
+	default:
+		fmt.Fprintln(os.Stderr, "benchblas: -cpu must be intel, amd, or both")
+		os.Exit(2)
+	}
+
+	for _, mach := range machines {
+		fig := core.Figure4(mach, mod, ratios)
+		rows := make([]string, len(fig.Ops))
+		for i, op := range fig.Ops {
+			rows[i] = op.String()
+		}
+		label := "Figure 4a"
+		if mach == perfmodel.AMDEPYC9654 {
+			label = "Figure 4b"
+		}
+		fmt.Print(core.FormatSeriesTable(
+			fmt.Sprintf("%s — BLAS runtime per element (ns) on %s, single core, length %d",
+				label, mach.Name, core.BLASVectorLength),
+			"op", rows, fig.Series))
+		fmt.Println()
+	}
+}

@@ -1,0 +1,91 @@
+// Command benchntt regenerates the paper's Figure 5: NTT runtime per
+// butterfly across sizes 2^10..2^17 for the GMP and OpenFHE-backend
+// baselines and the scalar / AVX2 / AVX-512 / MQX tiers, on the modeled
+// Intel Xeon 8352Y (Figure 5a) or AMD EPYC 9654 (Figure 5b).
+//
+// Usage:
+//
+//	benchntt [-cpu intel|amd|both] [-measure] [-verify]
+//
+// With -measure, the GMP and OpenFHE-backend anchors are re-measured on the
+// host instead of using the recorded defaults. With -verify, every vector
+// tier is functionally executed on the trace machine at size 2^12 and
+// checked against the native transform before reporting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+)
+
+func main() {
+	cpu := flag.String("cpu", "both", "intel, amd, or both")
+	measure := flag.Bool("measure", false, "re-measure baseline anchor ratios on this host")
+	verify := flag.Bool("verify", false, "functionally verify every tier before reporting")
+	flag.Parse()
+
+	mod := modmath.DefaultModulus128()
+	ctx := core.NewContext(mod)
+
+	ratios := core.DefaultBaselineRatios
+	if *measure {
+		r, err := ctx.MeasureNTTBaselineRatios(1 << 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratios = r
+		fmt.Printf("host-measured anchors: OpenFHE-backend/scalar = %.1fx, GMP/scalar = %.1fx\n\n",
+			ratios.GenericOverNative, ratios.BignumOverNative)
+	}
+
+	if *verify {
+		if err := ctx.VerifyAllTiers(1 << 12); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("functional verification: all tiers match the native transform")
+		fmt.Println()
+	}
+
+	var machines []*perfmodel.Machine
+	switch *cpu {
+	case "intel":
+		machines = []*perfmodel.Machine{perfmodel.IntelXeon8352Y}
+	case "amd":
+		machines = []*perfmodel.Machine{perfmodel.AMDEPYC9654}
+	case "both":
+		machines = perfmodel.MeasurementMachines
+	default:
+		fmt.Fprintln(os.Stderr, "benchntt: -cpu must be intel, amd, or both")
+		os.Exit(2)
+	}
+
+	for _, mach := range machines {
+		fig := core.Figure5(mach, mod, ratios)
+		rows := make([]string, len(fig.Sizes))
+		for i, n := range fig.Sizes {
+			rows[i] = fmt.Sprintf("2^%d", log2(n))
+		}
+		label := "Figure 5a"
+		if mach == perfmodel.AMDEPYC9654 {
+			label = "Figure 5b"
+		}
+		fmt.Print(core.FormatSeriesTable(
+			fmt.Sprintf("%s — NTT runtime per butterfly (ns) on %s, single core", label, mach.Name),
+			"size", rows, fig.Series))
+		fmt.Println()
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

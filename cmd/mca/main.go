@@ -1,0 +1,96 @@
+// Command mca renders Listing-4-style "resource pressure by instruction"
+// reports: the port assignment and steady-state cost of a double-word
+// modular kernel on a modeled microarchitecture, for any ISA tier
+// including MQX (whose instructions are costed through their PISA
+// proxies, Table 3).
+//
+// Usage:
+//
+//	mca [-kernel addmod128|submod128|mulmod128|butterfly|adc]
+//	    [-level scalar|avx2|avx512|mqx|...] [-march SunnyCove|Zen4]
+//
+// The default reproduces the paper's Listing 4 comparison: addmod128 with
+// AVX-512 and with MQX on Sunny Cove.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+	"mqxgo/internal/sched"
+)
+
+var levelNames = map[string]isa.Level{
+	"scalar":    isa.LevelScalar,
+	"avx2":      isa.LevelAVX2,
+	"avx512":    isa.LevelAVX512,
+	"mqx":       isa.LevelMQX,
+	"mqx+M":     isa.LevelMQXMulOnly,
+	"mqx+C":     isa.LevelMQXCarryOnly,
+	"mqx+Mh,C":  isa.LevelMQXMulHi,
+	"mqx+M,C,P": isa.LevelMQXPredicated,
+}
+
+var kernelNames = map[string]perfmodel.ModOp{
+	"addmod128": perfmodel.ModAdd,
+	"submod128": perfmodel.ModSub,
+	"mulmod128": perfmodel.ModMul,
+	"butterfly": perfmodel.ModButterfly,
+}
+
+func main() {
+	kernel := flag.String("kernel", "addmod128", "addmod128, submod128, mulmod128, butterfly, or adc")
+	level := flag.String("level", "", "ISA tier; empty means the Listing 4 pair (avx512 and mqx)")
+	march := flag.String("march", "SunnyCove", "SunnyCove or Zen4")
+	asm := flag.Bool("asm", false, "also print the kernel as pseudo-assembly")
+	flag.Parse()
+
+	m, err := isa.MicroarchByName(*march)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod := modmath.DefaultModulus128()
+
+	if *kernel == "adc" {
+		// The Table 1 comparison: double-word addition with carry.
+		fmt.Println("Table 1 — addition with carry, instruction counts per tier:")
+		fmt.Println("  scalar: 1 instruction (ADC)")
+		fmt.Println("  AVX-512: 5 instructions (add, masked add, 2 compares, mask or)")
+		fmt.Println("  MQX: 1 instruction (vpadcq)")
+		fmt.Println()
+		*kernel = "addmod128"
+	}
+
+	op, ok := kernelNames[*kernel]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mca: unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	var levels []isa.Level
+	if *level == "" {
+		levels = []isa.Level{isa.LevelAVX512, isa.LevelMQX}
+	} else {
+		l, ok := levelNames[*level]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mca: unknown level %q\n", *level)
+			os.Exit(2)
+		}
+		levels = []isa.Level{l}
+	}
+
+	for _, l := range levels {
+		body := perfmodel.ModOpBody(l, mod, op)
+		rep := sched.Analyze(m, body.Instrs)
+		fmt.Printf("%s / %s / %s\n", *kernel, l, m.Name)
+		if *asm {
+			fmt.Println(sched.RenderAsm(m, body.Instrs))
+		}
+		fmt.Println(rep)
+	}
+}

@@ -1,0 +1,145 @@
+// Command report regenerates the paper's entire evaluation in one run:
+// functional verification, every figure and table, the sensitivity
+// analyses, and the headline summary — the artifact-style "reproduce
+// everything" entry point (Appendix A of the paper).
+//
+// Usage:
+//
+//	report [-measure] [-skip-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+	"mqxgo/internal/pisa"
+	"mqxgo/internal/roofline"
+)
+
+func main() {
+	measure := flag.Bool("measure", false, "re-measure baseline anchors on this host")
+	skipVerify := flag.Bool("skip-verify", false, "skip the functional tier verification")
+	flag.Parse()
+
+	mod := modmath.DefaultModulus128()
+	ctx := core.NewContext(mod)
+
+	fmt.Println("=== mqxgo evaluation report ===")
+	fmt.Println()
+
+	if !*skipVerify {
+		if err := ctx.VerifyAllTiers(1 << 12); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("[verify] all ISA tiers bit-match the native 2^12 transform")
+		fmt.Println()
+	}
+
+	ratios := core.DefaultBaselineRatios
+	if *measure {
+		r, err := ctx.MeasureNTTBaselineRatios(1 << 12)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratios = r
+		fmt.Printf("[anchors] host-measured: OpenFHE-backend/scalar %.1fx, GMP/scalar %.1fx\n\n",
+			ratios.GenericOverNative, ratios.BignumOverNative)
+	}
+
+	// Figure 1.
+	fmt.Println("--- Figure 1: headline NTT comparison (size 2^13, ns) ---")
+	for _, bar := range core.Figure1(mod, ratios) {
+		fmt.Printf("  %-30s %14.0f\n", bar.Label, bar.TimeNs)
+	}
+	fmt.Println()
+
+	// Figures 4 and 5.
+	for _, mach := range perfmodel.MeasurementMachines {
+		f4 := core.Figure4(mach, mod, ratios)
+		rows := make([]string, len(f4.Ops))
+		for i, op := range f4.Ops {
+			rows[i] = op.String()
+		}
+		fmt.Print(core.FormatSeriesTable(
+			fmt.Sprintf("--- Figure 4 (%s): BLAS ns/element ---", mach.Name), "op", rows, f4.Series))
+		fmt.Println()
+
+		f5 := core.Figure5(mach, mod, ratios)
+		sizeRows := make([]string, len(f5.Sizes))
+		for i, n := range f5.Sizes {
+			sizeRows[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Print(core.FormatSeriesTable(
+			fmt.Sprintf("--- Figure 5 (%s): NTT ns/butterfly ---", mach.Name), "size", sizeRows, f5.Series))
+		fmt.Println()
+	}
+
+	// Figure 6.
+	fmt.Println("--- Figure 6: MQX component ablation (AMD, normalized) ---")
+	for _, row := range core.Figure6(mod) {
+		fmt.Printf("  %-8s %6.3f\n", row.Label, row.Normalized)
+	}
+	fmt.Println()
+
+	// Karatsuba.
+	fmt.Println("--- Section 5.5: schoolbook vs Karatsuba (ratio > 1: schoolbook wins) ---")
+	for _, row := range core.KaratsubaComparison(mod) {
+		fmt.Printf("  %-20s %-8s %6.2f\n", row.Machine, row.Level, row.Speedup)
+	}
+	fmt.Println()
+
+	// Tables 5/6.
+	fmt.Println("--- Tables 5/6: PISA validation (epsilon %) ---")
+	intel, err := pisa.Validate(perfmodel.IntelXeon8352Y, mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	amd, err := pisa.Validate(perfmodel.AMDEPYC9654, mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range intel {
+		fmt.Printf("  %-24s intel %7.2f%%   amd %7.2f%%\n",
+			intel[i].Pair.Target, intel[i].EpsilonPct, amd[i].EpsilonPct)
+	}
+	fmt.Println()
+
+	// Figure 7.
+	for _, mach := range perfmodel.MeasurementMachines {
+		f7, err := core.Figure7(mach, mod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- Figure 7 (%s) geomean ratios vs MQX-SOL ---\n", f7.Target.Name)
+		for _, b := range f7.Baselines {
+			fmt.Printf("  %-24s %6.2fx\n", b.Name, roofline.GeomeanRatio(b, f7.MQXSOL))
+		}
+		fmt.Println()
+	}
+
+	// RNS comparison.
+	fmt.Println("--- RNS vs double-word kernels (equal payload, 2^14) ---")
+	rows, err := core.CompareRNS(mod, 1<<14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-20s %-8s dw %7.3fns  rns %7.3fns  ratio %5.2f\n",
+			r.Machine, r.Level, r.DoubleWordNs, r.RNSNs, r.Ratio)
+	}
+	fmt.Println()
+
+	// Headline.
+	h := core.Summary(mod, ratios)
+	fmt.Println("--- Headline summary (model vs paper) ---")
+	fmt.Printf("  NTT  AVX-512 / best baseline: %6.1fx (paper 38x)\n", h.AVX512OverBestBaseline)
+	fmt.Printf("  NTT  MQX / best baseline:     %6.1fx (paper 77x)\n", h.MQXOverBestBaseline)
+	fmt.Printf("  NTT  MQX / AVX-512:           %6.1fx (paper 2.1-3.7x)\n", h.MQXOverAVX512)
+	fmt.Printf("  BLAS AVX-512 / GMP:           %6.1fx (paper 62x)\n", h.AVX512OverGMPBLAS)
+	fmt.Printf("  BLAS MQX / GMP:               %6.1fx (paper 104x)\n", h.MQXOverGMPBLAS)
+	fmt.Printf("  MQX 1-core vs RPU:            %6.1fx slower (paper: as low as 35x)\n", h.MQXSlowdownVsRPU)
+}

@@ -1,0 +1,118 @@
+// Command roofline regenerates the paper's speed-of-light analyses:
+// Figure 7a/7b (MQX scaled across Intel Xeon 6980P and AMD EPYC 9965S
+// against the RPU and FPMM ASICs, the MoMA GPU, and OpenFHE on 32 cores),
+// the headline Figure 1 comparison, the Table 4 machine database, and the
+// top-line speedup summary of the paper's contributions.
+//
+// Usage:
+//
+//	roofline [-cpu intel|amd|both] [-figure1] [-machines] [-summary]
+//
+// With no selection flags, everything prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+	"mqxgo/internal/roofline"
+)
+
+func main() {
+	cpu := flag.String("cpu", "both", "intel, amd, or both (Figure 7 selection)")
+	fig1 := flag.Bool("figure1", false, "print only Figure 1")
+	machines := flag.Bool("machines", false, "print only the machine database (Table 4)")
+	summary := flag.Bool("summary", false, "print only the headline summary")
+	flag.Parse()
+	all := !*fig1 && !*machines && !*summary
+
+	mod := modmath.DefaultModulus128()
+	ratios := core.DefaultBaselineRatios
+
+	if *machines || all {
+		fmt.Println("Table 4 — modeled CPUs")
+		fmt.Printf("%-20s %8s %8s %8s %6s %10s\n", "machine", "base", "boost", "all-core", "cores", "L3")
+		for _, m := range append(append([]*perfmodel.Machine{}, perfmodel.MeasurementMachines...),
+			perfmodel.IntelXeon6980P, perfmodel.AMDEPYC9965S) {
+			fmt.Printf("%-20s %5.1fGHz %5.1fGHz %5.2fGHz %6d %7dMB\n",
+				m.Name, m.BaseGHz, m.MaxGHz, m.BoostAllGHz, m.Cores, m.L3Bytes>>20)
+		}
+		fmt.Println()
+	}
+
+	if *fig1 || all {
+		fmt.Printf("Figure 1 — NTT performance comparison at size 2^13 (lower is better)\n")
+		fmt.Printf("%-30s %14s\n", "system", "time (ns)")
+		for _, bar := range core.Figure1(mod, ratios) {
+			fmt.Printf("%-30s %14.0f\n", bar.Label, bar.TimeNs)
+		}
+		fmt.Println()
+	}
+
+	if all || *cpu != "" && !*fig1 && !*machines && !*summary {
+		var meas []*perfmodel.Machine
+		switch *cpu {
+		case "intel":
+			meas = []*perfmodel.Machine{perfmodel.IntelXeon8352Y}
+		case "amd":
+			meas = []*perfmodel.Machine{perfmodel.AMDEPYC9654}
+		default:
+			meas = perfmodel.MeasurementMachines
+		}
+		for _, m := range meas {
+			fig, err := core.Figure7(m, mod)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "Figure 7a"
+			if m == perfmodel.AMDEPYC9654 {
+				label = "Figure 7b"
+			}
+			fmt.Printf("%s — speed-of-light NTT runtime (ns) on %s\n", label, fig.Target.Name)
+			fmt.Printf("%-8s %16s", "size", "MQX-SOL")
+			for _, b := range fig.Baselines {
+				fmt.Printf(" %22s", b.Name)
+			}
+			fmt.Println()
+			for i, n := range fig.Sizes {
+				fmt.Printf("2^%-6d %16.0f", log2(n), fig.MQXSOL.Points[i].TimeNs)
+				for _, b := range fig.Baselines {
+					if v, ok := b.At(n); ok {
+						fmt.Printf(" %22.0f", v)
+					} else {
+						fmt.Printf(" %22s", "-")
+					}
+				}
+				fmt.Println()
+			}
+			for _, b := range fig.Baselines {
+				r := roofline.GeomeanRatio(b, fig.MQXSOL)
+				fmt.Printf("  geomean %s / MQX-SOL = %.2fx\n", b.Name, r)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *summary || all {
+		h := core.Summary(mod, ratios)
+		fmt.Println("Headline summary (model) vs. paper claims")
+		fmt.Printf("  NTT:  AVX-512 over best CPU baseline: %6.1fx   (paper: 38x avg)\n", h.AVX512OverBestBaseline)
+		fmt.Printf("  NTT:  MQX over best CPU baseline:     %6.1fx   (paper: 77x avg)\n", h.MQXOverBestBaseline)
+		fmt.Printf("  NTT:  MQX over AVX-512:               %6.1fx   (paper: 2.1x Intel / 3.7x AMD)\n", h.MQXOverAVX512)
+		fmt.Printf("  BLAS: AVX-512 over GMP:               %6.1fx   (paper: 62x avg)\n", h.AVX512OverGMPBLAS)
+		fmt.Printf("  BLAS: MQX over GMP:                   %6.1fx   (paper: 104x avg)\n", h.MQXOverGMPBLAS)
+		fmt.Printf("  MQX single core vs RPU ASIC:          %6.1fx slower (paper: as low as 35x)\n", h.MQXSlowdownVsRPU)
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,71 @@
+// Command sensitivity regenerates the paper's Section 5.5 analyses:
+// Figure 6 (which MQX component buys what, normalized per-butterfly NTT
+// runtime on AMD EPYC) and the schoolbook-vs-Karatsuba multiplication
+// algorithm comparison across all tiers and both CPUs.
+//
+// Usage:
+//
+//	sensitivity [-figure6] [-karatsuba]
+//
+// With no flags, both analyses run.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/modmath"
+)
+
+func main() {
+	fig6 := flag.Bool("figure6", false, "run only the MQX component ablation")
+	kar := flag.Bool("karatsuba", false, "run only the multiplication algorithm comparison")
+	rns := flag.Bool("rns", false, "run only the RNS-vs-double-word kernel comparison")
+	flag.Parse()
+	runBoth := !*fig6 && !*kar && !*rns
+
+	mod := modmath.DefaultModulus128()
+
+	if *rns || runBoth {
+		rows, err := core.CompareRNS(mod, 1<<14)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("RNS vs. double-word kernels at equal ~120-bit payload (modeled, 2^14 NTT)")
+		fmt.Println("(ratio > 1: the two 60-bit RNS channel butterflies are faster than one")
+		fmt.Println("124-bit double-word butterfly; the paper's case for 128-bit residues is")
+		fmt.Println("the application-level conversion overhead RNS adds, Section 1)")
+		fmt.Printf("%-20s %-8s %14s %14s %8s\n", "machine", "tier", "double-word", "RNS 2x60", "ratio")
+		for _, r := range rows {
+			fmt.Printf("%-20s %-8s %12.3fns %12.3fns %8.2f\n",
+				r.Machine, r.Level, r.DoubleWordNs, r.RNSNs, r.Ratio)
+		}
+		fmt.Println()
+	}
+
+	if *fig6 || runBoth {
+		fmt.Println("Figure 6 — NTT runtime per butterfly on AMD EPYC 9654,")
+		fmt.Println("averaged over sizes 2^10..2^17, normalized to AVX-512 (Base)")
+		fmt.Printf("%-10s %-14s %s\n", "variant", "level", "normalized")
+		for _, row := range core.Figure6(mod) {
+			bar := ""
+			for i := 0.0; i < row.Normalized*40; i++ {
+				bar += "#"
+			}
+			fmt.Printf("%-10s %-14s %10.3f  %s\n", row.Label, row.Level, row.Normalized, bar)
+		}
+		fmt.Println()
+	}
+
+	if *kar || runBoth {
+		fmt.Println("Section 5.5 — schoolbook vs. Karatsuba 128-bit multiplication")
+		fmt.Println("(per-butterfly ns at NTT size 2^14; ratio > 1 means schoolbook wins)")
+		fmt.Printf("%-20s %-10s %12s %12s %8s\n", "machine", "tier", "schoolbook", "karatsuba", "ratio")
+		for _, row := range core.KaratsubaComparison(mod) {
+			fmt.Printf("%-20s %-10s %12.3f %12.3f %8.2f\n",
+				row.Machine, row.Level, row.SchoolbookNs, row.KaratsubaNs, row.Speedup)
+		}
+		fmt.Println()
+	}
+}

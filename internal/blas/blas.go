@@ -1,0 +1,180 @@
+// Package blas implements the paper's BLAS-style kernels over Z_q with
+// 128-bit coefficients (Section 2.3): vector addition, vector subtraction,
+// point-wise vector multiplication, and axpy (y = a*x + y).
+//
+// Two families of implementations are provided:
+//
+//   - VM kernels (this file): generic over a kernels.Ops backend, emitting
+//     scalar/AVX2/AVX-512/MQX instruction streams on the trace machine for
+//     the Figure 4 performance model, while computing exact results.
+//   - Native kernels (native.go): plain Go implementations — the optimized
+//     fixed-width scalar path, a division-based "generic" backend standing
+//     in for OpenFHE's built-in math backend, and a math/big backend
+//     standing in for GMP — measured for real with testing.B.
+//
+// Vectors use a structure-of-arrays layout: separate hi and lo word slices,
+// exactly how the SIMD kernels want their 128-bit lanes split (Section 3.2).
+package blas
+
+import (
+	"fmt"
+
+	"mqxgo/internal/kernels"
+	"mqxgo/internal/u128"
+)
+
+// Vector is a vector of 128-bit residues in SoA layout.
+type Vector struct {
+	Hi, Lo []uint64
+}
+
+// NewVector allocates a zero vector of length n.
+func NewVector(n int) Vector {
+	return Vector{Hi: make([]uint64, n), Lo: make([]uint64, n)}
+}
+
+// Len returns the vector length.
+func (v Vector) Len() int { return len(v.Hi) }
+
+// At returns element i.
+func (v Vector) At(i int) u128.U128 { return u128.U128{Hi: v.Hi[i], Lo: v.Lo[i]} }
+
+// Set stores x at element i.
+func (v Vector) Set(i int, x u128.U128) { v.Hi[i], v.Lo[i] = x.Hi, x.Lo }
+
+// FromSlice builds a vector from 128-bit values.
+func FromSlice(xs []u128.U128) Vector {
+	v := NewVector(len(xs))
+	for i, x := range xs {
+		v.Set(i, x)
+	}
+	return v
+}
+
+// ToSlice converts the vector to 128-bit values.
+func (v Vector) ToSlice() []u128.U128 {
+	xs := make([]u128.U128, v.Len())
+	for i := range xs {
+		xs[i] = v.At(i)
+	}
+	return xs
+}
+
+func checkLens(dst Vector, srcs ...Vector) error {
+	n := dst.Len()
+	for _, s := range srcs {
+		if s.Len() != n {
+			return fmt.Errorf("blas: length mismatch: %d vs %d", s.Len(), n)
+		}
+	}
+	return nil
+}
+
+// Op identifies a BLAS kernel in the paper's Figure 4 benchmark set.
+type Op int
+
+const (
+	// OpVecAdd is element-wise modular vector addition.
+	OpVecAdd Op = iota
+	// OpVecSub is element-wise modular vector subtraction.
+	OpVecSub
+	// OpVecPMul is element-wise (point-wise) modular vector multiplication.
+	OpVecPMul
+	// OpAxpy is y = a*x + y with a scalar a.
+	OpAxpy
+)
+
+var opNames = map[Op]string{
+	OpVecAdd: "vecadd", OpVecSub: "vecsub", OpVecPMul: "vecpmul", OpAxpy: "axpy",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// AllOps lists the Figure 4 kernels.
+var AllOps = []Op{OpVecAdd, OpVecSub, OpVecPMul, OpAxpy}
+
+// VecAddModVM computes dst = a + b mod q on the trace machine, lane group
+// by lane group. Lengths must be equal and a multiple of the backend lane
+// count (the paper assumes power-of-two lengths, Section 3.2).
+func VecAddModVM[W, C any](d *kernels.DW[W, C], dst, a, b Vector) error {
+	return ewiseVM(d, dst, a, b, d.AddMod)
+}
+
+// VecSubModVM computes dst = a - b mod q on the trace machine.
+func VecSubModVM[W, C any](d *kernels.DW[W, C], dst, a, b Vector) error {
+	return ewiseVM(d, dst, a, b, d.SubMod)
+}
+
+// VecPMulModVM computes dst = a .* b mod q on the trace machine.
+func VecPMulModVM[W, C any](d *kernels.DW[W, C], dst, a, b Vector) error {
+	return ewiseVM(d, dst, a, b, d.MulMod)
+}
+
+func ewiseVM[W, C any](d *kernels.DW[W, C], dst, a, b Vector,
+	f func(x, y kernels.DWPair[W]) kernels.DWPair[W]) error {
+	if err := checkLens(dst, a, b); err != nil {
+		return err
+	}
+	o := d.O
+	lanes := o.Lanes()
+	if dst.Len()%lanes != 0 {
+		return fmt.Errorf("blas: length %d not a multiple of %d lanes", dst.Len(), lanes)
+	}
+	for i := 0; i < dst.Len(); i += lanes {
+		x := kernels.DWPair[W]{Hi: o.Load(a.Hi, i), Lo: o.Load(a.Lo, i)}
+		y := kernels.DWPair[W]{Hi: o.Load(b.Hi, i), Lo: o.Load(b.Lo, i)}
+		z := f(x, y)
+		o.Store(dst.Hi, i, z.Hi)
+		o.Store(dst.Lo, i, z.Lo)
+	}
+	return nil
+}
+
+// AxpyVM computes y = a*x + y mod q for a scalar a, on the trace machine.
+// The broadcast of a must happen before BeginLoop for clean loop-body
+// accounting, so a is passed pre-broadcast.
+func AxpyVM[W, C any](d *kernels.DW[W, C], a kernels.DWPair[W], x, y Vector) error {
+	if err := checkLens(y, x); err != nil {
+		return err
+	}
+	o := d.O
+	lanes := o.Lanes()
+	if y.Len()%lanes != 0 {
+		return fmt.Errorf("blas: length %d not a multiple of %d lanes", y.Len(), lanes)
+	}
+	for i := 0; i < y.Len(); i += lanes {
+		xv := kernels.DWPair[W]{Hi: o.Load(x.Hi, i), Lo: o.Load(x.Lo, i)}
+		yv := kernels.DWPair[W]{Hi: o.Load(y.Hi, i), Lo: o.Load(y.Lo, i)}
+		z := d.AddMod(d.MulMod(a, xv), yv)
+		o.Store(y.Hi, i, z.Hi)
+		o.Store(y.Lo, i, z.Lo)
+	}
+	return nil
+}
+
+// Broadcast128 broadcasts a 128-bit scalar into a backend double-word pair
+// (preamble; call before BeginLoop).
+func Broadcast128[W, C any](o kernels.Ops[W, C], x u128.U128) kernels.DWPair[W] {
+	return kernels.DWPair[W]{Hi: o.Broadcast(x.Hi), Lo: o.Broadcast(x.Lo)}
+}
+
+// RunVM dispatches one of the Figure 4 kernels on the trace machine.
+// For OpAxpy, a is the scalar multiplier.
+func RunVM[W, C any](d *kernels.DW[W, C], op Op, a kernels.DWPair[W], dst, x, y Vector) error {
+	switch op {
+	case OpVecAdd:
+		return VecAddModVM(d, dst, x, y)
+	case OpVecSub:
+		return VecSubModVM(d, dst, x, y)
+	case OpVecPMul:
+		return VecPMulModVM(d, dst, x, y)
+	case OpAxpy:
+		return AxpyVM(d, a, x, y)
+	}
+	return fmt.Errorf("blas: unknown op %v", op)
+}

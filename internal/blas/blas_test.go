@@ -1,0 +1,210 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/kernels"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+	"mqxgo/internal/vm"
+)
+
+func randResidues(r *rand.Rand, mod *modmath.Modulus128, n int) []u128.U128 {
+	xs := make([]u128.U128, n)
+	for i := range xs {
+		xs[i] = u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q)
+	}
+	return xs
+}
+
+func refOp(mod *modmath.Modulus128, op Op, a u128.U128, x, y u128.U128) u128.U128 {
+	switch op {
+	case OpVecAdd:
+		return mod.Add(x, y)
+	case OpVecSub:
+		return mod.Sub(x, y)
+	case OpVecPMul:
+		return mod.Mul(x, y)
+	case OpAxpy:
+		return mod.Add(mod.Mul(a, x), y)
+	}
+	panic("bad op")
+}
+
+func TestVMKernelsAllLevels(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	r := rand.New(rand.NewSource(51))
+	n := 64
+	a := u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q)
+	xs := randResidues(r, mod, n)
+	ys := randResidues(r, mod, n)
+
+	check := func(level isa.Level, op Op, got Vector) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			want := refOp(mod, op, a, xs[i], ys[i])
+			if !got.At(i).Equal(want) {
+				t.Fatalf("%v %v element %d: got %s, want %s", level, op, i, got.At(i), want)
+			}
+		}
+	}
+
+	for _, op := range AllOps {
+		// 512-bit tiers.
+		for _, level := range []isa.Level{isa.LevelAVX512, isa.LevelMQX} {
+			m := vm.New(vm.TraceOff)
+			b := kernels.NewB512(m, level)
+			d := kernels.NewDW[vm.V, vm.M](b, mod)
+			av := Broadcast128[vm.V, vm.M](b, a)
+			m.BeginLoop()
+			x, y := FromSlice(xs), FromSlice(ys)
+			dst := NewVector(n)
+			if op == OpAxpy {
+				dst = y
+			}
+			if err := RunVM(d, op, av, dst, x, y); err != nil {
+				t.Fatal(err)
+			}
+			check(level, op, dst)
+		}
+		// AVX2.
+		{
+			m := vm.New(vm.TraceOff)
+			b := kernels.NewB256(m)
+			d := kernels.NewDW[vm.V4, vm.V4](b, mod)
+			av := Broadcast128[vm.V4, vm.V4](b, a)
+			m.BeginLoop()
+			x, y := FromSlice(xs), FromSlice(ys)
+			dst := NewVector(n)
+			if op == OpAxpy {
+				dst = y
+			}
+			if err := RunVM(d, op, av, dst, x, y); err != nil {
+				t.Fatal(err)
+			}
+			check(isa.LevelAVX2, op, dst)
+		}
+		// Scalar.
+		{
+			m := vm.New(vm.TraceOff)
+			b := kernels.NewBScalar(m)
+			d := kernels.NewDW[vm.S, vm.F](b, mod)
+			av := Broadcast128[vm.S, vm.F](b, a)
+			m.BeginLoop()
+			x, y := FromSlice(xs), FromSlice(ys)
+			dst := NewVector(n)
+			if op == OpAxpy {
+				dst = y
+			}
+			if err := RunVM(d, op, av, dst, x, y); err != nil {
+				t.Fatal(err)
+			}
+			check(isa.LevelScalar, op, dst)
+		}
+	}
+}
+
+func TestNativeBackends(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	r := rand.New(rand.NewSource(52))
+	n := 128
+	a := u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q)
+	xs := randResidues(r, mod, n)
+	ys := randResidues(r, mod, n)
+
+	nat := Native{Mod: mod}
+	gen := Generic{Q: mod.Q}
+	big := NewBignum(mod.Q)
+
+	for _, op := range AllOps {
+		// Native.
+		dstN := make([]u128.U128, n)
+		yn := append([]u128.U128(nil), ys...)
+		switch op {
+		case OpVecAdd:
+			nat.VecAddMod(dstN, xs, ys)
+		case OpVecSub:
+			nat.VecSubMod(dstN, xs, ys)
+		case OpVecPMul:
+			nat.VecPMulMod(dstN, xs, ys)
+		case OpAxpy:
+			nat.Axpy(a, xs, yn)
+			dstN = yn
+		}
+		// Generic.
+		dstG := make([]u128.U128, n)
+		yg := append([]u128.U128(nil), ys...)
+		switch op {
+		case OpVecAdd:
+			gen.VecAddMod(dstG, xs, ys)
+		case OpVecSub:
+			gen.VecSubMod(dstG, xs, ys)
+		case OpVecPMul:
+			gen.VecPMulMod(dstG, xs, ys)
+		case OpAxpy:
+			gen.Axpy(a, xs, yg)
+			dstG = yg
+		}
+		// Bignum.
+		xb, yb := ToBigVector(xs), ToBigVector(ys)
+		dstB := BigVector(n)
+		switch op {
+		case OpVecAdd:
+			big.VecAddMod(dstB, xb, yb)
+		case OpVecSub:
+			big.VecSubMod(dstB, xb, yb)
+		case OpVecPMul:
+			big.VecPMulMod(dstB, xb, yb)
+		case OpAxpy:
+			big.Axpy(a.ToBig(), xb, yb)
+			dstB = yb
+		}
+		for i := 0; i < n; i++ {
+			want := refOp(mod, op, a, xs[i], ys[i])
+			if !dstN[i].Equal(want) {
+				t.Fatalf("native %v element %d wrong", op, i)
+			}
+			if !dstG[i].Equal(want) {
+				t.Fatalf("generic %v element %d wrong", op, i)
+			}
+			if got, ok := u128.FromBig(dstB[i]); !ok || !got.Equal(want) {
+				t.Fatalf("bignum %v element %d wrong", op, i)
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	xs := []u128.U128{u128.From64(1), u128.New(2, 3)}
+	v := FromSlice(xs)
+	if v.Len() != 2 || !v.At(1).Equal(u128.New(2, 3)) {
+		t.Fatal("FromSlice/At wrong")
+	}
+	v.Set(0, u128.New(7, 8))
+	out := v.ToSlice()
+	if !out[0].Equal(u128.New(7, 8)) {
+		t.Fatal("Set/ToSlice wrong")
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	m := vm.New(vm.TraceOff)
+	b := kernels.NewB512(m, isa.LevelAVX512)
+	d := kernels.NewDW[vm.V, vm.M](b, mod)
+	m.BeginLoop()
+	if err := VecAddModVM(d, NewVector(8), NewVector(16), NewVector(8)); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if err := VecAddModVM(d, NewVector(12), NewVector(12), NewVector(12)); err == nil {
+		t.Error("expected lane multiple error")
+	}
+	if err := AxpyVM(d, kernels.DWPair[vm.V]{}, NewVector(8), NewVector(16)); err == nil {
+		t.Error("expected axpy length error")
+	}
+	if err := RunVM(d, Op(99), kernels.DWPair[vm.V]{}, NewVector(8), NewVector(8), NewVector(8)); err == nil {
+		t.Error("expected unknown op error")
+	}
+}

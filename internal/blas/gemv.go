@@ -1,0 +1,63 @@
+package blas
+
+import (
+	"fmt"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+// The paper frames point-wise vector multiplication as a special case of
+// the BLAS Level 2 gemv (Section 2.3). The full general matrix-vector
+// product over Z_q is provided here for completeness: it is the building
+// block of key switching and other linear maps in FHE schemes.
+
+// Matrix is a dense row-major matrix of 128-bit residues.
+type Matrix struct {
+	Rows, Cols int
+	Data       []u128.U128 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]u128.U128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) u128.U128 { return m.Data[i*m.Cols+j] }
+
+// Set stores x at element (i, j).
+func (m Matrix) Set(i, j int, x u128.U128) { m.Data[i*m.Cols+j] = x }
+
+// Gemv computes y = alpha*A*x + beta*y over Z_q. All values must be
+// reduced. Runs on the optimized native scalar arithmetic.
+func Gemv(mod *modmath.Modulus128, alpha u128.U128, a Matrix, x []u128.U128, beta u128.U128, y []u128.U128) error {
+	if len(x) != a.Cols {
+		return fmt.Errorf("blas: gemv x has %d elements, want %d", len(x), a.Cols)
+	}
+	if len(y) != a.Rows {
+		return fmt.Errorf("blas: gemv y has %d elements, want %d", len(y), a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		acc := u128.Zero
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, aij := range row {
+			acc = mod.Add(acc, mod.Mul(aij, x[j]))
+		}
+		y[i] = mod.Add(mod.Mul(alpha, acc), mod.Mul(beta, y[i]))
+	}
+	return nil
+}
+
+// DiagGemv computes y = D*x for a diagonal matrix D given as a vector —
+// exactly the point-wise vector multiplication the paper benchmarks,
+// showing the gemv specialization explicitly.
+func DiagGemv(mod *modmath.Modulus128, diag, x, y []u128.U128) error {
+	if len(diag) != len(x) || len(y) != len(x) {
+		return fmt.Errorf("blas: diag gemv length mismatch")
+	}
+	for i := range x {
+		y[i] = mod.Mul(diag[i], x[i])
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package blas
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+func TestGemvMatchesBig(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	r := rand.New(rand.NewSource(121))
+	rows, cols := 7, 5
+	a := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a.Set(i, j, u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q))
+		}
+	}
+	x := randResidues(r, mod, cols)
+	y := randResidues(r, mod, rows)
+	alpha := u128.From64(3)
+	beta := u128.From64(5)
+
+	got := append([]u128.U128(nil), y...)
+	if err := Gemv(mod, alpha, a, x, beta, got); err != nil {
+		t.Fatal(err)
+	}
+
+	qb := mod.Q.ToBig()
+	for i := 0; i < rows; i++ {
+		acc := new(big.Int)
+		for j := 0; j < cols; j++ {
+			acc.Add(acc, new(big.Int).Mul(a.At(i, j).ToBig(), x[j].ToBig()))
+		}
+		acc.Mul(acc, alpha.ToBig())
+		acc.Add(acc, new(big.Int).Mul(beta.ToBig(), y[i].ToBig()))
+		acc.Mod(acc, qb)
+		if got[i].ToBig().Cmp(acc) != 0 {
+			t.Fatalf("row %d: got %s, want %s", i, got[i], acc)
+		}
+	}
+
+	if err := Gemv(mod, alpha, a, x[:2], beta, got); err == nil {
+		t.Error("expected x length error")
+	}
+	if err := Gemv(mod, alpha, a, x, beta, got[:2]); err == nil {
+		t.Error("expected y length error")
+	}
+}
+
+func TestDiagGemvIsPointwiseMul(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	r := rand.New(rand.NewSource(122))
+	n := 64
+	d := randResidues(r, mod, n)
+	x := randResidues(r, mod, n)
+	y := make([]u128.U128, n)
+	if err := DiagGemv(mod, d, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]u128.U128, n)
+	Native{Mod: mod}.VecPMulMod(want, d, x)
+	for i := range want {
+		if !y[i].Equal(want[i]) {
+			t.Fatalf("element %d differs", i)
+		}
+	}
+	if err := DiagGemv(mod, d, x[:3], y); err == nil {
+		t.Error("expected length error")
+	}
+}

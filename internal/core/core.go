@@ -1,0 +1,83 @@
+// Package core is the library facade: it ties the double-word modular
+// arithmetic, BLAS and NTT kernels, performance model, PISA methodology and
+// roofline analysis together behind one Context type, and assembles every
+// table and figure of the paper's evaluation (figures.go) for the cmd/
+// tools and benchmarks.
+package core
+
+import (
+	"fmt"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ntt"
+	"mqxgo/internal/u128"
+)
+
+// Context holds a modulus and cached NTT plans per transform size.
+type Context struct {
+	Mod   *modmath.Modulus128
+	plans map[int]*ntt.Plan
+}
+
+// NewContext builds a context for the given modulus.
+func NewContext(mod *modmath.Modulus128) *Context {
+	return &Context{Mod: mod, plans: make(map[int]*ntt.Plan)}
+}
+
+// Default returns a context on the library's default 124-bit prime, which
+// supports negacyclic transforms up to 2^17 (the paper's largest size).
+func Default() *Context {
+	return NewContext(modmath.DefaultModulus128())
+}
+
+// Plan returns (building and caching if needed) the plan for size n.
+func (c *Context) Plan(n int) (*ntt.Plan, error) {
+	if p, ok := c.plans[n]; ok {
+		return p, nil
+	}
+	p, err := ntt.NewPlan(c.Mod, n)
+	if err != nil {
+		return nil, err
+	}
+	c.plans[n] = p
+	return p, nil
+}
+
+// NTT computes the forward transform (natural in, bit-reversed out).
+func (c *Context) NTT(x []u128.U128) ([]u128.U128, error) {
+	p, err := c.Plan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	return p.ForwardNative(x), nil
+}
+
+// INTT computes the inverse transform (bit-reversed in, natural out).
+func (c *Context) INTT(y []u128.U128) ([]u128.U128, error) {
+	p, err := c.Plan(len(y))
+	if err != nil {
+		return nil, err
+	}
+	return p.InverseNative(y), nil
+}
+
+// PolyMul multiplies two polynomials in Z_q[x]/(x^n + 1).
+func (c *Context) PolyMul(a, b []u128.U128) ([]u128.U128, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("core: length mismatch %d vs %d", len(a), len(b))
+	}
+	p, err := c.Plan(len(a))
+	if err != nil {
+		return nil, err
+	}
+	return p.PolyMulNegacyclic(a, b), nil
+}
+
+// Add / Sub / Mul expose the reduced modular arithmetic.
+func (c *Context) Add(a, b u128.U128) u128.U128 { return c.Mod.Add(a, b) }
+
+// Sub returns a - b mod q.
+func (c *Context) Sub(a, b u128.U128) u128.U128 { return c.Mod.Sub(a, b) }
+
+// Mul returns a * b mod q (Barrett).
+func (c *Context) Mul(a, b u128.U128) u128.U128 { return c.Mod.Mul(a, b) }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+)
+
+func TestCompareRNS(t *testing.T) {
+	rows, err := CompareRNS(modmath.DefaultModulus128(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byKey := map[string]RNSCompareRow{}
+	for _, r := range rows {
+		if r.DoubleWordNs <= 0 || r.RNSNs <= 0 {
+			t.Fatalf("non-positive times: %+v", r)
+		}
+		byKey[r.Machine+"/"+r.Level.String()] = r
+	}
+	for _, mach := range []string{"Intel Xeon 8352Y", "AMD EPYC 9654"} {
+		avx := byKey[mach+"/"+isa.LevelAVX512.String()]
+		mqx := byKey[mach+"/"+isa.LevelMQX.String()]
+		// Without MQX, the RNS kernels hold a large advantage at equal
+		// payload (no carry emulation below the word size).
+		if avx.Ratio < 2 {
+			t.Errorf("%s avx512: expected RNS advantage >= 2x, got %.2f", mach, avx.Ratio)
+		}
+		// MQX must narrow the gap: that is the point of the extension.
+		if mqx.Ratio >= avx.Ratio {
+			t.Errorf("%s: MQX should narrow the RNS gap (avx512 %.2f -> mqx %.2f)",
+				mach, avx.Ratio, mqx.Ratio)
+		}
+	}
+}

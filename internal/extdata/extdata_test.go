@@ -1,0 +1,74 @@
+package extdata
+
+import (
+	"math"
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+	"mqxgo/internal/roofline"
+)
+
+// TestAnchoredRatios verifies that the synthesized curves reproduce the
+// paper's stated Section 6 relations against the MQX-SOL AMD series.
+func TestAnchoredRatios(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	sol := roofline.SOLSeries(perfmodel.AMDEPYC9654, perfmodel.AMDEPYC9965S,
+		isa.LevelMQX, mod, roofline.StandardSizes)
+
+	cases := []struct {
+		s    roofline.Series
+		want float64
+		tol  float64
+	}{
+		{RPU(mod), 2.5, 0.15},
+		{FPMM(mod), 2.9, 0.15},
+		{MoMA(mod), 1.7, 0.15},
+	}
+	for _, c := range cases {
+		r := roofline.GeomeanRatio(c.s, sol)
+		if math.Abs(r-c.want)/c.want > c.tol {
+			t.Errorf("%s / MQX-SOL = %.2f, want ~%.2f", c.s.Name, r, c.want)
+		}
+	}
+
+	// OpenFHE-32c over RPU must land inside RPU's reported 545-1485x.
+	ratio := roofline.GeomeanRatio(OpenFHE32Core(mod), RPU(mod))
+	if ratio < 545 || ratio > 1485 {
+		t.Errorf("OpenFHE-32c / RPU = %.0f, want within [545, 1485]", ratio)
+	}
+}
+
+func TestSupportedSizes(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	if got := len(RPU(mod).Points); got != len(RPUSizes) {
+		t.Errorf("RPU has %d points, want %d", got, len(RPUSizes))
+	}
+	if got := len(FPMM(mod).Points); got != len(FPMMSizes) {
+		t.Errorf("FPMM has %d points, want %d", got, len(FPMMSizes))
+	}
+	if got := len(MoMA(mod).Points); got != len(roofline.StandardSizes) {
+		t.Errorf("MoMA has %d points, want %d", got, len(roofline.StandardSizes))
+	}
+}
+
+// TestIntelSidePredictions treats the Intel Figure 7a comparisons as model
+// outputs and checks they land in the paper's reported neighborhoods:
+// MQX-SOL on Xeon 6980P ~1.3x faster than RPU and ~1.4x slower than MoMA.
+func TestIntelSidePredictions(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	solIntel := roofline.SOLSeries(perfmodel.IntelXeon8352Y, perfmodel.IntelXeon6980P,
+		isa.LevelMQX, mod, roofline.StandardSizes)
+
+	rpuOverIntel := roofline.GeomeanRatio(RPU(mod), solIntel)
+	if rpuOverIntel < 0.8 || rpuOverIntel > 2.2 {
+		t.Errorf("RPU / MQX-SOL-Intel = %.2f, expected near the paper's 1.3", rpuOverIntel)
+	}
+	intelOverMoma := roofline.GeomeanRatio(solIntel, MoMA(mod))
+	if intelOverMoma < 0.6 || intelOverMoma > 2.2 {
+		t.Errorf("MQX-SOL-Intel / MoMA = %.2f, expected near the paper's 1.4", intelOverMoma)
+	}
+	t.Logf("RPU/MQX-SOL-Intel = %.2f (paper ~1.3 inverse), MQX-SOL-Intel/MoMA = %.2f (paper ~1.4)",
+		rpuOverIntel, intelOverMoma)
+}

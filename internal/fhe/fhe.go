@@ -1,0 +1,268 @@
+// Package fhe implements a toy symmetric-key RLWE ("BFV-style") encryption
+// scheme on top of the library's 128-bit negacyclic NTT — the application
+// domain that motivates the paper (Section 1). It demonstrates that the
+// optimized kernels compose into the polynomial pipelines real FHE schemes
+// are built from: keygen, encrypt, decrypt, homomorphic addition and
+// plaintext multiplication.
+//
+// This is an educational scheme: parameters are chosen for correctness
+// demonstrations, not for standardized security levels.
+package fhe
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ntt"
+	"mqxgo/internal/u128"
+)
+
+// Params holds the ring parameters: R_q = Z_q[x]/(x^N + 1) with plaintext
+// modulus T.
+type Params struct {
+	Mod *modmath.Modulus128
+	N   int
+	T   uint64 // plaintext modulus, << q
+
+	Delta u128.U128 // floor(q / T), the plaintext scaling factor
+	plan  *ntt.Plan
+}
+
+// NewParams validates and precomputes the ring parameters.
+func NewParams(mod *modmath.Modulus128, n int, t uint64) (*Params, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
+	}
+	plan, err := ntt.NewPlan(mod, n)
+	if err != nil {
+		return nil, err
+	}
+	delta, _ := mod.Q.DivMod64(t)
+	if delta.IsZero() {
+		return nil, fmt.Errorf("fhe: plaintext modulus %d too large for q", t)
+	}
+	return &Params{Mod: mod, N: n, T: t, Delta: delta, plan: plan}, nil
+}
+
+// SecretKey is a small ternary polynomial.
+type SecretKey struct {
+	S []u128.U128
+}
+
+// Ciphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M.
+type Ciphertext struct {
+	A, B []u128.U128
+}
+
+// Scheme bundles parameters with a deterministic randomness source
+// (rand.Rand keeps examples and tests reproducible; production code would
+// use crypto/rand).
+type Scheme struct {
+	P   *Params
+	rng *rand.Rand
+}
+
+// NewScheme builds a scheme with the given seed.
+func NewScheme(p *Params, seed int64) *Scheme {
+	return &Scheme{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// KeyGen samples a ternary secret s with coefficients in {-1, 0, 1}.
+func (s *Scheme) KeyGen() SecretKey {
+	mod := s.P.Mod
+	sk := make([]u128.U128, s.P.N)
+	for i := range sk {
+		switch s.rng.Intn(3) {
+		case 0:
+			sk[i] = u128.Zero
+		case 1:
+			sk[i] = u128.One
+		default:
+			sk[i] = mod.Neg(u128.One)
+		}
+	}
+	return SecretKey{S: sk}
+}
+
+// uniformPoly samples a uniform element of R_q.
+func (s *Scheme) uniformPoly() []u128.U128 {
+	mod := s.P.Mod
+	out := make([]u128.U128, s.P.N)
+	for i := range out {
+		out[i] = u128.New(s.rng.Uint64(), s.rng.Uint64()).Mod(mod.Q)
+	}
+	return out
+}
+
+// noisePoly samples a small centered error with |e| <= noiseBound.
+const noiseBound = 8
+
+func (s *Scheme) noisePoly() []u128.U128 {
+	mod := s.P.Mod
+	out := make([]u128.U128, s.P.N)
+	for i := range out {
+		e := s.rng.Intn(2*noiseBound+1) - noiseBound
+		if e >= 0 {
+			out[i] = u128.From64(uint64(e))
+		} else {
+			out[i] = mod.Neg(u128.From64(uint64(-e)))
+		}
+	}
+	return out
+}
+
+// Encrypt encrypts a plaintext polynomial with coefficients in [0, T).
+func (s *Scheme) Encrypt(sk SecretKey, msg []uint64) (Ciphertext, error) {
+	p := s.P
+	if len(msg) != p.N {
+		return Ciphertext{}, fmt.Errorf("fhe: message length %d != N %d", len(msg), p.N)
+	}
+	mod := p.Mod
+	a := s.uniformPoly()
+	e := s.noisePoly()
+	as := p.plan.PolyMulNegacyclic(a, sk.S)
+	b := make([]u128.U128, p.N)
+	for i := 0; i < p.N; i++ {
+		if msg[i] >= p.T {
+			return Ciphertext{}, fmt.Errorf("fhe: coefficient %d out of plaintext range", msg[i])
+		}
+		scaled := mod.Mul(p.Delta, u128.From64(msg[i]))
+		b[i] = mod.Add(mod.Add(as[i], e[i]), scaled)
+	}
+	return Ciphertext{A: a, B: b}, nil
+}
+
+// Decrypt recovers the plaintext: round((B - A*S) * T / q) mod T.
+func (s *Scheme) Decrypt(sk SecretKey, ct Ciphertext) ([]uint64, error) {
+	p := s.P
+	if len(ct.A) != p.N || len(ct.B) != p.N {
+		return nil, fmt.Errorf("fhe: malformed ciphertext")
+	}
+	mod := p.Mod
+	as := p.plan.PolyMulNegacyclic(ct.A, sk.S)
+	out := make([]uint64, p.N)
+	half, _ := p.Delta.DivMod64(2)
+	for i := 0; i < p.N; i++ {
+		noisy := mod.Sub(ct.B[i], as[i]) // Delta*m + e
+		// Round to the nearest multiple of Delta.
+		q, _ := noisy.Add(half).DivMod(p.Delta)
+		out[i] = q.Lo % p.T
+	}
+	return out, nil
+}
+
+// AddCiphertexts is homomorphic addition: decrypts to the coefficient-wise
+// sum of the plaintexts mod T (noise permitting).
+func (s *Scheme) AddCiphertexts(c1, c2 Ciphertext) Ciphertext {
+	mod := s.P.Mod
+	n := s.P.N
+	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
+	for i := 0; i < n; i++ {
+		out.A[i] = mod.Add(c1.A[i], c2.A[i])
+		out.B[i] = mod.Add(c1.B[i], c2.B[i])
+	}
+	return out
+}
+
+// MulPlain multiplies a ciphertext by a plaintext polynomial with small
+// coefficients (negacyclic convolution of both components).
+func (s *Scheme) MulPlain(ct Ciphertext, pt []u128.U128) (Ciphertext, error) {
+	if len(pt) != s.P.N {
+		return Ciphertext{}, fmt.Errorf("fhe: plaintext length mismatch")
+	}
+	return Ciphertext{
+		A: s.P.plan.PolyMulNegacyclic(ct.A, pt),
+		B: s.P.plan.PolyMulNegacyclic(ct.B, pt),
+	}, nil
+}
+
+// SubCiphertexts is homomorphic subtraction.
+func (s *Scheme) SubCiphertexts(c1, c2 Ciphertext) Ciphertext {
+	mod := s.P.Mod
+	n := s.P.N
+	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
+	for i := 0; i < n; i++ {
+		out.A[i] = mod.Sub(c1.A[i], c2.A[i])
+		out.B[i] = mod.Sub(c1.B[i], c2.B[i])
+	}
+	return out
+}
+
+// Neg negates a ciphertext (decrypts to -m mod T).
+func (s *Scheme) Neg(ct Ciphertext) Ciphertext {
+	mod := s.P.Mod
+	n := s.P.N
+	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
+	for i := 0; i < n; i++ {
+		out.A[i] = mod.Neg(ct.A[i])
+		out.B[i] = mod.Neg(ct.B[i])
+	}
+	return out
+}
+
+// AddPlain adds a plaintext message to a ciphertext without encrypting it
+// first: only the B component moves, by Delta * m.
+func (s *Scheme) AddPlain(ct Ciphertext, msg []uint64) (Ciphertext, error) {
+	p := s.P
+	if len(msg) != p.N {
+		return Ciphertext{}, fmt.Errorf("fhe: message length %d != N %d", len(msg), p.N)
+	}
+	mod := p.Mod
+	out := Ciphertext{A: append([]u128.U128(nil), ct.A...), B: make([]u128.U128, p.N)}
+	for i := 0; i < p.N; i++ {
+		if msg[i] >= p.T {
+			return Ciphertext{}, fmt.Errorf("fhe: coefficient %d out of plaintext range", msg[i])
+		}
+		out.B[i] = mod.Add(ct.B[i], mod.Mul(p.Delta, u128.From64(msg[i])))
+	}
+	return out, nil
+}
+
+// MulScalar multiplies a ciphertext by a small integer constant k
+// (decrypts to k*m mod T, noise permitting: noise grows by a factor k).
+func (s *Scheme) MulScalar(ct Ciphertext, k uint64) Ciphertext {
+	mod := s.P.Mod
+	n := s.P.N
+	kk := u128.From64(k).Mod(mod.Q)
+	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
+	for i := 0; i < n; i++ {
+		out.A[i] = mod.Mul(ct.A[i], kk)
+		out.B[i] = mod.Mul(ct.B[i], kk)
+	}
+	return out
+}
+
+// NoiseBudgetBits estimates the remaining noise budget of a ciphertext in
+// bits: log2(Delta / (2*|noise|)) where noise = B - A*S - Delta*m. When it
+// reaches zero, decryption starts failing. Diagnostic only (requires the
+// secret key).
+func (s *Scheme) NoiseBudgetBits(sk SecretKey, ct Ciphertext, msg []uint64) (int, error) {
+	p := s.P
+	if len(msg) != p.N {
+		return 0, fmt.Errorf("fhe: message length mismatch")
+	}
+	mod := p.Mod
+	as := p.plan.PolyMulNegacyclic(ct.A, sk.S)
+	halfQ := mod.Q.Rsh(1)
+	maxNoise := u128.Zero
+	for i := 0; i < p.N; i++ {
+		noisy := mod.Sub(ct.B[i], as[i])
+		noise := mod.Sub(noisy, mod.Mul(p.Delta, u128.From64(msg[i]%p.T)))
+		// Centered magnitude.
+		if halfQ.Less(noise) {
+			noise = mod.Q.Sub(noise)
+		}
+		if maxNoise.Less(noise) {
+			maxNoise = noise
+		}
+	}
+	if maxNoise.IsZero() {
+		return p.Delta.BitLen(), nil
+	}
+	budget := p.Delta.BitLen() - maxNoise.BitLen() - 1
+	if budget < 0 {
+		budget = 0
+	}
+	return budget, nil
+}

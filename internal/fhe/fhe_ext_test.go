@@ -1,0 +1,135 @@
+package fhe
+
+import (
+	"testing"
+)
+
+func TestHomomorphicSubAndNeg(t *testing.T) {
+	s := testScheme(t, 32)
+	sk := s.KeyGen()
+	m1 := make([]uint64, 32)
+	m2 := make([]uint64, 32)
+	for i := range m1 {
+		m1[i] = uint64(200 + i)
+		m2[i] = uint64(3 * i)
+	}
+	c1, err := s.Encrypt(sk, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diff, err := s.Decrypt(sk, s.SubCiphertexts(c1, c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		want := (m1[i] + s.P.T - m2[i]) % s.P.T
+		if diff[i] != want {
+			t.Fatalf("sub coeff %d: got %d, want %d", i, diff[i], want)
+		}
+	}
+
+	neg, err := s.Decrypt(sk, s.Neg(c1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		want := (s.P.T - m1[i]%s.P.T) % s.P.T
+		if neg[i] != want {
+			t.Fatalf("neg coeff %d: got %d, want %d", i, neg[i], want)
+		}
+	}
+}
+
+func TestAddPlain(t *testing.T) {
+	s := testScheme(t, 16)
+	sk := s.KeyGen()
+	m := make([]uint64, 16)
+	pt := make([]uint64, 16)
+	for i := range m {
+		m[i] = uint64(i * 5 % int(s.P.T))
+		pt[i] = uint64(i * 11 % int(s.P.T))
+	}
+	ct, err := s.Encrypt(sk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := s.AddPlain(ct, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(sk, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if got[i] != (m[i]+pt[i])%s.P.T {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], (m[i]+pt[i])%s.P.T)
+		}
+	}
+	if _, err := s.AddPlain(ct, make([]uint64, 3)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := s.AddPlain(ct, []uint64{99999, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	s := testScheme(t, 16)
+	sk := s.KeyGen()
+	m := make([]uint64, 16)
+	for i := range m {
+		m[i] = uint64(i)
+	}
+	ct, err := s.Encrypt(sk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 7
+	got, err := s.Decrypt(sk, s.MulScalar(ct, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if got[i] != (m[i]*k)%s.P.T {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], (m[i]*k)%s.P.T)
+		}
+	}
+}
+
+func TestNoiseBudget(t *testing.T) {
+	s := testScheme(t, 32)
+	sk := s.KeyGen()
+	m := make([]uint64, 32)
+	ct, err := s.Encrypt(sk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := s.NoiseBudgetBits(sk, ct, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh <= 0 {
+		t.Fatalf("fresh ciphertext should have positive noise budget, got %d", fresh)
+	}
+	// Repeated additions consume budget monotonically (or keep it equal).
+	acc := ct
+	for i := 0; i < 8; i++ {
+		acc = s.AddCiphertexts(acc, ct)
+	}
+	after, err := s.NoiseBudgetBits(sk, acc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > fresh {
+		t.Fatalf("noise budget grew after additions: %d -> %d", fresh, after)
+	}
+	if _, err := s.NoiseBudgetBits(sk, ct, make([]uint64, 5)); err == nil {
+		t.Error("expected length error")
+	}
+}

@@ -1,0 +1,128 @@
+package fhe
+
+import (
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+func testScheme(t *testing.T, n int) *Scheme {
+	t.Helper()
+	p, err := NewParams(modmath.DefaultModulus128(), n, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewScheme(p, 12345)
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := testScheme(t, 64)
+	sk := s.KeyGen()
+	msg := make([]uint64, 64)
+	for i := range msg {
+		msg[i] = uint64(i*7) % s.P.T
+	}
+	ct, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(sk, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], msg[i])
+		}
+	}
+}
+
+func TestHomomorphicAddition(t *testing.T) {
+	s := testScheme(t, 32)
+	sk := s.KeyGen()
+	m1 := make([]uint64, 32)
+	m2 := make([]uint64, 32)
+	for i := range m1 {
+		m1[i] = uint64(i) % s.P.T
+		m2[i] = uint64(3*i+1) % s.P.T
+	}
+	c1, err := s.Encrypt(sk, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.AddCiphertexts(c1, c2)
+	got, err := s.Decrypt(sk, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1 {
+		if got[i] != (m1[i]+m2[i])%s.P.T {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], (m1[i]+m2[i])%s.P.T)
+		}
+	}
+}
+
+func TestMulPlainByMonomial(t *testing.T) {
+	// Multiplying by x rotates coefficients negacyclically; decryption
+	// must match the rotated plaintext (with sign wrap mod T).
+	s := testScheme(t, 16)
+	sk := s.KeyGen()
+	msg := make([]uint64, 16)
+	for i := range msg {
+		msg[i] = uint64(i + 1)
+	}
+	ct, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]u128.U128, 16)
+	x[1] = u128.One // the monomial x
+	rot, err := s.MulPlain(ct, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(sk, rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x * m)(x): coefficient j of the product is m[j-1]; coefficient 0 is
+	// -m[15] mod T.
+	if got[0] != (s.P.T-msg[15])%s.P.T {
+		t.Fatalf("coeff 0: got %d, want %d", got[0], (s.P.T-msg[15])%s.P.T)
+	}
+	for j := 1; j < 16; j++ {
+		if got[j] != msg[j-1] {
+			t.Fatalf("coeff %d: got %d, want %d", j, got[j], msg[j-1])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	if _, err := NewParams(mod, 16, 1); err == nil {
+		t.Error("expected error for T < 2")
+	}
+	if _, err := NewParams(mod, 3, 257); err == nil {
+		t.Error("expected error for bad ring degree")
+	}
+	s := testScheme(t, 16)
+	sk := s.KeyGen()
+	if _, err := s.Encrypt(sk, make([]uint64, 7)); err == nil {
+		t.Error("expected message length error")
+	}
+	if _, err := s.Encrypt(sk, []uint64{999999, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("expected out-of-range coefficient error")
+	}
+	if _, err := s.Decrypt(sk, Ciphertext{}); err == nil {
+		t.Error("expected malformed ciphertext error")
+	}
+	ct, _ := s.Encrypt(sk, make([]uint64, 16))
+	if _, err := s.MulPlain(ct, nil); err == nil {
+		t.Error("expected plaintext length error")
+	}
+}

@@ -1,0 +1,21 @@
+package kernels
+
+// Butterfly computes the Gentleman-Sande (decimation-in-frequency) NTT
+// butterfly used throughout the paper's kernels: one modular addition, one
+// modular subtraction and one modular multiplication by the twiddle factor
+// (Section 3.2):
+//
+//	even = a + b mod q
+//	odd  = (a - b) * w mod q
+func (d *DW[W, C]) Butterfly(a, b, w DWPair[W]) (even, odd DWPair[W]) {
+	even = d.AddMod(a, b)
+	diff := d.SubMod(a, b)
+	odd = d.MulMod(diff, w)
+	return even, odd
+}
+
+// MulAddMod computes a*x + y mod q, the element-wise body of the BLAS axpy
+// kernel.
+func (d *DW[W, C]) MulAddMod(a, x, y DWPair[W]) DWPair[W] {
+	return d.AddMod(d.MulMod(a, x), y)
+}

@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"mqxgo/internal/modmath"
+)
+
+// Single-word (64-bit) modular kernels over the same backend interface:
+// the HEXL-style lane arithmetic used when large coefficients are carried
+// in RNS form instead of the paper's 128-bit double-words (Sections 1 and
+// 8 contrast the two). Because q < 2^62, sums never wrap and no carry
+// emulation is needed — the structural reason 64-bit SIMD modular
+// arithmetic was already fast before MQX, and why the paper's proposal
+// targets the multi-word case.
+type SW[W, C any] struct {
+	O   Ops[W, C]
+	Mod *modmath.Modulus64
+
+	q, mu W
+	n     uint
+}
+
+// NewSW broadcasts the modulus constants; call before BeginLoop.
+func NewSW[W, C any](o Ops[W, C], mod *modmath.Modulus64) *SW[W, C] {
+	return &SW[W, C]{
+		O:   o,
+		Mod: mod,
+		q:   o.Broadcast(mod.Q),
+		mu:  o.Broadcast(mod.Mu),
+		n:   mod.N,
+	}
+}
+
+// AddMod returns (a + b) mod q per lane, for reduced inputs.
+func (s *SW[W, C]) AddMod(a, b W) W {
+	o := s.O
+	sum := o.Add(a, b) // q < 2^62: never wraps
+	d := o.Sub(sum, s.q)
+	keep := o.CmpLt(sum, s.q)
+	return o.Select(keep, d, sum)
+}
+
+// SubMod returns (a - b) mod q per lane, for reduced inputs.
+func (s *SW[W, C]) SubMod(a, b W) W {
+	o := s.O
+	d := o.Sub(a, b)
+	fixed := o.Add(d, s.q)
+	wrap := o.CmpLt(a, b)
+	return o.Select(wrap, d, fixed)
+}
+
+// MulMod returns (a * b) mod q per lane via Barrett reduction — the
+// 64-bit analogue of the paper's Eq. 4 pipeline.
+func (s *SW[W, C]) MulMod(a, b W) W {
+	o := s.O
+	hi, lo := o.MulWide(a, b)
+
+	// t1 = floor(t / 2^(n-1)), at most n+1 <= 63 bits.
+	t1 := o.Or(o.Shr(lo, s.n-1), o.Shl(hi, 65-s.n))
+
+	// qhat = floor(t1 * mu / 2^(n+1)).
+	h2, l2 := o.MulWide(t1, s.mu)
+	qhat := o.Or(o.Shr(l2, s.n+1), o.Shl(h2, 63-s.n))
+
+	r := o.Sub(lo, o.MulLo(qhat, s.q))
+
+	// Two corrective subtractions (Barrett bound).
+	r = s.condSubQ(r)
+	r = s.condSubQ(r)
+	return r
+}
+
+func (s *SW[W, C]) condSubQ(r W) W {
+	o := s.O
+	d := o.Sub(r, s.q)
+	keep := o.CmpLt(r, s.q)
+	return o.Select(keep, d, r)
+}
+
+// MulShoup returns (a * w) mod q for a fixed multiplicand w with its Shoup
+// precomputation wPre (both pre-broadcast): one widening multiply for the
+// quotient, one low multiply, one correction — the twiddle-multiply form
+// 64-bit NTT libraries use.
+func (s *SW[W, C]) MulShoup(a, w, wPre W) W {
+	o := s.O
+	qhat, _ := o.MulWide(a, wPre) // high part only is needed
+	r := o.Sub(o.MulLo(a, w), o.MulLo(qhat, s.q))
+	return s.condSubQ(r)
+}
+
+// Butterfly is the 64-bit Gentleman-Sande butterfly with a Shoup twiddle.
+func (s *SW[W, C]) Butterfly(a, b, w, wPre W) (even, odd W) {
+	even = s.AddMod(a, b)
+	odd = s.MulShoup(s.SubMod(a, b), w, wPre)
+	return even, odd
+}

@@ -1,0 +1,143 @@
+package modmath
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func test64Moduli(t *testing.T) []*Modulus64 {
+	t.Helper()
+	var ms []*Modulus64
+	for _, q := range []uint64{3, 17, 257, 65537, 1<<31 - 1, 0x3fffffff000001} {
+		ms = append(ms, MustModulus64(q))
+	}
+	ps, err := FindNTTPrimes64(60, 1<<18, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		ms = append(ms, MustModulus64(p))
+	}
+	return ms
+}
+
+func TestModulus64Validation(t *testing.T) {
+	if _, err := NewModulus64(0); err == nil {
+		t.Error("expected error for 0")
+	}
+	if _, err := NewModulus64(1); err == nil {
+		t.Error("expected error for 1")
+	}
+	if _, err := NewModulus64(1 << 62); err == nil {
+		t.Error("expected error for 2^62")
+	}
+	if _, err := NewModulus64(1<<62 - 1); err != nil {
+		t.Errorf("2^62-1 should be accepted: %v", err)
+	}
+}
+
+func TestMod64ArithmeticMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, m := range test64Moduli(t) {
+		qb := new(big.Int).SetUint64(m.Q)
+		for i := 0; i < 1000; i++ {
+			a := r.Uint64() % m.Q
+			b := r.Uint64() % m.Q
+			ab := new(big.Int).SetUint64(a)
+			bb := new(big.Int).SetUint64(b)
+
+			want := new(big.Int).Add(ab, bb)
+			want.Mod(want, qb)
+			if got := m.Add(a, b); got != want.Uint64() {
+				t.Fatalf("q=%d: Add(%d, %d) = %d, want %s", m.Q, a, b, got, want)
+			}
+
+			want.Sub(ab, bb).Mod(want, qb)
+			if got := m.Sub(a, b); got != want.Uint64() {
+				t.Fatalf("q=%d: Sub(%d, %d) = %d, want %s", m.Q, a, b, got, want)
+			}
+
+			want.Mul(ab, bb).Mod(want, qb)
+			if got := m.Mul(a, b); got != want.Uint64() {
+				t.Fatalf("q=%d: Mul(%d, %d) = %d, want %s", m.Q, a, b, got, want)
+			}
+
+			want.Neg(ab).Mod(want, qb)
+			if got := m.Neg(a); got != want.Uint64() {
+				t.Fatalf("q=%d: Neg(%d) = %d, want %s", m.Q, a, got, want)
+			}
+		}
+		// Edge operands.
+		for _, a := range []uint64{0, 1, m.Q - 1, m.Q / 2} {
+			for _, b := range []uint64{0, 1, m.Q - 1, m.Q / 2} {
+				want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+				want.Mod(want, qb)
+				if got := m.Mul(a, b); got != want.Uint64() {
+					t.Fatalf("q=%d edge: Mul(%d, %d) = %d, want %s", m.Q, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMod64PowInv(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, m := range test64Moduli(t) {
+		if !IsPrime64(m.Q) {
+			continue
+		}
+		qb := new(big.Int).SetUint64(m.Q)
+		for i := 0; i < 100; i++ {
+			a := r.Uint64()%(m.Q-1) + 1
+			e := r.Uint64() % 100000
+			want := new(big.Int).Exp(new(big.Int).SetUint64(a), new(big.Int).SetUint64(e), qb)
+			if got := m.Pow(a, e); got != want.Uint64() {
+				t.Fatalf("q=%d: Pow(%d, %d) = %d, want %s", m.Q, a, e, got, want)
+			}
+			if m.Mul(a, m.Inv(a)) != 1 {
+				t.Fatalf("q=%d: Inv(%d) failed", m.Q, a)
+			}
+		}
+	}
+}
+
+func TestMulShoup(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, m := range test64Moduli(t) {
+		for i := 0; i < 500; i++ {
+			a := r.Uint64() % m.Q
+			w := r.Uint64() % m.Q
+			precon := m.ShoupPrecompute(w)
+			if got, want := m.MulShoup(a, w, precon), m.Mul(a, w); got != want {
+				t.Fatalf("q=%d: MulShoup(%d, %d) = %d, want %d", m.Q, a, w, got, want)
+			}
+		}
+	}
+}
+
+func TestPrimitiveRootOfUnity64(t *testing.T) {
+	ps, err := FindNTTPrimes64(60, 1<<18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustModulus64(ps[0])
+	for _, n := range []uint64{2, 16, 1 << 18} {
+		w, err := m.PrimitiveRootOfUnity64(n)
+		if err != nil {
+			t.Fatalf("order %d: %v", n, err)
+		}
+		if m.Pow(w, n) != 1 {
+			t.Errorf("w^%d != 1", n)
+		}
+		if m.Pow(w, n/2) != m.Q-1 {
+			t.Errorf("w^(n/2) != -1 for order %d", n)
+		}
+	}
+	if _, err := m.PrimitiveRootOfUnity64(6); err == nil {
+		t.Error("expected error for non-power-of-two order")
+	}
+	if _, err := m.PrimitiveRootOfUnity64(1 << 40); err == nil {
+		t.Error("expected error for order not dividing q-1")
+	}
+}

@@ -1,0 +1,93 @@
+package modmath
+
+import "math/bits"
+
+// Goldilocks arithmetic: the specialized-modulus alternative the paper
+// contrasts with Barrett reduction (Section 2.1 cites the Goldilocks
+// prime as an application-specific optimization; Barrett is preferred in
+// the paper because it works for general moduli). Provided here so the
+// trade-off can be measured: reduction for p = 2^64 - 2^32 + 1 needs only
+// shifts and adds, but locks the entire system to one prime.
+
+// GoldilocksPrime is p = 2^64 - 2^32 + 1, the "Goldilocks" prime used by
+// several zero-knowledge proof systems. It supports NTTs up to order 2^32.
+const GoldilocksPrime = uint64(0xffffffff00000001)
+
+// Goldilocks implements modular arithmetic modulo GoldilocksPrime.
+type Goldilocks struct{}
+
+// Add returns a + b mod p for reduced inputs.
+func (Goldilocks) Add(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	// 2^64 ≡ 2^32 - 1 (mod p).
+	if carry != 0 {
+		s, carry = bits.Add64(s, 1<<32-1, 0)
+		if carry != 0 {
+			s += 1<<32 - 1
+		}
+	}
+	if s >= GoldilocksPrime {
+		s -= GoldilocksPrime
+	}
+	return s
+}
+
+// Sub returns a - b mod p for reduced inputs.
+func (Goldilocks) Sub(a, b uint64) uint64 {
+	d, borrow := bits.Sub64(a, b, 0)
+	if borrow != 0 {
+		d -= 1<<32 - 1 // subtract 2^32-1 ≡ subtracting 2^64 ≡ adding p... wraps correctly
+	}
+	if d >= GoldilocksPrime {
+		d -= GoldilocksPrime
+	}
+	return d
+}
+
+// Mul returns a * b mod p using the shift-add reduction: with
+// t = t2*2^96 + t1*2^64 + t0 (t1 32 bits in [2^64, 2^96)), using
+// 2^64 ≡ 2^32 - 1 and 2^96 ≡ -1 (mod p):
+//
+//	t ≡ t0 + t1*(2^32 - 1) - t2 (mod p).
+func (Goldilocks) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	t1 := hi & 0xffffffff // bits 64..95
+	t2 := hi >> 32        // bits 96..127
+
+	// r = lo + t1*(2^32-1) - t2, computed with careful wrap handling.
+	mid := t1<<32 - t1 // t1 * (2^32 - 1), fits 64 bits
+	r, carry := bits.Add64(lo, mid, 0)
+	if carry != 0 {
+		// Adding 2^64 ≡ adding 2^32 - 1.
+		r, carry = bits.Add64(r, 1<<32-1, 0)
+		if carry != 0 {
+			r += 1<<32 - 1
+		}
+	}
+	var borrow uint64
+	r, borrow = bits.Sub64(r, t2, 0)
+	if borrow != 0 {
+		// Subtracting 2^64 ≡ subtracting 2^32 - 1.
+		r -= 1<<32 - 1
+	}
+	if r >= GoldilocksPrime {
+		r -= GoldilocksPrime
+	}
+	return r
+}
+
+// Pow returns base^exp mod p.
+func (g Goldilocks) Pow(base, exp uint64) uint64 {
+	result := uint64(1)
+	b := base % GoldilocksPrime
+	for e := exp; e != 0; e >>= 1 {
+		if e&1 == 1 {
+			result = g.Mul(result, b)
+		}
+		b = g.Mul(b, b)
+	}
+	return result
+}
+
+// Inv returns the inverse of a mod p.
+func (g Goldilocks) Inv(a uint64) uint64 { return g.Pow(a, GoldilocksPrime-2) }

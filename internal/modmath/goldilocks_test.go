@@ -1,0 +1,79 @@
+package modmath
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestGoldilocksMatchesBig(t *testing.T) {
+	g := Goldilocks{}
+	p := new(big.Int).SetUint64(GoldilocksPrime)
+	if !p.ProbablyPrime(32) {
+		t.Fatal("Goldilocks constant is not prime")
+	}
+	r := rand.New(rand.NewSource(101))
+	check := func(a, b uint64) {
+		t.Helper()
+		ab := new(big.Int).SetUint64(a)
+		bb := new(big.Int).SetUint64(b)
+
+		want := new(big.Int).Add(ab, bb)
+		want.Mod(want, p)
+		if got := g.Add(a, b); got != want.Uint64() {
+			t.Fatalf("Add(%d, %d) = %d, want %s", a, b, got, want)
+		}
+		want.Sub(ab, bb).Mod(want, p)
+		if got := g.Sub(a, b); got != want.Uint64() {
+			t.Fatalf("Sub(%d, %d) = %d, want %s", a, b, got, want)
+		}
+		want.Mul(ab, bb).Mod(want, p)
+		if got := g.Mul(a, b); got != want.Uint64() {
+			t.Fatalf("Mul(%d, %d) = %d, want %s", a, b, got, want)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		check(r.Uint64()%GoldilocksPrime, r.Uint64()%GoldilocksPrime)
+	}
+	edges := []uint64{0, 1, 2, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+		GoldilocksPrime - 1, GoldilocksPrime - 2, GoldilocksPrime / 2}
+	for _, a := range edges {
+		for _, b := range edges {
+			check(a, b)
+		}
+	}
+}
+
+func TestGoldilocksPowInv(t *testing.T) {
+	g := Goldilocks{}
+	r := rand.New(rand.NewSource(102))
+	p := new(big.Int).SetUint64(GoldilocksPrime)
+	for i := 0; i < 200; i++ {
+		a := r.Uint64()%(GoldilocksPrime-1) + 1
+		e := r.Uint64() % 1000000
+		want := new(big.Int).Exp(new(big.Int).SetUint64(a), new(big.Int).SetUint64(e), p)
+		if got := g.Pow(a, e); got != want.Uint64() {
+			t.Fatalf("Pow(%d, %d) = %d, want %s", a, e, got, want)
+		}
+		if g.Mul(a, g.Inv(a)) != 1 {
+			t.Fatalf("Inv(%d) failed", a)
+		}
+	}
+}
+
+// TestGoldilocksRootOfUnity verifies p-1 = 2^32 * (2^32 - 1) supports
+// power-of-two NTT orders up to 2^32, the property that makes the prime
+// attractive to ZKP systems.
+func TestGoldilocksRootOfUnity(t *testing.T) {
+	g := Goldilocks{}
+	const order = uint64(1) << 20
+	exp := (GoldilocksPrime - 1) / order
+	// 7 is a generator of the multiplicative group for this prime.
+	w := g.Pow(7, exp)
+	if g.Pow(w, order) != 1 {
+		t.Fatal("w^order != 1")
+	}
+	if g.Pow(w, order/2) != GoldilocksPrime-1 {
+		t.Fatal("w^(order/2) != -1: not a primitive root")
+	}
+}

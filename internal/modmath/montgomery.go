@@ -1,0 +1,99 @@
+package modmath
+
+import (
+	"fmt"
+
+	"mqxgo/internal/u128"
+	"mqxgo/internal/u256"
+)
+
+// Montgomery multiplication for 128-bit moduli: the reduction algorithm
+// behind the paper's FPMM ASIC baseline (Zhou et al.'s fully pipelined
+// reconfigurable Montgomery multiplier). Provided as an alternative to
+// Barrett so the two general-modulus reduction strategies can be compared
+// on CPUs: Montgomery trades Barrett's quotient estimate for a
+// residue-form conversion at the domain boundaries.
+//
+// Values in the Montgomery domain represent x as x*R mod q with R = 2^128.
+type Montgomery128 struct {
+	Q    u128.U128
+	QInv u128.U128 // -q^-1 mod 2^128
+	R2   u128.U128 // R^2 mod q, for ToMont
+}
+
+// NewMontgomery128 precomputes the Montgomery constants. q must be odd
+// (gcd(q, 2^128) = 1) and at most 126 bits so a+b and REDC intermediates
+// never overflow.
+func NewMontgomery128(q u128.U128) (*Montgomery128, error) {
+	if q.Lo&1 == 0 {
+		return nil, fmt.Errorf("modmath: Montgomery requires an odd modulus")
+	}
+	if q.BitLen() < 2 || q.BitLen() > 126 {
+		return nil, fmt.Errorf("modmath: Montgomery modulus must have 2..126 bits, got %d", q.BitLen())
+	}
+	// qInv = q^-1 mod 2^128 by Newton iteration: x_{k+1} = x_k(2 - q*x_k),
+	// doubling correct bits each round; start with q^-1 mod 2^3 hint q
+	// itself (odd q is its own inverse mod 8... use the standard 5-round
+	// 64->128 lift with the mod-2 inverse 1).
+	x := u128.One
+	for i := 0; i < 7; i++ { // 2^(2^7) >= 2^128
+		qx := q.MulLo(x)
+		two := u128.From64(2)
+		x = x.MulLo(two.Sub(qx))
+	}
+	// Verify q*x == 1 mod 2^128, then negate.
+	if !q.MulLo(x).Equal(u128.One) {
+		return nil, fmt.Errorf("modmath: internal error: inverse iteration failed")
+	}
+	qInv := u128.Zero.Sub(x) // -q^-1 mod 2^128
+
+	// R^2 = 2^256 mod q: reduce 2^128 mod q with the from-scratch wide
+	// division, then square-reduce.
+	r128 := u256.New(0, 1, 0, 0).Mod128(q)
+	rr := u256.MulSchoolbook(r128, r128).Mod128(q)
+	return &Montgomery128{Q: q, QInv: qInv, R2: rr}, nil
+}
+
+// REDC reduces a 256-bit product t to t*R^-1 mod q (Montgomery reduction):
+//
+//	m := (t mod R) * qInv mod R
+//	u := (t + m*q) / R
+//	if u >= q { u -= q }
+func (mg *Montgomery128) REDC(t u256.U256) u128.U128 {
+	m := t.Lo128().MulLo(mg.QInv)
+	mq := u256.MulSchoolbook(m, mg.Q)
+	sum, carry := t.AddCarry(mq, 0)
+	u := sum.Hi128()
+	if carry != 0 {
+		// The true sum has bit 256 set; u gains 2^128 mod q. With
+		// q <= 126 bits this cannot happen (t < q^2, m*q < 2^128*q), but
+		// keep the guard for safety.
+		u = u.Add(u128.Zero.Sub(mg.Q))
+	}
+	if mg.Q.LessEq(u) {
+		u = u.Sub(mg.Q)
+	}
+	return u
+}
+
+// ToMont converts x into the Montgomery domain: x*R mod q.
+func (mg *Montgomery128) ToMont(x u128.U128) u128.U128 {
+	return mg.REDC(u256.MulSchoolbook(x, mg.R2))
+}
+
+// FromMont converts back: x*R^-1 mod q.
+func (mg *Montgomery128) FromMont(x u128.U128) u128.U128 {
+	return mg.REDC(u256.FromU128(x))
+}
+
+// MulMont multiplies two Montgomery-domain values.
+func (mg *Montgomery128) MulMont(a, b u128.U128) u128.U128 {
+	return mg.REDC(u256.MulSchoolbook(a, b))
+}
+
+// Mul multiplies two ordinary-domain values through the Montgomery domain
+// (two conversions; only sensible for long chains, which is why NTTs keep
+// twiddles in Montgomery form permanently).
+func (mg *Montgomery128) Mul(a, b u128.U128) u128.U128 {
+	return mg.FromMont(mg.MulMont(mg.ToMont(a), mg.ToMont(b)))
+}

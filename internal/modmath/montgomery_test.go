@@ -1,0 +1,105 @@
+package modmath
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/u128"
+)
+
+func montModuli(t *testing.T) []*Montgomery128 {
+	t.Helper()
+	var out []*Montgomery128
+	for _, bits := range []int{17, 61, 90, 124} {
+		q, err := FindNTTPrime128(bits, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mg, err := NewMontgomery128(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, mg)
+	}
+	return out
+}
+
+func TestMontgomeryConstants(t *testing.T) {
+	for _, mg := range montModuli(t) {
+		// q * (-qInv) ≡ -1 (mod 2^128) <=> q*qInv ≡ ... verify q * qInv ≡ -1.
+		prod := mg.Q.MulLo(mg.QInv)
+		if !prod.Equal(u128.Max) { // -1 mod 2^128
+			t.Errorf("q=%s: q*qInv != -1 mod 2^128", mg.Q)
+		}
+		// R2 == 2^256 mod q.
+		want := new(big.Int).Lsh(big.NewInt(1), 256)
+		want.Mod(want, mg.Q.ToBig())
+		if mg.R2.ToBig().Cmp(want) != 0 {
+			t.Errorf("q=%s: R2 wrong", mg.Q)
+		}
+	}
+}
+
+func TestMontgomeryMulMatchesBarrett(t *testing.T) {
+	r := rand.New(rand.NewSource(161))
+	for _, mg := range montModuli(t) {
+		bar := MustModulus128(mg.Q)
+		for i := 0; i < 300; i++ {
+			a := u128.New(r.Uint64(), r.Uint64()).Mod(mg.Q)
+			b := u128.New(r.Uint64(), r.Uint64()).Mod(mg.Q)
+			if got, want := mg.Mul(a, b), bar.Mul(a, b); !got.Equal(want) {
+				t.Fatalf("q=%s: Montgomery Mul(%s, %s) = %s, Barrett = %s", mg.Q, a, b, got, want)
+			}
+		}
+		// Edges.
+		for _, a := range []u128.U128{u128.Zero, u128.One, mg.Q.Sub64(1)} {
+			for _, b := range []u128.U128{u128.Zero, u128.One, mg.Q.Sub64(1)} {
+				if got, want := mg.Mul(a, b), bar.Mul(a, b); !got.Equal(want) {
+					t.Fatalf("q=%s edge: Mul(%s, %s) = %s, want %s", mg.Q, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMontgomeryDomainRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(162))
+	for _, mg := range montModuli(t) {
+		for i := 0; i < 200; i++ {
+			x := u128.New(r.Uint64(), r.Uint64()).Mod(mg.Q)
+			if got := mg.FromMont(mg.ToMont(x)); !got.Equal(x) {
+				t.Fatalf("q=%s: domain round trip failed for %s: %s", mg.Q, x, got)
+			}
+		}
+	}
+}
+
+func TestMontgomeryChainStaysInDomain(t *testing.T) {
+	// Long multiply chains done in-domain must agree with Barrett.
+	mg := montModuli(t)[3]
+	bar := MustModulus128(mg.Q)
+	r := rand.New(rand.NewSource(163))
+	x := u128.New(r.Uint64(), r.Uint64()).Mod(mg.Q)
+	w := u128.New(r.Uint64(), r.Uint64()).Mod(mg.Q)
+
+	accM := mg.ToMont(x)
+	wM := mg.ToMont(w)
+	accB := x
+	for i := 0; i < 100; i++ {
+		accM = mg.MulMont(accM, wM)
+		accB = bar.Mul(accB, w)
+	}
+	if got := mg.FromMont(accM); !got.Equal(accB) {
+		t.Fatalf("chain diverged: %s vs %s", got, accB)
+	}
+}
+
+func TestMontgomeryValidation(t *testing.T) {
+	if _, err := NewMontgomery128(u128.From64(8)); err == nil {
+		t.Error("even modulus should fail")
+	}
+	if _, err := NewMontgomery128(u128.One.Lsh(126).Add64(1)); err == nil {
+		t.Error("127-bit modulus should fail")
+	}
+}

@@ -1,0 +1,211 @@
+package modmath
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"mqxgo/internal/u128"
+)
+
+// IsPrime64 reports whether n is prime, using a deterministic Miller-Rabin
+// witness set valid for all 64-bit integers.
+func IsPrime64(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// n is odd and > 37 here. Witnesses {2,3,5,7,11,13,17,19,23,29,31,37}
+	// are deterministic for n < 3.3e24 (Sorenson & Webster), covering uint64.
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := powMod64(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod64(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// mulMod64 returns a*b mod n for any n > 0 and reduced a, b, via a 128-bit
+// product and hardware division. Used only by primality testing, which must
+// handle moduli up to 2^64-1 (beyond Modulus64's Barrett range).
+func mulMod64(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, r := bits.Div64(hi, lo, n)
+	return r
+}
+
+func powMod64(base, exp, n uint64) uint64 {
+	result := uint64(1)
+	b := base % n
+	for e := exp; e != 0; e >>= 1 {
+		if e&1 == 1 {
+			result = mulMod64(result, b, n)
+		}
+		b = mulMod64(b, b, n)
+	}
+	return result
+}
+
+// IsPrime128 reports whether n (at most 124 bits, the Barrett limit) is
+// prime using Miller-Rabin with a fixed witness set. For n >= 2^64 the test
+// is probabilistic with error below 4^-25; the library's prime searches
+// additionally cross-check candidates in tests against math/big.
+func IsPrime128(n u128.U128) bool {
+	if n.Is64() {
+		return IsPrime64(n.Lo)
+	}
+	if n.Lo&1 == 0 {
+		return false
+	}
+	for _, p := range []uint64{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47} {
+		if _, r := n.DivMod64(p); r == 0 {
+			return false
+		}
+	}
+	m, err := NewModulus128(n)
+	if err != nil {
+		return false // wider than the supported range
+	}
+	d := n.Sub64(1)
+	r := 0
+	for d.Lo&1 == 0 {
+		d = d.Rsh(1)
+		r++
+	}
+	nm1 := n.Sub64(1)
+	witnesses := []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+		41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97}
+	for _, a := range witnesses {
+		x := m.Pow(u128.From64(a), d)
+		if x.Equal(u128.One) || x.Equal(nm1) {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = m.Mul(x, x)
+			if x.Equal(nm1) {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// FindNTTPrime128 deterministically finds the largest prime q with exactly
+// the given bit width such that q ≡ 1 (mod order). order must be a power of
+// two (typically 2n for an n-point negacyclic NTT). bits must be in
+// [bitlen(order)+2, 124].
+func FindNTTPrime128(bits int, order uint64) (u128.U128, error) {
+	if order == 0 || order&(order-1) != 0 {
+		return u128.Zero, fmt.Errorf("modmath: order %d is not a power of two", order)
+	}
+	if bits > MaxModulusBits {
+		return u128.Zero, fmt.Errorf("modmath: requested %d bits, max is %d", bits, MaxModulusBits)
+	}
+	ord := u128.From64(order)
+	if bits < ord.BitLen()+2 {
+		return u128.Zero, fmt.Errorf("modmath: %d bits too small for order %d", bits, order)
+	}
+	// Scan q = k*order + 1 downward from the top of the bit range.
+	top := u128.One.Lsh(uint(bits)).Sub64(1)
+	k, _ := top.Sub64(1).DivMod(ord)
+	for {
+		q := k.MulLo(ord).Add64(1)
+		if q.BitLen() < bits {
+			return u128.Zero, fmt.Errorf("modmath: no %d-bit prime ≡ 1 mod %d found", bits, order)
+		}
+		if IsPrime128(q) {
+			return q, nil
+		}
+		k = k.Sub64(1)
+	}
+}
+
+// FindNTTPrimes64 deterministically finds count distinct primes of the given
+// bit width (at most 61) with q ≡ 1 (mod order), scanning downward. Used to
+// build RNS prime chains.
+func FindNTTPrimes64(bits int, order uint64, count int) ([]uint64, error) {
+	if order == 0 || order&(order-1) != 0 {
+		return nil, fmt.Errorf("modmath: order %d is not a power of two", order)
+	}
+	if bits > 61 {
+		return nil, fmt.Errorf("modmath: 64-bit NTT primes limited to 61 bits, got %d", bits)
+	}
+	if bits < 8 {
+		return nil, fmt.Errorf("modmath: prime width %d too small", bits)
+	}
+	var primes []uint64
+	top := uint64(1)<<uint(bits) - 1
+	k := (top - 1) / order
+	for uint64(1)<<(uint(bits)-1) <= k*order {
+		q := k*order + 1
+		if IsPrime64(q) {
+			primes = append(primes, q)
+			if len(primes) == count {
+				return primes, nil
+			}
+		}
+		k--
+	}
+	return nil, fmt.Errorf("modmath: found only %d of %d requested %d-bit primes", len(primes), count, bits)
+}
+
+// defaultPrimeCache memoizes the library-wide default modulus.
+var defaultPrimeCache struct {
+	once sync.Once
+	q    u128.U128
+	err  error
+}
+
+// DefaultPrimeOrder is the power-of-two order the default modulus supports:
+// 2^18 covers negacyclic NTTs up to n = 2^17, the largest size in the
+// paper's evaluation.
+const DefaultPrimeOrder = 1 << 18
+
+// DefaultPrime128 returns the library-wide default modulus: the largest
+// 124-bit prime congruent to 1 mod 2^18. The search is deterministic, so
+// every caller sees the same prime.
+func DefaultPrime128() u128.U128 {
+	defaultPrimeCache.once.Do(func() {
+		defaultPrimeCache.q, defaultPrimeCache.err = FindNTTPrime128(MaxModulusBits, DefaultPrimeOrder)
+	})
+	if defaultPrimeCache.err != nil {
+		panic(defaultPrimeCache.err)
+	}
+	return defaultPrimeCache.q
+}
+
+// DefaultModulus128 returns a ready-to-use Barrett context for
+// DefaultPrime128.
+func DefaultModulus128() *Modulus128 {
+	return MustModulus128(DefaultPrime128())
+}

@@ -1,0 +1,212 @@
+package multiword
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// testModuli builds moduli of several word widths (192-bit in 3 words,
+// 252-bit in 4 words, 380-bit in 6 words).
+func testModuli(t *testing.T) []*Modulus {
+	t.Helper()
+	var out []*Modulus
+	for _, c := range []struct{ bits, k int }{{188, 3}, {252, 4}, {380, 6}} {
+		q, err := FindNTTPrime(c.bits, c.k, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, MustModulus(q))
+	}
+	return out
+}
+
+func randReduced(r *rand.Rand, m *Modulus) Int {
+	x := NewInt(m.K)
+	for i := range x {
+		x[i] = r.Uint64()
+	}
+	return m.Reduce(x)
+}
+
+func TestArithmeticMatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	for _, m := range testModuli(t) {
+		qb := toBig(m.Q)
+		for i := 0; i < 400; i++ {
+			a := randReduced(r, m)
+			b := randReduced(r, m)
+			ab, bb := toBig(a), toBig(b)
+
+			want := new(big.Int).Add(ab, bb)
+			want.Mod(want, qb)
+			if got := toBig(m.Add(a, b)); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d Add: got %s, want %s", m.K, got, want)
+			}
+			want.Sub(ab, bb).Mod(want, qb)
+			if got := toBig(m.Sub(a, b)); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d Sub: got %s, want %s", m.K, got, want)
+			}
+			want.Mul(ab, bb).Mod(want, qb)
+			if got := toBig(m.Mul(a, b)); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d Mul: got %s, want %s", m.K, got, want)
+			}
+			want.Neg(ab).Mod(want, qb)
+			if got := toBig(m.Neg(a)); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d Neg: got %s, want %s", m.K, got, want)
+			}
+		}
+		// Edge operands.
+		one := NewInt(m.K)
+		one[0] = 1
+		qm1 := m.Sub(NewInt(m.K), one) // q-1
+		edges := []Int{NewInt(m.K), one, qm1}
+		for _, a := range edges {
+			for _, b := range edges {
+				want := new(big.Int).Mul(toBig(a), toBig(b))
+				want.Mod(want, qb)
+				if got := toBig(m.Mul(a, b)); got.Cmp(want) != 0 {
+					t.Fatalf("k=%d edge Mul(%s, %s) wrong", m.K, toBig(a), toBig(b))
+				}
+			}
+		}
+	}
+}
+
+func TestPowInv(t *testing.T) {
+	r := rand.New(rand.NewSource(132))
+	for _, m := range testModuli(t) {
+		qb := toBig(m.Q)
+		one := NewInt(m.K)
+		one[0] = 1
+		for i := 0; i < 20; i++ {
+			a := randReduced(r, m)
+			if a.IsZero() {
+				continue
+			}
+			e := r.Uint64() % 10000
+			want := new(big.Int).Exp(toBig(a), new(big.Int).SetUint64(e), qb)
+			if got := toBig(m.Pow(a, e)); got.Cmp(want) != 0 {
+				t.Fatalf("k=%d Pow: got %s, want %s", m.K, got, want)
+			}
+			if m.Mul(a, m.Inv(a)).Cmp(one) != 0 {
+				t.Fatalf("k=%d Inv failed", m.K)
+			}
+		}
+	}
+}
+
+func TestModulusValidation(t *testing.T) {
+	if _, err := NewModulus(Int{}); err == nil {
+		t.Error("expected error for empty modulus")
+	}
+	if _, err := NewModulus(Int{1}); err == nil {
+		t.Error("expected error for modulus 1")
+	}
+	// A full-width modulus violates the headroom constraint.
+	full := Int{^uint64(0), ^uint64(0)}
+	if _, err := NewModulus(full); err == nil {
+		t.Error("expected headroom error")
+	}
+}
+
+func TestFindNTTPrime(t *testing.T) {
+	q, err := FindNTTPrime(252, 4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BitLen() != 252 {
+		t.Errorf("prime has %d bits", q.BitLen())
+	}
+	qb := toBig(q)
+	if !qb.ProbablyPrime(32) {
+		t.Error("not prime")
+	}
+	rem := new(big.Int).Mod(new(big.Int).Sub(qb, big.NewInt(1)), big.NewInt(1<<12))
+	if rem.Sign() != 0 {
+		t.Error("not ≡ 1 mod order")
+	}
+	if _, err := FindNTTPrime(300, 4, 8); err == nil {
+		t.Error("expected headroom error")
+	}
+}
+
+func TestNTTRoundTripAndReference(t *testing.T) {
+	q, err := FindNTTPrime(252, 4, 1<<8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := MustModulus(q)
+	n := 32
+	p, err := NewPlan(mod, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(133))
+	x := make([]Int, n)
+	for i := range x {
+		x[i] = randReduced(r, mod)
+	}
+	f := p.Forward(x)
+
+	// Direct O(n^2) reference via big.Int, with bit-reversed output order.
+	qb := toBig(q)
+	omega := toBig(p.Omega)
+	for k := 0; k < n; k++ {
+		acc := new(big.Int)
+		for j := 0; j < n; j++ {
+			e := new(big.Int).Exp(omega, big.NewInt(int64(j*k)), qb)
+			e.Mul(e, toBig(x[j]))
+			acc.Add(acc, e)
+		}
+		acc.Mod(acc, qb)
+		rev := 0
+		for b := 0; b < p.M; b++ {
+			rev = rev<<1 | (k>>b)&1
+		}
+		if toBig(f[rev]).Cmp(acc) != 0 {
+			t.Fatalf("forward output %d: got %s, want %s", rev, toBig(f[rev]), acc)
+		}
+	}
+
+	back := p.Inverse(f)
+	for i := range x {
+		if back[i].Cmp(x[i]) != 0 {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	q, err := FindNTTPrime(188, 3, 1<<8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := MustModulus(q)
+	if _, err := NewPlan(mod, 3); err == nil {
+		t.Error("expected error for non-power-of-two")
+	}
+	if _, err := NewPlan(mod, 1<<20); err == nil {
+		t.Error("expected error for unsupported order")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	b := new(big.Int).Lsh(big.NewInt(12345), 100)
+	x, ok := FromBig(b, 3)
+	if !ok {
+		t.Fatal("FromBig failed")
+	}
+	if x.ToBig().Cmp(b) != 0 {
+		t.Fatal("round trip failed")
+	}
+	if _, ok := FromBig(big.NewInt(-1), 3); ok {
+		t.Error("negative should fail")
+	}
+	if _, ok := FromBig(new(big.Int).Lsh(big.NewInt(1), 200), 3); ok {
+		t.Error("too-wide should fail")
+	}
+	if x.IsZero() || !NewInt(4).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}

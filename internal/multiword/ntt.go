@@ -1,0 +1,176 @@
+package multiword
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// NTT over k-word residues: the constant-geometry transform generalized to
+// arbitrary widths, demonstrating that the paper's 128-bit kernels extend
+// to the 256-bit-and-larger moduli zero-knowledge proof systems use
+// (Section 7).
+
+// Plan holds twiddle tables for n-point transforms modulo a k-word prime.
+type Plan struct {
+	Mod *Modulus
+	N   int
+	M   int
+
+	Omega Int
+	NInv  Int
+	fwd   [][]Int // per stage, n/2 twiddles
+	inv   [][]Int
+}
+
+// FindNTTPrime deterministically finds the largest prime with the given
+// bit width (headroom respected) congruent to 1 mod order.
+func FindNTTPrime(bitsWidth, k int, order uint64) (Int, error) {
+	if bitsWidth > 64*k-4 {
+		return nil, fmt.Errorf("multiword: %d bits exceeds %d-word Barrett headroom", bitsWidth, k)
+	}
+	ord := new(big.Int).SetUint64(order)
+	top := new(big.Int).Lsh(big.NewInt(1), uint(bitsWidth))
+	top.Sub(top, big.NewInt(1))
+	kq := new(big.Int).Div(new(big.Int).Sub(top, big.NewInt(1)), ord)
+	floor := new(big.Int).Lsh(big.NewInt(1), uint(bitsWidth-1))
+	q := new(big.Int)
+	for {
+		q.Mul(kq, ord)
+		q.Add(q, big.NewInt(1))
+		if q.Cmp(floor) < 0 {
+			return nil, fmt.Errorf("multiword: no %d-bit prime ≡ 1 mod %d", bitsWidth, order)
+		}
+		if q.ProbablyPrime(32) {
+			z, _ := FromBig(q, k)
+			return z, nil
+		}
+		kq.Sub(kq, big.NewInt(1))
+	}
+}
+
+// NewPlan builds an n-point plan; n must be a power of two dividing the
+// order of the multiplicative group's 2-part.
+func NewPlan(mod *Modulus, n int) (*Plan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("multiword: size %d not a power of two", n)
+	}
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	qb := toBig(mod.Q)
+	qm1 := new(big.Int).Sub(qb, big.NewInt(1))
+	if new(big.Int).Mod(qm1, big.NewInt(int64(n))).Sign() != 0 {
+		return nil, fmt.Errorf("multiword: %d does not divide q-1", n)
+	}
+	exp := new(big.Int).Div(qm1, big.NewInt(int64(n)))
+	// Find an order-n element.
+	var omega Int
+	for x := int64(2); x < 1000; x++ {
+		cand := NewInt(mod.K)
+		cand[0] = uint64(x)
+		w := mod.PowBig(cand, exp)
+		if w.IsZero() {
+			continue
+		}
+		one := NewInt(mod.K)
+		one[0] = 1
+		if w.Cmp(one) == 0 {
+			continue
+		}
+		half := mod.Pow(w, uint64(n/2))
+		if half.Cmp(one) != 0 {
+			omega = w
+			break
+		}
+	}
+	if omega == nil {
+		return nil, fmt.Errorf("multiword: no primitive %d-th root found", n)
+	}
+	nInv := NewInt(mod.K)
+	nInv[0] = uint64(n)
+	p := &Plan{Mod: mod, N: n, M: m, Omega: omega, NInv: mod.Inv(nInv)}
+	p.build()
+	return p, nil
+}
+
+func (p *Plan) build() {
+	mod := p.Mod
+	half := p.N / 2
+	omegaInv := mod.Inv(p.Omega)
+	pow := make([]Int, p.N)
+	powInv := make([]Int, p.N)
+	one := NewInt(mod.K)
+	one[0] = 1
+	pow[0], powInv[0] = one, one.Clone()
+	for j := 1; j < p.N; j++ {
+		pow[j] = mod.Mul(pow[j-1], p.Omega)
+		powInv[j] = mod.Mul(powInv[j-1], omegaInv)
+	}
+	p.fwd = make([][]Int, p.M)
+	p.inv = make([][]Int, p.M)
+	for s := 0; s < p.M; s++ {
+		fw := make([]Int, half)
+		iv := make([]Int, half)
+		for i := 0; i < half; i++ {
+			e := (uint64(i) >> uint(s)) << uint(s)
+			fw[i] = pow[e]
+			iv[i] = powInv[e]
+		}
+		p.fwd[s] = fw
+		p.inv[s] = iv
+	}
+}
+
+// Forward computes the forward NTT (natural in, bit-reversed out).
+func (p *Plan) Forward(x []Int) []Int {
+	if len(x) != p.N {
+		panic("multiword: input length mismatch")
+	}
+	mod := p.Mod
+	half := p.N / 2
+	src := make([]Int, p.N)
+	for i := range src {
+		src[i] = x[i].Clone()
+	}
+	dst := make([]Int, p.N)
+	for s := 0; s < p.M; s++ {
+		tw := p.fwd[s]
+		for i := 0; i < half; i++ {
+			a, b := src[i], src[i+half]
+			dst[2*i] = mod.Add(a, b)
+			dst[2*i+1] = mod.Mul(mod.Sub(a, b), tw[i])
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// Inverse computes the inverse NTT (bit-reversed in, natural out) with the
+// 1/N scaling.
+func (p *Plan) Inverse(y []Int) []Int {
+	if len(y) != p.N {
+		panic("multiword: input length mismatch")
+	}
+	mod := p.Mod
+	half := p.N / 2
+	src := make([]Int, p.N)
+	for i := range src {
+		src[i] = y[i].Clone()
+	}
+	dst := make([]Int, p.N)
+	for s := p.M - 1; s >= 0; s-- {
+		tw := p.inv[s]
+		for i := 0; i < half; i++ {
+			t := mod.Mul(src[2*i+1], tw[i])
+			dst[i] = mod.Add(src[2*i], t)
+			dst[i+half] = mod.Sub(src[2*i], t)
+		}
+		src, dst = dst, src
+	}
+	out := make([]Int, p.N)
+	for i := range src {
+		out[i] = mod.Mul(src[i], p.NInv)
+	}
+	return out
+}

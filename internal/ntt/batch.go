@@ -1,0 +1,75 @@
+package ntt
+
+import (
+	"runtime"
+	"sync"
+
+	"mqxgo/internal/u128"
+)
+
+// Batched transforms. Real FHE workloads process many independent
+// polynomials at once (Section 6, "towards realizing SOL performance");
+// these helpers fan a batch out across cores with no cross-transform data
+// dependencies, the parallelism regime the paper's speed-of-light model
+// assumes.
+
+// BatchForward runs the forward transform over every input, in parallel
+// across at most workers goroutines (0 means GOMAXPROCS). Inputs are not
+// modified; results are returned in order.
+func (p *Plan) BatchForward(inputs [][]u128.U128, workers int) [][]u128.U128 {
+	return p.batch(inputs, workers, p.ForwardNative)
+}
+
+// BatchInverse runs the inverse transform over every input in parallel.
+func (p *Plan) BatchInverse(inputs [][]u128.U128, workers int) [][]u128.U128 {
+	return p.batch(inputs, workers, p.InverseNative)
+}
+
+// BatchPolyMulNegacyclic multiplies pairs[i][0] * pairs[i][1] in
+// Z_q[x]/(x^n + 1) for every pair, in parallel.
+func (p *Plan) BatchPolyMulNegacyclic(pairs [][2][]u128.U128, workers int) [][]u128.U128 {
+	out := make([][]u128.U128, len(pairs))
+	parallelFor(len(pairs), workers, func(i int) {
+		out[i] = p.PolyMulNegacyclic(pairs[i][0], pairs[i][1])
+	})
+	return out
+}
+
+func (p *Plan) batch(inputs [][]u128.U128, workers int, f func([]u128.U128) []u128.U128) [][]u128.U128 {
+	out := make([][]u128.U128, len(inputs))
+	parallelFor(len(inputs), workers, func(i int) {
+		out[i] = f(inputs[i])
+	})
+	return out
+}
+
+func parallelFor(n, workers int, f func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,179 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/blas"
+	"mqxgo/internal/isa"
+	"mqxgo/internal/kernels"
+	"mqxgo/internal/u128"
+	"mqxgo/internal/vm"
+)
+
+func TestInPlaceMatchesConstantGeometry(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(91))
+	for _, n := range []int{2, 4, 16, 128, 1024} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		want := p.ForwardNative(x)
+		got := append(x[:0:0], x...)
+		p.ForwardInPlace(got)
+		for i := 0; i < n; i++ {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("n=%d: GS in-place differs from CG at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestInPlaceRoundTrip(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(92))
+	for _, n := range []int{4, 64, 512} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		y := append(x[:0:0], x...)
+		p.ForwardInPlace(y)
+		p.InverseInPlace(y)
+		for i := range x {
+			if !y[i].Equal(x[i]) {
+				t.Fatalf("n=%d: in-place round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestInPlaceCrossDataflowRoundTrip(t *testing.T) {
+	// Forward with the CG dataflow, inverse with the in-place CT dataflow
+	// (and vice versa): the ordering conventions must be interchangeable.
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(93))
+	n := 256
+	p := MustPlan(mod, n)
+	x := randPoly(r, mod, n)
+
+	y := p.ForwardNative(x)
+	z := append(y[:0:0], y...)
+	p.InverseInPlace(z)
+	for i := range x {
+		if !z[i].Equal(x[i]) {
+			t.Fatalf("CG forward + CT inverse failed at %d", i)
+		}
+	}
+
+	w := append(x[:0:0], x...)
+	p.ForwardInPlace(w)
+	back := p.InverseNative(w)
+	for i := range x {
+		if !back[i].Equal(x[i]) {
+			t.Fatalf("GS forward + CG inverse failed at %d", i)
+		}
+	}
+}
+
+func TestBatchTransforms(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(94))
+	n := 128
+	p := MustPlan(mod, n)
+	const batch = 9 // deliberately not a multiple of workers
+	inputs := make([][]u128.U128, batch)
+	for i := range inputs {
+		inputs[i] = randPoly(r, mod, n)
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		fwd := p.BatchForward(inputs, workers)
+		if len(fwd) != batch {
+			t.Fatalf("workers=%d: got %d outputs", workers, len(fwd))
+		}
+		for i := range inputs {
+			want := p.ForwardNative(inputs[i])
+			for j := 0; j < n; j++ {
+				if !fwd[i][j].Equal(want[j]) {
+					t.Fatalf("workers=%d: batch forward %d differs at %d", workers, i, j)
+				}
+			}
+		}
+		back := p.BatchInverse(fwd, workers)
+		for i := range inputs {
+			for j := 0; j < n; j++ {
+				if !back[i][j].Equal(inputs[i][j]) {
+					t.Fatalf("workers=%d: batch round trip %d failed at %d", workers, i, j)
+				}
+			}
+		}
+	}
+
+	pairs := make([][2][]u128.U128, 4)
+	for i := range pairs {
+		pairs[i] = [2][]u128.U128{randPoly(r, mod, n), randPoly(r, mod, n)}
+	}
+	prods := p.BatchPolyMulNegacyclic(pairs, 2)
+	for i := range pairs {
+		want := p.PolyMulNegacyclic(pairs[i][0], pairs[i][1])
+		for j := 0; j < n; j++ {
+			if !prods[i][j].Equal(want[j]) {
+				t.Fatalf("batch polymul %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPolyMulNegacyclicVMAllLevels(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(95))
+	n := 64
+	p := MustPlan(mod, n)
+	a := randPoly(r, mod, n)
+	b := randPoly(r, mod, n)
+	want := p.PolyMulNegacyclic(a, b)
+	av, bv := blas.FromSlice(a), blas.FromSlice(b)
+
+	check := func(level string, got blas.Vector, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if !got.At(i).Equal(want[i]) {
+				t.Fatalf("%s: VM polymul differs at %d", level, i)
+			}
+		}
+	}
+
+	{
+		m := vm.New(vm.TraceOff)
+		bk := kernels.NewBScalar(m)
+		d := kernels.NewDW[vm.S, vm.F](bk, mod)
+		m.BeginLoop()
+		got, err := PolyMulNegacyclicVM(d, p, av, bv)
+		check("scalar", got, err)
+	}
+	{
+		m := vm.New(vm.TraceOff)
+		bk := kernels.NewB256(m)
+		d := kernels.NewDW[vm.V4, vm.V4](bk, mod)
+		m.BeginLoop()
+		got, err := PolyMulNegacyclicVM(d, p, av, bv)
+		check("avx2", got, err)
+	}
+	for _, level := range []isa.Level{isa.LevelAVX512, isa.LevelMQX} {
+		m := vm.New(vm.TraceOff)
+		bk := kernels.NewB512(m, level)
+		d := kernels.NewDW[vm.V, vm.M](bk, mod)
+		m.BeginLoop()
+		got, err := PolyMulNegacyclicVM(d, p, av, bv)
+		check(level.String(), got, err)
+	}
+
+	// Length validation.
+	m := vm.New(vm.TraceOff)
+	bk := kernels.NewB512(m, isa.LevelAVX512)
+	d := kernels.NewDW[vm.V, vm.M](bk, mod)
+	m.BeginLoop()
+	if _, err := PolyMulNegacyclicVM(d, p, blas.NewVector(8), bv); err == nil {
+		t.Error("expected length error")
+	}
+}

@@ -1,0 +1,63 @@
+package ntt
+
+import (
+	"mqxgo/internal/u128"
+)
+
+// In-place iterative dataflows. The paper's SIMD implementations use the
+// constant-geometry Pease dataflow (contiguous loads, out-of-place
+// ping-pong buffers); classic in-place Gentleman-Sande / Cooley-Tukey
+// iterations are what scalar libraries typically ship. Both compute the
+// same transform with the same ordering convention (natural in,
+// bit-reversed out), so they cross-check each other — see
+// TestInPlaceMatchesConstantGeometry — and downstream users can pick the
+// in-place variant when memory is tight.
+
+// ForwardInPlace computes the forward NTT with the Gentleman-Sande
+// (decimation-in-frequency) dataflow, overwriting x. Input natural order,
+// output bit-reversed — identical to ForwardNative's convention.
+func (p *Plan) ForwardInPlace(x []u128.U128) {
+	p.checkLen(len(x))
+	mod := p.Mod
+	// Stage s has blocks of size n/2^s with butterfly distance half that.
+	for s := 0; s < p.M; s++ {
+		blockSize := p.N >> uint(s)
+		half := blockSize / 2
+		for blockStart := 0; blockStart < p.N; blockStart += blockSize {
+			for j := 0; j < half; j++ {
+				// The GS stage-s twiddle for in-block offset j is
+				// omega^(j * 2^s); the constant-geometry stage table
+				// stores exactly that value at index j<<s.
+				w := p.FwdTw[s].At(j << uint(s))
+				a := x[blockStart+j]
+				b := x[blockStart+j+half]
+				x[blockStart+j] = mod.Add(a, b)
+				x[blockStart+j+half] = mod.Mul(mod.Sub(a, b), w)
+			}
+		}
+	}
+}
+
+// InverseInPlace computes the inverse NTT with the Cooley-Tukey
+// (decimation-in-time) dataflow, overwriting y. Input bit-reversed (the
+// ForwardInPlace convention), output natural order, 1/N applied.
+func (p *Plan) InverseInPlace(y []u128.U128) {
+	p.checkLen(len(y))
+	mod := p.Mod
+	for s := p.M - 1; s >= 0; s-- {
+		blockSize := p.N >> uint(s)
+		half := blockSize / 2
+		for blockStart := 0; blockStart < p.N; blockStart += blockSize {
+			for j := 0; j < half; j++ {
+				w := p.InvTw[s].At(j << uint(s))
+				a := y[blockStart+j]
+				b := mod.Mul(y[blockStart+j+half], w)
+				y[blockStart+j] = mod.Add(a, b)
+				y[blockStart+j+half] = mod.Sub(a, b)
+			}
+		}
+	}
+	for i := range y {
+		y[i] = mod.Mul(y[i], p.NInv)
+	}
+}

@@ -1,0 +1,194 @@
+package ntt
+
+import (
+	"fmt"
+
+	"mqxgo/internal/modmath"
+)
+
+// Plan64 is the single-word (64-bit) NTT plan used by the residue number
+// system substrate (internal/rns): the conventional alternative to 128-bit
+// residues that the paper discusses in Sections 1 and 8. Twiddles carry
+// Shoup precomputations so the hot loop uses the one-correction
+// multiplication.
+type Plan64 struct {
+	Mod *modmath.Modulus64
+	N   int
+	M   int
+
+	Omega    uint64
+	OmegaInv uint64
+	NInv     uint64
+
+	fwdTw    [][]uint64 // per stage, n/2 twiddles
+	fwdShoup [][]uint64
+	invTw    [][]uint64
+	invShoup [][]uint64
+
+	Psi          uint64
+	twist        []uint64
+	twistShoup   []uint64
+	untwist      []uint64 // psi^-j * n^-1
+	untwistShoup []uint64
+}
+
+// NewPlan64 builds an n-point plan modulo mod.Q; 2n must divide q-1.
+func NewPlan64(mod *modmath.Modulus64, n int) (*Plan64, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: size %d is not a power of two >= 2", n)
+	}
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	psi, err := mod.PrimitiveRootOfUnity64(uint64(2 * n))
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	omega := mod.Mul(psi, psi)
+	p := &Plan64{
+		Mod:      mod,
+		N:        n,
+		M:        m,
+		Omega:    omega,
+		OmegaInv: mod.Inv(omega),
+		NInv:     mod.Inv(uint64(n)),
+		Psi:      psi,
+	}
+	p.build()
+	return p, nil
+}
+
+// MustPlan64 is NewPlan64 but panics on error.
+func MustPlan64(mod *modmath.Modulus64, n int) *Plan64 {
+	p, err := NewPlan64(mod, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Plan64) build() {
+	mod := p.Mod
+	half := p.N / 2
+	pow := make([]uint64, p.N)
+	powInv := make([]uint64, p.N)
+	pow[0], powInv[0] = 1, 1
+	for j := 1; j < p.N; j++ {
+		pow[j] = mod.Mul(pow[j-1], p.Omega)
+		powInv[j] = mod.Mul(powInv[j-1], p.OmegaInv)
+	}
+	p.fwdTw = make([][]uint64, p.M)
+	p.fwdShoup = make([][]uint64, p.M)
+	p.invTw = make([][]uint64, p.M)
+	p.invShoup = make([][]uint64, p.M)
+	for s := 0; s < p.M; s++ {
+		fw := make([]uint64, half)
+		fs := make([]uint64, half)
+		iv := make([]uint64, half)
+		is := make([]uint64, half)
+		for i := 0; i < half; i++ {
+			e := (uint64(i) >> uint(s)) << uint(s)
+			fw[i] = pow[e]
+			fs[i] = mod.ShoupPrecompute(fw[i])
+			iv[i] = powInv[e]
+			is[i] = mod.ShoupPrecompute(iv[i])
+		}
+		p.fwdTw[s], p.fwdShoup[s] = fw, fs
+		p.invTw[s], p.invShoup[s] = iv, is
+	}
+
+	psiInv := mod.Inv(p.Psi)
+	p.twist = make([]uint64, p.N)
+	p.twistShoup = make([]uint64, p.N)
+	p.untwist = make([]uint64, p.N)
+	p.untwistShoup = make([]uint64, p.N)
+	cur, curInv := uint64(1), p.NInv
+	for j := 0; j < p.N; j++ {
+		p.twist[j] = cur
+		p.twistShoup[j] = mod.ShoupPrecompute(cur)
+		p.untwist[j] = curInv
+		p.untwistShoup[j] = mod.ShoupPrecompute(curInv)
+		cur = mod.Mul(cur, p.Psi)
+		curInv = mod.Mul(curInv, psiInv)
+	}
+}
+
+// Forward computes the forward NTT (natural in, bit-reversed out).
+func (p *Plan64) Forward(x []uint64) []uint64 {
+	p.checkLen(len(x))
+	mod := p.Mod
+	half := p.N / 2
+	src := append([]uint64(nil), x...)
+	dst := make([]uint64, p.N)
+	for s := 0; s < p.M; s++ {
+		tw, sh := p.fwdTw[s], p.fwdShoup[s]
+		for i := 0; i < half; i++ {
+			a, b := src[i], src[i+half]
+			dst[2*i] = mod.Add(a, b)
+			dst[2*i+1] = mod.MulShoup(mod.Sub(a, b), tw[i], sh[i])
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// Inverse computes the inverse NTT (bit-reversed in, natural out) with the
+// 1/N scaling applied.
+func (p *Plan64) Inverse(y []uint64) []uint64 {
+	out := p.inverseNoScale(y)
+	mod := p.Mod
+	sh := mod.ShoupPrecompute(p.NInv)
+	for i := range out {
+		out[i] = mod.MulShoup(out[i], p.NInv, sh)
+	}
+	return out
+}
+
+func (p *Plan64) inverseNoScale(y []uint64) []uint64 {
+	p.checkLen(len(y))
+	mod := p.Mod
+	half := p.N / 2
+	src := append([]uint64(nil), y...)
+	dst := make([]uint64, p.N)
+	for s := p.M - 1; s >= 0; s-- {
+		tw, sh := p.invTw[s], p.invShoup[s]
+		for i := 0; i < half; i++ {
+			e, o := src[2*i], src[2*i+1]
+			t := mod.MulShoup(o, tw[i], sh[i])
+			dst[i] = mod.Add(e, t)
+			dst[i+half] = mod.Sub(e, t)
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// PolyMulNegacyclic multiplies in Z_q[x]/(x^n + 1) via the twisted NTT.
+func (p *Plan64) PolyMulNegacyclic(a, b []uint64) []uint64 {
+	p.checkLen(len(a))
+	p.checkLen(len(b))
+	mod := p.Mod
+	at := make([]uint64, p.N)
+	bt := make([]uint64, p.N)
+	for j := 0; j < p.N; j++ {
+		at[j] = mod.MulShoup(a[j], p.twist[j], p.twistShoup[j])
+		bt[j] = mod.MulShoup(b[j], p.twist[j], p.twistShoup[j])
+	}
+	af := p.Forward(at)
+	bf := p.Forward(bt)
+	for j := 0; j < p.N; j++ {
+		af[j] = mod.Mul(af[j], bf[j])
+	}
+	c := p.inverseNoScale(af)
+	for j := 0; j < p.N; j++ {
+		c[j] = mod.MulShoup(c[j], p.untwist[j], p.untwistShoup[j])
+	}
+	return c
+}
+
+func (p *Plan64) checkLen(n int) {
+	if n != p.N {
+		panic("ntt: input length does not match plan size")
+	}
+}

@@ -1,0 +1,287 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/blas"
+	"mqxgo/internal/isa"
+	"mqxgo/internal/kernels"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+	"mqxgo/internal/vm"
+)
+
+func testMod(t *testing.T) *modmath.Modulus128 {
+	t.Helper()
+	return modmath.DefaultModulus128()
+}
+
+func randPoly(r *rand.Rand, mod *modmath.Modulus128, n int) []u128.U128 {
+	xs := make([]u128.U128, n)
+	for i := range xs {
+		xs[i] = u128.New(r.Uint64(), r.Uint64()).Mod(mod.Q)
+	}
+	return xs
+}
+
+func TestForwardNativeMatchesReference(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		got := p.ForwardNative(x)
+		want := Reference(mod, p.Omega, x)
+		for i := 0; i < n; i++ {
+			if !got[i].Equal(want[BitReverse(i, p.M)]) {
+				t.Fatalf("n=%d: output %d = %s, want %s", n, i, got[i], want[BitReverse(i, p.M)])
+			}
+		}
+	}
+}
+
+func TestInverseNativeRoundTrip(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 8, 32, 128, 1024} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		back := p.InverseNative(p.ForwardNative(x))
+		for i := range x {
+			if !back[i].Equal(x[i]) {
+				t.Fatalf("n=%d: round trip failed at %d: got %s want %s", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestPolyMulNegacyclicMatchesSchoolbook(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(43))
+	for _, n := range []int{2, 8, 64, 256} {
+		p := MustPlan(mod, n)
+		a := randPoly(r, mod, n)
+		b := randPoly(r, mod, n)
+		got := p.PolyMulNegacyclic(a, b)
+		want := SchoolbookNegacyclic(mod, a, b)
+		for i := 0; i < n; i++ {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("n=%d: coeff %d = %s, want %s", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPolyMulCyclicMatchesSchoolbook(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(44))
+	for _, n := range []int{4, 32, 128} {
+		p := MustPlan(mod, n)
+		a := randPoly(r, mod, n)
+		b := randPoly(r, mod, n)
+		got := p.PolyMulCyclic(a, b)
+		want := SchoolbookCyclic(mod, a, b)
+		for i := 0; i < n; i++ {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("n=%d: coeff %d = %s, want %s", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(45))
+	n := 128
+	p := MustPlan(mod, n)
+	a := randPoly(r, mod, n)
+	b := randPoly(r, mod, n)
+	sum := make([]u128.U128, n)
+	for i := range sum {
+		sum[i] = mod.Add(a[i], b[i])
+	}
+	fa, fb, fsum := p.ForwardNative(a), p.ForwardNative(b), p.ForwardNative(sum)
+	for i := 0; i < n; i++ {
+		if !fsum[i].Equal(mod.Add(fa[i], fb[i])) {
+			t.Fatalf("NTT not linear at %d", i)
+		}
+	}
+}
+
+func TestConvolutionTheoremDeltaFunction(t *testing.T) {
+	// NTT of the delta function is all ones; NTT of a shifted delta is the
+	// twiddle power sequence.
+	mod := testMod(t)
+	n := 64
+	p := MustPlan(mod, n)
+	delta := make([]u128.U128, n)
+	delta[0] = u128.One
+	f := p.ForwardNative(delta)
+	for i := range f {
+		if !f[i].Equal(u128.One) {
+			t.Fatalf("NTT(delta)[%d] = %s, want 1", i, f[i])
+		}
+	}
+}
+
+func vmForward(t *testing.T, level isa.Level, p *Plan, x []u128.U128) []u128.U128 {
+	t.Helper()
+	m := vm.New(vm.TraceOff)
+	xv := blas.FromSlice(x)
+	switch level {
+	case isa.LevelScalar:
+		b := kernels.NewBScalar(m)
+		d := kernels.NewDW[vm.S, vm.F](b, p.Mod)
+		m.BeginLoop()
+		out, err := ForwardVM(d, p, xv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	case isa.LevelAVX2:
+		b := kernels.NewB256(m)
+		d := kernels.NewDW[vm.V4, vm.V4](b, p.Mod)
+		m.BeginLoop()
+		out, err := ForwardVM(d, p, xv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	default:
+		b := kernels.NewB512(m, level)
+		d := kernels.NewDW[vm.V, vm.M](b, p.Mod)
+		m.BeginLoop()
+		out, err := ForwardVM(d, p, xv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	}
+}
+
+func vmInverse(t *testing.T, level isa.Level, p *Plan, y []u128.U128) []u128.U128 {
+	t.Helper()
+	m := vm.New(vm.TraceOff)
+	yv := blas.FromSlice(y)
+	switch level {
+	case isa.LevelScalar:
+		b := kernels.NewBScalar(m)
+		d := kernels.NewDW[vm.S, vm.F](b, p.Mod)
+		m.BeginLoop()
+		out, err := InverseVM(d, p, yv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	case isa.LevelAVX2:
+		b := kernels.NewB256(m)
+		d := kernels.NewDW[vm.V4, vm.V4](b, p.Mod)
+		m.BeginLoop()
+		out, err := InverseVM(d, p, yv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	default:
+		b := kernels.NewB512(m, level)
+		d := kernels.NewDW[vm.V, vm.M](b, p.Mod)
+		m.BeginLoop()
+		out, err := InverseVM(d, p, yv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.ToSlice()
+	}
+}
+
+func TestVMForwardMatchesNativeAllLevels(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(46))
+	levels := []isa.Level{
+		isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512, isa.LevelMQX,
+		isa.LevelMQXMulOnly, isa.LevelMQXCarryOnly, isa.LevelMQXMulHi,
+		isa.LevelMQXPredicated,
+	}
+	for _, n := range []int{16, 64, 512} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		want := p.ForwardNative(x)
+		for _, level := range levels {
+			got := vmForward(t, level, p, x)
+			for i := 0; i < n; i++ {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("level %v n=%d: output %d = %s, want %s", level, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestVMInverseRoundTripAllLevels(t *testing.T) {
+	mod := testMod(t)
+	r := rand.New(rand.NewSource(47))
+	levels := []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512, isa.LevelMQX}
+	for _, n := range []int{16, 256} {
+		p := MustPlan(mod, n)
+		x := randPoly(r, mod, n)
+		for _, level := range levels {
+			fwd := vmForward(t, level, p, x)
+			back := vmInverse(t, level, p, fwd)
+			for i := 0; i < n; i++ {
+				if !back[i].Equal(x[i]) {
+					t.Fatalf("level %v n=%d: round trip failed at %d", level, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	mod := testMod(t)
+	if _, err := NewPlan(mod, 3); err == nil {
+		t.Error("expected error for non-power-of-two size")
+	}
+	if _, err := NewPlan(mod, 1); err == nil {
+		t.Error("expected error for size 1")
+	}
+	// A size far beyond the prime's power-of-two root order must fail.
+	if _, err := NewPlan(mod, 1<<40); err == nil {
+		t.Error("expected error for size beyond the prime's root order")
+	}
+	p := MustPlan(mod, 1<<10)
+	if p.TwiddleBytes() != 10*(1<<9)*16 {
+		t.Errorf("TwiddleBytes = %d", p.TwiddleBytes())
+	}
+}
+
+func TestBitReverse(t *testing.T) {
+	cases := []struct{ i, m, want int }{
+		{0, 4, 0}, {1, 4, 8}, {3, 3, 6}, {5, 3, 5}, {6, 3, 3}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := BitReverse(c.i, c.m); got != c.want {
+			t.Errorf("BitReverse(%d, %d) = %d, want %d", c.i, c.m, got, c.want)
+		}
+	}
+}
+
+func TestVMInputLengthErrors(t *testing.T) {
+	mod := testMod(t)
+	p := MustPlan(mod, 16)
+	m := vm.New(vm.TraceOff)
+	b := kernels.NewB512(m, isa.LevelAVX512)
+	d := kernels.NewDW[vm.V, vm.M](b, mod)
+	m.BeginLoop()
+	if _, err := ForwardVM(d, p, blas.NewVector(8)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := InverseVM(d, p, blas.NewVector(8)); err == nil {
+		t.Error("expected length error")
+	}
+	// n/2 < lanes: an 8-point plan cannot run on the 8-lane backend.
+	p8 := MustPlan(mod, 8)
+	if _, err := ForwardVM(d, p8, blas.NewVector(8)); err == nil {
+		t.Error("expected lane-count error")
+	}
+}

@@ -1,0 +1,158 @@
+// Package ntt implements the number theoretic transform over Z_q with
+// 128-bit coefficients, the paper's primary kernel (Sections 2.3 and 3.2).
+//
+// All transforms use the Pease constant-geometry dataflow [Pease 1968] the
+// paper builds on: every stage reads butterfly inputs from (i, i + n/2) and
+// writes outputs to (2i, 2i+1) of a ping-pong buffer, so vector loads are
+// always contiguous and only the output interleave needs permute
+// instructions. The forward transform maps natural order to bit-reversed
+// order; the inverse maps bit-reversed back to natural order.
+//
+// Implementations:
+//   - Plan.ForwardNative / InverseNative: plain Go (the measured scalar tier).
+//   - ForwardVM / InverseVM (vmntt.go): generic over a kernels backend,
+//     producing scalar/AVX2/AVX-512/MQX instruction streams on the trace
+//     machine for performance modeling.
+//   - Reference (reference.go): the O(n^2) definition (Eq. 11), used as
+//     ground truth in tests.
+package ntt
+
+import (
+	"fmt"
+
+	"mqxgo/internal/blas"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+// Plan holds the precomputed tables for size-n transforms modulo q:
+// per-stage constant-geometry twiddle tables for the forward and inverse
+// transforms (SoA layout, ready for contiguous vector loads) and the
+// negacyclic twist tables.
+type Plan struct {
+	Mod *modmath.Modulus128
+	N   int // transform size, a power of two >= 2
+	M   int // log2(N)
+
+	Omega    u128.U128 // primitive N-th root of unity
+	OmegaInv u128.U128
+	NInv     u128.U128 // N^-1 mod q
+
+	// FwdTw[s] and InvTw[s] hold the N/2 stage-s twiddles in SoA layout.
+	FwdTw []blas.Vector
+	InvTw []blas.Vector
+
+	// Negacyclic twist tables (psi is a primitive 2N-th root with
+	// psi^2 = omega): Twist[j] = psi^j, Untwist[j] = psi^-j * N^-1.
+	Psi     u128.U128
+	Twist   blas.Vector
+	Untwist blas.Vector
+}
+
+// NewPlan builds a plan for n-point transforms modulo mod.Q. n must be a
+// power of two >= 2, and 2n must divide q-1 (the negacyclic twist needs a
+// 2n-th root of unity).
+func NewPlan(mod *modmath.Modulus128, n int) (*Plan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntt: size %d is not a power of two >= 2", n)
+	}
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	psi, err := mod.PrimitiveRootOfUnity(uint64(2 * n))
+	if err != nil {
+		return nil, fmt.Errorf("ntt: %w", err)
+	}
+	omega := mod.Mul(psi, psi)
+	p := &Plan{
+		Mod:      mod,
+		N:        n,
+		M:        m,
+		Omega:    omega,
+		OmegaInv: mod.Inv(omega),
+		NInv:     mod.Inv(u128.From64(uint64(n))),
+		Psi:      psi,
+	}
+	p.buildStageTables()
+	p.buildTwistTables()
+	return p, nil
+}
+
+// MustPlan is NewPlan but panics on error.
+func MustPlan(mod *modmath.Modulus128, n int) *Plan {
+	p, err := NewPlan(mod, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// stageExp returns the twiddle exponent for butterfly i of stage s in the
+// constant-geometry dataflow. After s interleaving stages, the low s bits
+// of i select which size-(n/2^s) sub-transform the butterfly belongs to and
+// i>>s is the position within it, so the twiddle is
+// omega_{n/2^s}^(i>>s) = omega^((i>>s) * 2^s).
+func (p *Plan) stageExp(s, i int) uint64 {
+	return (uint64(i) >> uint(s)) << uint(s)
+}
+
+func (p *Plan) buildStageTables() {
+	mod := p.Mod
+	half := p.N / 2
+	// Power tables for omega and omega^-1 up to n/2 exponents, built by
+	// repeated multiplication (exponents in stageExp are < n/2... they are
+	// < n; bound them by n).
+	pow := make([]u128.U128, p.N)
+	powInv := make([]u128.U128, p.N)
+	pow[0], powInv[0] = u128.One, u128.One
+	for j := 1; j < p.N; j++ {
+		pow[j] = mod.Mul(pow[j-1], p.Omega)
+		powInv[j] = mod.Mul(powInv[j-1], p.OmegaInv)
+	}
+	p.FwdTw = make([]blas.Vector, p.M)
+	p.InvTw = make([]blas.Vector, p.M)
+	for s := 0; s < p.M; s++ {
+		fw := blas.NewVector(half)
+		iv := blas.NewVector(half)
+		for i := 0; i < half; i++ {
+			e := p.stageExp(s, i)
+			fw.Set(i, pow[e])
+			iv.Set(i, powInv[e])
+		}
+		p.FwdTw[s] = fw
+		p.InvTw[s] = iv
+	}
+}
+
+func (p *Plan) buildTwistTables() {
+	mod := p.Mod
+	psiInv := mod.Inv(p.Psi)
+	tw := blas.NewVector(p.N)
+	utw := blas.NewVector(p.N)
+	cur := u128.One
+	curInv := p.NInv
+	for j := 0; j < p.N; j++ {
+		tw.Set(j, cur)
+		utw.Set(j, curInv)
+		cur = mod.Mul(cur, p.Psi)
+		curInv = mod.Mul(curInv, psiInv)
+	}
+	p.Twist = tw
+	p.Untwist = utw
+}
+
+// BitReverse returns the bit-reversal of i in m bits.
+func BitReverse(i, m int) int {
+	r := 0
+	for b := 0; b < m; b++ {
+		r = r<<1 | (i>>b)&1
+	}
+	return r
+}
+
+// TwiddleBytes returns the total size of the precomputed stage tables in
+// bytes, used by the memory model.
+func (p *Plan) TwiddleBytes() int64 {
+	return int64(p.M) * int64(p.N/2) * 16
+}

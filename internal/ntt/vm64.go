@@ -1,0 +1,46 @@
+package ntt
+
+import (
+	"fmt"
+
+	"mqxgo/internal/kernels"
+)
+
+// Forward64VM computes the single-word (64-bit) forward NTT on the trace
+// machine using the HEXL-style kernels of kernels.SW — the RNS-channel
+// counterpart of ForwardVM, used to model the paper's Section 1 trade-off
+// between 128-bit residues and RNS decomposition on identical hardware.
+//
+// The transform uses the same constant-geometry dataflow; twiddles are the
+// plan's Shoup pairs.
+func Forward64VM[W, C any](s *kernels.SW[W, C], p *Plan64, x []uint64) ([]uint64, error) {
+	if len(x) != p.N {
+		return nil, fmt.Errorf("ntt: input length %d != plan size %d", len(x), p.N)
+	}
+	if s.Mod.Q != p.Mod.Q {
+		return nil, fmt.Errorf("ntt: kernel modulus %d != plan modulus %d", s.Mod.Q, p.Mod.Q)
+	}
+	o := s.O
+	lanes := o.Lanes()
+	half := p.N / 2
+	if half%lanes != 0 {
+		return nil, fmt.Errorf("ntt: n/2 = %d not a multiple of %d lanes", half, lanes)
+	}
+	src := append([]uint64(nil), x...)
+	dst := make([]uint64, p.N)
+	for st := 0; st < p.M; st++ {
+		tw, sh := p.fwdTw[st], p.fwdShoup[st]
+		for i := 0; i < half; i += lanes {
+			a := o.Load(src, i)
+			b := o.Load(src, i+half)
+			w := o.Load(tw, i)
+			wp := o.Load(sh, i)
+			even, odd := s.Butterfly(a, b, w, wp)
+			r0, r1 := o.Interleave(even, odd)
+			o.Store(dst, 2*i, r0)
+			o.Store(dst, 2*i+lanes, r1)
+		}
+		src, dst = dst, src
+	}
+	return src, nil
+}

@@ -1,0 +1,83 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/kernels"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/vm"
+)
+
+func TestForward64VMMatchesNative(t *testing.T) {
+	ps, err := modmath.FindNTTPrimes64(60, 1<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := modmath.MustModulus64(ps[0])
+	n := 256
+	p := MustPlan64(mod, n)
+	r := rand.New(rand.NewSource(151))
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = r.Uint64() % mod.Q
+	}
+	want := p.Forward(x)
+
+	for _, level := range []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512, isa.LevelMQX} {
+		m := vm.New(vm.TraceOff)
+		var got []uint64
+		var runErr error
+		switch level {
+		case isa.LevelScalar:
+			b := kernels.NewBScalar(m)
+			s := kernels.NewSW[vm.S, vm.F](b, mod)
+			m.BeginLoop()
+			got, runErr = Forward64VM(s, p, x)
+		case isa.LevelAVX2:
+			b := kernels.NewB256(m)
+			s := kernels.NewSW[vm.V4, vm.V4](b, mod)
+			m.BeginLoop()
+			got, runErr = Forward64VM(s, p, x)
+		default:
+			b := kernels.NewB512(m, level)
+			s := kernels.NewSW[vm.V, vm.M](b, mod)
+			m.BeginLoop()
+			got, runErr = Forward64VM(s, p, x)
+		}
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("%v: output %d = %d, want %d", level, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForward64VMValidation(t *testing.T) {
+	ps, err := modmath.FindNTTPrimes64(60, 1<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := modmath.MustModulus64(ps[0])
+	other := modmath.MustModulus64(ps[1])
+	p := MustPlan64(mod, 64)
+	m := vm.New(vm.TraceOff)
+	b := kernels.NewB512(m, isa.LevelAVX512)
+	s := kernels.NewSW[vm.V, vm.M](b, mod)
+	sOther := kernels.NewSW[vm.V, vm.M](b, other)
+	m.BeginLoop()
+	if _, err := Forward64VM(s, p, make([]uint64, 8)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := Forward64VM(sOther, p, make([]uint64, 64)); err == nil {
+		t.Error("expected modulus mismatch error")
+	}
+	p8 := MustPlan64(mod, 8)
+	if _, err := Forward64VM(s, p8, make([]uint64, 8)); err == nil {
+		t.Error("expected lane-count error")
+	}
+}

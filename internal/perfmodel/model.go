@@ -1,0 +1,178 @@
+package perfmodel
+
+import (
+	"math"
+
+	"mqxgo/internal/blas"
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/sched"
+)
+
+// KernelModel is the projected per-iteration cost of a kernel body on a
+// machine.
+type KernelModel struct {
+	Machine *Machine
+	Level   isa.Level
+	Body    *Body
+	Report  *sched.Report
+
+	// CyclesPerIter is the steady-state compute estimate for one body
+	// iteration (port-pressure / dispatch bound).
+	CyclesPerIter float64
+	// BytesPerIter is the memory traffic of one iteration.
+	BytesPerIter int64
+}
+
+// NewKernelModel schedules a body on a machine.
+func NewKernelModel(mach *Machine, body *Body) *KernelModel {
+	rep := sched.Analyze(mach.March, body.Instrs)
+	return &KernelModel{
+		Machine:       mach,
+		Level:         body.Level,
+		Body:          body,
+		Report:        rep,
+		CyclesPerIter: rep.Cycles,
+		BytesPerIter:  body.Bytes,
+	}
+}
+
+// NTTModel models an n-point forward NTT: log2(n) constant-geometry stages
+// of n/2 butterflies each, with the per-stage time being the larger of the
+// compute estimate and the memory-traffic estimate at the bandwidth level
+// implied by the transform's working set (this is the L2-capacity knee of
+// Section 5.4).
+type NTTModel struct {
+	Kernel *KernelModel
+	N      int
+}
+
+// NewNTTModel builds the model for size n from a butterfly kernel model.
+func NewNTTModel(k *KernelModel, n int) *NTTModel { return &NTTModel{Kernel: k, N: n} }
+
+// Stages returns log2(N).
+func (m *NTTModel) Stages() int {
+	s := 0
+	for 1<<s < m.N {
+		s++
+	}
+	return s
+}
+
+// WorkingSetBytes returns the per-stage resident working set: the ping-pong
+// source and destination buffers, 16 bytes per 128-bit element each. This
+// matches the paper's own L2-knee arithmetic (Section 5.4: ~1 MB per stage
+// at 2^15, 2 MB at 2^16 vs. the 1.28 MB per-core Intel L2). Twiddle tables
+// are streamed once per stage and count toward traffic, not residency.
+func (m *NTTModel) WorkingSetBytes() int64 {
+	return int64(m.N) * 16 * 2
+}
+
+// CyclesTotal returns the projected cycles for the full transform on one
+// core.
+func (m *NTTModel) CyclesTotal() float64 {
+	k := m.Kernel
+	itersPerStage := float64(m.N/2) / float64(k.Body.Lanes)
+	compute := itersPerStage * k.CyclesPerIter
+	bw := k.Machine.BWForWorkingSet(m.WorkingSetBytes())
+	memory := itersPerStage * float64(k.BytesPerIter) / bw
+	return float64(m.Stages()) * math.Max(compute, memory)
+}
+
+// TimeNs returns the projected single-core runtime at max boost frequency.
+func (m *NTTModel) TimeNs() float64 {
+	return m.CyclesTotal() / m.Kernel.Machine.MaxGHz
+}
+
+// NsPerButterfly returns the paper's Figure 5 metric: runtime per butterfly.
+func (m *NTTModel) NsPerButterfly() float64 {
+	butterflies := float64(m.N/2) * float64(m.Stages())
+	return m.TimeNs() / butterflies
+}
+
+// MemoryBound reports whether the memory term dominates the compute term
+// (the regime past the paper's L2 knee).
+func (m *NTTModel) MemoryBound() bool {
+	k := m.Kernel
+	itersPerStage := float64(m.N/2) / float64(k.Body.Lanes)
+	compute := itersPerStage * k.CyclesPerIter
+	bw := k.Machine.BWForWorkingSet(m.WorkingSetBytes())
+	memory := itersPerStage * float64(k.BytesPerIter) / bw
+	return memory > compute
+}
+
+// BLASModel models a length-len Figure 4 BLAS kernel.
+type BLASModel struct {
+	Kernel *KernelModel
+	Op     blas.Op
+	Len    int
+}
+
+// NewBLASModel builds the model for one BLAS op at a vector length.
+func NewBLASModel(k *KernelModel, op blas.Op, length int) *BLASModel {
+	return &BLASModel{Kernel: k, Op: op, Len: length}
+}
+
+// WorkingSetBytes is three SoA vectors of 128-bit elements.
+func (m *BLASModel) WorkingSetBytes() int64 { return int64(m.Len) * 16 * 3 }
+
+// CyclesTotal returns the projected cycles for the whole vector.
+func (m *BLASModel) CyclesTotal() float64 {
+	k := m.Kernel
+	iters := float64(m.Len) / float64(k.Body.Lanes)
+	compute := iters * k.CyclesPerIter
+	bw := k.Machine.BWForWorkingSet(m.WorkingSetBytes())
+	memory := iters * float64(k.BytesPerIter) / bw
+	return math.Max(compute, memory)
+}
+
+// NsPerElement returns the paper's Figure 4 metric: runtime per element.
+func (m *BLASModel) NsPerElement() float64 {
+	return m.CyclesTotal() / m.Kernel.Machine.MaxGHz / float64(m.Len)
+}
+
+// PolyMulModel composes the full negacyclic polynomial-multiplication
+// pipeline from its parts: two forward transforms, one inverse transform
+// (modeled with the forward butterfly — same operation mix), and three
+// point-wise multiplication passes (two twists and the product) plus the
+// untwist fold (counted as one more pass).
+type PolyMulModel struct {
+	NTT  *NTTModel
+	PMul *BLASModel
+	N    int
+}
+
+// NewPolyMulModel builds the pipeline model at size n for one tier.
+func NewPolyMulModel(mach *Machine, level isa.Level, mod *modmath.Modulus128, n int) *PolyMulModel {
+	return &PolyMulModel{
+		NTT:  NewNTTModel(NewKernelModel(mach, ButterflyBody(level, mod)), n),
+		PMul: NewBLASModel(NewKernelModel(mach, BLASBody(level, mod, blas.OpVecPMul)), blas.OpVecPMul, n),
+		N:    n,
+	}
+}
+
+// TimeNs is the projected pipeline time on one core.
+func (m *PolyMulModel) TimeNs() float64 {
+	transforms := 3 * m.NTT.TimeNs()
+	pointwise := 4 * m.PMul.CyclesTotal() / m.NTT.Kernel.Machine.MaxGHz
+	return transforms + pointwise
+}
+
+// NTTShare is the fraction of pipeline time spent in transforms — the
+// paper's Section 1 observation that NTTs dominate FHE runtime.
+func (m *PolyMulModel) NTTShare() float64 {
+	return 3 * m.NTT.TimeNs() / m.TimeNs()
+}
+
+// ProjectNTT is the one-call helper: model an n-point NTT for a level on a
+// machine with the given modulus.
+func ProjectNTT(mach *Machine, level isa.Level, mod *modmath.Modulus128, n int) *NTTModel {
+	body := ButterflyBody(level, mod)
+	return NewNTTModel(NewKernelModel(mach, body), n)
+}
+
+// ProjectBLAS is the one-call helper for a Figure 4 kernel.
+func ProjectBLAS(mach *Machine, level isa.Level, mod *modmath.Modulus128, op blas.Op, length int) *BLASModel {
+	body := BLASBody(level, mod, op)
+	return NewBLASModel(NewKernelModel(mach, body), op, length)
+}

@@ -1,0 +1,57 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+)
+
+func TestPolyMulModel(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	for _, mach := range MeasurementMachines {
+		for _, level := range isa.AllLevels {
+			m := NewPolyMulModel(mach, level, mod, 1<<12)
+			if m.TimeNs() <= 0 {
+				t.Fatalf("%s %v: non-positive time", mach.Name, level)
+			}
+			share := m.NTTShare()
+			if share < 0.7 || share >= 1 {
+				t.Errorf("%s %v: NTT share %.2f outside (0.7, 1)", mach.Name, level, share)
+			}
+			// Pipeline must cost more than its transforms alone.
+			if m.TimeNs() <= 3*m.NTT.TimeNs() {
+				t.Errorf("%s %v: pipeline not accounting for point-wise passes", mach.Name, level)
+			}
+		}
+	}
+	// Share grows with size (transforms are the only O(n log n) part).
+	small := NewPolyMulModel(AMDEPYC9654, isa.LevelMQX, mod, 1<<10)
+	big := NewPolyMulModel(AMDEPYC9654, isa.LevelMQX, mod, 1<<15)
+	if big.NTTShare() <= small.NTTShare() {
+		t.Errorf("NTT share should grow with size: %.3f -> %.3f", small.NTTShare(), big.NTTShare())
+	}
+}
+
+func TestSWButterflyBody(t *testing.T) {
+	ps, err := modmath.FindNTTPrimes64(60, 1<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod64 := modmath.MustModulus64(ps[0])
+	for _, level := range []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512, isa.LevelMQX} {
+		b := SWButterflyBody(level, mod64)
+		if len(b.Instrs) == 0 || b.Bytes == 0 {
+			t.Fatalf("%v: empty single-word body", level)
+		}
+		if b.Lanes != level.Lanes() {
+			t.Fatalf("%v: lanes = %d", level, b.Lanes)
+		}
+		// The 64-bit butterfly must be much smaller than the 128-bit one.
+		dw := ButterflyBody(level, modmath.DefaultModulus128())
+		if 2*len(b.Instrs) >= len(dw.Instrs) {
+			t.Errorf("%v: single-word body (%d instrs) should be <1/2 of double-word (%d)",
+				level, len(b.Instrs), len(dw.Instrs))
+		}
+	}
+}

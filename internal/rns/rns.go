@@ -1,0 +1,209 @@
+// Package rns implements a residue number system over 64-bit NTT-friendly
+// primes: the conventional CPU/GPU approach to large-coefficient polynomial
+// arithmetic that the paper contrasts with its 128-bit double-word residues
+// (Sections 1 and 8). Big coefficients are decomposed into single-word
+// residues, each residue channel runs an independent 64-bit NTT, and
+// results are reconstructed by the Chinese remainder theorem.
+package rns
+
+import (
+	"fmt"
+	"math/big"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ntt"
+)
+
+// Context is an RNS basis q = q_0 * q_1 * ... * q_{k-1} of distinct
+// NTT-friendly primes, with per-channel NTT plans of a fixed size.
+type Context struct {
+	Mods  []*modmath.Modulus64
+	Plans []*ntt.Plan64
+	N     int
+
+	Q *big.Int // product of the basis primes
+
+	// CRT reconstruction constants: Qi = Q/q_i, QiInv = Qi^-1 mod q_i.
+	qi    []*big.Int
+	qiInv []uint64
+}
+
+// NewContext builds an RNS basis of count primes of the given bit width
+// (<= 61), each supporting negacyclic NTTs of size n.
+func NewContext(primeBits, count, n int) (*Context, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("rns: size %d is not a power of two", n)
+	}
+	primes, err := modmath.FindNTTPrimes64(primeBits, uint64(2*n), count)
+	if err != nil {
+		return nil, err
+	}
+	c := &Context{N: n, Q: big.NewInt(1)}
+	for _, p := range primes {
+		mod := modmath.MustModulus64(p)
+		plan, err := ntt.NewPlan64(mod, n)
+		if err != nil {
+			return nil, err
+		}
+		c.Mods = append(c.Mods, mod)
+		c.Plans = append(c.Plans, plan)
+		c.Q.Mul(c.Q, new(big.Int).SetUint64(p))
+	}
+	for i, mod := range c.Mods {
+		qi := new(big.Int).Div(c.Q, new(big.Int).SetUint64(mod.Q))
+		c.qi = append(c.qi, qi)
+		qiModQi := new(big.Int).Mod(qi, new(big.Int).SetUint64(mod.Q)).Uint64()
+		c.qiInv = append(c.qiInv, mod.Inv(qiModQi))
+		_ = i
+	}
+	return c, nil
+}
+
+// Channels returns the number of residue channels.
+func (c *Context) Channels() int { return len(c.Mods) }
+
+// Poly is a polynomial in RNS form: Res[i][j] is coefficient j modulo
+// prime i.
+type Poly struct {
+	Res [][]uint64
+}
+
+// Decompose converts big-integer coefficients (reduced modulo Q or not)
+// into RNS form.
+func (c *Context) Decompose(coeffs []*big.Int) (Poly, error) {
+	if len(coeffs) != c.N {
+		return Poly{}, fmt.Errorf("rns: got %d coefficients, want %d", len(coeffs), c.N)
+	}
+	p := Poly{Res: make([][]uint64, c.Channels())}
+	t := new(big.Int)
+	for i, mod := range c.Mods {
+		row := make([]uint64, c.N)
+		qb := new(big.Int).SetUint64(mod.Q)
+		for j, x := range coeffs {
+			row[j] = t.Mod(x, qb).Uint64()
+		}
+		p.Res[i] = row
+	}
+	return p, nil
+}
+
+// Reconstruct converts RNS form back to big-integer coefficients in
+// [0, Q) by the CRT: x = sum_i Qi * ((x_i * QiInv) mod q_i) mod Q.
+func (c *Context) Reconstruct(p Poly) ([]*big.Int, error) {
+	if len(p.Res) != c.Channels() {
+		return nil, fmt.Errorf("rns: got %d channels, want %d", len(p.Res), c.Channels())
+	}
+	out := make([]*big.Int, c.N)
+	for j := 0; j < c.N; j++ {
+		acc := new(big.Int)
+		for i, mod := range c.Mods {
+			t := mod.Mul(p.Res[i][j], c.qiInv[i])
+			acc.Add(acc, new(big.Int).Mul(c.qi[i], new(big.Int).SetUint64(t)))
+		}
+		out[j] = acc.Mod(acc, c.Q)
+	}
+	return out, nil
+}
+
+// PolyMulNegacyclic multiplies two RNS polynomials in Z_Q[x]/(x^n + 1):
+// each residue channel runs an independent negacyclic NTT convolution.
+func (c *Context) PolyMulNegacyclic(a, b Poly) (Poly, error) {
+	if len(a.Res) != c.Channels() || len(b.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	for i, plan := range c.Plans {
+		out.Res[i] = plan.PolyMulNegacyclic(a.Res[i], b.Res[i])
+	}
+	return out, nil
+}
+
+// Add adds two RNS polynomials channel-wise.
+func (c *Context) Add(a, b Poly) (Poly, error) {
+	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Add(x, y) })
+}
+
+// Sub subtracts two RNS polynomials channel-wise.
+func (c *Context) Sub(a, b Poly) (Poly, error) {
+	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Sub(x, y) })
+}
+
+// PMul multiplies two RNS polynomials coefficient-wise (the evaluation-form
+// product; distinct from the convolution PolyMulNegacyclic computes).
+func (c *Context) PMul(a, b Poly) (Poly, error) {
+	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Mul(x, y) })
+}
+
+func (c *Context) ewise(a, b Poly, f func(m *modmath.Modulus64, x, y uint64) uint64) (Poly, error) {
+	if len(a.Res) != c.Channels() || len(b.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	for i, mod := range c.Mods {
+		row := make([]uint64, c.N)
+		for j := 0; j < c.N; j++ {
+			row[j] = f(mod, a.Res[i][j], b.Res[i][j])
+		}
+		out.Res[i] = row
+	}
+	return out, nil
+}
+
+// Neg negates an RNS polynomial.
+func (c *Context) Neg(a Poly) (Poly, error) {
+	if len(a.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	for i, mod := range c.Mods {
+		row := make([]uint64, c.N)
+		for j := 0; j < c.N; j++ {
+			row[j] = mod.Neg(a.Res[i][j])
+		}
+		out.Res[i] = row
+	}
+	return out, nil
+}
+
+// ScalarMul multiplies every coefficient by a big-integer scalar (reduced
+// per channel).
+func (c *Context) ScalarMul(a Poly, k *big.Int) (Poly, error) {
+	if len(a.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	t := new(big.Int)
+	for i, mod := range c.Mods {
+		ki := t.Mod(k, new(big.Int).SetUint64(mod.Q)).Uint64()
+		row := make([]uint64, c.N)
+		for j := 0; j < c.N; j++ {
+			row[j] = mod.Mul(a.Res[i][j], ki)
+		}
+		out.Res[i] = row
+	}
+	return out, nil
+}
+
+// NTT converts every channel to evaluation (frequency) form.
+func (c *Context) NTT(a Poly) (Poly, error) {
+	if len(a.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	for i, plan := range c.Plans {
+		out.Res[i] = plan.Forward(a.Res[i])
+	}
+	return out, nil
+}
+
+// INTT converts every channel back to coefficient form.
+func (c *Context) INTT(a Poly) (Poly, error) {
+	if len(a.Res) != c.Channels() {
+		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	}
+	out := Poly{Res: make([][]uint64, c.Channels())}
+	for i, plan := range c.Plans {
+		out.Res[i] = plan.Inverse(a.Res[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestRNSSubNegScalarMul(t *testing.T) {
+	n := 32
+	c, err := NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(111))
+	a := randCoeffs(r, c.Q, n)
+	b := randCoeffs(r, c.Q, n)
+	ra, _ := c.Decompose(a)
+	rb, _ := c.Decompose(b)
+
+	diff, err := c.Sub(ra, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDiff, _ := c.Reconstruct(diff)
+	neg, err := c.Neg(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNeg, _ := c.Reconstruct(neg)
+	k := big.NewInt(987654321)
+	scaled, err := c.ScalarMul(ra, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotScaled, _ := c.Reconstruct(scaled)
+
+	for i := 0; i < n; i++ {
+		want := new(big.Int).Sub(a[i], b[i])
+		want.Mod(want, c.Q)
+		if gotDiff[i].Cmp(want) != 0 {
+			t.Fatalf("Sub coeff %d wrong", i)
+		}
+		want.Neg(a[i]).Mod(want, c.Q)
+		if gotNeg[i].Cmp(want) != 0 {
+			t.Fatalf("Neg coeff %d wrong", i)
+		}
+		want.Mul(a[i], k).Mod(want, c.Q)
+		if gotScaled[i].Cmp(want) != 0 {
+			t.Fatalf("ScalarMul coeff %d wrong", i)
+		}
+	}
+}
+
+// TestNTTEvaluationFormProduct verifies the NTT/PMul/INTT path: cyclic
+// convolution through evaluation form must match PolyMulNegacyclic only
+// when the twist is applied, so instead verify NTT+INTT is the identity
+// and that PMul in evaluation form equals the *cyclic* convolution.
+func TestNTTEvaluationFormProduct(t *testing.T) {
+	n := 16
+	c, err := NewContext(58, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(112))
+	a := randCoeffs(r, c.Q, n)
+	ra, _ := c.Decompose(a)
+
+	f, err := c.NTT(ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.INTT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBack, _ := c.Reconstruct(back)
+	for i := 0; i < n; i++ {
+		if gotBack[i].Cmp(a[i]) != 0 {
+			t.Fatalf("NTT round trip failed at %d", i)
+		}
+	}
+
+	// Cyclic convolution via evaluation form.
+	b := randCoeffs(r, c.Q, n)
+	rb, _ := c.Decompose(b)
+	fb, _ := c.NTT(rb)
+	prod, err := c.PMul(f, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, _ := c.INTT(prod)
+	got, _ := c.Reconstruct(conv)
+
+	want := make([]*big.Int, n)
+	for i := range want {
+		want[i] = new(big.Int)
+	}
+	tmp := new(big.Int)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			tmp.Mul(a[i], b[j])
+			want[(i+j)%n].Add(want[(i+j)%n], tmp)
+		}
+	}
+	for i := range want {
+		want[i].Mod(want[i], c.Q)
+		if got[i].Cmp(want[i]) != 0 {
+			t.Fatalf("cyclic convolution coeff %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtOpsValidation(t *testing.T) {
+	c, err := NewContext(58, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Poly{}
+	if _, err := c.Sub(bad, bad); err == nil {
+		t.Error("Sub should reject bad channels")
+	}
+	if _, err := c.PMul(bad, bad); err == nil {
+		t.Error("PMul should reject bad channels")
+	}
+	if _, err := c.Neg(bad); err == nil {
+		t.Error("Neg should reject bad channels")
+	}
+	if _, err := c.ScalarMul(bad, big.NewInt(1)); err == nil {
+		t.Error("ScalarMul should reject bad channels")
+	}
+	if _, err := c.NTT(bad); err == nil {
+		t.Error("NTT should reject bad channels")
+	}
+	if _, err := c.INTT(bad); err == nil {
+		t.Error("INTT should reject bad channels")
+	}
+}

@@ -1,0 +1,59 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/perfmodel"
+)
+
+func TestSOLScaling(t *testing.T) {
+	// Eq. 13 with c1=1, f_m = 3.7, target 192 cores at 3.35 GHz.
+	got := SOL(1000, 1, 3.7, perfmodel.AMDEPYC9965S)
+	want := 1000.0 / 192 * 3.7 / 3.35
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SOL = %f, want %f", got, want)
+	}
+}
+
+func TestSingleCoreSeriesMonotonic(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	s := SingleCoreSeries(perfmodel.AMDEPYC9654, isa.LevelMQX, mod, StandardSizes)
+	if len(s.Points) != len(StandardSizes) {
+		t.Fatalf("missing points: %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].TimeNs <= s.Points[i-1].TimeNs {
+			t.Fatalf("runtime must grow with size: %v", s.Points)
+		}
+	}
+}
+
+func TestSOLSeriesFasterThanSingleCore(t *testing.T) {
+	mod := modmath.DefaultModulus128()
+	single := SingleCoreSeries(perfmodel.AMDEPYC9654, isa.LevelMQX, mod, StandardSizes)
+	sol := SOLSeries(perfmodel.AMDEPYC9654, perfmodel.AMDEPYC9965S, isa.LevelMQX, mod, StandardSizes)
+	for i := range single.Points {
+		if sol.Points[i].TimeNs >= single.Points[i].TimeNs {
+			t.Fatalf("SOL should be far below single-core at n=%d", single.Points[i].N)
+		}
+	}
+}
+
+func TestGeomeanRatio(t *testing.T) {
+	a := Series{Points: []Point{{N: 1024, TimeNs: 200}, {N: 2048, TimeNs: 800}}}
+	b := Series{Points: []Point{{N: 1024, TimeNs: 100}, {N: 2048, TimeNs: 400}}}
+	if r := GeomeanRatio(a, b); math.Abs(r-2) > 1e-9 {
+		t.Fatalf("GeomeanRatio = %f, want 2", r)
+	}
+	// Disjoint sizes -> NaN.
+	c := Series{Points: []Point{{N: 4096, TimeNs: 1}}}
+	if r := GeomeanRatio(a, c); !math.IsNaN(r) {
+		t.Fatalf("expected NaN for disjoint series, got %f", r)
+	}
+	if _, ok := a.At(4096); ok {
+		t.Fatal("At should miss absent size")
+	}
+}

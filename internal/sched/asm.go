@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/vm"
+)
+
+// RenderAsm renders a recorded body as pseudo-assembly with virtual
+// register names, the way Listing 4 shows instructions
+// ("vpaddq %zmm2, %zmm3, %zmm3"). SSA value ids are mapped to register
+// names with a linear-scan reuse allocator over the architectural
+// register count implied by the op class (32 zmm / 16 ymm / 16 r64 / 8 k).
+func RenderAsm(march *isa.Microarch, body []vm.Instr) string {
+	lastUse := map[int32]int{}
+	for i, in := range body {
+		for _, src := range in.In {
+			if src >= 0 {
+				lastUse[src] = i
+			}
+		}
+	}
+
+	type pool struct {
+		prefix string
+		limit  int
+		free   []int
+		next   int
+	}
+	pools := map[string]*pool{
+		"zmm": {prefix: "zmm", limit: 32},
+		"ymm": {prefix: "ymm", limit: 16},
+		"r":   {prefix: "r", limit: 16},
+		"k":   {prefix: "k", limit: 8},
+	}
+	alloc := func(p *pool) int {
+		if n := len(p.free); n > 0 {
+			reg := p.free[n-1]
+			p.free = p.free[:n-1]
+			return reg
+		}
+		reg := p.next
+		p.next++
+		if p.next > p.limit {
+			p.next = p.limit // saturate: real code would spill here
+		}
+		return reg % p.limit
+	}
+
+	regName := map[int32]string{}
+	regPool := map[int32]*pool{}
+	className := func(op isa.Op, isMaskOut bool) string {
+		switch {
+		case isMaskOut:
+			return "k"
+		case op >= 300: // MQX ops are 512-bit
+			return "zmm"
+		case op >= 200:
+			return "zmm"
+		case op >= 100:
+			return "ymm"
+		default:
+			return "r"
+		}
+	}
+
+	var b strings.Builder
+	for i, in := range body {
+		var srcs []string
+		for _, s := range in.In {
+			if s < 0 {
+				continue
+			}
+			if n, ok := regName[s]; ok {
+				srcs = append(srcs, "%"+n)
+			} else {
+				srcs = append(srcs, "%cst")
+			}
+		}
+		var dsts []string
+		for oi, d := range in.Out {
+			if d < 0 {
+				continue
+			}
+			// Heuristic: a second output of a carry-producing op is a mask
+			// (or a flag for scalar ops).
+			mask := oi == 1 && (in.Op.IsMQX() || in.Op == isa.AVX512CmpUQ)
+			if in.Op == isa.AVX512CmpUQ || in.Op == isa.AVX512KOr ||
+				in.Op == isa.AVX512KAnd || in.Op == isa.AVX512KNot ||
+				in.Op == isa.AVX512KXor || in.Op == isa.AVX512KMov {
+				mask = true
+			}
+			cls := className(in.Op, mask)
+			p := pools[cls]
+			reg := alloc(p)
+			name := fmt.Sprintf("%s%d", p.prefix, reg)
+			regName[d] = name
+			regPool[d] = p
+			dsts = append(dsts, "%"+name)
+		}
+		fmt.Fprintf(&b, "  %-14s", in.Op)
+		all := append(srcs, dsts...)
+		fmt.Fprintf(&b, "%s\n", strings.Join(all, ", "))
+
+		// Free registers whose value dies here.
+		for _, s := range in.In {
+			if s >= 0 && lastUse[s] == i {
+				if p, ok := regPool[s]; ok {
+					if n, ok2 := regName[s]; ok2 {
+						var reg int
+						fmt.Sscanf(strings.TrimPrefix(n, p.prefix), "%d", &reg)
+						p.free = append(p.free, reg)
+					}
+				}
+			}
+		}
+	}
+	_ = march
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/vm"
+)
+
+func TestRenderAsm(t *testing.T) {
+	m := vm.New(vm.TraceFull)
+	c := m.Set1(3)
+	m.BeginLoop()
+	a := m.Add(c, c)
+	k := m.CmpU(vm.CmpLt, a, c)
+	b := m.MaskAdd(a, k, a, c)
+	s := m.SImm(1)
+	m.SAdd(s, s)
+	_ = b
+	out := RenderAsm(isa.SunnyCove, m.Body())
+	for _, want := range []string{"vpaddq", "vpcmpuq", "%zmm", "%k", "%cst", "add"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Values created in the preamble render as constants.
+	if strings.Contains(out, "%?") {
+		t.Errorf("unresolved register in:\n%s", out)
+	}
+}
+
+func TestRenderAsmRegisterReuse(t *testing.T) {
+	// A long chain must not run out of register names: dead values free
+	// their registers.
+	m := vm.New(vm.TraceFull)
+	a := m.Set1(1)
+	m.BeginLoop()
+	x := a
+	for i := 0; i < 100; i++ {
+		x = m.Add(x, a)
+	}
+	out := RenderAsm(isa.SunnyCove, m.Body())
+	if strings.Count(out, "\n") != 100 {
+		t.Fatalf("expected 100 lines, got %d", strings.Count(out, "\n"))
+	}
+	// With perfect reuse the chain needs few registers; ensure we never
+	// emit an out-of-range name like zmm40.
+	if strings.Contains(out, "zmm32") || strings.Contains(out, "zmm40") {
+		t.Errorf("register overflow in:\n%s", out)
+	}
+}

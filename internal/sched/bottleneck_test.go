@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"testing"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/vm"
+)
+
+func TestBottleneckPortSaturation(t *testing.T) {
+	// Only compares: p5 saturates on Sunny Cove.
+	m := vm.New(vm.TraceFull)
+	a := m.Set1(1)
+	b := m.Set1(2)
+	m.BeginLoop()
+	for i := 0; i < 8; i++ {
+		m.CmpU(vm.CmpLt, a, b)
+	}
+	r := Analyze(isa.SunnyCove, m.Body())
+	bn := r.Bottleneck()
+	if bn.Kind != "port" {
+		t.Fatalf("Kind = %q, want port", bn.Kind)
+	}
+	if len(bn.Ports) != 1 || bn.Ports[0] != "p5" {
+		t.Fatalf("Ports = %v, want [p5]", bn.Ports)
+	}
+	if bn.Cycles != 8 {
+		t.Fatalf("Cycles = %f, want 8", bn.Cycles)
+	}
+}
+
+func TestBottleneckDispatch(t *testing.T) {
+	// Many cheap ops spread across four scalar ALU ports on Sunny Cove:
+	// 40 uops over 4 ports = 10 cycles port bound, but dispatch width 5
+	// gives 8 cycles... use ops on all of p0156 so port bound (10) beats
+	// dispatch (8): that's a port bottleneck. For a dispatch bottleneck,
+	// mix port classes so no group saturates: alternate scalar ALU and
+	// vector ops.
+	m := vm.New(vm.TraceFull)
+	a := m.Set1(1)
+	s := m.SImm(1)
+	m.BeginLoop()
+	for i := 0; i < 10; i++ {
+		m.Add(a, a)                // p0/p5
+		m.SAdd(s, s)               // p0156
+		m.SLoad([]uint64{1, 2}, 0) // p23
+	}
+	r := Analyze(isa.SunnyCove, m.Body())
+	bn := r.Bottleneck()
+	if bn.Kind != "dispatch" {
+		t.Fatalf("Kind = %q (ports %v, %.1f cyc), want dispatch", bn.Kind, bn.Ports, bn.Cycles)
+	}
+	if bn.Cycles != r.DispatchBound {
+		t.Fatalf("Cycles = %f, want dispatch bound %f", bn.Cycles, r.DispatchBound)
+	}
+}
+
+func TestBottleneckInReport(t *testing.T) {
+	m := vm.New(vm.TraceFull)
+	a := m.Set1(1)
+	m.BeginLoop()
+	m.CmpU(vm.CmpLt, a, a)
+	r := Analyze(isa.SunnyCove, m.Body())
+	if s := r.String(); s == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,242 @@
+// Package sched estimates steady-state execution cost of a recorded
+// instruction trace on a modeled microarchitecture, the way the paper uses
+// LLVM-MCA (Section 4.2, Listing 4): micro-ops are assigned to execution
+// ports, and the loop's throughput is bounded by the most contended port
+// and by the front-end dispatch width. A latency critical path through the
+// SSA dependence graph is also computed for diagnostics.
+//
+// The port bound is exact for the bipartite uop-to-port assignment problem:
+// by LP duality, the minimal makespan equals
+//
+//	max over port subsets S of  demand(S) / |S|,
+//
+// where demand(S) counts uops whose entire port set lies within S.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/vm"
+)
+
+// Report is the cost analysis of one loop-body trace.
+type Report struct {
+	March *isa.Microarch
+
+	TotalUops    int
+	PortPressure []float64 // per-port load from the illustrative greedy assignment
+	Pressures    [][]float64
+	Instrs       []vm.Instr
+
+	PortBound     float64 // exact minimal makespan over execution ports (cycles)
+	DispatchBound float64 // TotalUops / DispatchWidth (cycles)
+	CriticalPath  float64 // latency-weighted longest SSA path (cycles)
+
+	// Cycles is the steady-state estimate for one loop iteration:
+	// max(PortBound, DispatchBound). Iterations are assumed independent
+	// (distinct vector lanes / array elements), so latency is overlapped
+	// by out-of-order execution, as in LLVM-MCA's throughput analysis.
+	Cycles float64
+}
+
+// Analyze computes the cost report for a loop body on the given
+// microarchitecture.
+func Analyze(march *isa.Microarch, body []vm.Instr) *Report {
+	r := &Report{
+		March:        march,
+		PortPressure: make([]float64, len(march.PortNames)),
+		Instrs:       body,
+	}
+
+	// Gather uop demand grouped by port set, and the greedy display matrix.
+	demand := map[isa.PortSet]int{}
+	var usedPorts isa.PortSet
+	for _, in := range body {
+		c := march.CostOf(in.Op)
+		row := make([]float64, len(march.PortNames))
+		for _, ps := range c.Uops {
+			demand[ps]++
+			usedPorts |= ps
+			r.TotalUops++
+			// Greedy: place the whole uop on the least-loaded allowed port.
+			best, bestLoad := -1, math.Inf(1)
+			for _, p := range ps.Ports() {
+				if r.PortPressure[p] < bestLoad {
+					best, bestLoad = p, r.PortPressure[p]
+				}
+			}
+			r.PortPressure[best]++
+			row[best]++
+		}
+		r.Pressures = append(r.Pressures, row)
+	}
+
+	r.PortBound = exactMakespan(demand, usedPorts)
+	if march.DispatchWidth > 0 {
+		r.DispatchBound = float64(r.TotalUops) / float64(march.DispatchWidth)
+	}
+	r.CriticalPath = criticalPath(march, body)
+	r.Cycles = math.Max(r.PortBound, r.DispatchBound)
+	return r
+}
+
+// exactMakespan computes the minimal makespan of assigning the uop demand
+// to ports, via subset enumeration of the used ports.
+func exactMakespan(demand map[isa.PortSet]int, used isa.PortSet) float64 {
+	ports := used.Ports()
+	if len(ports) == 0 {
+		return 0
+	}
+	best := 0.0
+	for bitsMask := 1; bitsMask < 1<<uint(len(ports)); bitsMask++ {
+		var s isa.PortSet
+		n := 0
+		for i, p := range ports {
+			if bitsMask&(1<<uint(i)) != 0 {
+				s |= 1 << uint(p)
+				n++
+			}
+		}
+		total := 0
+		for ps, cnt := range demand {
+			if ps&^s == 0 { // ps is a subset of s
+				total += cnt
+			}
+		}
+		if v := float64(total) / float64(n); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// criticalPath returns the latency-weighted longest path through the SSA
+// dependence graph of the body.
+func criticalPath(march *isa.Microarch, body []vm.Instr) float64 {
+	depth := map[int32]float64{}
+	longest := 0.0
+	for _, in := range body {
+		start := 0.0
+		for _, src := range in.In {
+			if src < 0 {
+				continue
+			}
+			if d, ok := depth[src]; ok && d > start {
+				start = d
+			}
+		}
+		end := start + float64(march.CostOf(in.Op).Lat)
+		for _, dst := range in.Out {
+			if dst >= 0 {
+				depth[dst] = end
+			}
+		}
+		if end > longest {
+			longest = end
+		}
+	}
+	return longest
+}
+
+// Bottleneck describes what limits the loop's steady-state throughput.
+type Bottleneck struct {
+	// Kind is "port" or "dispatch".
+	Kind string
+	// Ports lists the saturated port names when Kind is "port": the
+	// smallest port subset whose demand/|S| equals the port bound.
+	Ports []string
+	// Cycles is the binding bound's value.
+	Cycles float64
+}
+
+// Bottleneck identifies the binding constraint: the front end (dispatch
+// width) or a specific saturated port group. Useful for the co-design
+// loop: an ISA extension only helps if it relieves the reported group.
+func (r *Report) Bottleneck() Bottleneck {
+	if r.DispatchBound >= r.PortBound {
+		return Bottleneck{Kind: "dispatch", Cycles: r.DispatchBound}
+	}
+	// Recompute demand to find the smallest argmax subset.
+	demand := map[isa.PortSet]int{}
+	var used isa.PortSet
+	for _, in := range r.Instrs {
+		for _, ps := range r.March.CostOf(in.Op).Uops {
+			demand[ps]++
+			used |= ps
+		}
+	}
+	ports := used.Ports()
+	bestSet := []int(nil)
+	for bitsMask := 1; bitsMask < 1<<uint(len(ports)); bitsMask++ {
+		var s isa.PortSet
+		var members []int
+		for i, p := range ports {
+			if bitsMask&(1<<uint(i)) != 0 {
+				s |= 1 << uint(p)
+				members = append(members, p)
+			}
+		}
+		total := 0
+		for ps, cnt := range demand {
+			if ps&^s == 0 {
+				total += cnt
+			}
+		}
+		v := float64(total) / float64(len(members))
+		if v >= r.PortBound-1e-9 {
+			if bestSet == nil || len(members) < len(bestSet) {
+				bestSet = members
+			}
+		}
+	}
+	names := make([]string, len(bestSet))
+	for i, p := range bestSet {
+		names[i] = r.March.PortNames[p]
+	}
+	return Bottleneck{Kind: "port", Ports: names, Cycles: r.PortBound}
+}
+
+// String renders the report in the "resource pressure by instruction"
+// format of Listing 4.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s - Resource pressure by instruction:\n", r.March.Name)
+	// Header: only ports that see any pressure.
+	var cols []int
+	for p, load := range r.PortPressure {
+		if load > 0 {
+			cols = append(cols, p)
+		}
+	}
+	sort.Ints(cols)
+	for _, p := range cols {
+		fmt.Fprintf(&b, "%-8s", "["+r.March.PortNames[p]+"]")
+	}
+	fmt.Fprintf(&b, "Instructions:\n")
+	for i, row := range r.Pressures {
+		for _, p := range cols {
+			if row[p] == 0 {
+				fmt.Fprintf(&b, "%-8s", "-")
+			} else {
+				fmt.Fprintf(&b, "%-8.2f", row[p])
+			}
+		}
+		fmt.Fprintf(&b, "%v\n", r.Instrs[i].Op)
+	}
+	fmt.Fprintf(&b, "\nTotal uops: %d\n", r.TotalUops)
+	fmt.Fprintf(&b, "Port bound: %.2f cycles/iter\n", r.PortBound)
+	fmt.Fprintf(&b, "Dispatch bound: %.2f cycles/iter\n", r.DispatchBound)
+	fmt.Fprintf(&b, "Latency critical path: %.0f cycles\n", r.CriticalPath)
+	fmt.Fprintf(&b, "Steady-state estimate: %.2f cycles/iter\n", r.Cycles)
+	bn := r.Bottleneck()
+	if bn.Kind == "dispatch" {
+		fmt.Fprintf(&b, "Bottleneck: front-end dispatch width\n")
+	} else {
+		fmt.Fprintf(&b, "Bottleneck: port group %v\n", bn.Ports)
+	}
+	return b.String()
+}

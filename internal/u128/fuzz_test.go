@@ -1,0 +1,71 @@
+package u128
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Go-native fuzz targets; `go test` exercises the seed corpus, and
+// `go test -fuzz=FuzzX` explores further.
+
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("0")
+	f.Add("340282366920938463463374607431768211455")
+	f.Add("0xdeadbeef")
+	f.Add("1_000_000")
+	f.Add("-1")
+	f.Add("0x")
+	f.Add("99999999999999999999999999999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		x, err := Parse(s)
+		if err != nil {
+			return // invalid inputs are fine; must not panic
+		}
+		// Valid parses must round-trip through decimal formatting.
+		back, err := Parse(x.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", x.String(), err)
+		}
+		if !back.Equal(x) {
+			t.Fatalf("round trip: %q -> %s -> %s", s, x, back)
+		}
+	})
+}
+
+func FuzzDivModAgainstBig(f *testing.F) {
+	f.Add(uint64(0), uint64(10), uint64(0), uint64(3))
+	f.Add(^uint64(0), ^uint64(0), uint64(1), uint64(0))
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(1))
+	f.Fuzz(func(t *testing.T, xh, xl, yh, yl uint64) {
+		x := New(xh, xl)
+		y := New(yh, yl)
+		if y.IsZero() {
+			return
+		}
+		q, r := x.DivMod(y)
+		wantQ, wantR := new(big.Int).DivMod(x.ToBig(), y.ToBig(), new(big.Int))
+		if q.ToBig().Cmp(wantQ) != 0 || r.ToBig().Cmp(wantR) != 0 {
+			t.Fatalf("DivMod(%s, %s) = (%s, %s), want (%s, %s)", x, y, q, r, wantQ, wantR)
+		}
+		// q*y + r == x must hold exactly.
+		check := q.MulLo(y).Add(r)
+		if !check.Equal(x) {
+			t.Fatalf("q*y+r != x for %s / %s", x, y)
+		}
+	})
+}
+
+func FuzzMulAgainstBig(f *testing.F) {
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Add(uint64(0), uint64(2), uint64(0), uint64(3))
+	f.Fuzz(func(t *testing.T, ah, al, bh, bl uint64) {
+		a := New(ah, al)
+		b := New(bh, bl)
+		two128 := new(big.Int).Lsh(big.NewInt(1), 128)
+		want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		want.Mod(want, two128)
+		if a.MulLo(b).ToBig().Cmp(want) != 0 {
+			t.Fatalf("MulLo(%s, %s) wrong", a, b)
+		}
+	})
+}

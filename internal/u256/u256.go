@@ -1,0 +1,235 @@
+// Package u256 implements the 256-bit unsigned arithmetic needed as an
+// intermediate representation for 128-bit Barrett reduction (internal/modmath)
+// and for the division-based "generic" baseline backend.
+//
+// A U256 is four 64-bit words in little-endian word order. The two widening
+// 128x128->256 multiplications mirror the paper's Eq. 8 (schoolbook, four
+// word multiplications) and Eq. 9 (Karatsuba, three word multiplications).
+package u256
+
+import (
+	"math/bits"
+
+	"mqxgo/internal/u128"
+)
+
+// U256 is an unsigned 256-bit integer; W[0] is the least significant word.
+type U256 struct {
+	W [4]uint64
+}
+
+// Zero is the zero value of U256.
+var Zero = U256{}
+
+// FromU128 widens x to 256 bits.
+func FromU128(x u128.U128) U256 {
+	return U256{W: [4]uint64{x.Lo, x.Hi, 0, 0}}
+}
+
+// From64 widens x to 256 bits.
+func From64(x uint64) U256 { return U256{W: [4]uint64{x, 0, 0, 0}} }
+
+// New returns a U256 from four words, most significant first
+// (matching how humans write numerals).
+func New(w3, w2, w1, w0 uint64) U256 { return U256{W: [4]uint64{w0, w1, w2, w3}} }
+
+// Lo128 returns the low 128 bits of x.
+func (x U256) Lo128() u128.U128 { return u128.U128{Hi: x.W[1], Lo: x.W[0]} }
+
+// Hi128 returns the high 128 bits of x.
+func (x U256) Hi128() u128.U128 { return u128.U128{Hi: x.W[3], Lo: x.W[2]} }
+
+// IsZero reports whether x is zero.
+func (x U256) IsZero() bool { return x.W[0]|x.W[1]|x.W[2]|x.W[3] == 0 }
+
+// Equal reports whether x == y.
+func (x U256) Equal(y U256) bool { return x.W == y.W }
+
+// Cmp compares x and y, returning -1, 0 or +1.
+func (x U256) Cmp(y U256) int {
+	for i := 3; i >= 0; i-- {
+		if x.W[i] != y.W[i] {
+			if x.W[i] < y.W[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether x < y.
+func (x U256) Less(y U256) bool { return x.Cmp(y) < 0 }
+
+// Add returns x + y mod 2^256.
+func (x U256) Add(y U256) U256 {
+	var z U256
+	var c uint64
+	for i := 0; i < 4; i++ {
+		z.W[i], c = bits.Add64(x.W[i], y.W[i], c)
+	}
+	return z
+}
+
+// AddCarry returns x + y + carryIn mod 2^256 and the carry-out.
+func (x U256) AddCarry(y U256, carryIn uint64) (U256, uint64) {
+	var z U256
+	c := carryIn
+	for i := 0; i < 4; i++ {
+		z.W[i], c = bits.Add64(x.W[i], y.W[i], c)
+	}
+	return z, c
+}
+
+// Sub returns x - y mod 2^256.
+func (x U256) Sub(y U256) U256 {
+	var z U256
+	var b uint64
+	for i := 0; i < 4; i++ {
+		z.W[i], b = bits.Sub64(x.W[i], y.W[i], b)
+	}
+	return z
+}
+
+// SubBorrow returns x - y - borrowIn mod 2^256 and the borrow-out.
+func (x U256) SubBorrow(y U256, borrowIn uint64) (U256, uint64) {
+	var z U256
+	b := borrowIn
+	for i := 0; i < 4; i++ {
+		z.W[i], b = bits.Sub64(x.W[i], y.W[i], b)
+	}
+	return z, b
+}
+
+// Lsh returns x << n mod 2^256 for 0 <= n. Shifts of 256 or more return zero.
+func (x U256) Lsh(n uint) U256 {
+	if n >= 256 {
+		return U256{}
+	}
+	word := n / 64
+	bit := n % 64
+	var z U256
+	for i := 3; i >= int(word); i-- {
+		z.W[i] = x.W[i-int(word)] << bit
+		if bit != 0 && i-int(word)-1 >= 0 {
+			z.W[i] |= x.W[i-int(word)-1] >> (64 - bit)
+		}
+	}
+	return z
+}
+
+// Rsh returns x >> n. Shifts of 256 or more return zero.
+func (x U256) Rsh(n uint) U256 {
+	if n >= 256 {
+		return U256{}
+	}
+	word := n / 64
+	bit := n % 64
+	var z U256
+	for i := 0; i < 4-int(word); i++ {
+		z.W[i] = x.W[i+int(word)] >> bit
+		if bit != 0 && i+int(word)+1 < 4 {
+			z.W[i] |= x.W[i+int(word)+1] << (64 - bit)
+		}
+	}
+	return z
+}
+
+// BitLen returns the number of bits required to represent x.
+func (x U256) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x.W[i] != 0 {
+			return i*64 + bits.Len64(x.W[i])
+		}
+	}
+	return 0
+}
+
+// Bit returns bit i of x (0 or 1). Bits at or above 256 are zero.
+func (x U256) Bit(i uint) uint64 {
+	if i >= 256 {
+		return 0
+	}
+	return (x.W[i/64] >> (i % 64)) & 1
+}
+
+// MulSchoolbook returns the full 256-bit product of two 128-bit integers
+// using the schoolbook method (Eq. 8): four 64x64->128 multiplications.
+func MulSchoolbook(a, b u128.U128) U256 {
+	// c = a0*b0*2^128 + (a0*b1 + a1*b0)*2^64 + a1*b1,
+	// with a0 = a.Hi, a1 = a.Lo per the paper's [x0, x1] notation.
+	ll := u128.Mul64(a.Lo, b.Lo)
+	lh := u128.Mul64(a.Lo, b.Hi)
+	hl := u128.Mul64(a.Hi, b.Lo)
+	hh := u128.Mul64(a.Hi, b.Hi)
+
+	var z U256
+	z.W[0] = ll.Lo
+	var c uint64
+	z.W[1], c = bits.Add64(ll.Hi, lh.Lo, 0)
+	z.W[2], c = bits.Add64(hh.Lo, lh.Hi, c)
+	z.W[3] = hh.Hi + c
+	z.W[1], c = bits.Add64(z.W[1], hl.Lo, 0)
+	z.W[2], c = bits.Add64(z.W[2], hl.Hi, c)
+	z.W[3] += c
+	return z
+}
+
+// MulKaratsuba returns the full 256-bit product of two 128-bit integers
+// using the Karatsuba method (Eq. 9): three 64x64->128 multiplications at
+// the cost of extra additions and carry handling.
+func MulKaratsuba(a, b u128.U128) U256 {
+	ll := u128.Mul64(a.Lo, b.Lo) // a1*b1
+	hh := u128.Mul64(a.Hi, b.Hi) // a0*b0
+
+	// (a0+a1) and (b0+b1) may carry into bit 64; track the carries so the
+	// middle product stays exact: (2^64*ca + sa) * (2^64*cb + sb).
+	sa, ca := bits.Add64(a.Hi, a.Lo, 0)
+	sb, cb := bits.Add64(b.Hi, b.Lo, 0)
+	mid := u128.Mul64(sa, sb) // sa*sb, 128 bits
+
+	// middle = sa*sb + ca*sb*2^64 + cb*sa*2^64 + ca*cb*2^128, up to 130 bits.
+	var m [3]uint64 // little-endian 192-bit accumulator
+	m[0] = mid.Lo
+	m[1] = mid.Hi
+	var c uint64
+	if ca != 0 {
+		m[1], c = bits.Add64(m[1], sb, 0)
+		m[2] += c
+	}
+	if cb != 0 {
+		m[1], c = bits.Add64(m[1], sa, 0)
+		m[2] += c
+	}
+	m[2] += ca * cb
+
+	// middle -= a0*b0 + a1*b1 (never underflows: middle = a0*b1 + a1*b0 + them).
+	var b0 uint64
+	m[0], b0 = bits.Sub64(m[0], ll.Lo, 0)
+	m[1], b0 = bits.Sub64(m[1], ll.Hi, b0)
+	m[2] -= b0
+	m[0], b0 = bits.Sub64(m[0], hh.Lo, 0)
+	m[1], b0 = bits.Sub64(m[1], hh.Hi, b0)
+	m[2] -= b0
+
+	// z = hh*2^128 + middle*2^64 + ll.
+	var z U256
+	z.W[0] = ll.Lo
+	z.W[1], c = bits.Add64(ll.Hi, m[0], 0)
+	z.W[2], c = bits.Add64(hh.Lo, m[1], c)
+	z.W[3] = hh.Hi + m[2] + c
+	return z
+}
+
+// Mul64x192 multiplies a 128-bit value by a 64-bit word, returning up to 192
+// bits in a U256. Used by the Barrett quotient computation.
+func Mul64x192(a u128.U128, b uint64) U256 {
+	lo := u128.Mul64(a.Lo, b)
+	hi := u128.Mul64(a.Hi, b)
+	var z U256
+	z.W[0] = lo.Lo
+	var c uint64
+	z.W[1], c = bits.Add64(lo.Hi, hi.Lo, 0)
+	z.W[2] = hi.Hi + c
+	return z
+}
