@@ -185,6 +185,108 @@ func BenchmarkNTTInPlace4096(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
 }
 
+// --- Zero-allocation engine (PR 1): Into variants and batch pool ---
+
+func BenchmarkNTTForwardNative4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randResidues(70, ctx.Mod, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardNative(x)
+	}
+}
+
+func BenchmarkNTTForwardNativeInto4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randResidues(71, ctx.Mod, 1<<12)
+	dst := make([]u128.U128, 1<<12)
+	p.ForwardInto(dst, x) // warm the scratch pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardInto(dst, x)
+	}
+	butterflies := float64(1<<11) * 12
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkNTTInverseNative4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := randResidues(72, ctx.Mod, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InverseNative(y)
+	}
+}
+
+func BenchmarkNTTInverseNativeInto4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y := randResidues(73, ctx.Mod, 1<<12)
+	dst := make([]u128.U128, 1<<12)
+	p.InverseInto(dst, y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InverseInto(dst, y)
+	}
+	butterflies := float64(1<<11) * 12
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/butterflies, "ns/butterfly")
+}
+
+func BenchmarkNTTPolyMulNegacyclicInto4096(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randResidues(74, ctx.Mod, 1<<12)
+	y := randResidues(75, ctx.Mod, 1<<12)
+	dst := make([]u128.U128, 1<<12)
+	p.PolyMulNegacyclicInto(dst, x, y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PolyMulNegacyclicInto(dst, x, y)
+	}
+}
+
+// BenchmarkBatchNTTPool4096W8 is the PR acceptance configuration: a batch
+// of 64 forward transforms at n=4096 dispatched over 8 workers through the
+// persistent pool, transforms/sec derivable from ns/transform.
+func BenchmarkBatchNTTPool4096W8(b *testing.B) {
+	ctx := core.Default()
+	p, err := ctx.Plan(1 << 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	inputs := make([][]u128.U128, batch)
+	dsts := make([][]u128.U128, batch)
+	for i := range inputs {
+		inputs[i] = randResidues(int64(85+i), ctx.Mod, 1<<12)
+		dsts[i] = make([]u128.U128, 1<<12)
+	}
+	p.BatchForwardInto(dsts, inputs, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.BatchForwardInto(dsts, inputs, 8)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batch, "ns/transform")
+}
+
 func BenchmarkBatchNTTParallel(b *testing.B) {
 	ctx := core.Default()
 	p, err := ctx.Plan(1 << 10)

@@ -1,0 +1,262 @@
+// Command benchjson measures the NTT engine against a faithful
+// reconstruction of the seed implementation on the current host and writes
+// the results as JSON (BENCH_PR1.json), starting the repo's performance
+// trajectory. The seed comparator reproduces the pre-engine hot path
+// exactly: two fresh N-sized buffers per transform, per-element
+// blas.Vector.At twiddle reads, the generic u256-based Barrett reduction,
+// a separate 1/N scaling pass on the inverse, and a batch dispatcher that
+// spawns fresh goroutines and sends every transform index over an
+// unbuffered channel. Outputs are cross-checked against the new engine
+// before anything is timed.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_PR1.json] [-n 4096] [-batch 64] [-workers 8]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mqxgo/internal/core"
+	"mqxgo/internal/ntt"
+	"mqxgo/internal/u128"
+	"mqxgo/internal/u256"
+)
+
+// seedForward reproduces the seed Plan.ForwardNative byte for byte: fresh
+// ping-pong buffers, Vector.At twiddle access, and the generic
+// Mul-then-Reduce arithmetic path the seed's mod.Mul compiled to.
+func seedForward(p *ntt.Plan, x []u128.U128) []u128.U128 {
+	mod := p.Mod
+	half := p.N / 2
+	src := make([]u128.U128, p.N)
+	copy(src, x)
+	dst := make([]u128.U128, p.N)
+	for s := 0; s < p.M; s++ {
+		tw := p.FwdTw[s]
+		for i := 0; i < half; i++ {
+			a, b := src[i], src[i+half]
+			w := tw.At(i)
+			dst[2*i] = mod.Add(a, b)
+			dst[2*i+1] = mod.Reduce(u256.MulSchoolbook(mod.Sub(a, b), w))
+		}
+		src, dst = dst, src
+	}
+	return src
+}
+
+// seedInverse reproduces the seed Plan.InverseNative, including the
+// separate 1/N scaling pass.
+func seedInverse(p *ntt.Plan, y []u128.U128) []u128.U128 {
+	mod := p.Mod
+	half := p.N / 2
+	src := make([]u128.U128, p.N)
+	copy(src, y)
+	dst := make([]u128.U128, p.N)
+	for s := p.M - 1; s >= 0; s-- {
+		tw := p.InvTw[s]
+		for i := 0; i < half; i++ {
+			e, o := src[2*i], src[2*i+1]
+			t := mod.Reduce(u256.MulSchoolbook(o, tw.At(i)))
+			dst[i] = mod.Add(e, t)
+			dst[i+half] = mod.Sub(e, t)
+		}
+		src, dst = dst, src
+	}
+	out := make([]u128.U128, p.N)
+	for i := range src {
+		out[i] = mod.Reduce(u256.MulSchoolbook(src[i], p.NInv))
+	}
+	return out
+}
+
+// seedBatchForward reproduces the seed Plan.BatchForward: fresh worker
+// goroutines per call, one unbuffered channel send per transform index.
+func seedBatchForward(p *ntt.Plan, inputs [][]u128.U128, workers int) [][]u128.U128 {
+	out := make([][]u128.U128, len(inputs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i := range inputs {
+			out[i] = seedForward(p, inputs[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = seedForward(p, inputs[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+type opResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerUnit   float64 `json:"ns_per_unit,omitempty"`
+	Unit        string  `json:"unit,omitempty"`
+	UnitsPerSec float64 `json:"units_per_sec,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR1.json", "output path")
+	n := flag.Int("n", 4096, "transform size (power of two)")
+	batch := flag.Int("batch", 64, "transforms per batch")
+	workers := flag.Int("workers", 8, "batch worker cap")
+	flag.Parse()
+	if *batch < 2 {
+		log.Fatal("benchjson: -batch must be >= 2 (the polymul benchmark needs two operands)")
+	}
+
+	ctx := core.Default()
+	plan, err := ctx.Plan(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := make([][]u128.U128, *batch)
+	dsts := make([][]u128.U128, *batch)
+	v := u128.From64(7)
+	for i := range inputs {
+		xs := make([]u128.U128, *n)
+		for j := range xs {
+			xs[j] = v
+			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
+		}
+		inputs[i] = xs
+		dsts[i] = make([]u128.U128, *n)
+	}
+
+	// Gate: the seed reconstruction and the engine must agree before any
+	// timing is trusted.
+	x := inputs[0]
+	engF := make([]u128.U128, *n)
+	plan.ForwardInto(engF, x)
+	if !equal(seedForward(plan, x), engF) {
+		log.Fatal("benchjson: seed forward reconstruction disagrees with engine")
+	}
+	engI := make([]u128.U128, *n)
+	plan.InverseInto(engI, engF)
+	if !equal(seedInverse(plan, engF), engI) {
+		log.Fatal("benchjson: seed inverse reconstruction disagrees with engine")
+	}
+	if !equal(engI, x) {
+		log.Fatal("benchjson: engine round trip failed")
+	}
+
+	butterflies := float64(*n/2) * float64(plan.M)
+	results := map[string]opResult{}
+
+	fwdDst := make([]u128.U128, *n)
+	results["forward_into"] = perUnit(bench(func() { plan.ForwardInto(fwdDst, x) }),
+		allocs(func() { plan.ForwardInto(fwdDst, x) }), butterflies, "butterfly")
+	results["forward_seed"] = perUnit(bench(func() { seedForward(plan, x) }),
+		allocs(func() { seedForward(plan, x) }), butterflies, "butterfly")
+	results["inverse_into"] = perUnit(bench(func() { plan.InverseInto(fwdDst, engF) }),
+		allocs(func() { plan.InverseInto(fwdDst, engF) }), butterflies, "butterfly")
+	results["inverse_seed"] = perUnit(bench(func() { seedInverse(plan, engF) }),
+		allocs(func() { seedInverse(plan, engF) }), butterflies, "butterfly")
+
+	polyDst := make([]u128.U128, *n)
+	results["polymul_into"] = perUnit(bench(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }),
+		allocs(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }), 1, "")
+
+	results["batch_forward_pool"] = perUnit(bench(func() { plan.BatchForwardInto(dsts, inputs, *workers) }),
+		allocs(func() { plan.BatchForwardInto(dsts, inputs, *workers) }), float64(*batch), "transform")
+	results["batch_forward_seed"] = perUnit(bench(func() { seedBatchForward(plan, inputs, *workers) }),
+		allocs(func() { seedBatchForward(plan, inputs, *workers) }), float64(*batch), "transform")
+
+	report := map[string]any{
+		"schema":         "mqxgo-bench/v1",
+		"pr":             1,
+		"generated_unix": time.Now().Unix(),
+		"config": map[string]any{
+			"n": *n, "batch": *batch, "workers": *workers,
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"verified": true,
+		"results":  results,
+		"speedups": map[string]float64{
+			"forward_vs_seed": results["forward_seed"].NsPerOp / results["forward_into"].NsPerOp,
+			"inverse_vs_seed": results["inverse_seed"].NsPerOp / results["inverse_into"].NsPerOp,
+			"batch_throughput_vs_seed": results["batch_forward_seed"].NsPerOp /
+				results["batch_forward_pool"].NsPerOp,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("forward: %.0f ns (seed %.0f ns, %.2fx); batch: %.0f ns/transform (seed %.0f, %.2fx throughput)\n",
+		results["forward_into"].NsPerOp, results["forward_seed"].NsPerOp,
+		report["speedups"].(map[string]float64)["forward_vs_seed"],
+		results["batch_forward_pool"].NsPerOp/float64(*batch),
+		results["batch_forward_seed"].NsPerOp/float64(*batch),
+		report["speedups"].(map[string]float64)["batch_throughput_vs_seed"])
+}
+
+func bench(f func()) float64 {
+	f() // warm scratch pools and the worker pool
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+func allocs(f func()) float64 {
+	f()
+	return testing.AllocsPerRun(10, f)
+}
+
+func perUnit(nsPerOp, allocsPerOp, units float64, unit string) opResult {
+	r := opResult{NsPerOp: nsPerOp, AllocsPerOp: allocsPerOp}
+	if unit != "" && units > 0 {
+		r.NsPerUnit = nsPerOp / units
+		r.Unit = unit
+		r.UnitsPerSec = 1e9 / r.NsPerUnit
+	}
+	return r
+}
+
+func equal(a, b []u128.U128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}

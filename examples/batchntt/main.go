@@ -1,15 +1,15 @@
 // Batchntt: the "towards realizing SOL performance" experiment of
 // Section 6. Real FHE workloads batch many independent NTTs; this example
-// runs a batch of forward transforms across goroutines pinned to however
-// many cores the host offers, measures the parallel scaling efficiency,
-// and compares it with the ideal linear scaling the speed-of-light model
-// assumes.
+// runs a batch of forward transforms through the library's persistent
+// worker pool (BatchForwardInto: chunked dispatch, pooled per-chunk
+// scratch, zero steady-state allocation), measures the parallel scaling
+// efficiency, and compares it with the ideal linear scaling the
+// speed-of-light model assumes.
 package main
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"mqxgo/internal/core"
@@ -27,6 +27,7 @@ func main() {
 
 	// Independent inputs, as in a batched FHE pipeline.
 	inputs := make([][]u128.U128, batch)
+	dsts := make([][]u128.U128, batch)
 	v := u128.From64(3)
 	for i := range inputs {
 		xs := make([]u128.U128, n)
@@ -35,28 +36,15 @@ func main() {
 			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
 		}
 		inputs[i] = xs
+		dsts[i] = make([]u128.U128, n)
 	}
 
 	run := func(workers int) time.Duration {
 		start := time.Now()
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					plan.ForwardNative(inputs[i])
-				}
-			}()
-		}
-		for i := 0; i < batch; i++ {
-			work <- i
-		}
-		close(work)
-		wg.Wait()
+		plan.BatchForwardInto(dsts, inputs, workers)
 		return time.Since(start)
 	}
+	run(runtime.GOMAXPROCS(0)) // warm the worker pool and scratch caches
 
 	maxWorkers := runtime.GOMAXPROCS(0)
 	fmt.Printf("batch of %d forward NTTs of size 2^12 on up to %d cores\n\n", batch, maxWorkers)

@@ -1,0 +1,3 @@
+module mqxgo
+
+go 1.24

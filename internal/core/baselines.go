@@ -114,7 +114,10 @@ func (c *Context) MeasureNTTBaselineRatios(n int) (perfmodel.BaselineRatios, err
 	bp := NewBigPlan(p)
 
 	// Short protocol runs keep tool startup fast while still warming up.
-	native := perfmodel.MeasureProtocol(20, 10, func() { p.ForwardNative(x) })
+	// The native anchor measures the destination-passing engine so the
+	// ratio reflects transform cost, not the allocator.
+	dst := make([]u128.U128, n)
+	native := perfmodel.MeasureProtocol(20, 10, func() { p.ForwardInto(dst, x) })
 	generic := perfmodel.MeasureProtocol(6, 3, func() { p.ForwardWith(g, x) })
 	bignum := perfmodel.MeasureProtocol(6, 3, func() { bp.Forward(xb) })
 	return perfmodel.BaselineRatios{

@@ -13,15 +13,16 @@ import (
 	"mqxgo/internal/u128"
 )
 
-// Context holds a modulus and cached NTT plans per transform size.
+// Context holds a modulus; NTT plans come from the process-wide
+// (q, n)-keyed cache in internal/ntt, so independent contexts on the same
+// modulus share twiddle tables.
 type Context struct {
-	Mod   *modmath.Modulus128
-	plans map[int]*ntt.Plan
+	Mod *modmath.Modulus128
 }
 
 // NewContext builds a context for the given modulus.
 func NewContext(mod *modmath.Modulus128) *Context {
-	return &Context{Mod: mod, plans: make(map[int]*ntt.Plan)}
+	return &Context{Mod: mod}
 }
 
 // Default returns a context on the library's default 124-bit prime, which
@@ -30,17 +31,10 @@ func Default() *Context {
 	return NewContext(modmath.DefaultModulus128())
 }
 
-// Plan returns (building and caching if needed) the plan for size n.
+// Plan returns the process-wide shared plan for size n, building and
+// caching it if needed.
 func (c *Context) Plan(n int) (*ntt.Plan, error) {
-	if p, ok := c.plans[n]; ok {
-		return p, nil
-	}
-	p, err := ntt.NewPlan(c.Mod, n)
-	if err != nil {
-		return nil, err
-	}
-	c.plans[n] = p
-	return p, nil
+	return ntt.CachedPlan(c.Mod, n)
 }
 
 // NTT computes the forward transform (natural in, bit-reversed out).
@@ -49,7 +43,9 @@ func (c *Context) NTT(x []u128.U128) ([]u128.U128, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.ForwardNative(x), nil
+	out := make([]u128.U128, len(x))
+	p.ForwardInto(out, x)
+	return out, nil
 }
 
 // INTT computes the inverse transform (bit-reversed in, natural out).
@@ -58,7 +54,9 @@ func (c *Context) INTT(y []u128.U128) ([]u128.U128, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.InverseNative(y), nil
+	out := make([]u128.U128, len(y))
+	p.InverseInto(out, y)
+	return out, nil
 }
 
 // PolyMul multiplies two polynomials in Z_q[x]/(x^n + 1).
@@ -70,7 +68,9 @@ func (c *Context) PolyMul(a, b []u128.U128) ([]u128.U128, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.PolyMulNegacyclic(a, b), nil
+	out := make([]u128.U128, len(a))
+	p.PolyMulNegacyclicInto(out, a, b)
+	return out, nil
 }
 
 // Add / Sub / Mul expose the reduced modular arithmetic.

@@ -34,7 +34,7 @@ func NewParams(mod *modmath.Modulus128, n int, t uint64) (*Params, error) {
 	if t < 2 {
 		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
 	}
-	plan, err := ntt.NewPlan(mod, n)
+	plan, err := ntt.CachedPlan(mod, n)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +121,8 @@ func (s *Scheme) Encrypt(sk SecretKey, msg []uint64) (Ciphertext, error) {
 	mod := p.Mod
 	a := s.uniformPoly()
 	e := s.noisePoly()
-	as := p.plan.PolyMulNegacyclic(a, sk.S)
+	as := make([]u128.U128, p.N)
+	p.plan.PolyMulNegacyclicInto(as, a, sk.S)
 	b := make([]u128.U128, p.N)
 	for i := 0; i < p.N; i++ {
 		if msg[i] >= p.T {
@@ -140,7 +141,8 @@ func (s *Scheme) Decrypt(sk SecretKey, ct Ciphertext) ([]uint64, error) {
 		return nil, fmt.Errorf("fhe: malformed ciphertext")
 	}
 	mod := p.Mod
-	as := p.plan.PolyMulNegacyclic(ct.A, sk.S)
+	as := make([]u128.U128, p.N)
+	p.plan.PolyMulNegacyclicInto(as, ct.A, sk.S)
 	out := make([]uint64, p.N)
 	half, _ := p.Delta.DivMod64(2)
 	for i := 0; i < p.N; i++ {
@@ -171,10 +173,13 @@ func (s *Scheme) MulPlain(ct Ciphertext, pt []u128.U128) (Ciphertext, error) {
 	if len(pt) != s.P.N {
 		return Ciphertext{}, fmt.Errorf("fhe: plaintext length mismatch")
 	}
-	return Ciphertext{
-		A: s.P.plan.PolyMulNegacyclic(ct.A, pt),
-		B: s.P.plan.PolyMulNegacyclic(ct.B, pt),
-	}, nil
+	out := Ciphertext{
+		A: make([]u128.U128, s.P.N),
+		B: make([]u128.U128, s.P.N),
+	}
+	s.P.plan.PolyMulNegacyclicInto(out.A, ct.A, pt)
+	s.P.plan.PolyMulNegacyclicInto(out.B, ct.B, pt)
+	return out, nil
 }
 
 // SubCiphertexts is homomorphic subtraction.
@@ -243,7 +248,8 @@ func (s *Scheme) NoiseBudgetBits(sk SecretKey, ct Ciphertext, msg []uint64) (int
 		return 0, fmt.Errorf("fhe: message length mismatch")
 	}
 	mod := p.Mod
-	as := p.plan.PolyMulNegacyclic(ct.A, sk.S)
+	as := make([]u128.U128, p.N)
+	p.plan.PolyMulNegacyclicInto(as, ct.A, sk.S)
 	halfQ := mod.Q.Rsh(1)
 	maxNoise := u128.Zero
 	for i := 0; i < p.N; i++ {

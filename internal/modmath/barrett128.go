@@ -125,13 +125,12 @@ func (m *Modulus128) Neg(a u128.U128) u128.U128 {
 // subtractions follow. All intermediates fit in 256 bits because
 // ab < 2^(2n) <= 2^248 and mu < 2^(n+1).
 func (m *Modulus128) Mul(a, b u128.U128) u128.U128 {
-	var t u256.U256
 	if m.Alg == Karatsuba {
-		t = u256.MulKaratsuba(a, b)
-	} else {
-		t = u256.MulSchoolbook(a, b)
+		return m.Reduce(u256.MulKaratsuba(a, b))
 	}
-	return m.Reduce(t)
+	// Schoolbook takes the flattened word-level path (barrett128_hot.go);
+	// identical results, far less interpreter overhead.
+	return m.mulBarrettFlat(a, b)
 }
 
 // Reduce reduces a 256-bit product t = a*b (with a, b < q) modulo q.

@@ -1,0 +1,89 @@
+package modmath
+
+import (
+	"math/bits"
+
+	"mqxgo/internal/u128"
+)
+
+// Flattened Barrett multiplication: the same algorithm as Mul+Reduce
+// (Eqs. 4 and 8) with every intermediate kept in machine words instead of
+// u256 values. The generic path spends a quarter of NTT butterfly time in
+// U256.Rsh alone (variable word/bit shift loops) and shuffles 32-byte
+// structs through non-inlined calls; here the two shift amounts n-1 and
+// n+1 are decomposed once per call into a word select plus a sub-word
+// shift, and the final qhat*q product computes only the low 128 bits it
+// needs. Exact same results as the generic path — cross-checked against
+// math/big in TestMulFlatMatchesBig.
+
+// rsh256lo returns the low 128 bits (as two words) of the 256-bit value
+// w3:w2:w1:w0 shifted right by s, for 1 <= s < 128.
+func rsh256lo(w0, w1, w2, w3 uint64, s uint) (lo, hi uint64) {
+	switch {
+	case s < 64:
+		lo = w0>>s | w1<<(64-s)
+		hi = w1>>s | w2<<(64-s)
+	case s == 64:
+		lo, hi = w1, w2
+	default: // 64 < s < 128
+		b := s - 64
+		lo = w1>>b | w2<<(64-b)
+		hi = w2>>b | w3<<(64-b)
+	}
+	return
+}
+
+// mulBarrettFlat returns a*b mod q for reduced a, b via schoolbook
+// multiplication and Barrett reduction, fully flattened to word
+// arithmetic. Requires 2 <= n <= 124 (guaranteed by NewModulus128), so
+// both shift amounts n-1 and n+1 lie in [1, 125].
+func (m *Modulus128) mulBarrettFlat(a, b u128.U128) u128.U128 {
+	// t = a*b: four 64x64 word products (Eq. 8).
+	llHi, llLo := bits.Mul64(a.Lo, b.Lo)
+	lhHi, lhLo := bits.Mul64(a.Lo, b.Hi)
+	hlHi, hlLo := bits.Mul64(a.Hi, b.Lo)
+	hhHi, hhLo := bits.Mul64(a.Hi, b.Hi)
+	t0 := llLo
+	t1, c := bits.Add64(llHi, lhLo, 0)
+	t2, c := bits.Add64(hhLo, lhHi, c)
+	t3 := hhHi + c
+	t1, c = bits.Add64(t1, hlLo, 0)
+	t2, c = bits.Add64(t2, hlHi, c)
+	t3 += c
+
+	// t1hat = floor(t / 2^(n-1)); t < 2^(2n) so t1hat < 2^(n+1) fits in
+	// 128 bits.
+	xLo, xHi := rsh256lo(t0, t1, t2, t3, m.N-1)
+
+	// u = t1hat * mu < 2^(2n+2) <= 2^250; qhat = floor(u / 2^(n+1)).
+	llHi, llLo = bits.Mul64(xLo, m.Mu.Lo)
+	lhHi, lhLo = bits.Mul64(xLo, m.Mu.Hi)
+	hlHi, hlLo = bits.Mul64(xHi, m.Mu.Lo)
+	hhHi, hhLo = bits.Mul64(xHi, m.Mu.Hi)
+	u0 := llLo
+	u1, c := bits.Add64(llHi, lhLo, 0)
+	u2, c := bits.Add64(hhLo, lhHi, c)
+	u3 := hhHi + c
+	u1, c = bits.Add64(u1, hlLo, 0)
+	u2, c = bits.Add64(u2, hlHi, c)
+	u3 += c
+	qLo, qHi := rsh256lo(u0, u1, u2, u3, m.N+1)
+
+	// qq = qhat*q mod 2^128: only the low half is needed because
+	// r = t - qhat*q < 3q < 2^126 is exact modulo 2^128.
+	qqHi, qqLo := bits.Mul64(qLo, m.Q.Lo)
+	qqHi += qLo*m.Q.Hi + qHi*m.Q.Lo
+
+	rLo, bb := bits.Sub64(t0, qqLo, 0)
+	rHi, _ := bits.Sub64(t1, qqHi, bb)
+	r := u128.U128{Hi: rHi, Lo: rLo}
+	// The quotient estimate is within 2 of the truth: at most two
+	// corrective subtractions.
+	if m.Q.LessEq(r) {
+		r = r.Sub(m.Q)
+	}
+	if m.Q.LessEq(r) {
+		r = r.Sub(m.Q)
+	}
+	return r
+}

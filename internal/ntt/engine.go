@@ -1,0 +1,157 @@
+package ntt
+
+import (
+	"mqxgo/internal/u128"
+)
+
+// Zero-steady-state-allocation transform engine. The destination-passing
+// APIs here (ForwardInto, InverseInto, PolyMulNegacyclicInto) draw their
+// ping-pong buffers from the plan's sync.Pool, read twiddles through
+// bounds-hoisted SoA word slices instead of per-element Vector.At calls,
+// and fold the inverse transform's 1/N scale into its last stage. The
+// value-returning APIs in native.go are thin allocating wrappers.
+
+// nttScratch is one ping-pong buffer pair, pooled per plan.
+type nttScratch struct {
+	a, b []u128.U128
+}
+
+func (p *Plan) getScratch() *nttScratch  { return p.scratch.Get().(*nttScratch) }
+func (p *Plan) putScratch(s *nttScratch) { p.scratch.Put(s) }
+
+// ForwardInto computes the forward NTT of x (natural order) into dst
+// (bit-reversed order). dst and x must both have length N; dst may alias x
+// for an in-place transform. Steady-state it allocates nothing.
+func (p *Plan) ForwardInto(dst, x []u128.U128) {
+	p.checkLen(len(dst))
+	p.checkLen(len(x))
+	sc := p.getScratch()
+	p.forwardStages(dst, x, sc)
+	p.putScratch(sc)
+}
+
+// InverseInto computes the inverse NTT of y (bit-reversed order) into dst
+// (natural order), with the 1/N scale folded into the final stage. dst may
+// alias y. Steady-state it allocates nothing.
+func (p *Plan) InverseInto(dst, y []u128.U128) {
+	p.checkLen(len(dst))
+	p.checkLen(len(y))
+	sc := p.getScratch()
+	p.inverseStages(dst, y, sc, true)
+	p.putScratch(sc)
+}
+
+// PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
+// twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
+func (p *Plan) PolyMulNegacyclicInto(dst, a, b []u128.U128) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	p.checkLen(len(b))
+	poly := p.getScratch()
+	ping := p.getScratch()
+	p.polyMulNegacyclicScratch(dst, a, b, poly, ping)
+	p.putScratch(ping)
+	p.putScratch(poly)
+}
+
+// forwardStages runs the constant-geometry forward dataflow: stage 0 reads
+// x, intermediate stages ping-pong between the scratch buffers, and the
+// final stage writes dst. Safe for dst aliasing x because x is only read
+// by stage 0 (and the single-stage N=2 case reads both inputs before
+// writing).
+func (p *Plan) forwardStages(dst, x []u128.U128, sc *nttScratch) {
+	mod := p.Mod
+	half := p.N >> 1
+	src := x
+	for s := 0; s < p.M; s++ {
+		out := sc.a
+		if s == p.M-1 {
+			out = dst
+		} else if s&1 == 1 {
+			out = sc.b
+		}
+		twHi, twLo := p.FwdTw[s].Raw(half)
+		lo := src[:half]
+		hi := src[half:p.N]
+		o := out[:p.N]
+		for i := range twHi {
+			a, b := lo[i], hi[i]
+			d := mod.Sub(a, b)
+			o[2*i] = mod.Add(a, b)
+			o[2*i+1] = mod.Mul(d, u128.U128{Hi: twHi[i], Lo: twLo[i]})
+		}
+		src = out
+	}
+}
+
+// inverseStages runs the inverse dataflow (stages M-1 down to 0). When
+// scale is true the 1/N factor is folded into stage 0: that stage uses the
+// pre-scaled twiddle table and multiplies the even input by N^-1, saving
+// the separate N-element scaling pass. When scale is false the caller
+// folds 1/N elsewhere (the negacyclic untwist table already carries it).
+func (p *Plan) inverseStages(dst, y []u128.U128, sc *nttScratch, scale bool) {
+	mod := p.Mod
+	half := p.N >> 1
+	src := y
+	k := 0 // execution index: stage s runs as the k-th pass
+	for s := p.M - 1; s >= 0; s-- {
+		out := sc.a
+		if k == p.M-1 {
+			out = dst
+		} else if k&1 == 1 {
+			out = sc.b
+		}
+		tw := p.InvTw[s]
+		if s == 0 && scale {
+			tw = p.invTw0Scaled
+		}
+		twHi, twLo := tw.Raw(half)
+		in := src[:p.N]
+		oLo := out[:half]
+		oHi := out[half:p.N]
+		if s == 0 && scale {
+			nInv := p.NInv
+			for i := range twHi {
+				e, o := in[2*i], in[2*i+1]
+				t := mod.Mul(o, u128.U128{Hi: twHi[i], Lo: twLo[i]}) // twiddle * N^-1 folded
+				es := mod.Mul(e, nInv)
+				oLo[i] = mod.Add(es, t)
+				oHi[i] = mod.Sub(es, t)
+			}
+		} else {
+			for i := range twHi {
+				e, o := in[2*i], in[2*i+1]
+				t := mod.Mul(o, u128.U128{Hi: twHi[i], Lo: twLo[i]})
+				oLo[i] = mod.Add(e, t)
+				oHi[i] = mod.Sub(e, t)
+			}
+		}
+		src = out
+		k++
+	}
+}
+
+// polyMulNegacyclicScratch is PolyMulNegacyclicInto with caller-provided
+// scratch, so batch workers can reuse one scratch set across many
+// products. poly holds the twisted operands; ping holds the transform
+// ping-pong buffers.
+func (p *Plan) polyMulNegacyclicScratch(dst, a, b []u128.U128, poly, ping *nttScratch) {
+	mod := p.Mod
+	at, bt := poly.a, poly.b
+	twHi, twLo := p.Twist.Raw(p.N)
+	for j := range twHi {
+		w := u128.U128{Hi: twHi[j], Lo: twLo[j]}
+		at[j] = mod.Mul(a[j], w)
+		bt[j] = mod.Mul(b[j], w)
+	}
+	p.forwardStages(at, at, ping)
+	p.forwardStages(bt, bt, ping)
+	for j := range at {
+		at[j] = mod.Mul(at[j], bt[j])
+	}
+	p.inverseStages(at, at, ping, false)
+	utHi, utLo := p.Untwist.Raw(p.N)
+	for j := range utHi {
+		dst[j] = mod.Mul(at[j], u128.U128{Hi: utHi[j], Lo: utLo[j]}) // psi^-j * N^-1
+	}
+}

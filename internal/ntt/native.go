@@ -34,80 +34,32 @@ func (p *Plan) ForwardWith(ar Arith, x []u128.U128) []u128.U128 {
 }
 
 // ForwardNative computes the forward NTT of x (natural order) into
-// bit-reversed order, using the plan's constant-geometry dataflow in plain
-// Go. This is the library's measured scalar implementation.
+// bit-reversed order. It is an allocating wrapper over ForwardInto, the
+// library's measured scalar implementation.
 func (p *Plan) ForwardNative(x []u128.U128) []u128.U128 {
-	p.checkLen(len(x))
-	mod := p.Mod
-	half := p.N / 2
-	src := make([]u128.U128, p.N)
-	copy(src, x)
-	dst := make([]u128.U128, p.N)
-	for s := 0; s < p.M; s++ {
-		tw := p.FwdTw[s]
-		for i := 0; i < half; i++ {
-			a, b := src[i], src[i+half]
-			w := tw.At(i)
-			dst[2*i] = mod.Add(a, b)
-			dst[2*i+1] = mod.Mul(mod.Sub(a, b), w)
-		}
-		src, dst = dst, src
-	}
-	return src
+	out := make([]u128.U128, p.N)
+	p.ForwardInto(out, x)
+	return out
 }
 
 // InverseNative computes the inverse NTT of y (bit-reversed order) back to
-// natural order, including the 1/N scaling.
+// natural order, including the 1/N scaling. It is an allocating wrapper
+// over InverseInto.
 func (p *Plan) InverseNative(y []u128.U128) []u128.U128 {
-	p.checkLen(len(y))
-	mod := p.Mod
-	half := p.N / 2
-	src := make([]u128.U128, p.N)
-	copy(src, y)
-	dst := make([]u128.U128, p.N)
-	for s := p.M - 1; s >= 0; s-- {
-		tw := p.InvTw[s]
-		for i := 0; i < half; i++ {
-			e, o := src[2*i], src[2*i+1]
-			t := mod.Mul(o, tw.At(i))
-			dst[i] = mod.Add(e, t)
-			dst[i+half] = mod.Sub(e, t)
-		}
-		src, dst = dst, src
-	}
 	out := make([]u128.U128, p.N)
-	for i := range src {
-		out[i] = mod.Mul(src[i], p.NInv)
-	}
+	p.InverseInto(out, y)
 	return out
 }
 
 // PolyMulNegacyclic multiplies two polynomials in Z_q[x]/(x^n + 1) using
 // the twisted (negacyclic) NTT: pre-twist by psi^j, transform, point-wise
 // multiply, inverse transform, and untwist by psi^-j (with 1/N folded into
-// the untwist table).
+// the untwist table). It is an allocating wrapper over
+// PolyMulNegacyclicInto.
 func (p *Plan) PolyMulNegacyclic(a, b []u128.U128) []u128.U128 {
-	p.checkLen(len(a))
-	p.checkLen(len(b))
-	mod := p.Mod
-	at := make([]u128.U128, p.N)
-	bt := make([]u128.U128, p.N)
-	for j := 0; j < p.N; j++ {
-		w := p.Twist.At(j)
-		at[j] = mod.Mul(a[j], w)
-		bt[j] = mod.Mul(b[j], w)
-	}
-	af := p.ForwardNative(at)
-	bf := p.ForwardNative(bt)
-	cf := make([]u128.U128, p.N)
-	for j := 0; j < p.N; j++ {
-		cf[j] = mod.Mul(af[j], bf[j])
-	}
-	c := p.inverseNoScale(cf)
-	for j := 0; j < p.N; j++ {
-		c[j] = mod.Mul(c[j], p.Untwist.At(j)) // psi^-j * N^-1
-	}
-	return c
+	out := make([]u128.U128, p.N)
+	p.PolyMulNegacyclicInto(out, a, b)
+	return out
 }
 
 // PolyMulCyclic multiplies two polynomials in Z_q[x]/(x^n - 1) by plain
@@ -116,34 +68,19 @@ func (p *Plan) PolyMulCyclic(a, b []u128.U128) []u128.U128 {
 	p.checkLen(len(a))
 	p.checkLen(len(b))
 	mod := p.Mod
-	af := p.ForwardNative(a)
-	bf := p.ForwardNative(b)
-	cf := make([]u128.U128, p.N)
-	for j := 0; j < p.N; j++ {
-		cf[j] = mod.Mul(af[j], bf[j])
+	out := make([]u128.U128, p.N)
+	sc := p.getScratch()
+	ping := p.getScratch()
+	af, bf := sc.a, sc.b
+	p.forwardStages(af, a, ping)
+	p.forwardStages(bf, b, ping)
+	for j := range af {
+		af[j] = mod.Mul(af[j], bf[j])
 	}
-	return p.InverseNative(cf)
-}
-
-// inverseNoScale is InverseNative without the final 1/N pass (callers fold
-// the scale elsewhere).
-func (p *Plan) inverseNoScale(y []u128.U128) []u128.U128 {
-	mod := p.Mod
-	half := p.N / 2
-	src := make([]u128.U128, p.N)
-	copy(src, y)
-	dst := make([]u128.U128, p.N)
-	for s := p.M - 1; s >= 0; s-- {
-		tw := p.InvTw[s]
-		for i := 0; i < half; i++ {
-			e, o := src[2*i], src[2*i+1]
-			t := mod.Mul(o, tw.At(i))
-			dst[i] = mod.Add(e, t)
-			dst[i+half] = mod.Sub(e, t)
-		}
-		src, dst = dst, src
-	}
-	return src
+	p.inverseStages(out, af, ping, true)
+	p.putScratch(ping)
+	p.putScratch(sc)
+	return out
 }
 
 func (p *Plan) checkLen(n int) {

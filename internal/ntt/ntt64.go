@@ -2,6 +2,7 @@ package ntt
 
 import (
 	"fmt"
+	"sync"
 
 	"mqxgo/internal/modmath"
 )
@@ -11,6 +12,11 @@ import (
 // residues that the paper discusses in Sections 1 and 8. Twiddles carry
 // Shoup precomputations so the hot loop uses the one-correction
 // multiplication.
+//
+// Like Plan, Plan64 exposes destination-passing APIs (ForwardInto,
+// InverseInto, PolyMulNegacyclicInto) that allocate nothing in steady
+// state, with the value-returning APIs kept as allocating wrappers. A
+// Plan64 is safe for concurrent use once built.
 type Plan64 struct {
 	Mod *modmath.Modulus64
 	N   int
@@ -25,11 +31,24 @@ type Plan64 struct {
 	invTw    [][]uint64
 	invShoup [][]uint64
 
+	// Stage-0 inverse twiddles with N^-1 folded in, plus N^-1's own Shoup
+	// constant, so InverseInto scales inside its final stage.
+	invTw0Scaled      []uint64
+	invTw0ScaledShoup []uint64
+	nInvShoup         uint64
+
 	Psi          uint64
 	twist        []uint64
 	twistShoup   []uint64
 	untwist      []uint64 // psi^-j * n^-1
 	untwistShoup []uint64
+
+	scratch sync.Pool // of *scratch64
+}
+
+// scratch64 is one ping-pong buffer pair for the 64-bit engine.
+type scratch64 struct {
+	a, b []uint64
 }
 
 // NewPlan64 builds an n-point plan modulo mod.Q; 2n must divide q-1.
@@ -56,6 +75,9 @@ func NewPlan64(mod *modmath.Modulus64, n int) (*Plan64, error) {
 		Psi:      psi,
 	}
 	p.build()
+	p.scratch.New = func() any {
+		return &scratch64{a: make([]uint64, n), b: make([]uint64, n)}
+	}
 	return p, nil
 }
 
@@ -97,6 +119,14 @@ func (p *Plan64) build() {
 		p.fwdTw[s], p.fwdShoup[s] = fw, fs
 		p.invTw[s], p.invShoup[s] = iv, is
 	}
+	p.invTw0Scaled = make([]uint64, half)
+	p.invTw0ScaledShoup = make([]uint64, half)
+	for i := 0; i < half; i++ {
+		w := mod.Mul(p.invTw[0][i], p.NInv)
+		p.invTw0Scaled[i] = w
+		p.invTw0ScaledShoup[i] = mod.ShoupPrecompute(w)
+	}
+	p.nInvShoup = mod.ShoupPrecompute(p.NInv)
 
 	psiInv := mod.Inv(p.Psi)
 	p.twist = make([]uint64, p.N)
@@ -114,77 +144,156 @@ func (p *Plan64) build() {
 	}
 }
 
-// Forward computes the forward NTT (natural in, bit-reversed out).
-func (p *Plan64) Forward(x []uint64) []uint64 {
+func (p *Plan64) getScratch() *scratch64  { return p.scratch.Get().(*scratch64) }
+func (p *Plan64) putScratch(s *scratch64) { p.scratch.Put(s) }
+
+// ForwardInto computes the forward NTT of x (natural order) into dst
+// (bit-reversed order). dst may alias x. Steady-state it allocates
+// nothing.
+func (p *Plan64) ForwardInto(dst, x []uint64) {
+	p.checkLen(len(dst))
 	p.checkLen(len(x))
-	mod := p.Mod
-	half := p.N / 2
-	src := append([]uint64(nil), x...)
-	dst := make([]uint64, p.N)
-	for s := 0; s < p.M; s++ {
-		tw, sh := p.fwdTw[s], p.fwdShoup[s]
-		for i := 0; i < half; i++ {
-			a, b := src[i], src[i+half]
-			dst[2*i] = mod.Add(a, b)
-			dst[2*i+1] = mod.MulShoup(mod.Sub(a, b), tw[i], sh[i])
-		}
-		src, dst = dst, src
-	}
-	return src
+	sc := p.getScratch()
+	p.forwardStages(dst, x, sc)
+	p.putScratch(sc)
 }
 
-// Inverse computes the inverse NTT (bit-reversed in, natural out) with the
-// 1/N scaling applied.
-func (p *Plan64) Inverse(y []uint64) []uint64 {
-	out := p.inverseNoScale(y)
-	mod := p.Mod
-	sh := mod.ShoupPrecompute(p.NInv)
-	for i := range out {
-		out[i] = mod.MulShoup(out[i], p.NInv, sh)
-	}
-	return out
-}
-
-func (p *Plan64) inverseNoScale(y []uint64) []uint64 {
+// InverseInto computes the inverse NTT of y (bit-reversed order) into dst
+// (natural order) with the 1/N scale folded into the final stage. dst may
+// alias y. Steady-state it allocates nothing.
+func (p *Plan64) InverseInto(dst, y []uint64) {
+	p.checkLen(len(dst))
 	p.checkLen(len(y))
-	mod := p.Mod
-	half := p.N / 2
-	src := append([]uint64(nil), y...)
-	dst := make([]uint64, p.N)
-	for s := p.M - 1; s >= 0; s-- {
-		tw, sh := p.invTw[s], p.invShoup[s]
-		for i := 0; i < half; i++ {
-			e, o := src[2*i], src[2*i+1]
-			t := mod.MulShoup(o, tw[i], sh[i])
-			dst[i] = mod.Add(e, t)
-			dst[i+half] = mod.Sub(e, t)
-		}
-		src, dst = dst, src
-	}
-	return src
+	sc := p.getScratch()
+	p.inverseStages(dst, y, sc, true)
+	p.putScratch(sc)
 }
 
-// PolyMulNegacyclic multiplies in Z_q[x]/(x^n + 1) via the twisted NTT.
-func (p *Plan64) PolyMulNegacyclic(a, b []uint64) []uint64 {
+// PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
+// twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
+func (p *Plan64) PolyMulNegacyclicInto(dst, a, b []uint64) {
+	p.checkLen(len(dst))
 	p.checkLen(len(a))
 	p.checkLen(len(b))
 	mod := p.Mod
-	at := make([]uint64, p.N)
-	bt := make([]uint64, p.N)
-	for j := 0; j < p.N; j++ {
-		at[j] = mod.MulShoup(a[j], p.twist[j], p.twistShoup[j])
-		bt[j] = mod.MulShoup(b[j], p.twist[j], p.twistShoup[j])
+	poly := p.getScratch()
+	ping := p.getScratch()
+	at, bt := poly.a, poly.b
+	tw := p.twist[:p.N]
+	ts := p.twistShoup[:p.N]
+	for j := range tw {
+		at[j] = mod.MulShoup(a[j], tw[j], ts[j])
+		bt[j] = mod.MulShoup(b[j], tw[j], ts[j])
 	}
-	af := p.Forward(at)
-	bf := p.Forward(bt)
-	for j := 0; j < p.N; j++ {
-		af[j] = mod.Mul(af[j], bf[j])
+	p.forwardStages(at, at, ping)
+	p.forwardStages(bt, bt, ping)
+	for j := range at {
+		at[j] = mod.Mul(at[j], bt[j])
 	}
-	c := p.inverseNoScale(af)
-	for j := 0; j < p.N; j++ {
-		c[j] = mod.MulShoup(c[j], p.untwist[j], p.untwistShoup[j])
+	p.inverseStages(at, at, ping, false)
+	ut := p.untwist[:p.N]
+	us := p.untwistShoup[:p.N]
+	for j := range ut {
+		dst[j] = mod.MulShoup(at[j], ut[j], us[j]) // psi^-j * n^-1
 	}
-	return c
+	p.putScratch(ping)
+	p.putScratch(poly)
+}
+
+// forwardStages mirrors Plan.forwardStages for single-word residues.
+func (p *Plan64) forwardStages(dst, x []uint64, sc *scratch64) {
+	mod := p.Mod
+	half := p.N >> 1
+	src := x
+	for s := 0; s < p.M; s++ {
+		out := sc.a
+		if s == p.M-1 {
+			out = dst
+		} else if s&1 == 1 {
+			out = sc.b
+		}
+		tw := p.fwdTw[s][:half]
+		sh := p.fwdShoup[s][:half]
+		lo := src[:half]
+		hi := src[half:p.N]
+		o := out[:p.N]
+		for i := range tw {
+			a, b := lo[i], hi[i]
+			d := mod.Sub(a, b)
+			o[2*i] = mod.Add(a, b)
+			o[2*i+1] = mod.MulShoup(d, tw[i], sh[i])
+		}
+		src = out
+	}
+}
+
+// inverseStages mirrors Plan.inverseStages; when scale is true the 1/N
+// factor rides the pre-scaled stage-0 twiddles.
+func (p *Plan64) inverseStages(dst, y []uint64, sc *scratch64, scale bool) {
+	mod := p.Mod
+	half := p.N >> 1
+	src := y
+	k := 0
+	for s := p.M - 1; s >= 0; s-- {
+		out := sc.a
+		if k == p.M-1 {
+			out = dst
+		} else if k&1 == 1 {
+			out = sc.b
+		}
+		tw := p.invTw[s][:half]
+		sh := p.invShoup[s][:half]
+		if s == 0 && scale {
+			tw = p.invTw0Scaled[:half]
+			sh = p.invTw0ScaledShoup[:half]
+		}
+		in := src[:p.N]
+		oLo := out[:half]
+		oHi := out[half:p.N]
+		if s == 0 && scale {
+			nInv, nSh := p.NInv, p.nInvShoup
+			for i := range tw {
+				e, o := in[2*i], in[2*i+1]
+				t := mod.MulShoup(o, tw[i], sh[i]) // twiddle * n^-1 folded
+				es := mod.MulShoup(e, nInv, nSh)
+				oLo[i] = mod.Add(es, t)
+				oHi[i] = mod.Sub(es, t)
+			}
+		} else {
+			for i := range tw {
+				e, o := in[2*i], in[2*i+1]
+				t := mod.MulShoup(o, tw[i], sh[i])
+				oLo[i] = mod.Add(e, t)
+				oHi[i] = mod.Sub(e, t)
+			}
+		}
+		src = out
+		k++
+	}
+}
+
+// Forward computes the forward NTT (natural in, bit-reversed out). It is
+// an allocating wrapper over ForwardInto.
+func (p *Plan64) Forward(x []uint64) []uint64 {
+	out := make([]uint64, p.N)
+	p.ForwardInto(out, x)
+	return out
+}
+
+// Inverse computes the inverse NTT (bit-reversed in, natural out) with the
+// 1/N scaling applied. It is an allocating wrapper over InverseInto.
+func (p *Plan64) Inverse(y []uint64) []uint64 {
+	out := make([]uint64, p.N)
+	p.InverseInto(out, y)
+	return out
+}
+
+// PolyMulNegacyclic multiplies in Z_q[x]/(x^n + 1) via the twisted NTT. It
+// is an allocating wrapper over PolyMulNegacyclicInto.
+func (p *Plan64) PolyMulNegacyclic(a, b []uint64) []uint64 {
+	out := make([]uint64, p.N)
+	p.PolyMulNegacyclicInto(out, a, b)
+	return out
 }
 
 func (p *Plan64) checkLen(n int) {

@@ -9,16 +9,37 @@
 // order; the inverse maps bit-reversed back to natural order.
 //
 // Implementations:
-//   - Plan.ForwardNative / InverseNative: plain Go (the measured scalar tier).
+//   - Plan.ForwardInto / InverseInto / PolyMulNegacyclicInto (engine.go):
+//     the zero-steady-state-allocation engine — destination-passing APIs
+//     whose ping-pong scratch comes from a per-plan sync.Pool, whose hot
+//     loops read the SoA twiddle tables through bounds-hoisted Hi/Lo word
+//     slices, and whose inverse folds the 1/N scale into the final stage
+//     instead of a separate pass.
+//   - Plan.ForwardNative / InverseNative / PolyMulNegacyclic: thin
+//     allocating wrappers over the engine, kept for callers that want
+//     value-returning APIs (the measured scalar tier).
+//   - BatchForward / BatchInverse / BatchPolyMulNegacyclic (batch.go):
+//     fan a batch of independent transforms across a persistent,
+//     lazily-started worker pool; work is dispatched as chunked index
+//     ranges so channel traffic is amortized over the whole batch, and
+//     each chunk reuses one scratch set across its transforms.
+//   - CachedPlan / CachedPlan64 (cache.go): a process-wide plan cache
+//     keyed by (q, n), so independent entry points stop rebuilding the
+//     O(N log N) twiddle tables.
 //   - ForwardVM / InverseVM (vmntt.go): generic over a kernels backend,
 //     producing scalar/AVX2/AVX-512/MQX instruction streams on the trace
 //     machine for performance modeling.
 //   - Reference (reference.go): the O(n^2) definition (Eq. 11), used as
 //     ground truth in tests.
+//
+// A Plan is safe for concurrent use once built: the twiddle tables are
+// read-only after NewPlan and all mutable transform state lives in pooled
+// scratch buffers.
 package ntt
 
 import (
 	"fmt"
+	"sync"
 
 	"mqxgo/internal/blas"
 	"mqxgo/internal/modmath"
@@ -42,11 +63,20 @@ type Plan struct {
 	FwdTw []blas.Vector
 	InvTw []blas.Vector
 
+	// invTw0Scaled is InvTw[0] with N^-1 folded in, so InverseInto can
+	// apply the 1/N scale inside its final stage instead of a separate
+	// pass over the output.
+	invTw0Scaled blas.Vector
+
 	// Negacyclic twist tables (psi is a primitive 2N-th root with
 	// psi^2 = omega): Twist[j] = psi^j, Untwist[j] = psi^-j * N^-1.
 	Psi     u128.U128
 	Twist   blas.Vector
 	Untwist blas.Vector
+
+	// scratch pools *nttScratch ping-pong buffer pairs so steady-state
+	// transforms allocate nothing.
+	scratch sync.Pool
 }
 
 // NewPlan builds a plan for n-point transforms modulo mod.Q. n must be a
@@ -76,6 +106,12 @@ func NewPlan(mod *modmath.Modulus128, n int) (*Plan, error) {
 	}
 	p.buildStageTables()
 	p.buildTwistTables()
+	p.scratch.New = func() any {
+		return &nttScratch{
+			a: make([]u128.U128, n),
+			b: make([]u128.U128, n),
+		}
+	}
 	return p, nil
 }
 
@@ -123,6 +159,11 @@ func (p *Plan) buildStageTables() {
 		p.FwdTw[s] = fw
 		p.InvTw[s] = iv
 	}
+	scaled := blas.NewVector(half)
+	for i := 0; i < half; i++ {
+		scaled.Set(i, mod.Mul(p.InvTw[0].At(i), p.NInv))
+	}
+	p.invTw0Scaled = scaled
 }
 
 func (p *Plan) buildTwistTables() {

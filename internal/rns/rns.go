@@ -41,7 +41,7 @@ func NewContext(primeBits, count, n int) (*Context, error) {
 	c := &Context{N: n, Q: big.NewInt(1)}
 	for _, p := range primes {
 		mod := modmath.MustModulus64(p)
-		plan, err := ntt.NewPlan64(mod, n)
+		plan, err := ntt.CachedPlan64(mod, n)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +113,9 @@ func (c *Context) PolyMulNegacyclic(a, b Poly) (Poly, error) {
 	}
 	out := Poly{Res: make([][]uint64, c.Channels())}
 	for i, plan := range c.Plans {
-		out.Res[i] = plan.PolyMulNegacyclic(a.Res[i], b.Res[i])
+		row := make([]uint64, c.N)
+		plan.PolyMulNegacyclicInto(row, a.Res[i], b.Res[i])
+		out.Res[i] = row
 	}
 	return out, nil
 }
@@ -191,7 +193,9 @@ func (c *Context) NTT(a Poly) (Poly, error) {
 	}
 	out := Poly{Res: make([][]uint64, c.Channels())}
 	for i, plan := range c.Plans {
-		out.Res[i] = plan.Forward(a.Res[i])
+		row := make([]uint64, c.N)
+		plan.ForwardInto(row, a.Res[i])
+		out.Res[i] = row
 	}
 	return out, nil
 }
@@ -203,7 +207,9 @@ func (c *Context) INTT(a Poly) (Poly, error) {
 	}
 	out := Poly{Res: make([][]uint64, c.Channels())}
 	for i, plan := range c.Plans {
-		out.Res[i] = plan.Inverse(a.Res[i])
+		row := make([]uint64, c.N)
+		plan.InverseInto(row, a.Res[i])
+		out.Res[i] = row
 	}
 	return out, nil
 }
