@@ -30,6 +30,7 @@ import (
 	"mqxgo/internal/ntt"
 	"mqxgo/internal/perfmodel"
 	"mqxgo/internal/pisa"
+	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 )
 
@@ -558,4 +559,56 @@ func BenchmarkButterflyModelAllTiers(b *testing.B) {
 		}
 		b.ReportMetric(v, "model-ns/bf-"+k.level.String()+"-"+tag)
 	}
+}
+
+// benchRNSContext builds a k-tower RNS context with deterministic
+// operands for the tower-parallel multiply benchmarks.
+func benchRNSContext(b *testing.B, k, n int) (*rns.Context, rns.Poly, rns.Poly, rns.Poly) {
+	b.Helper()
+	c, err := rns.NewContext(59, k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ra, rb, dst := c.NewPoly(), c.NewPoly(), c.NewPoly()
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			ra.Res[i][j] = uint64(j*2847+i*13) % c.Mods[i].Q
+			rb.Res[i][j] = uint64(j*9176+i*7) % c.Mods[i].Q
+		}
+	}
+	return c, ra, rb, dst
+}
+
+// BenchmarkRNSMulAllSeqK4N4096 is the zero-allocation sequential tower
+// loop: the baseline the parallel dispatch is judged against.
+func BenchmarkRNSMulAllSeqK4N4096(b *testing.B) {
+	c, ra, rb, dst := benchRNSContext(b, 4, 1<<12)
+	if err := c.MulAll(dst, ra, rb, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MulAll(dst, ra, rb, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/4, "ns/tower")
+}
+
+// BenchmarkRNSMulAllParK4N4096 dispatches all four towers through the
+// shared worker pool as one batch (the PR 2 acceptance configuration:
+// within 10% of 4x the single-tower baseline on one core, faster on
+// many).
+func BenchmarkRNSMulAllParK4N4096(b *testing.B) {
+	c, ra, rb, dst := benchRNSContext(b, 4, 1<<12)
+	if err := c.MulAll(dst, ra, rb, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.MulAll(dst, ra, rb, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/4, "ns/tower")
 }

@@ -9,9 +9,15 @@
 // unbuffered channel. Outputs are cross-checked against the new engine
 // before anything is timed.
 //
+// A second report (BENCH_PR2.json) benchmarks the paper's two hardware
+// philosophies head to head on the generic ring engine: 128-bit
+// double-word negacyclic multiplies versus k-tower RNS multiplies
+// (tower-parallel MulAll against k x the single-tower sequential
+// baseline) at n in {1024, 4096, 16384} and k in {2, 3, 4}.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-n 4096] [-batch 64] [-workers 8]
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 
 	"mqxgo/internal/core"
 	"mqxgo/internal/ntt"
+	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 	"mqxgo/internal/u256"
 )
@@ -123,6 +130,7 @@ type opResult struct {
 
 func main() {
 	out := flag.String("out", "BENCH_PR1.json", "output path")
+	out2 := flag.String("out2", "BENCH_PR2.json", "128-bit vs RNS report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -222,6 +230,139 @@ func main() {
 		results["batch_forward_pool"].NsPerOp/float64(*batch),
 		results["batch_forward_seed"].NsPerOp/float64(*batch),
 		report["speedups"].(map[string]float64)["batch_throughput_vs_seed"])
+
+	if *out2 != "" {
+		if err := runBackendComparison(ctx, *out2); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// rnsRow is the per-(n, k) comparison: the tower-parallel MulAll against
+// both k x the single-tower sequential baseline (dispatch overhead) and
+// the 128-bit double-word multiply at the same n (the paper's
+// architectural trade-off).
+type rnsRow struct {
+	Towers          int     `json:"towers"`
+	SingleTowerNs   float64 `json:"single_tower_polymul_ns"`
+	MulAllSeqNs     float64 `json:"mulall_seq_ns"`
+	MulAllParNs     float64 `json:"mulall_par_ns"`
+	ParVsKxSingle   float64 `json:"par_vs_kx_single"` // mulall_par / (k * single_tower); <= 1.1 is the acceptance bar
+	RNSParVsU128    float64 `json:"rns_par_vs_u128"`  // mulall_par / u128_polymul
+	MulAllParAllocs float64 `json:"mulall_par_allocs_per_op"`
+	MulAllSeqAllocs float64 `json:"mulall_seq_allocs_per_op"`
+}
+
+// runBackendComparison benchmarks 128-bit negacyclic multiplies against
+// k-tower RNS multiplies on the shared generic engine and writes the PR 2
+// report.
+func runBackendComparison(ctx *core.Context, path string) error {
+	sizes := []int{1024, 4096, 16384}
+	towerCounts := []int{2, 3, 4}
+	results := map[string]any{}
+	var gate4096k4 float64
+
+	for _, n := range sizes {
+		plan, err := ctx.Plan(n)
+		if err != nil {
+			return err
+		}
+		a128 := make([]u128.U128, n)
+		b128 := make([]u128.U128, n)
+		v := u128.From64(11)
+		for j := 0; j < n; j++ {
+			a128[j] = v
+			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
+			b128[j] = v
+			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
+		}
+		dst128 := make([]u128.U128, n)
+		u128Res := perUnit(bench(func() { plan.PolyMulNegacyclicInto(dst128, a128, b128) }),
+			allocs(func() { plan.PolyMulNegacyclicInto(dst128, a128, b128) }), 1, "")
+
+		rows := map[string]rnsRow{}
+		for _, k := range towerCounts {
+			c, err := rns.NewContext(59, k, n)
+			if err != nil {
+				return err
+			}
+			ra, rb, dst := c.NewPoly(), c.NewPoly(), c.NewPoly()
+			seq := c.NewPoly()
+			for i := 0; i < k; i++ {
+				for j := 0; j < n; j++ {
+					ra.Res[i][j] = uint64(j*2847+i*13) % c.Mods[i].Q
+					rb.Res[i][j] = uint64(j*9176+i*7) % c.Mods[i].Q
+				}
+			}
+			// Gate: parallel and sequential tower dispatch must agree.
+			if err := c.MulAll(dst, ra, rb, 0); err != nil {
+				return err
+			}
+			if err := c.MulAll(seq, ra, rb, 1); err != nil {
+				return err
+			}
+			for i := 0; i < k; i++ {
+				for j := 0; j < n; j++ {
+					if dst.Res[i][j] != seq.Res[i][j] {
+						return fmt.Errorf("benchjson: parallel MulAll disagrees with sequential at n=%d k=%d", n, k)
+					}
+				}
+			}
+
+			p0 := c.Plans[0]
+			row0 := make([]uint64, n)
+			t1 := bench(func() { p0.PolyMulNegacyclicInto(row0, ra.Res[0], rb.Res[0]) })
+			tSeq := bench(func() { _ = c.MulAll(dst, ra, rb, 1) })
+			tPar := bench(func() { _ = c.MulAll(dst, ra, rb, 0) })
+			row := rnsRow{
+				Towers:          k,
+				SingleTowerNs:   t1,
+				MulAllSeqNs:     tSeq,
+				MulAllParNs:     tPar,
+				ParVsKxSingle:   tPar / (float64(k) * t1),
+				RNSParVsU128:    tPar / u128Res.NsPerOp,
+				MulAllSeqAllocs: allocs(func() { _ = c.MulAll(dst, ra, rb, 1) }),
+				MulAllParAllocs: allocs(func() { _ = c.MulAll(dst, ra, rb, 0) }),
+			}
+			rows[fmt.Sprintf("k%d", k)] = row
+			if n == 4096 && k == 4 {
+				gate4096k4 = row.ParVsKxSingle
+			}
+			fmt.Printf("n=%5d k=%d: u128 %.0f ns, rns par %.0f ns (%.2fx of k*single, %.2fx of u128)\n",
+				n, k, u128Res.NsPerOp, tPar, row.ParVsKxSingle, row.RNSParVsU128)
+		}
+		results[fmt.Sprintf("n%d", n)] = map[string]any{
+			"u128_polymul": u128Res,
+			"rns":          rows,
+		}
+	}
+
+	report := map[string]any{
+		"schema":         "mqxgo-bench/v1",
+		"pr":             2,
+		"generated_unix": time.Now().Unix(),
+		"config": map[string]any{
+			"sizes": sizes, "towers": towerCounts, "prime_bits": 59,
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"verified": true,
+		"results":  results,
+		"acceptance": map[string]any{
+			"par_vs_kx_single_n4096_k4": gate4096k4,
+			"within_10pct":              gate4096k4 <= 1.1,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (n=4096 k=4 parallel vs k*single: %.3f)\n", path, gate4096k4)
+	return nil
 }
 
 func bench(f func()) float64 {

@@ -1,0 +1,225 @@
+package fhe
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Poly is an opaque backend-owned polynomial handle: []u128.U128 for the
+// 128-bit ring backend, rns.Poly for the RNS backend. Handles from
+// different backends must never be mixed.
+type Poly any
+
+// Backend is the ring-arithmetic seam the RLWE scheme runs on: the
+// paper's two hardware philosophies — one 124-bit double-word ring versus
+// a basis of 64-bit RNS towers — as swappable implementations. A backend
+// fixes the ring degree N, the ciphertext modulus (q or the tower product
+// Q), and the plaintext modulus T with its scaling factor Delta =
+// floor(q/T); the scheme layer (BackendScheme) never sees coefficients.
+type Backend interface {
+	// Name identifies the backend in benchmarks and reports.
+	Name() string
+	// N is the ring degree.
+	N() int
+	// PlainModulus is the plaintext modulus T.
+	PlainModulus() uint64
+	// NewPoly returns a zero polynomial.
+	NewPoly() Poly
+	// Copy returns an independent copy of a.
+	Copy(a Poly) Poly
+	// Add computes dst = a + b; dst may alias a or b.
+	Add(dst, a, b Poly)
+	// Sub computes dst = a - b; dst may alias a or b.
+	Sub(dst, a, b Poly)
+	// Neg computes dst = -a; dst may alias a.
+	Neg(dst, a Poly)
+	// MulNegacyclic computes dst = a*b in Z_q[x]/(x^N + 1).
+	MulNegacyclic(dst, a, b Poly)
+	// ScalarMul computes dst = k*a for a small integer constant k.
+	ScalarMul(dst, a Poly, k uint64)
+	// SampleUniform overwrites dst with a uniform ring element.
+	SampleUniform(dst Poly, rng *rand.Rand)
+	// SetSigned overwrites dst with small signed coefficients (secret
+	// keys, noise). len(coeffs) must equal N.
+	SetSigned(dst Poly, coeffs []int64)
+	// AddDeltaMsg computes dst = a + Delta*msg for msg coefficients in
+	// [0, T); dst may alias a.
+	AddDeltaMsg(dst, a Poly, msg []uint64)
+	// RoundToPlain recovers round(a / Delta) mod T per coefficient.
+	RoundToPlain(a Poly) []uint64
+	// DeltaBits is the bit length of Delta (the fresh noise budget).
+	DeltaBits() int
+	// NoiseBits returns the bit length of the largest centered noise
+	// magnitude of a - Delta*msg, or 0 when the noise is exactly zero.
+	NoiseBits(a Poly, msg []uint64) int
+}
+
+// BackendSecretKey is a small ternary secret polynomial.
+type BackendSecretKey struct {
+	S Poly
+}
+
+// BackendCiphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M.
+type BackendCiphertext struct {
+	A, B Poly
+}
+
+// BackendScheme is the symmetric-key RLWE ("BFV-style") scheme written
+// once against the Backend seam; fhe.Scheme specializes it to the 128-bit
+// ring for API compatibility. The rand.Rand source keeps examples and
+// tests reproducible; production code would use crypto/rand.
+type BackendScheme struct {
+	B   Backend
+	rng *rand.Rand
+}
+
+// NewBackendScheme builds a scheme on b with the given seed.
+func NewBackendScheme(b Backend, seed int64) *BackendScheme {
+	return &BackendScheme{B: b, rng: rand.New(rand.NewSource(seed))}
+}
+
+// noiseBound bounds the centered error magnitude of fresh encryptions.
+const noiseBound = 8
+
+// KeyGen samples a ternary secret s with coefficients in {-1, 0, 1}.
+func (s *BackendScheme) KeyGen() BackendSecretKey {
+	n := s.B.N()
+	coeffs := make([]int64, n)
+	for i := range coeffs {
+		switch s.rng.Intn(3) {
+		case 0:
+			coeffs[i] = 0
+		case 1:
+			coeffs[i] = 1
+		default:
+			coeffs[i] = -1
+		}
+	}
+	sk := s.B.NewPoly()
+	s.B.SetSigned(sk, coeffs)
+	return BackendSecretKey{S: sk}
+}
+
+func (s *BackendScheme) checkMsg(msg []uint64) error {
+	if len(msg) != s.B.N() {
+		return fmt.Errorf("fhe: message length %d != N %d", len(msg), s.B.N())
+	}
+	t := s.B.PlainModulus()
+	for _, m := range msg {
+		if m >= t {
+			return fmt.Errorf("fhe: coefficient %d out of plaintext range", m)
+		}
+	}
+	return nil
+}
+
+// Encrypt encrypts a plaintext polynomial with coefficients in [0, T).
+func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphertext, error) {
+	if err := s.checkMsg(msg); err != nil {
+		return BackendCiphertext{}, err
+	}
+	b := s.B
+	a := b.NewPoly()
+	b.SampleUniform(a, s.rng)
+	noise := make([]int64, b.N())
+	for i := range noise {
+		noise[i] = int64(s.rng.Intn(2*noiseBound+1) - noiseBound)
+	}
+	e := b.NewPoly()
+	b.SetSigned(e, noise)
+	bb := b.NewPoly()
+	b.MulNegacyclic(bb, a, sk.S) // A*S
+	b.Add(bb, bb, e)             // + E
+	b.AddDeltaMsg(bb, bb, msg)   // + Delta*M
+	return BackendCiphertext{A: a, B: bb}, nil
+}
+
+// Decrypt recovers the plaintext: round((B - A*S) * T / q) mod T.
+func (s *BackendScheme) Decrypt(sk BackendSecretKey, ct BackendCiphertext) ([]uint64, error) {
+	if ct.A == nil || ct.B == nil {
+		return nil, fmt.Errorf("fhe: malformed ciphertext")
+	}
+	b := s.B
+	noisy := b.NewPoly()
+	b.MulNegacyclic(noisy, ct.A, sk.S)
+	b.Sub(noisy, ct.B, noisy) // B - A*S = Delta*M + E
+	return b.RoundToPlain(noisy), nil
+}
+
+// AddCiphertexts is homomorphic addition: decrypts to the coefficient-wise
+// sum of the plaintexts mod T (noise permitting).
+func (s *BackendScheme) AddCiphertexts(c1, c2 BackendCiphertext) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.Add(out.A, c1.A, c2.A)
+	s.B.Add(out.B, c1.B, c2.B)
+	return out
+}
+
+// SubCiphertexts is homomorphic subtraction.
+func (s *BackendScheme) SubCiphertexts(c1, c2 BackendCiphertext) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.Sub(out.A, c1.A, c2.A)
+	s.B.Sub(out.B, c1.B, c2.B)
+	return out
+}
+
+// Neg negates a ciphertext (decrypts to -m mod T).
+func (s *BackendScheme) Neg(ct BackendCiphertext) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.Neg(out.A, ct.A)
+	s.B.Neg(out.B, ct.B)
+	return out
+}
+
+// MulPlain multiplies a ciphertext by a plaintext polynomial with small
+// coefficients (negacyclic convolution of both components). pt must be a
+// handle from this scheme's backend.
+func (s *BackendScheme) MulPlain(ct BackendCiphertext, pt Poly) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.MulNegacyclic(out.A, ct.A, pt)
+	s.B.MulNegacyclic(out.B, ct.B, pt)
+	return out
+}
+
+// MulScalar multiplies a ciphertext by a small integer constant k
+// (decrypts to k*m mod T, noise permitting: noise grows by a factor k).
+func (s *BackendScheme) MulScalar(ct BackendCiphertext, k uint64) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.ScalarMul(out.A, ct.A, k)
+	s.B.ScalarMul(out.B, ct.B, k)
+	return out
+}
+
+// AddPlain adds a plaintext message to a ciphertext without encrypting it
+// first: only the B component moves, by Delta * m.
+func (s *BackendScheme) AddPlain(ct BackendCiphertext, msg []uint64) (BackendCiphertext, error) {
+	if err := s.checkMsg(msg); err != nil {
+		return BackendCiphertext{}, err
+	}
+	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPoly()}
+	s.B.AddDeltaMsg(out.B, ct.B, msg)
+	return out, nil
+}
+
+// NoiseBudgetBits estimates the remaining noise budget of a ciphertext in
+// bits: log2(Delta / (2*|noise|)) where noise = B - A*S - Delta*m. When it
+// reaches zero, decryption starts failing. Diagnostic only (requires the
+// secret key).
+func (s *BackendScheme) NoiseBudgetBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if len(msg) != s.B.N() {
+		return 0, fmt.Errorf("fhe: message length mismatch")
+	}
+	b := s.B
+	noisy := b.NewPoly()
+	b.MulNegacyclic(noisy, ct.A, sk.S)
+	b.Sub(noisy, ct.B, noisy)
+	nb := b.NoiseBits(noisy, msg)
+	if nb == 0 {
+		return b.DeltaBits(), nil
+	}
+	budget := b.DeltaBits() - nb - 1
+	if budget < 0 {
+		budget = 0
+	}
+	return budget, nil
+}

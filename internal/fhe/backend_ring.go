@@ -1,0 +1,124 @@
+package fhe
+
+import (
+	"math/rand"
+
+	"mqxgo/internal/u128"
+)
+
+// ringBackend runs the scheme on the library's primary configuration: one
+// 124-bit double-word ring with the Barrett-multiplied 128-bit NTT. Its
+// Poly handles are plain []u128.U128, so the legacy Scheme API unwraps
+// them at zero cost.
+type ringBackend struct {
+	p *Params
+}
+
+// NewRingBackend wraps ring parameters as a Backend.
+func NewRingBackend(p *Params) Backend { return ringBackend{p: p} }
+
+func (b ringBackend) Name() string         { return "u128" }
+func (b ringBackend) N() int               { return b.p.N }
+func (b ringBackend) PlainModulus() uint64 { return b.p.T }
+func (b ringBackend) NewPoly() Poly        { return make([]u128.U128, b.p.N) }
+
+func (b ringBackend) Copy(a Poly) Poly {
+	return append([]u128.U128(nil), a.([]u128.U128)...)
+}
+
+func (b ringBackend) Add(dst, a, c Poly) {
+	mod := b.p.Mod
+	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
+	for i := range d {
+		d[i] = mod.Add(x[i], y[i])
+	}
+}
+
+func (b ringBackend) Sub(dst, a, c Poly) {
+	mod := b.p.Mod
+	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
+	for i := range d {
+		d[i] = mod.Sub(x[i], y[i])
+	}
+}
+
+func (b ringBackend) Neg(dst, a Poly) {
+	mod := b.p.Mod
+	d, x := dst.([]u128.U128), a.([]u128.U128)
+	for i := range d {
+		d[i] = mod.Neg(x[i])
+	}
+}
+
+func (b ringBackend) MulNegacyclic(dst, a, c Poly) {
+	b.p.plan.PolyMulNegacyclicInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
+}
+
+func (b ringBackend) ScalarMul(dst, a Poly, k uint64) {
+	mod := b.p.Mod
+	kk := u128.From64(k).Mod(mod.Q)
+	d, x := dst.([]u128.U128), a.([]u128.U128)
+	for i := range d {
+		d[i] = mod.Mul(x[i], kk)
+	}
+}
+
+func (b ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
+	mod := b.p.Mod
+	d := dst.([]u128.U128)
+	for i := range d {
+		d[i] = u128.New(rng.Uint64(), rng.Uint64()).Mod(mod.Q)
+	}
+}
+
+func (b ringBackend) SetSigned(dst Poly, coeffs []int64) {
+	mod := b.p.Mod
+	d := dst.([]u128.U128)
+	for i, e := range coeffs {
+		if e >= 0 {
+			d[i] = u128.From64(uint64(e))
+		} else {
+			d[i] = mod.Neg(u128.From64(uint64(-e)))
+		}
+	}
+}
+
+func (b ringBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
+	mod := b.p.Mod
+	d, x := dst.([]u128.U128), a.([]u128.U128)
+	for i := range d {
+		d[i] = mod.Add(x[i], mod.Mul(b.p.Delta, u128.From64(msg[i])))
+	}
+}
+
+func (b ringBackend) RoundToPlain(a Poly) []uint64 {
+	x := a.([]u128.U128)
+	out := make([]uint64, b.p.N)
+	half, _ := b.p.Delta.DivMod64(2)
+	for i := range x {
+		// Round to the nearest multiple of Delta.
+		q, _ := x[i].Add(half).DivMod(b.p.Delta)
+		out[i] = q.Lo % b.p.T
+	}
+	return out
+}
+
+func (b ringBackend) DeltaBits() int { return b.p.Delta.BitLen() }
+
+func (b ringBackend) NoiseBits(a Poly, msg []uint64) int {
+	mod := b.p.Mod
+	x := a.([]u128.U128)
+	halfQ := mod.Q.Rsh(1)
+	maxNoise := u128.Zero
+	for i := range x {
+		noise := mod.Sub(x[i], mod.Mul(b.p.Delta, u128.From64(msg[i]%b.p.T)))
+		// Centered magnitude.
+		if halfQ.Less(noise) {
+			noise = mod.Q.Sub(noise)
+		}
+		if maxNoise.Less(noise) {
+			maxNoise = noise
+		}
+	}
+	return maxNoise.BitLen()
+}

@@ -1,0 +1,173 @@
+package fhe
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"mqxgo/internal/rns"
+)
+
+// rnsBackend runs the identical scheme on a basis of 64-bit RNS towers —
+// the conventional-hardware philosophy the paper contrasts with double-word
+// residues. Ciphertext polynomials stay decomposed (rns.Poly) through
+// every homomorphic operation; the CRT is only applied at decryption
+// rounding and noise diagnostics, where the full-width value is needed.
+type rnsBackend struct {
+	c *rns.Context
+	t uint64
+
+	delta     *big.Int // floor(Q / T), the plaintext scaling factor
+	deltaResT []uint64 // deltaResT[i] = Delta mod q_i
+	halfDelta *big.Int
+	halfQ     *big.Int
+	deltaBits int
+}
+
+// NewRNSBackend wraps an RNS context and plaintext modulus t as a
+// Backend. t must be at least 2, below every basis prime (so plaintext
+// residues are reduced in every tower), and small enough that Delta =
+// floor(Q/t) is nonzero.
+func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
+	}
+	for _, mod := range c.Mods {
+		if t >= mod.Q {
+			return nil, fmt.Errorf("fhe: plaintext modulus %d not below tower prime %d", t, mod.Q)
+		}
+	}
+	delta := new(big.Int).Div(c.Q, new(big.Int).SetUint64(t))
+	if delta.Sign() == 0 {
+		return nil, fmt.Errorf("fhe: plaintext modulus %d too large for Q", t)
+	}
+	b := &rnsBackend{
+		c:         c,
+		t:         t,
+		delta:     delta,
+		halfDelta: new(big.Int).Rsh(delta, 1),
+		halfQ:     new(big.Int).Rsh(c.Q, 1),
+		deltaBits: delta.BitLen(),
+	}
+	qb := new(big.Int)
+	for _, mod := range c.Mods {
+		b.deltaResT = append(b.deltaResT, qb.Mod(delta, new(big.Int).SetUint64(mod.Q)).Uint64())
+	}
+	return b, nil
+}
+
+func (b *rnsBackend) Name() string {
+	return fmt.Sprintf("rns-k%d", b.c.Channels())
+}
+
+func (b *rnsBackend) N() int               { return b.c.N }
+func (b *rnsBackend) PlainModulus() uint64 { return b.t }
+func (b *rnsBackend) NewPoly() Poly        { return b.c.NewPoly() }
+
+func (b *rnsBackend) Copy(a Poly) Poly {
+	out := b.c.NewPoly()
+	for i, row := range a.(rns.Poly).Res {
+		copy(out.Res[i], row)
+	}
+	return out
+}
+
+// must panics on shape errors: backend handles are always
+// context-shaped, so an error here is a mixed-backend bug.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func (b *rnsBackend) Add(dst, a, c Poly) {
+	must(b.c.AddInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
+}
+
+func (b *rnsBackend) Sub(dst, a, c Poly) {
+	must(b.c.SubInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
+}
+
+func (b *rnsBackend) Neg(dst, a Poly) {
+	must(b.c.NegInto(dst.(rns.Poly), a.(rns.Poly)))
+}
+
+func (b *rnsBackend) MulNegacyclic(dst, a, c Poly) {
+	must(b.c.MulAll(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly), 0))
+}
+
+func (b *rnsBackend) ScalarMul(dst, a Poly, k uint64) {
+	must(b.c.ScalarMulUint64Into(dst.(rns.Poly), a.(rns.Poly), k))
+}
+
+// SampleUniform draws independent uniform residues per tower, which by
+// the CRT is exactly a uniform element of Z_Q.
+func (b *rnsBackend) SampleUniform(dst Poly, rng *rand.Rand) {
+	d := dst.(rns.Poly)
+	for i, mod := range b.c.Mods {
+		row := d.Res[i]
+		for j := range row {
+			row[j] = rng.Uint64() % mod.Q
+		}
+	}
+}
+
+func (b *rnsBackend) SetSigned(dst Poly, coeffs []int64) {
+	d := dst.(rns.Poly)
+	for i, mod := range b.c.Mods {
+		row := d.Res[i]
+		for j, e := range coeffs {
+			if e >= 0 {
+				row[j] = uint64(e) % mod.Q
+			} else {
+				row[j] = mod.Neg(uint64(-e) % mod.Q)
+			}
+		}
+	}
+}
+
+func (b *rnsBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
+	d, x := dst.(rns.Poly), a.(rns.Poly)
+	for i, mod := range b.c.Mods {
+		dr, xr := d.Res[i], x.Res[i]
+		delta := b.deltaResT[i]
+		for j := range dr {
+			dr[j] = mod.Add(xr[j], mod.Mul(delta, msg[j]))
+		}
+	}
+}
+
+func (b *rnsBackend) RoundToPlain(a Poly) []uint64 {
+	coeffs := make([]*big.Int, b.c.N)
+	must(b.c.ReconstructInto(coeffs, a.(rns.Poly)))
+	out := make([]uint64, b.c.N)
+	for i, x := range coeffs {
+		// Round to the nearest multiple of Delta.
+		x.Add(x, b.halfDelta).Div(x, b.delta)
+		out[i] = x.Uint64() % b.t
+	}
+	return out
+}
+
+func (b *rnsBackend) DeltaBits() int { return b.deltaBits }
+
+func (b *rnsBackend) NoiseBits(a Poly, msg []uint64) int {
+	coeffs := make([]*big.Int, b.c.N)
+	must(b.c.ReconstructInto(coeffs, a.(rns.Poly)))
+	noise := new(big.Int)
+	maxBits := 0
+	for i, x := range coeffs {
+		noise.SetUint64(msg[i] % b.t)
+		noise.Mul(noise, b.delta)
+		noise.Sub(x, noise)
+		noise.Mod(noise, b.c.Q)
+		// Centered magnitude.
+		if noise.Cmp(b.halfQ) > 0 {
+			noise.Sub(b.c.Q, noise)
+		}
+		if bl := noise.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	return maxBits
+}

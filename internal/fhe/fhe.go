@@ -1,9 +1,11 @@
 // Package fhe implements a toy symmetric-key RLWE ("BFV-style") encryption
-// scheme on top of the library's 128-bit negacyclic NTT — the application
-// domain that motivates the paper (Section 1). It demonstrates that the
-// optimized kernels compose into the polynomial pipelines real FHE schemes
-// are built from: keygen, encrypt, decrypt, homomorphic addition and
-// plaintext multiplication.
+// scheme — the application domain that motivates the paper (Section 1). The
+// scheme logic lives once in BackendScheme, written against the Backend
+// seam (backend.go), so the identical keygen/encrypt/decrypt/homomorphic
+// pipeline runs on either of the paper's two hardware philosophies: the
+// 128-bit double-word ring (NewRingBackend) or a basis of 64-bit RNS
+// towers (NewRNSBackend). Scheme is the historical 128-bit-ring API, kept
+// as a thin specialization.
 //
 // This is an educational scheme: parameters are chosen for correctness
 // demonstrations, not for standardized security levels.
@@ -11,7 +13,6 @@ package fhe
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/ntt"
@@ -55,116 +56,64 @@ type Ciphertext struct {
 	A, B []u128.U128
 }
 
-// Scheme bundles parameters with a deterministic randomness source
-// (rand.Rand keeps examples and tests reproducible; production code would
-// use crypto/rand).
+// Scheme is the RLWE scheme on the 128-bit ring backend: a compatibility
+// specialization of BackendScheme whose keys and ciphertexts expose their
+// []u128.U128 coefficients directly.
 type Scheme struct {
-	P   *Params
-	rng *rand.Rand
+	P  *Params
+	bs *BackendScheme
 }
 
 // NewScheme builds a scheme with the given seed.
 func NewScheme(p *Params, seed int64) *Scheme {
-	return &Scheme{P: p, rng: rand.New(rand.NewSource(seed))}
+	return &Scheme{P: p, bs: NewBackendScheme(NewRingBackend(p), seed)}
+}
+
+// Backend returns the generic scheme this wrapper delegates to.
+func (s *Scheme) Backend() *BackendScheme { return s.bs }
+
+func wrapCT(ct Ciphertext) BackendCiphertext { return BackendCiphertext{A: ct.A, B: ct.B} }
+
+func unwrapCT(ct BackendCiphertext) Ciphertext {
+	return Ciphertext{A: ct.A.([]u128.U128), B: ct.B.([]u128.U128)}
 }
 
 // KeyGen samples a ternary secret s with coefficients in {-1, 0, 1}.
 func (s *Scheme) KeyGen() SecretKey {
-	mod := s.P.Mod
-	sk := make([]u128.U128, s.P.N)
-	for i := range sk {
-		switch s.rng.Intn(3) {
-		case 0:
-			sk[i] = u128.Zero
-		case 1:
-			sk[i] = u128.One
-		default:
-			sk[i] = mod.Neg(u128.One)
-		}
-	}
-	return SecretKey{S: sk}
-}
-
-// uniformPoly samples a uniform element of R_q.
-func (s *Scheme) uniformPoly() []u128.U128 {
-	mod := s.P.Mod
-	out := make([]u128.U128, s.P.N)
-	for i := range out {
-		out[i] = u128.New(s.rng.Uint64(), s.rng.Uint64()).Mod(mod.Q)
-	}
-	return out
-}
-
-// noisePoly samples a small centered error with |e| <= noiseBound.
-const noiseBound = 8
-
-func (s *Scheme) noisePoly() []u128.U128 {
-	mod := s.P.Mod
-	out := make([]u128.U128, s.P.N)
-	for i := range out {
-		e := s.rng.Intn(2*noiseBound+1) - noiseBound
-		if e >= 0 {
-			out[i] = u128.From64(uint64(e))
-		} else {
-			out[i] = mod.Neg(u128.From64(uint64(-e)))
-		}
-	}
-	return out
+	return SecretKey{S: s.bs.KeyGen().S.([]u128.U128)}
 }
 
 // Encrypt encrypts a plaintext polynomial with coefficients in [0, T).
 func (s *Scheme) Encrypt(sk SecretKey, msg []uint64) (Ciphertext, error) {
-	p := s.P
-	if len(msg) != p.N {
-		return Ciphertext{}, fmt.Errorf("fhe: message length %d != N %d", len(msg), p.N)
+	ct, err := s.bs.Encrypt(BackendSecretKey{S: sk.S}, msg)
+	if err != nil {
+		return Ciphertext{}, err
 	}
-	mod := p.Mod
-	a := s.uniformPoly()
-	e := s.noisePoly()
-	as := make([]u128.U128, p.N)
-	p.plan.PolyMulNegacyclicInto(as, a, sk.S)
-	b := make([]u128.U128, p.N)
-	for i := 0; i < p.N; i++ {
-		if msg[i] >= p.T {
-			return Ciphertext{}, fmt.Errorf("fhe: coefficient %d out of plaintext range", msg[i])
-		}
-		scaled := mod.Mul(p.Delta, u128.From64(msg[i]))
-		b[i] = mod.Add(mod.Add(as[i], e[i]), scaled)
-	}
-	return Ciphertext{A: a, B: b}, nil
+	return unwrapCT(ct), nil
 }
 
 // Decrypt recovers the plaintext: round((B - A*S) * T / q) mod T.
 func (s *Scheme) Decrypt(sk SecretKey, ct Ciphertext) ([]uint64, error) {
-	p := s.P
-	if len(ct.A) != p.N || len(ct.B) != p.N {
+	if len(ct.A) != s.P.N || len(ct.B) != s.P.N {
 		return nil, fmt.Errorf("fhe: malformed ciphertext")
 	}
-	mod := p.Mod
-	as := make([]u128.U128, p.N)
-	p.plan.PolyMulNegacyclicInto(as, ct.A, sk.S)
-	out := make([]uint64, p.N)
-	half, _ := p.Delta.DivMod64(2)
-	for i := 0; i < p.N; i++ {
-		noisy := mod.Sub(ct.B[i], as[i]) // Delta*m + e
-		// Round to the nearest multiple of Delta.
-		q, _ := noisy.Add(half).DivMod(p.Delta)
-		out[i] = q.Lo % p.T
-	}
-	return out, nil
+	return s.bs.Decrypt(BackendSecretKey{S: sk.S}, wrapCT(ct))
 }
 
 // AddCiphertexts is homomorphic addition: decrypts to the coefficient-wise
 // sum of the plaintexts mod T (noise permitting).
 func (s *Scheme) AddCiphertexts(c1, c2 Ciphertext) Ciphertext {
-	mod := s.P.Mod
-	n := s.P.N
-	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
-	for i := 0; i < n; i++ {
-		out.A[i] = mod.Add(c1.A[i], c2.A[i])
-		out.B[i] = mod.Add(c1.B[i], c2.B[i])
-	}
-	return out
+	return unwrapCT(s.bs.AddCiphertexts(wrapCT(c1), wrapCT(c2)))
+}
+
+// SubCiphertexts is homomorphic subtraction.
+func (s *Scheme) SubCiphertexts(c1, c2 Ciphertext) Ciphertext {
+	return unwrapCT(s.bs.SubCiphertexts(wrapCT(c1), wrapCT(c2)))
+}
+
+// Neg negates a ciphertext (decrypts to -m mod T).
+func (s *Scheme) Neg(ct Ciphertext) Ciphertext {
+	return unwrapCT(s.bs.Neg(wrapCT(ct)))
 }
 
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
@@ -173,69 +122,23 @@ func (s *Scheme) MulPlain(ct Ciphertext, pt []u128.U128) (Ciphertext, error) {
 	if len(pt) != s.P.N {
 		return Ciphertext{}, fmt.Errorf("fhe: plaintext length mismatch")
 	}
-	out := Ciphertext{
-		A: make([]u128.U128, s.P.N),
-		B: make([]u128.U128, s.P.N),
-	}
-	s.P.plan.PolyMulNegacyclicInto(out.A, ct.A, pt)
-	s.P.plan.PolyMulNegacyclicInto(out.B, ct.B, pt)
-	return out, nil
-}
-
-// SubCiphertexts is homomorphic subtraction.
-func (s *Scheme) SubCiphertexts(c1, c2 Ciphertext) Ciphertext {
-	mod := s.P.Mod
-	n := s.P.N
-	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
-	for i := 0; i < n; i++ {
-		out.A[i] = mod.Sub(c1.A[i], c2.A[i])
-		out.B[i] = mod.Sub(c1.B[i], c2.B[i])
-	}
-	return out
-}
-
-// Neg negates a ciphertext (decrypts to -m mod T).
-func (s *Scheme) Neg(ct Ciphertext) Ciphertext {
-	mod := s.P.Mod
-	n := s.P.N
-	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
-	for i := 0; i < n; i++ {
-		out.A[i] = mod.Neg(ct.A[i])
-		out.B[i] = mod.Neg(ct.B[i])
-	}
-	return out
-}
-
-// AddPlain adds a plaintext message to a ciphertext without encrypting it
-// first: only the B component moves, by Delta * m.
-func (s *Scheme) AddPlain(ct Ciphertext, msg []uint64) (Ciphertext, error) {
-	p := s.P
-	if len(msg) != p.N {
-		return Ciphertext{}, fmt.Errorf("fhe: message length %d != N %d", len(msg), p.N)
-	}
-	mod := p.Mod
-	out := Ciphertext{A: append([]u128.U128(nil), ct.A...), B: make([]u128.U128, p.N)}
-	for i := 0; i < p.N; i++ {
-		if msg[i] >= p.T {
-			return Ciphertext{}, fmt.Errorf("fhe: coefficient %d out of plaintext range", msg[i])
-		}
-		out.B[i] = mod.Add(ct.B[i], mod.Mul(p.Delta, u128.From64(msg[i])))
-	}
-	return out, nil
+	return unwrapCT(s.bs.MulPlain(wrapCT(ct), pt)), nil
 }
 
 // MulScalar multiplies a ciphertext by a small integer constant k
 // (decrypts to k*m mod T, noise permitting: noise grows by a factor k).
 func (s *Scheme) MulScalar(ct Ciphertext, k uint64) Ciphertext {
-	mod := s.P.Mod
-	n := s.P.N
-	kk := u128.From64(k).Mod(mod.Q)
-	out := Ciphertext{A: make([]u128.U128, n), B: make([]u128.U128, n)}
-	for i := 0; i < n; i++ {
-		out.A[i] = mod.Mul(ct.A[i], kk)
-		out.B[i] = mod.Mul(ct.B[i], kk)
+	return unwrapCT(s.bs.MulScalar(wrapCT(ct), k))
+}
+
+// AddPlain adds a plaintext message to a ciphertext without encrypting it
+// first: only the B component moves, by Delta * m.
+func (s *Scheme) AddPlain(ct Ciphertext, msg []uint64) (Ciphertext, error) {
+	out, err := s.bs.AddPlain(wrapCT(ct), msg)
+	if err != nil {
+		return Ciphertext{}, err
 	}
-	return out
+	return unwrapCT(out), nil
 }
 
 // NoiseBudgetBits estimates the remaining noise budget of a ciphertext in
@@ -243,32 +146,5 @@ func (s *Scheme) MulScalar(ct Ciphertext, k uint64) Ciphertext {
 // reaches zero, decryption starts failing. Diagnostic only (requires the
 // secret key).
 func (s *Scheme) NoiseBudgetBits(sk SecretKey, ct Ciphertext, msg []uint64) (int, error) {
-	p := s.P
-	if len(msg) != p.N {
-		return 0, fmt.Errorf("fhe: message length mismatch")
-	}
-	mod := p.Mod
-	as := make([]u128.U128, p.N)
-	p.plan.PolyMulNegacyclicInto(as, ct.A, sk.S)
-	halfQ := mod.Q.Rsh(1)
-	maxNoise := u128.Zero
-	for i := 0; i < p.N; i++ {
-		noisy := mod.Sub(ct.B[i], as[i])
-		noise := mod.Sub(noisy, mod.Mul(p.Delta, u128.From64(msg[i]%p.T)))
-		// Centered magnitude.
-		if halfQ.Less(noise) {
-			noise = mod.Q.Sub(noise)
-		}
-		if maxNoise.Less(noise) {
-			maxNoise = noise
-		}
-	}
-	if maxNoise.IsZero() {
-		return p.Delta.BitLen(), nil
-	}
-	budget := p.Delta.BitLen() - maxNoise.BitLen() - 1
-	if budget < 0 {
-		budget = 0
-	}
-	return budget, nil
+	return s.bs.NoiseBudgetBits(BackendSecretKey{S: sk.S}, wrapCT(ct), msg)
 }

@@ -1,107 +1,20 @@
 package ntt
 
 import (
-	"runtime"
-	"sync"
-
 	"mqxgo/internal/u128"
 )
 
-// Batched transforms. Real FHE workloads process many independent
-// polynomials at once (Section 6, "towards realizing SOL performance");
-// these helpers fan a batch out across cores with no cross-transform data
-// dependencies, the parallelism regime the paper's speed-of-light model
-// assumes.
-//
-// Dispatch goes through a persistent, lazily-started worker pool: the seed
-// implementation spawned fresh goroutines and sent every transform index
-// over an unbuffered channel on every call, so a 64-transform batch paid
-// 64 channel rendezvous plus the goroutine churn. Here a batch is split
-// into at most `workers` contiguous index ranges — one channel send per
-// range, with the caller running the final range itself — and each range
-// reuses a single scratch set across all of its transforms.
-
-// workerPool is the process-wide transform pool. Workers are started
-// lazily and live for the life of the process; GOMAXPROCS goroutines are
-// enough because transform chunks are pure CPU work. The count is
-// re-checked on every submit so a GOMAXPROCS raise after first use grows
-// the pool instead of capping all future batches at the initial size.
-var workerPool struct {
-	mu      sync.Mutex
-	started int
-	jobs    chan func()
-}
-
-// submitJob hands f to the pool, starting workers as needed. Jobs must
-// not themselves submit to the pool (chunks never do), so the pool cannot
-// deadlock.
-func submitJob(f func()) {
-	workerPool.mu.Lock()
-	if workerPool.jobs == nil {
-		workerPool.jobs = make(chan func(), 256)
-	}
-	if n := runtime.GOMAXPROCS(0); workerPool.started < n {
-		for w := workerPool.started; w < n; w++ {
-			go func() {
-				for job := range workerPool.jobs {
-					job()
-				}
-			}()
-		}
-		workerPool.started = n
-	}
-	workerPool.mu.Unlock()
-	workerPool.jobs <- f
-}
-
-// parallelChunks covers [0, n) with at most `workers` contiguous ranges
-// (0 means GOMAXPROCS) and runs chunk on each, the last on the calling
-// goroutine and the rest on the persistent pool. chunk must be safe for
-// concurrent invocation on disjoint ranges.
-func parallelChunks(n, workers int, chunk func(start, end int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		chunk(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	base, rem := n/workers, n%workers
-	start := 0
-	for w := 0; w < workers; w++ {
-		size := base
-		if w < rem {
-			size++
-		}
-		s, e := start, start+size
-		start = e
-		if w == workers-1 {
-			chunk(s, e)
-			break
-		}
-		wg.Add(1)
-		submitJob(func() {
-			defer wg.Done()
-			chunk(s, e)
-		})
-	}
-	wg.Wait()
-}
+// Batched 128-bit transforms: thin delegations to the generic chunked
+// batch dispatch in internal/ring, which fans a batch of independent
+// transforms across a persistent worker pool (Section 6, "towards
+// realizing SOL performance"). Plan64 exposes the identical surface in
+// ntt64.go.
 
 // BatchForward runs the forward transform over every input, in parallel
 // across at most workers chunks (0 means GOMAXPROCS). Inputs are not
 // modified; results are returned in order.
 func (p *Plan) BatchForward(inputs [][]u128.U128, workers int) [][]u128.U128 {
-	out := allocBatch(p.N, len(inputs))
-	p.BatchForwardInto(out, inputs, workers)
-	return out
+	return p.g.BatchForward(inputs, workers)
 }
 
 // BatchForwardInto is BatchForward with caller-provided destinations:
@@ -109,81 +22,27 @@ func (p *Plan) BatchForward(inputs [][]u128.U128, workers int) [][]u128.U128 {
 // cost (one closure and one scratch checkout per chunk) it allocates
 // nothing.
 func (p *Plan) BatchForwardInto(dst, inputs [][]u128.U128, workers int) {
-	checkBatchLens(len(dst), len(inputs))
-	parallelChunks(len(inputs), workers, func(start, end int) {
-		sc := p.getScratch()
-		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(inputs[i]))
-			p.forwardStages(dst[i], inputs[i], sc)
-		}
-		p.putScratch(sc)
-	})
+	p.g.BatchForwardInto(dst, inputs, workers)
 }
 
 // BatchInverse runs the inverse transform over every input in parallel.
 func (p *Plan) BatchInverse(inputs [][]u128.U128, workers int) [][]u128.U128 {
-	out := allocBatch(p.N, len(inputs))
-	p.BatchInverseInto(out, inputs, workers)
-	return out
+	return p.g.BatchInverse(inputs, workers)
 }
 
 // BatchInverseInto is BatchInverse with caller-provided destinations.
 func (p *Plan) BatchInverseInto(dst, inputs [][]u128.U128, workers int) {
-	checkBatchLens(len(dst), len(inputs))
-	parallelChunks(len(inputs), workers, func(start, end int) {
-		sc := p.getScratch()
-		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(inputs[i]))
-			p.inverseStages(dst[i], inputs[i], sc, true)
-		}
-		p.putScratch(sc)
-	})
+	p.g.BatchInverseInto(dst, inputs, workers)
 }
 
 // BatchPolyMulNegacyclic multiplies pairs[i][0] * pairs[i][1] in
 // Z_q[x]/(x^n + 1) for every pair, in parallel.
 func (p *Plan) BatchPolyMulNegacyclic(pairs [][2][]u128.U128, workers int) [][]u128.U128 {
-	out := allocBatch(p.N, len(pairs))
-	p.BatchPolyMulNegacyclicInto(out, pairs, workers)
-	return out
+	return p.g.BatchPolyMulNegacyclic(pairs, workers)
 }
 
 // BatchPolyMulNegacyclicInto is BatchPolyMulNegacyclic with
 // caller-provided destinations.
 func (p *Plan) BatchPolyMulNegacyclicInto(dst [][]u128.U128, pairs [][2][]u128.U128, workers int) {
-	checkBatchLens(len(dst), len(pairs))
-	parallelChunks(len(pairs), workers, func(start, end int) {
-		poly := p.getScratch()
-		ping := p.getScratch()
-		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(pairs[i][0]))
-			p.checkLen(len(pairs[i][1]))
-			p.polyMulNegacyclicScratch(dst[i], pairs[i][0], pairs[i][1], poly, ping)
-		}
-		p.putScratch(ping)
-		p.putScratch(poly)
-	})
-}
-
-// allocBatch allocates count result rows of length n in one backing array
-// (one allocation, contiguous for the sequential consumer). Note the
-// lifetime consequence: retaining any single returned row keeps the whole
-// batch's backing array live. Callers that keep a few rows long-term and
-// drop the rest should use the *Into variants with their own buffers.
-func allocBatch(n, count int) [][]u128.U128 {
-	flat := make([]u128.U128, n*count)
-	out := make([][]u128.U128, count)
-	for i := range out {
-		out[i] = flat[i*n : (i+1)*n : (i+1)*n]
-	}
-	return out
-}
-
-func checkBatchLens(dst, src int) {
-	if dst != src {
-		panic("ntt: batch destination count does not match input count")
-	}
+	p.g.BatchPolyMulNegacyclicInto(dst, pairs, workers)
 }

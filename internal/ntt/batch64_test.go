@@ -1,0 +1,138 @@
+package ntt
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mqxgo/internal/modmath"
+)
+
+// Plan64 batch API regression tests, mirroring the 128-bit suite in
+// engine_test.go so the 64-bit path is exercised under -race too (the
+// raceEnabled gate in race_on_test.go / race_off_test.go skips only the
+// allocation assertions, which race instrumentation breaks by design).
+
+func testPlan64(t *testing.T, n int) *Plan64 {
+	t.Helper()
+	ps, err := modmath.FindNTTPrimes64(60, uint64(2*n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustPlan64(modmath.MustModulus64(ps[0]), n)
+}
+
+func randPoly64(r *rand.Rand, q uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64() % q
+	}
+	return out
+}
+
+func TestBatch64MatchesSequentialAcrossWorkerCounts(t *testing.T) {
+	const n, batch = 1 << 7, 37 // deliberately not a multiple of the worker counts
+	p := testPlan64(t, n)
+	r := rand.New(rand.NewSource(71))
+	inputs := make([][]uint64, batch)
+	pairs := make([][2][]uint64, batch)
+	for i := range inputs {
+		inputs[i] = randPoly64(r, p.Mod.Q, n)
+		pairs[i] = [2][]uint64{randPoly64(r, p.Mod.Q, n), randPoly64(r, p.Mod.Q, n)}
+	}
+	wantF := make([][]uint64, batch)
+	wantM := make([][]uint64, batch)
+	for i := range inputs {
+		wantF[i] = p.Forward(inputs[i])
+		wantM[i] = p.PolyMulNegacyclic(pairs[i][0], pairs[i][1])
+	}
+	for _, workers := range []int{0, 1, 3, runtime.GOMAXPROCS(0)} {
+		gotF := p.BatchForward(inputs, workers)
+		gotM := p.BatchPolyMulNegacyclic(pairs, workers)
+		for i := range wantF {
+			for j := range wantF[i] {
+				if gotF[i][j] != wantF[i][j] {
+					t.Fatalf("workers=%d: BatchForward[%d][%d] mismatch", workers, i, j)
+				}
+				if gotM[i][j] != wantM[i][j] {
+					t.Fatalf("workers=%d: BatchPolyMul[%d][%d] mismatch", workers, i, j)
+				}
+			}
+		}
+		gotI := p.BatchInverse(gotF, workers)
+		for i := range inputs {
+			for j := range inputs[i] {
+				if gotI[i][j] != inputs[i][j] {
+					t.Fatalf("workers=%d: BatchInverse[%d][%d] did not round-trip", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBatch64IntoMatchesBatch(t *testing.T) {
+	const n, batch = 1 << 6, 9
+	p := testPlan64(t, n)
+	r := rand.New(rand.NewSource(72))
+	inputs := make([][]uint64, batch)
+	dsts := make([][]uint64, batch)
+	for i := range inputs {
+		inputs[i] = randPoly64(r, p.Mod.Q, n)
+		dsts[i] = make([]uint64, n)
+	}
+	p.BatchForwardInto(dsts, inputs, 3)
+	for i := range inputs {
+		want := p.Forward(inputs[i])
+		for j := range want {
+			if dsts[i][j] != want[j] {
+				t.Fatalf("BatchForwardInto[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+	p.BatchInverseInto(dsts, dsts, 3)
+	for i := range inputs {
+		for j := range inputs[i] {
+			if dsts[i][j] != inputs[i][j] {
+				t.Fatalf("BatchInverseInto[%d][%d] did not round-trip", i, j)
+			}
+		}
+	}
+
+	pairs := make([][2][]uint64, batch)
+	for i := range pairs {
+		pairs[i] = [2][]uint64{randPoly64(r, p.Mod.Q, n), randPoly64(r, p.Mod.Q, n)}
+	}
+	p.BatchPolyMulNegacyclicInto(dsts, pairs, 2)
+	for i := range pairs {
+		want := p.PolyMulNegacyclic(pairs[i][0], pairs[i][1])
+		for j := range want {
+			if dsts[i][j] != want[j] {
+				t.Fatalf("BatchPolyMulNegacyclicInto[%d][%d] mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestBatch64IntoAllocsBounded mirrors TestBatchIntoAllocsBounded: the
+// 64-bit batch dispatch must stay at a handful of fixed allocations per
+// call, not O(batch) buffers.
+func TestBatch64IntoAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n, batch = 1 << 8, 32
+	p := testPlan64(t, n)
+	r := rand.New(rand.NewSource(73))
+	inputs := make([][]uint64, batch)
+	dsts := make([][]uint64, batch)
+	for i := range inputs {
+		inputs[i] = randPoly64(r, p.Mod.Q, n)
+		dsts[i] = make([]uint64, n)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	p.BatchForwardInto(dsts, inputs, workers) // warm pool + scratch
+	a := testing.AllocsPerRun(10, func() { p.BatchForwardInto(dsts, inputs, workers) })
+	if limit := float64(4*workers + 8); a > limit {
+		t.Errorf("Plan64.BatchForwardInto allocates %.1f per run, want <= %.0f", a, limit)
+	}
+}

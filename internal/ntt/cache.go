@@ -1,71 +1,53 @@
 package ntt
 
 import (
-	"sync"
-
 	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
 )
 
-// Process-wide plan caches. Building a plan costs O(N log N) modular
-// multiplications for the stage tables; entry points that each construct
-// their own context (cmd/*, examples/*, benchmarks) were rebuilding
-// identical tables. Plans are immutable after construction and safe for
-// concurrent use, so one instance per (q, n, algorithm) serves the whole
-// process. The 128-bit key includes the modulus's multiplication
-// algorithm so a Karatsuba-configured context never receives a plan
-// whose arithmetic context runs Schoolbook (the tables are identical;
-// the transform-time Mul dispatch is not).
-//
-// Entries are retained for the life of the process — the expected
-// workload reuses a handful of (q, n) pairs, and twiddle tables for
-// those must stay resident for the hot path anyway. Long-running
-// processes that churn through many distinct parameter sets can call
-// ResetPlanCaches between phases.
+// Process-wide plan caching for the compatibility wrappers. The cache
+// itself — one sync.Map keyed by (modulus fingerprint, n) — lives in
+// internal/ring; this file only supplies the wrapper-level fingerprint
+// tags, chosen above ring.TagExternalBase so a cached wrapper never
+// collides with a generic plan cached for the same modulus. The 128-bit
+// tag folds in the modulus's multiplication algorithm so a
+// Karatsuba-configured context never receives a plan whose arithmetic
+// runs Schoolbook (the tables are identical; the transform-time Mul
+// dispatch is not).
 
-type planKey struct {
-	qHi, qLo uint64
-	n        int
-	alg      modmath.MulAlgorithm
-}
-
-var (
-	plans128 sync.Map // planKey -> *Plan
-	plans64  sync.Map // planKey -> *Plan64
+const (
+	tagWrapper128 = ring.TagExternalBase + 0
+	tagWrapper64  = ring.TagExternalBase + 1
 )
 
 // CachedPlan returns the process-wide shared plan for (mod.Q, n), building
 // it on first use.
 func CachedPlan(mod *modmath.Modulus128, n int) (*Plan, error) {
-	k := planKey{qHi: mod.Q.Hi, qLo: mod.Q.Lo, n: n, alg: mod.Alg}
-	if v, ok := plans128.Load(k); ok {
-		return v.(*Plan), nil
+	fp := ring.Fingerprint{
+		QHi: mod.Q.Hi,
+		QLo: mod.Q.Lo,
+		Tag: tagWrapper128 | uint32(mod.Alg)<<16,
 	}
-	p, err := NewPlan(mod, n)
+	v, err := ring.CacheLoadOrBuild(fp, n, func() (any, error) { return NewPlan(mod, n) })
 	if err != nil {
 		return nil, err
 	}
-	v, _ := plans128.LoadOrStore(k, p)
 	return v.(*Plan), nil
 }
 
 // CachedPlan64 returns the process-wide shared 64-bit plan for (mod.Q, n),
 // building it on first use.
 func CachedPlan64(mod *modmath.Modulus64, n int) (*Plan64, error) {
-	k := planKey{qLo: mod.Q, n: n}
-	if v, ok := plans64.Load(k); ok {
-		return v.(*Plan64), nil
-	}
-	p, err := NewPlan64(mod, n)
+	fp := ring.Fingerprint{QLo: mod.Q, Tag: tagWrapper64}
+	v, err := ring.CacheLoadOrBuild(fp, n, func() (any, error) { return NewPlan64(mod, n) })
 	if err != nil {
 		return nil, err
 	}
-	v, _ := plans64.LoadOrStore(k, p)
 	return v.(*Plan64), nil
 }
 
 // ResetPlanCaches drops every cached plan, releasing their twiddle tables
 // to the garbage collector. Plans already held by callers stay valid.
 func ResetPlanCaches() {
-	plans128.Clear()
-	plans64.Clear()
+	ring.ResetPlanCache()
 }

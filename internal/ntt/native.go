@@ -65,21 +65,8 @@ func (p *Plan) PolyMulNegacyclic(a, b []u128.U128) []u128.U128 {
 // PolyMulCyclic multiplies two polynomials in Z_q[x]/(x^n - 1) by plain
 // NTT convolution.
 func (p *Plan) PolyMulCyclic(a, b []u128.U128) []u128.U128 {
-	p.checkLen(len(a))
-	p.checkLen(len(b))
-	mod := p.Mod
 	out := make([]u128.U128, p.N)
-	sc := p.getScratch()
-	ping := p.getScratch()
-	af, bf := sc.a, sc.b
-	p.forwardStages(af, a, ping)
-	p.forwardStages(bf, b, ping)
-	for j := range af {
-		af[j] = mod.Mul(af[j], bf[j])
-	}
-	p.inverseStages(out, af, ping, true)
-	p.putScratch(ping)
-	p.putScratch(sc)
+	p.g.PolyMulCyclicInto(out, a, b)
 	return out
 }
 

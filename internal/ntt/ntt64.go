@@ -1,22 +1,22 @@
 package ntt
 
 import (
-	"fmt"
-	"sync"
-
 	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
 )
 
 // Plan64 is the single-word (64-bit) NTT plan used by the residue number
 // system substrate (internal/rns): the conventional alternative to 128-bit
-// residues that the paper discusses in Sections 1 and 8. Twiddles carry
-// Shoup precomputations so the hot loop uses the one-correction
-// multiplication.
+// residues that the paper discusses in Sections 1 and 8. It is a thin
+// instantiation of the generic engine in internal/ring over uint64 with
+// Shoup one-correction twiddle multiplication, so it shares the Pease
+// stage loops, pooled scratch, folded 1/N scaling, and the batch worker
+// pool with the 128-bit Plan.
 //
-// Like Plan, Plan64 exposes destination-passing APIs (ForwardInto,
-// InverseInto, PolyMulNegacyclicInto) that allocate nothing in steady
-// state, with the value-returning APIs kept as allocating wrappers. A
-// Plan64 is safe for concurrent use once built.
+// Plan64 exposes the same destination-passing APIs as Plan (ForwardInto,
+// InverseInto, PolyMulNegacyclicInto — nothing allocated in steady state)
+// and the same Batch*/Batch*Into surface. A Plan64 is safe for concurrent
+// use once built.
 type Plan64 struct {
 	Mod *modmath.Modulus64
 	N   int
@@ -25,60 +25,27 @@ type Plan64 struct {
 	Omega    uint64
 	OmegaInv uint64
 	NInv     uint64
+	Psi      uint64
 
-	fwdTw    [][]uint64 // per stage, n/2 twiddles
-	fwdShoup [][]uint64
-	invTw    [][]uint64
-	invShoup [][]uint64
-
-	// Stage-0 inverse twiddles with N^-1 folded in, plus N^-1's own Shoup
-	// constant, so InverseInto scales inside its final stage.
-	invTw0Scaled      []uint64
-	invTw0ScaledShoup []uint64
-	nInvShoup         uint64
-
-	Psi          uint64
-	twist        []uint64
-	twistShoup   []uint64
-	untwist      []uint64 // psi^-j * n^-1
-	untwistShoup []uint64
-
-	scratch sync.Pool // of *scratch64
-}
-
-// scratch64 is one ping-pong buffer pair for the 64-bit engine.
-type scratch64 struct {
-	a, b []uint64
+	g *ring.Plan[uint64, ring.Shoup64]
 }
 
 // NewPlan64 builds an n-point plan modulo mod.Q; 2n must divide q-1.
 func NewPlan64(mod *modmath.Modulus64, n int) (*Plan64, error) {
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("ntt: size %d is not a power of two >= 2", n)
-	}
-	m := 0
-	for 1<<m < n {
-		m++
-	}
-	psi, err := mod.PrimitiveRootOfUnity64(uint64(2 * n))
+	g, err := ring.NewPlan[uint64, ring.Shoup64](ring.NewShoup64(mod), n)
 	if err != nil {
-		return nil, fmt.Errorf("ntt: %w", err)
+		return nil, err
 	}
-	omega := mod.Mul(psi, psi)
-	p := &Plan64{
+	return &Plan64{
 		Mod:      mod,
-		N:        n,
-		M:        m,
-		Omega:    omega,
-		OmegaInv: mod.Inv(omega),
-		NInv:     mod.Inv(uint64(n)),
-		Psi:      psi,
-	}
-	p.build()
-	p.scratch.New = func() any {
-		return &scratch64{a: make([]uint64, n), b: make([]uint64, n)}
-	}
-	return p, nil
+		N:        g.N,
+		M:        g.M,
+		Omega:    g.Omega,
+		OmegaInv: g.OmegaInv,
+		NInv:     g.NInv,
+		Psi:      g.Psi,
+		g:        g,
+	}, nil
 }
 
 // MustPlan64 is NewPlan64 but panics on error.
@@ -90,214 +57,76 @@ func MustPlan64(mod *modmath.Modulus64, n int) *Plan64 {
 	return p
 }
 
-func (p *Plan64) build() {
-	mod := p.Mod
-	half := p.N / 2
-	pow := make([]uint64, p.N)
-	powInv := make([]uint64, p.N)
-	pow[0], powInv[0] = 1, 1
-	for j := 1; j < p.N; j++ {
-		pow[j] = mod.Mul(pow[j-1], p.Omega)
-		powInv[j] = mod.Mul(powInv[j-1], p.OmegaInv)
-	}
-	p.fwdTw = make([][]uint64, p.M)
-	p.fwdShoup = make([][]uint64, p.M)
-	p.invTw = make([][]uint64, p.M)
-	p.invShoup = make([][]uint64, p.M)
-	for s := 0; s < p.M; s++ {
-		fw := make([]uint64, half)
-		fs := make([]uint64, half)
-		iv := make([]uint64, half)
-		is := make([]uint64, half)
-		for i := 0; i < half; i++ {
-			e := (uint64(i) >> uint(s)) << uint(s)
-			fw[i] = pow[e]
-			fs[i] = mod.ShoupPrecompute(fw[i])
-			iv[i] = powInv[e]
-			is[i] = mod.ShoupPrecompute(iv[i])
-		}
-		p.fwdTw[s], p.fwdShoup[s] = fw, fs
-		p.invTw[s], p.invShoup[s] = iv, is
-	}
-	p.invTw0Scaled = make([]uint64, half)
-	p.invTw0ScaledShoup = make([]uint64, half)
-	for i := 0; i < half; i++ {
-		w := mod.Mul(p.invTw[0][i], p.NInv)
-		p.invTw0Scaled[i] = w
-		p.invTw0ScaledShoup[i] = mod.ShoupPrecompute(w)
-	}
-	p.nInvShoup = mod.ShoupPrecompute(p.NInv)
-
-	psiInv := mod.Inv(p.Psi)
-	p.twist = make([]uint64, p.N)
-	p.twistShoup = make([]uint64, p.N)
-	p.untwist = make([]uint64, p.N)
-	p.untwistShoup = make([]uint64, p.N)
-	cur, curInv := uint64(1), p.NInv
-	for j := 0; j < p.N; j++ {
-		p.twist[j] = cur
-		p.twistShoup[j] = mod.ShoupPrecompute(cur)
-		p.untwist[j] = curInv
-		p.untwistShoup[j] = mod.ShoupPrecompute(curInv)
-		cur = mod.Mul(cur, p.Psi)
-		curInv = mod.Mul(curInv, psiInv)
-	}
-}
-
-func (p *Plan64) getScratch() *scratch64  { return p.scratch.Get().(*scratch64) }
-func (p *Plan64) putScratch(s *scratch64) { p.scratch.Put(s) }
+// Generic returns the underlying generic engine plan.
+func (p *Plan64) Generic() *ring.Plan[uint64, ring.Shoup64] { return p.g }
 
 // ForwardInto computes the forward NTT of x (natural order) into dst
 // (bit-reversed order). dst may alias x. Steady-state it allocates
 // nothing.
-func (p *Plan64) ForwardInto(dst, x []uint64) {
-	p.checkLen(len(dst))
-	p.checkLen(len(x))
-	sc := p.getScratch()
-	p.forwardStages(dst, x, sc)
-	p.putScratch(sc)
-}
+func (p *Plan64) ForwardInto(dst, x []uint64) { p.g.ForwardInto(dst, x) }
 
 // InverseInto computes the inverse NTT of y (bit-reversed order) into dst
 // (natural order) with the 1/N scale folded into the final stage. dst may
 // alias y. Steady-state it allocates nothing.
-func (p *Plan64) InverseInto(dst, y []uint64) {
-	p.checkLen(len(dst))
-	p.checkLen(len(y))
-	sc := p.getScratch()
-	p.inverseStages(dst, y, sc, true)
-	p.putScratch(sc)
-}
+func (p *Plan64) InverseInto(dst, y []uint64) { p.g.InverseInto(dst, y) }
 
 // PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
 // twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
 func (p *Plan64) PolyMulNegacyclicInto(dst, a, b []uint64) {
-	p.checkLen(len(dst))
-	p.checkLen(len(a))
-	p.checkLen(len(b))
-	mod := p.Mod
-	poly := p.getScratch()
-	ping := p.getScratch()
-	at, bt := poly.a, poly.b
-	tw := p.twist[:p.N]
-	ts := p.twistShoup[:p.N]
-	for j := range tw {
-		at[j] = mod.MulShoup(a[j], tw[j], ts[j])
-		bt[j] = mod.MulShoup(b[j], tw[j], ts[j])
-	}
-	p.forwardStages(at, at, ping)
-	p.forwardStages(bt, bt, ping)
-	for j := range at {
-		at[j] = mod.Mul(at[j], bt[j])
-	}
-	p.inverseStages(at, at, ping, false)
-	ut := p.untwist[:p.N]
-	us := p.untwistShoup[:p.N]
-	for j := range ut {
-		dst[j] = mod.MulShoup(at[j], ut[j], us[j]) // psi^-j * n^-1
-	}
-	p.putScratch(ping)
-	p.putScratch(poly)
-}
-
-// forwardStages mirrors Plan.forwardStages for single-word residues.
-func (p *Plan64) forwardStages(dst, x []uint64, sc *scratch64) {
-	mod := p.Mod
-	half := p.N >> 1
-	src := x
-	for s := 0; s < p.M; s++ {
-		out := sc.a
-		if s == p.M-1 {
-			out = dst
-		} else if s&1 == 1 {
-			out = sc.b
-		}
-		tw := p.fwdTw[s][:half]
-		sh := p.fwdShoup[s][:half]
-		lo := src[:half]
-		hi := src[half:p.N]
-		o := out[:p.N]
-		for i := range tw {
-			a, b := lo[i], hi[i]
-			d := mod.Sub(a, b)
-			o[2*i] = mod.Add(a, b)
-			o[2*i+1] = mod.MulShoup(d, tw[i], sh[i])
-		}
-		src = out
-	}
-}
-
-// inverseStages mirrors Plan.inverseStages; when scale is true the 1/N
-// factor rides the pre-scaled stage-0 twiddles.
-func (p *Plan64) inverseStages(dst, y []uint64, sc *scratch64, scale bool) {
-	mod := p.Mod
-	half := p.N >> 1
-	src := y
-	k := 0
-	for s := p.M - 1; s >= 0; s-- {
-		out := sc.a
-		if k == p.M-1 {
-			out = dst
-		} else if k&1 == 1 {
-			out = sc.b
-		}
-		tw := p.invTw[s][:half]
-		sh := p.invShoup[s][:half]
-		if s == 0 && scale {
-			tw = p.invTw0Scaled[:half]
-			sh = p.invTw0ScaledShoup[:half]
-		}
-		in := src[:p.N]
-		oLo := out[:half]
-		oHi := out[half:p.N]
-		if s == 0 && scale {
-			nInv, nSh := p.NInv, p.nInvShoup
-			for i := range tw {
-				e, o := in[2*i], in[2*i+1]
-				t := mod.MulShoup(o, tw[i], sh[i]) // twiddle * n^-1 folded
-				es := mod.MulShoup(e, nInv, nSh)
-				oLo[i] = mod.Add(es, t)
-				oHi[i] = mod.Sub(es, t)
-			}
-		} else {
-			for i := range tw {
-				e, o := in[2*i], in[2*i+1]
-				t := mod.MulShoup(o, tw[i], sh[i])
-				oLo[i] = mod.Add(e, t)
-				oHi[i] = mod.Sub(e, t)
-			}
-		}
-		src = out
-		k++
-	}
+	p.g.PolyMulNegacyclicInto(dst, a, b)
 }
 
 // Forward computes the forward NTT (natural in, bit-reversed out). It is
 // an allocating wrapper over ForwardInto.
-func (p *Plan64) Forward(x []uint64) []uint64 {
-	out := make([]uint64, p.N)
-	p.ForwardInto(out, x)
-	return out
-}
+func (p *Plan64) Forward(x []uint64) []uint64 { return p.g.Forward(x) }
 
 // Inverse computes the inverse NTT (bit-reversed in, natural out) with the
 // 1/N scaling applied. It is an allocating wrapper over InverseInto.
-func (p *Plan64) Inverse(y []uint64) []uint64 {
-	out := make([]uint64, p.N)
-	p.InverseInto(out, y)
-	return out
-}
+func (p *Plan64) Inverse(y []uint64) []uint64 { return p.g.Inverse(y) }
 
 // PolyMulNegacyclic multiplies in Z_q[x]/(x^n + 1) via the twisted NTT. It
 // is an allocating wrapper over PolyMulNegacyclicInto.
 func (p *Plan64) PolyMulNegacyclic(a, b []uint64) []uint64 {
+	return p.g.PolyMulNegacyclic(a, b)
+}
+
+// PolyMulCyclic multiplies two polynomials in Z_q[x]/(x^n - 1) by plain
+// NTT convolution.
+func (p *Plan64) PolyMulCyclic(a, b []uint64) []uint64 {
 	out := make([]uint64, p.N)
-	p.PolyMulNegacyclicInto(out, a, b)
+	p.g.PolyMulCyclicInto(out, a, b)
 	return out
 }
 
-func (p *Plan64) checkLen(n int) {
-	if n != p.N {
-		panic("ntt: input length does not match plan size")
-	}
+// BatchForward runs the forward transform over every input, in parallel
+// across at most workers chunks (0 means GOMAXPROCS).
+func (p *Plan64) BatchForward(inputs [][]uint64, workers int) [][]uint64 {
+	return p.g.BatchForward(inputs, workers)
+}
+
+// BatchForwardInto is BatchForward with caller-provided destinations.
+func (p *Plan64) BatchForwardInto(dst, inputs [][]uint64, workers int) {
+	p.g.BatchForwardInto(dst, inputs, workers)
+}
+
+// BatchInverse runs the inverse transform over every input in parallel.
+func (p *Plan64) BatchInverse(inputs [][]uint64, workers int) [][]uint64 {
+	return p.g.BatchInverse(inputs, workers)
+}
+
+// BatchInverseInto is BatchInverse with caller-provided destinations.
+func (p *Plan64) BatchInverseInto(dst, inputs [][]uint64, workers int) {
+	p.g.BatchInverseInto(dst, inputs, workers)
+}
+
+// BatchPolyMulNegacyclic multiplies pairs[i][0] * pairs[i][1] in
+// Z_q[x]/(x^n + 1) for every pair, in parallel.
+func (p *Plan64) BatchPolyMulNegacyclic(pairs [][2][]uint64, workers int) [][]uint64 {
+	return p.g.BatchPolyMulNegacyclic(pairs, workers)
+}
+
+// BatchPolyMulNegacyclicInto is BatchPolyMulNegacyclic with
+// caller-provided destinations.
+func (p *Plan64) BatchPolyMulNegacyclicInto(dst [][]uint64, pairs [][2][]uint64, workers int) {
+	p.g.BatchPolyMulNegacyclicInto(dst, pairs, workers)
 }

@@ -1,34 +1,23 @@
-// Package ntt implements the number theoretic transform over Z_q with
-// 128-bit coefficients, the paper's primary kernel (Sections 2.3 and 3.2).
+// Package ntt exposes the number theoretic transform over Z_q at the two
+// coefficient widths the paper compares: 128-bit double-word residues
+// (Plan, the primary configuration of Sections 2.3 and 3.2) and
+// single-word 64-bit residues with Shoup twiddles (Plan64, the RNS-tower
+// substrate of Sections 1 and 8).
 //
-// All transforms use the Pease constant-geometry dataflow [Pease 1968] the
-// paper builds on: every stage reads butterfly inputs from (i, i + n/2) and
-// writes outputs to (2i, 2i+1) of a ping-pong buffer, so vector loads are
-// always contiguous and only the output interleave needs permute
-// instructions. The forward transform maps natural order to bit-reversed
-// order; the inverse maps bit-reversed back to natural order.
-//
-// Implementations:
-//   - Plan.ForwardInto / InverseInto / PolyMulNegacyclicInto (engine.go):
-//     the zero-steady-state-allocation engine — destination-passing APIs
-//     whose ping-pong scratch comes from a per-plan sync.Pool, whose hot
-//     loops read the SoA twiddle tables through bounds-hoisted Hi/Lo word
-//     slices, and whose inverse folds the 1/N scale into the final stage
-//     instead of a separate pass.
-//   - Plan.ForwardNative / InverseNative / PolyMulNegacyclic: thin
-//     allocating wrappers over the engine, kept for callers that want
-//     value-returning APIs (the measured scalar tier).
-//   - BatchForward / BatchInverse / BatchPolyMulNegacyclic (batch.go):
-//     fan a batch of independent transforms across a persistent,
-//     lazily-started worker pool; work is dispatched as chunked index
-//     ranges so channel traffic is amortized over the whole batch, and
-//     each chunk reuses one scratch set across its transforms.
-//   - CachedPlan / CachedPlan64 (cache.go): a process-wide plan cache
-//     keyed by (q, n), so independent entry points stop rebuilding the
-//     O(N log N) twiddle tables.
-//   - ForwardVM / InverseVM (vmntt.go): generic over a kernels backend,
-//     producing scalar/AVX2/AVX-512/MQX instruction streams on the trace
-//     machine for performance modeling.
+// Both are thin instantiations of the generic engine in internal/ring,
+// which implements the Pease constant-geometry stage loops, pooled
+// ping-pong scratch, negacyclic twist/untwist, folded 1/N scaling, the
+// process-wide plan cache, and the chunk-dispatch batch worker pool
+// exactly once. This package adds the width-specific conveniences:
+//   - Plan / Plan64 (plan.go, ntt64.go): compatibility wrappers carrying
+//     the historical exported fields (SoA blas.Vector twiddle mirrors on
+//     Plan) and delegating every transform to the shared generic engine.
+//   - ForwardInPlace / InverseInPlace (iterative.go): classic in-place
+//     Gentleman-Sande / Cooley-Tukey dataflows that cross-check the
+//     constant-geometry engine.
+//   - ForwardVM / InverseVM (vmntt.go) and Forward64VM (vm64.go): generic
+//     over a kernels backend, producing scalar/AVX2/AVX-512/MQX
+//     instruction streams on the trace machine for performance modeling.
 //   - Reference (reference.go): the O(n^2) definition (Eq. 11), used as
 //     ground truth in tests.
 //
@@ -38,18 +27,18 @@
 package ntt
 
 import (
-	"fmt"
-	"sync"
-
 	"mqxgo/internal/blas"
 	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
 	"mqxgo/internal/u128"
 )
 
-// Plan holds the precomputed tables for size-n transforms modulo q:
-// per-stage constant-geometry twiddle tables for the forward and inverse
-// transforms (SoA layout, ready for contiguous vector loads) and the
-// negacyclic twist tables.
+// Plan holds the precomputed tables for size-n transforms modulo q with
+// 128-bit coefficients. The exported twiddle fields are SoA blas.Vector
+// mirrors of the generic engine's tables, kept for the baseline backends
+// (ForwardWith), the in-place iterative dataflows, and external seed
+// comparators; the transforms themselves run on the embedded generic
+// plan.
 type Plan struct {
 	Mod *modmath.Modulus128
 	N   int // transform size, a power of two >= 2
@@ -63,55 +52,45 @@ type Plan struct {
 	FwdTw []blas.Vector
 	InvTw []blas.Vector
 
-	// invTw0Scaled is InvTw[0] with N^-1 folded in, so InverseInto can
-	// apply the 1/N scale inside its final stage instead of a separate
-	// pass over the output.
-	invTw0Scaled blas.Vector
-
 	// Negacyclic twist tables (psi is a primitive 2N-th root with
 	// psi^2 = omega): Twist[j] = psi^j, Untwist[j] = psi^-j * N^-1.
 	Psi     u128.U128
 	Twist   blas.Vector
 	Untwist blas.Vector
 
-	// scratch pools *nttScratch ping-pong buffer pairs so steady-state
-	// transforms allocate nothing.
-	scratch sync.Pool
+	g *ring.Plan[u128.U128, ring.Barrett128]
 }
 
 // NewPlan builds a plan for n-point transforms modulo mod.Q. n must be a
 // power of two >= 2, and 2n must divide q-1 (the negacyclic twist needs a
 // 2n-th root of unity).
 func NewPlan(mod *modmath.Modulus128, n int) (*Plan, error) {
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("ntt: size %d is not a power of two >= 2", n)
-	}
-	m := 0
-	for 1<<m < n {
-		m++
-	}
-	psi, err := mod.PrimitiveRootOfUnity(uint64(2 * n))
+	g, err := ring.NewPlan[u128.U128, ring.Barrett128](ring.NewBarrett128(mod), n)
 	if err != nil {
-		return nil, fmt.Errorf("ntt: %w", err)
+		return nil, err
 	}
-	omega := mod.Mul(psi, psi)
 	p := &Plan{
 		Mod:      mod,
-		N:        n,
-		M:        m,
-		Omega:    omega,
-		OmegaInv: mod.Inv(omega),
-		NInv:     mod.Inv(u128.From64(uint64(n))),
-		Psi:      psi,
+		N:        g.N,
+		M:        g.M,
+		Omega:    g.Omega,
+		OmegaInv: g.OmegaInv,
+		NInv:     g.NInv,
+		Psi:      g.Psi,
+		g:        g,
 	}
-	p.buildStageTables()
-	p.buildTwistTables()
-	p.scratch.New = func() any {
-		return &nttScratch{
-			a: make([]u128.U128, n),
-			b: make([]u128.U128, n),
-		}
+	p.FwdTw = make([]blas.Vector, g.M)
+	p.InvTw = make([]blas.Vector, g.M)
+	for s := 0; s < g.M; s++ {
+		fw, _ := g.FwdStage(s)
+		iv, _ := g.InvStage(s)
+		p.FwdTw[s] = blas.FromSlice(fw)
+		p.InvTw[s] = blas.FromSlice(iv)
 	}
+	tw, _ := g.TwistTable()
+	utw, _ := g.UntwistTable()
+	p.Twist = blas.FromSlice(tw)
+	p.Untwist = blas.FromSlice(utw)
 	return p, nil
 }
 
@@ -124,63 +103,24 @@ func MustPlan(mod *modmath.Modulus128, n int) *Plan {
 	return p
 }
 
-// stageExp returns the twiddle exponent for butterfly i of stage s in the
-// constant-geometry dataflow. After s interleaving stages, the low s bits
-// of i select which size-(n/2^s) sub-transform the butterfly belongs to and
-// i>>s is the position within it, so the twiddle is
-// omega_{n/2^s}^(i>>s) = omega^((i>>s) * 2^s).
-func (p *Plan) stageExp(s, i int) uint64 {
-	return (uint64(i) >> uint(s)) << uint(s)
-}
+// Generic returns the underlying generic engine plan, for callers that
+// batch across plans (RNS towers) or instantiate width-agnostic code.
+func (p *Plan) Generic() *ring.Plan[u128.U128, ring.Barrett128] { return p.g }
 
-func (p *Plan) buildStageTables() {
-	mod := p.Mod
-	half := p.N / 2
-	// Power tables for omega and omega^-1 up to n/2 exponents, built by
-	// repeated multiplication (exponents in stageExp are < n/2... they are
-	// < n; bound them by n).
-	pow := make([]u128.U128, p.N)
-	powInv := make([]u128.U128, p.N)
-	pow[0], powInv[0] = u128.One, u128.One
-	for j := 1; j < p.N; j++ {
-		pow[j] = mod.Mul(pow[j-1], p.Omega)
-		powInv[j] = mod.Mul(powInv[j-1], p.OmegaInv)
-	}
-	p.FwdTw = make([]blas.Vector, p.M)
-	p.InvTw = make([]blas.Vector, p.M)
-	for s := 0; s < p.M; s++ {
-		fw := blas.NewVector(half)
-		iv := blas.NewVector(half)
-		for i := 0; i < half; i++ {
-			e := p.stageExp(s, i)
-			fw.Set(i, pow[e])
-			iv.Set(i, powInv[e])
-		}
-		p.FwdTw[s] = fw
-		p.InvTw[s] = iv
-	}
-	scaled := blas.NewVector(half)
-	for i := 0; i < half; i++ {
-		scaled.Set(i, mod.Mul(p.InvTw[0].At(i), p.NInv))
-	}
-	p.invTw0Scaled = scaled
-}
+// ForwardInto computes the forward NTT of x (natural order) into dst
+// (bit-reversed order). dst and x must both have length N; dst may alias
+// x for an in-place transform. Steady-state it allocates nothing.
+func (p *Plan) ForwardInto(dst, x []u128.U128) { p.g.ForwardInto(dst, x) }
 
-func (p *Plan) buildTwistTables() {
-	mod := p.Mod
-	psiInv := mod.Inv(p.Psi)
-	tw := blas.NewVector(p.N)
-	utw := blas.NewVector(p.N)
-	cur := u128.One
-	curInv := p.NInv
-	for j := 0; j < p.N; j++ {
-		tw.Set(j, cur)
-		utw.Set(j, curInv)
-		cur = mod.Mul(cur, p.Psi)
-		curInv = mod.Mul(curInv, psiInv)
-	}
-	p.Twist = tw
-	p.Untwist = utw
+// InverseInto computes the inverse NTT of y (bit-reversed order) into dst
+// (natural order), with the 1/N scale folded into the final stage. dst
+// may alias y. Steady-state it allocates nothing.
+func (p *Plan) InverseInto(dst, y []u128.U128) { p.g.InverseInto(dst, y) }
+
+// PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
+// twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
+func (p *Plan) PolyMulNegacyclicInto(dst, a, b []u128.U128) {
+	p.g.PolyMulNegacyclicInto(dst, a, b)
 }
 
 // BitReverse returns the bit-reversal of i in m bits.
@@ -195,5 +135,5 @@ func BitReverse(i, m int) int {
 // TwiddleBytes returns the total size of the precomputed stage tables in
 // bytes, used by the memory model.
 func (p *Plan) TwiddleBytes() int64 {
-	return int64(p.M) * int64(p.N/2) * 16
+	return p.g.TwiddleBytes()
 }

@@ -29,7 +29,7 @@ func Forward64VM[W, C any](s *kernels.SW[W, C], p *Plan64, x []uint64) ([]uint64
 	src := append([]uint64(nil), x...)
 	dst := make([]uint64, p.N)
 	for st := 0; st < p.M; st++ {
-		tw, sh := p.fwdTw[st], p.fwdShoup[st]
+		tw, sh := p.g.FwdStage(st)
 		for i := 0; i < half; i += lanes {
 			a := o.Load(src, i)
 			b := o.Load(src, i+half)

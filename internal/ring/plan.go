@@ -1,0 +1,389 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Plan holds the precomputed tables for size-n negacyclic-capable
+// transforms over a Ring[T]: per-stage constant-geometry twiddle tables
+// for the forward and inverse Pease dataflows [Pease 1968], the stage-0
+// inverse table with 1/N folded in, and the negacyclic twist/untwist
+// tables. Every table carries the ring's per-multiplicand precomputation
+// alongside the twiddle values so the hot loops can use MulPre.
+//
+// A Plan is safe for concurrent use once built: tables are read-only
+// after NewPlan and all mutable transform state lives in pooled scratch
+// buffer pairs.
+type Plan[T any, R Ring[T]] struct {
+	R R
+	N int // transform size, a power of two >= 2
+	M int // log2(N)
+
+	Omega    T // primitive N-th root of unity
+	OmegaInv T
+	NInv     T // N^-1 mod q
+	Psi      T // primitive 2N-th root with Psi^2 = Omega
+
+	// fwdTw[s] and invTw[s] hold the N/2 stage-s twiddles.
+	fwdTw []table[T]
+	invTw []table[T]
+
+	// invTw0Scaled is invTw[0] with N^-1 folded in, so InverseInto can
+	// apply the 1/N scale inside its final stage instead of a separate
+	// pass; nInvPre is N^-1's own precomputation for the even lane.
+	invTw0Scaled table[T]
+	nInvPre      uint64
+
+	// Negacyclic twist tables: twist[j] = Psi^j, untwist[j] = Psi^-j * N^-1.
+	twist   table[T]
+	untwist table[T]
+
+	// scratch pools ping-pong buffer pairs so steady-state transforms
+	// allocate nothing.
+	scratch sync.Pool
+}
+
+// table is one twiddle table: the values and their MulPre constants.
+type table[T any] struct {
+	w   []T
+	pre []uint64
+}
+
+// scratchPair is one ping-pong buffer pair, pooled per plan.
+type scratchPair[T any] struct {
+	a, b []T
+}
+
+// NewPlan builds a plan for n-point transforms over r. n must be a power
+// of two >= 2, and 2n must divide q-1 (the negacyclic twist needs a 2n-th
+// root of unity).
+func NewPlan[T any, R Ring[T]](r R, n int) (*Plan[T, R], error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ring: size %d is not a power of two >= 2", n)
+	}
+	m := 0
+	for 1<<m < n {
+		m++
+	}
+	psi, err := r.PrimitiveRootOfUnity(uint64(2 * n))
+	if err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	omega := r.Mul(psi, psi)
+	p := &Plan[T, R]{
+		R:        r,
+		N:        n,
+		M:        m,
+		Omega:    omega,
+		OmegaInv: r.Inv(omega),
+		NInv:     r.Inv(r.FromUint64(uint64(n))),
+		Psi:      psi,
+	}
+	p.buildStageTables()
+	p.buildTwistTables()
+	p.scratch.New = func() any {
+		return &scratchPair[T]{a: make([]T, n), b: make([]T, n)}
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan but panics on error.
+func MustPlan[T any, R Ring[T]](r R, n int) *Plan[T, R] {
+	p, err := NewPlan[T, R](r, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Plan[T, R]) newTable(n int) table[T] {
+	return table[T]{w: make([]T, n), pre: make([]uint64, n)}
+}
+
+func (p *Plan[T, R]) setTable(t table[T], i int, w T) {
+	t.w[i] = w
+	t.pre[i] = p.R.Precompute(w)
+}
+
+// stageExp returns the twiddle exponent for butterfly i of stage s in the
+// constant-geometry dataflow. After s interleaving stages, the low s bits
+// of i select which size-(n/2^s) sub-transform the butterfly belongs to
+// and i>>s is the position within it, so the twiddle is
+// omega_{n/2^s}^(i>>s) = omega^((i>>s) * 2^s).
+func stageExp(s, i int) uint64 {
+	return (uint64(i) >> uint(s)) << uint(s)
+}
+
+func (p *Plan[T, R]) buildStageTables() {
+	r := p.R
+	half := p.N / 2
+	// Power tables for omega and omega^-1, built by repeated
+	// multiplication (exponents in stageExp are < n).
+	pow := make([]T, p.N)
+	powInv := make([]T, p.N)
+	pow[0], powInv[0] = r.FromUint64(1), r.FromUint64(1)
+	for j := 1; j < p.N; j++ {
+		pow[j] = r.Mul(pow[j-1], p.Omega)
+		powInv[j] = r.Mul(powInv[j-1], p.OmegaInv)
+	}
+	p.fwdTw = make([]table[T], p.M)
+	p.invTw = make([]table[T], p.M)
+	for s := 0; s < p.M; s++ {
+		fw := p.newTable(half)
+		iv := p.newTable(half)
+		for i := 0; i < half; i++ {
+			e := stageExp(s, i)
+			p.setTable(fw, i, pow[e])
+			p.setTable(iv, i, powInv[e])
+		}
+		p.fwdTw[s] = fw
+		p.invTw[s] = iv
+	}
+	scaled := p.newTable(half)
+	for i := 0; i < half; i++ {
+		p.setTable(scaled, i, r.Mul(p.invTw[0].w[i], p.NInv))
+	}
+	p.invTw0Scaled = scaled
+	p.nInvPre = r.Precompute(p.NInv)
+}
+
+func (p *Plan[T, R]) buildTwistTables() {
+	r := p.R
+	psiInv := r.Inv(p.Psi)
+	tw := p.newTable(p.N)
+	utw := p.newTable(p.N)
+	cur := r.FromUint64(1)
+	curInv := p.NInv
+	for j := 0; j < p.N; j++ {
+		p.setTable(tw, j, cur)
+		p.setTable(utw, j, curInv)
+		cur = r.Mul(cur, p.Psi)
+		curInv = r.Mul(curInv, psiInv)
+	}
+	p.twist = tw
+	p.untwist = utw
+}
+
+// FwdStage returns stage s's forward twiddles and their precomputations.
+// The slices are live views of the plan's tables; callers must not
+// modify them.
+func (p *Plan[T, R]) FwdStage(s int) (w []T, pre []uint64) {
+	return p.fwdTw[s].w, p.fwdTw[s].pre
+}
+
+// InvStage returns stage s's inverse twiddles and their precomputations
+// (read-only, like FwdStage).
+func (p *Plan[T, R]) InvStage(s int) (w []T, pre []uint64) {
+	return p.invTw[s].w, p.invTw[s].pre
+}
+
+// TwistTable returns the negacyclic twist table Psi^j (read-only).
+func (p *Plan[T, R]) TwistTable() (w []T, pre []uint64) {
+	return p.twist.w, p.twist.pre
+}
+
+// UntwistTable returns the untwist table Psi^-j * N^-1 (read-only).
+func (p *Plan[T, R]) UntwistTable() (w []T, pre []uint64) {
+	return p.untwist.w, p.untwist.pre
+}
+
+func (p *Plan[T, R]) getScratch() *scratchPair[T]  { return p.scratch.Get().(*scratchPair[T]) }
+func (p *Plan[T, R]) putScratch(s *scratchPair[T]) { p.scratch.Put(s) }
+
+func (p *Plan[T, R]) checkLen(n int) {
+	if n != p.N {
+		panic("ring: input length does not match plan size")
+	}
+}
+
+// ForwardInto computes the forward NTT of x (natural order) into dst
+// (bit-reversed order). dst and x must both have length N; dst may alias
+// x for an in-place transform. Steady-state it allocates nothing.
+func (p *Plan[T, R]) ForwardInto(dst, x []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(x))
+	sc := p.getScratch()
+	p.forwardStages(dst, x, sc)
+	p.putScratch(sc)
+}
+
+// InverseInto computes the inverse NTT of y (bit-reversed order) into dst
+// (natural order), with the 1/N scale folded into the final stage. dst
+// may alias y. Steady-state it allocates nothing.
+func (p *Plan[T, R]) InverseInto(dst, y []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(y))
+	sc := p.getScratch()
+	p.inverseStages(dst, y, sc, true)
+	p.putScratch(sc)
+}
+
+// PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
+// twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
+func (p *Plan[T, R]) PolyMulNegacyclicInto(dst, a, b []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	p.checkLen(len(b))
+	poly := p.getScratch()
+	ping := p.getScratch()
+	p.polyMulNegacyclicScratch(dst, a, b, poly, ping)
+	p.putScratch(ping)
+	p.putScratch(poly)
+}
+
+// PolyMulCyclicInto computes dst = a*b in Z_q[x]/(x^n - 1) by plain NTT
+// convolution. dst may alias a or b. Steady-state it allocates nothing.
+func (p *Plan[T, R]) PolyMulCyclicInto(dst, a, b []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	p.checkLen(len(b))
+	r := p.R
+	sc := p.getScratch()
+	ping := p.getScratch()
+	af, bf := sc.a, sc.b
+	p.forwardStages(af, a, ping)
+	p.forwardStages(bf, b, ping)
+	for j := range af {
+		af[j] = r.Mul(af[j], bf[j])
+	}
+	p.inverseStages(dst, af, ping, true)
+	p.putScratch(ping)
+	p.putScratch(sc)
+}
+
+// Forward is an allocating wrapper over ForwardInto.
+func (p *Plan[T, R]) Forward(x []T) []T {
+	out := make([]T, p.N)
+	p.ForwardInto(out, x)
+	return out
+}
+
+// Inverse is an allocating wrapper over InverseInto.
+func (p *Plan[T, R]) Inverse(y []T) []T {
+	out := make([]T, p.N)
+	p.InverseInto(out, y)
+	return out
+}
+
+// PolyMulNegacyclic is an allocating wrapper over PolyMulNegacyclicInto.
+func (p *Plan[T, R]) PolyMulNegacyclic(a, b []T) []T {
+	out := make([]T, p.N)
+	p.PolyMulNegacyclicInto(out, a, b)
+	return out
+}
+
+// forwardStages runs the constant-geometry forward dataflow: stage 0
+// reads x, intermediate stages ping-pong between the scratch buffers, and
+// the final stage writes dst. Safe for dst aliasing x because x is only
+// read by stage 0 (and the single-stage N=2 case reads both inputs before
+// writing).
+func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
+	r := p.R
+	half := p.N >> 1
+	src := x
+	for s := 0; s < p.M; s++ {
+		out := sc.a
+		if s == p.M-1 {
+			out = dst
+		} else if s&1 == 1 {
+			out = sc.b
+		}
+		w := p.fwdTw[s].w[:half]
+		pre := p.fwdTw[s].pre[:half]
+		lo := src[:half]
+		hi := src[half:p.N]
+		o := out[:p.N]
+		for i := range w {
+			a, b := lo[i], hi[i]
+			d := r.Sub(a, b)
+			o[2*i] = r.Add(a, b)
+			o[2*i+1] = r.MulPre(d, w[i], pre[i])
+		}
+		src = out
+	}
+}
+
+// inverseStages runs the inverse dataflow (stages M-1 down to 0). When
+// scale is true the 1/N factor is folded into stage 0: that stage uses
+// the pre-scaled twiddle table and multiplies the even input by N^-1,
+// saving the separate N-element scaling pass. When scale is false the
+// caller folds 1/N elsewhere (the negacyclic untwist table already
+// carries it).
+func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
+	r := p.R
+	half := p.N >> 1
+	src := y
+	k := 0 // execution index: stage s runs as the k-th pass
+	for s := p.M - 1; s >= 0; s-- {
+		out := sc.a
+		if k == p.M-1 {
+			out = dst
+		} else if k&1 == 1 {
+			out = sc.b
+		}
+		tw := p.invTw[s]
+		if s == 0 && scale {
+			tw = p.invTw0Scaled
+		}
+		w := tw.w[:half]
+		pre := tw.pre[:half]
+		in := src[:p.N]
+		oLo := out[:half]
+		oHi := out[half:p.N]
+		if s == 0 && scale {
+			nInv, nPre := p.NInv, p.nInvPre
+			for i := range w {
+				e, o := in[2*i], in[2*i+1]
+				t := r.MulPre(o, w[i], pre[i]) // twiddle * N^-1 folded
+				es := r.MulPre(e, nInv, nPre)
+				oLo[i] = r.Add(es, t)
+				oHi[i] = r.Sub(es, t)
+			}
+		} else {
+			for i := range w {
+				e, o := in[2*i], in[2*i+1]
+				t := r.MulPre(o, w[i], pre[i])
+				oLo[i] = r.Add(e, t)
+				oHi[i] = r.Sub(e, t)
+			}
+		}
+		src = out
+		k++
+	}
+}
+
+// polyMulNegacyclicScratch is PolyMulNegacyclicInto with caller-provided
+// scratch, so batch workers can reuse one scratch set across many
+// products. poly holds the twisted operands; ping holds the transform
+// ping-pong buffers.
+func (p *Plan[T, R]) polyMulNegacyclicScratch(dst, a, b []T, poly, ping *scratchPair[T]) {
+	r := p.R
+	at, bt := poly.a, poly.b
+	tw := p.twist.w[:p.N]
+	tp := p.twist.pre[:p.N]
+	for j := range tw {
+		at[j] = r.MulPre(a[j], tw[j], tp[j])
+		bt[j] = r.MulPre(b[j], tw[j], tp[j])
+	}
+	p.forwardStages(at, at, ping)
+	p.forwardStages(bt, bt, ping)
+	for j := range at {
+		at[j] = r.Mul(at[j], bt[j])
+	}
+	p.inverseStages(at, at, ping, false)
+	ut := p.untwist.w[:p.N]
+	up := p.untwist.pre[:p.N]
+	for j := range ut {
+		dst[j] = r.MulPre(at[j], ut[j], up[j]) // psi^-j * N^-1
+	}
+}
+
+// TwiddleBytes returns the total size of the precomputed stage twiddle
+// values in bytes (excluding the MulPre constants), used by the memory
+// model.
+func (p *Plan[T, R]) TwiddleBytes() int64 {
+	var t T
+	return int64(p.M) * int64(p.N/2) * int64(unsafe.Sizeof(t))
+}

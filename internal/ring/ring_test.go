@@ -1,0 +1,176 @@
+package ring_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
+	"mqxgo/internal/u128"
+)
+
+func testRing64(t *testing.T, n int) ring.Shoup64 {
+	t.Helper()
+	ps, err := modmath.FindNTTPrimes64(60, uint64(2*n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring.NewShoup64(modmath.MustModulus64(ps[0]))
+}
+
+func testRing128(t *testing.T) ring.Barrett128 {
+	t.Helper()
+	return ring.NewBarrett128(modmath.DefaultModulus128())
+}
+
+// TestGenericRoundTripBothWidths drives the one shared stage-loop
+// implementation at both instantiations and checks forward+inverse is the
+// identity, including in place.
+func TestGenericRoundTripBothWidths(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for _, n := range []int{2, 8, 64, 512} {
+		r128 := testRing128(t)
+		p128 := ring.MustPlan[u128.U128, ring.Barrett128](r128, n)
+		x := make([]u128.U128, n)
+		for i := range x {
+			x[i] = u128.New(r.Uint64(), r.Uint64()).Mod(r128.M.Q)
+		}
+		back := p128.Inverse(p128.Forward(x))
+		for i := range x {
+			if !back[i].Equal(x[i]) {
+				t.Fatalf("u128 n=%d: round trip failed at %d", n, i)
+			}
+		}
+		buf := append([]u128.U128(nil), x...)
+		p128.ForwardInto(buf, buf)
+		p128.InverseInto(buf, buf)
+		for i := range x {
+			if !buf[i].Equal(x[i]) {
+				t.Fatalf("u128 n=%d: in-place round trip failed at %d", n, i)
+			}
+		}
+
+		r64 := testRing64(t, n)
+		p64 := ring.MustPlan[uint64, ring.Shoup64](r64, n)
+		y := make([]uint64, n)
+		for i := range y {
+			y[i] = r.Uint64() % r64.M.Q
+		}
+		back64 := p64.Inverse(p64.Forward(y))
+		for i := range y {
+			if back64[i] != y[i] {
+				t.Fatalf("uint64 n=%d: round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestGenericNegacyclicMatchesSchoolbook checks the twisted-NTT product
+// against the O(n^2) definition at the 64-bit instantiation (the 128-bit
+// one is covered exhaustively by internal/ntt's reference tests).
+func TestGenericNegacyclicMatchesSchoolbook(t *testing.T) {
+	const n = 32
+	r64 := testRing64(t, n)
+	mod := r64.M
+	p := ring.MustPlan[uint64, ring.Shoup64](r64, n)
+	r := rand.New(rand.NewSource(202))
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i] = r.Uint64() % mod.Q
+		b[i] = r.Uint64() % mod.Q
+	}
+	got := p.PolyMulNegacyclic(a, b)
+	want := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prod := mod.Mul(a[i], b[j])
+			k := i + j
+			if k < n {
+				want[k] = mod.Add(want[k], prod)
+			} else {
+				want[k-n] = mod.Sub(want[k-n], prod)
+			}
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// Cyclic product via the same engine.
+	gotC := make([]uint64, n)
+	p.PolyMulCyclicInto(gotC, a, b)
+	wantC := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := (i + j) % n
+			wantC[k] = mod.Add(wantC[k], mod.Mul(a[i], b[j]))
+		}
+	}
+	for i := range wantC {
+		if gotC[i] != wantC[i] {
+			t.Fatalf("cyclic coeff %d: got %d, want %d", i, gotC[i], wantC[i])
+		}
+	}
+}
+
+// TestGenericBatchMatchesSequential checks the shared chunk dispatch at
+// the 64-bit instantiation across worker counts.
+func TestGenericBatchMatchesSequential(t *testing.T) {
+	const n, batch = 64, 11
+	r64 := testRing64(t, n)
+	p := ring.MustPlan[uint64, ring.Shoup64](r64, n)
+	r := rand.New(rand.NewSource(203))
+	inputs := make([][]uint64, batch)
+	for i := range inputs {
+		row := make([]uint64, n)
+		for j := range row {
+			row[j] = r.Uint64() % r64.M.Q
+		}
+		inputs[i] = row
+	}
+	want := make([][]uint64, batch)
+	for i := range inputs {
+		want[i] = p.Forward(inputs[i])
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		got := p.BatchForward(inputs, workers)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d: batch[%d][%d] mismatch", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedPlanSharing checks the single process-wide cache: same
+// fingerprint shares, different tags and sizes do not.
+func TestCachedPlanSharing(t *testing.T) {
+	const n = 64
+	r64 := testRing64(t, n)
+	p1, err := ring.CachedPlan[uint64, ring.Shoup64](r64, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ring.CachedPlan[uint64, ring.Shoup64](r64, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("CachedPlan built two plans for the same (q, n)")
+	}
+	p3, err := ring.CachedPlan[uint64, ring.Shoup64](r64, 2*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if any(p3) == any(p1) {
+		t.Error("CachedPlan shared a plan across sizes")
+	}
+	if _, err := ring.CachedPlan[uint64, ring.Shoup64](r64, 3); err == nil {
+		t.Error("CachedPlan accepted a non-power-of-two size")
+	}
+}

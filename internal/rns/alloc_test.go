@@ -1,0 +1,139 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation regression for the Poly hot paths, matching the
+// PR 1 discipline on the NTT engine: DecomposeInto runs on the
+// precomputed Barrett limb tables, NTTAll/MulAll draw pooled per-plan
+// scratch, so with reused destination buffers none of them may allocate.
+// The sequential dispatch path (workers == 1) is the zero-alloc
+// guarantee; parallel dispatch pays the worker pool's fixed per-chunk
+// closure cost by design.
+
+func TestPolyHotPathsDoNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n = 1 << 8
+	c, err := NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(81))
+	coeffs := randCoeffs(r, c.Q, n)
+
+	dst := c.NewPoly()
+	a := c.NewPoly()
+	b := c.NewPoly()
+	if err := c.DecomposeInto(a, coeffs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DecomposeInto(b, randCoeffs(r, c.Q, n)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the plan scratch pools.
+	if err := c.NTTAll(dst, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MulAll(dst, a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := testing.AllocsPerRun(20, func() {
+		if err := c.DecomposeInto(dst, coeffs); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("DecomposeInto allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := c.NTTAll(dst, a, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("NTTAll allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := c.INTTAll(dst, a, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("INTTAll allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := c.MulAll(dst, a, b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("MulAll allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestReconstructIntoSteadyStateAllocs checks the CRT side: after the
+// first call has grown the destination big.Ints to capacity, repeated
+// reconstruction into the same buffers allocates nothing.
+func TestReconstructIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n = 1 << 6
+	c, err := NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(82))
+	a, err := c.Decompose(randCoeffs(r, c.Q, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]*big.Int, n)
+	if err := c.ReconstructInto(dst, a); err != nil { // warm-up growth
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := c.ReconstructInto(dst, a); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("ReconstructInto allocates %.1f per run steady state, want 0", got)
+	}
+}
+
+// TestDecomposeIntoFastPathMatchesBigInt cross-checks the Barrett limb
+// fast path against plain big.Int reduction, including negative and
+// over-wide coefficients that must take the fallback.
+func TestDecomposeIntoFastPathMatchesBigInt(t *testing.T) {
+	const n = 1 << 5
+	c, err := NewContext(60, 4, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(83))
+	coeffs := randCoeffs(r, c.Q, n)
+	// Mix in edge cases: zero, negatives, and values >= Q (wide).
+	coeffs[0] = big.NewInt(0)
+	coeffs[1] = new(big.Int).Neg(coeffs[1])
+	coeffs[2] = new(big.Int).Add(c.Q, c.Q)
+	coeffs[3] = new(big.Int).Lsh(big.NewInt(1), 300)
+	coeffs[4] = big.NewInt(-12345)
+
+	p := c.NewPoly()
+	if err := c.DecomposeInto(p, coeffs); err != nil {
+		t.Fatal(err)
+	}
+	tmp := new(big.Int)
+	for i, mod := range c.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		for j, x := range coeffs {
+			want := tmp.Mod(x, qb).Uint64()
+			if p.Res[i][j] != want {
+				t.Fatalf("tower %d coeff %d: got %d, want %d", i, j, p.Res[i][j], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
+)
+
+// Poly is a polynomial in RNS form: Res[i][j] is coefficient j modulo
+// prime i. Whether the rows hold coefficient-domain or NTT
+// (evaluation-domain) values is a caller convention: NTTAll/INTTAll move a
+// Poly between the two, and MulAll consumes coefficient-domain inputs.
+// Polys allocated by NewPoly keep all towers in one contiguous backing
+// array, the layout the tower-parallel dispatch and future SIMD tiers
+// want.
+type Poly struct {
+	Res [][]uint64
+}
+
+// NewPoly allocates a zero polynomial shaped for the context: k tower
+// rows of n coefficients backed by a single flat array.
+func (c *Context) NewPoly() Poly {
+	return Poly{Res: ring.AllocBatch[uint64](c.N, c.Channels())}
+}
+
+// checkPoly validates that every argument has the context's tower count
+// and row lengths.
+func (c *Context) checkPoly(ps ...Poly) error {
+	for _, p := range ps {
+		if len(p.Res) != c.Channels() {
+			return fmt.Errorf("rns: got %d towers, want %d", len(p.Res), c.Channels())
+		}
+		for i := range p.Res {
+			if len(p.Res[i]) != c.N {
+				return fmt.Errorf("rns: tower %d has %d coefficients, want %d", i, len(p.Res[i]), c.N)
+			}
+		}
+	}
+	return nil
+}
+
+// decScratch pools the big.Int temporaries of the wide-coefficient
+// fallback and of ReconstructInto, so steady-state conversions allocate
+// nothing.
+type decScratch struct {
+	t, term big.Int
+}
+
+var decPool = sync.Pool{New: func() any { return new(decScratch) }}
+
+// DecomposeInto writes the RNS decomposition of coeffs into dst.
+// Coefficients whose magnitude is below 2^(64*limbs(Q)) take the fast
+// path: their 64-bit limbs are split into 32-bit halves (already reduced
+// residues, since every basis prime exceeds 2^32) and folded against the
+// precomputed Barrett limb tables 2^(32m) mod q_i — no big.Int
+// arithmetic, zero steady-state allocations, with negative inputs
+// finished by a single modular negation. Wider coefficients, bases with
+// primes <= 2^32, and 32-bit-word platforms fall back to big.Int
+// reduction.
+func (c *Context) DecomposeInto(dst Poly, coeffs []*big.Int) error {
+	if len(coeffs) != c.N {
+		return fmt.Errorf("rns: got %d coefficients, want %d", len(coeffs), c.N)
+	}
+	if err := c.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := decPool.Get().(*decScratch)
+	for i, mod := range c.Mods {
+		pw := c.pow32[i]
+		row := dst.Res[i]
+		for j, x := range coeffs {
+			words := x.Bits()
+			if !c.limbFast || len(words) > c.qLimbs {
+				row[j] = sc.t.Mod(x, c.qBig[i]).Uint64()
+				continue
+			}
+			r := uint64(0)
+			for m, w := range words {
+				r = mod.Add(r, mod.Mul(uint64(w)&0xffffffff, pw[2*m]))
+				r = mod.Add(r, mod.Mul(uint64(w)>>32, pw[2*m+1]))
+			}
+			if x.Sign() < 0 {
+				r = mod.Neg(r)
+			}
+			row[j] = r
+		}
+	}
+	decPool.Put(sc)
+	return nil
+}
+
+// ReconstructInto writes the CRT reconstruction of p into dst as
+// big-integer coefficients in [0, Q): x = sum_i Qi * ((x_i * QiInv) mod
+// q_i), corrected into range by at most k-1 subtractions of Q (the sum of
+// k terms each below Q never reaches k*Q, so no division is needed). Nil
+// entries of dst are allocated on first use; with reused dst buffers the
+// steady state allocates nothing beyond big.Int capacity growth.
+func (c *Context) ReconstructInto(dst []*big.Int, p Poly) error {
+	if len(dst) != c.N {
+		return fmt.Errorf("rns: got %d destination coefficients, want %d", len(dst), c.N)
+	}
+	if err := c.checkPoly(p); err != nil {
+		return err
+	}
+	sc := decPool.Get().(*decScratch)
+	for j := 0; j < c.N; j++ {
+		acc := dst[j]
+		if acc == nil {
+			acc = new(big.Int)
+			dst[j] = acc
+		}
+		acc.SetUint64(0)
+		for i, mod := range c.Mods {
+			t := mod.Mul(p.Res[i][j], c.qiInv[i])
+			sc.t.SetUint64(t)
+			sc.term.Mul(c.qi[i], &sc.t)
+			acc.Add(acc, &sc.term)
+		}
+		for acc.Cmp(c.Q) >= 0 {
+			acc.Sub(acc, c.Q)
+		}
+	}
+	decPool.Put(sc)
+	return nil
+}
+
+// Tower dispatch convention for NTTAll/INTTAll/MulAll: workers follows
+// the batch convention of internal/ring — 0 means GOMAXPROCS, and all k
+// towers go through the shared worker pool as one batch. workers == 1 (or
+// a single tower) takes a direct sequential loop that allocates nothing;
+// parallel dispatch pays the pool's fixed per-chunk closure cost. The
+// sequential loops are written out (not routed through a shared
+// higher-order helper) precisely so escape analysis keeps them
+// allocation-free.
+
+// seqTowers reports whether the sequential zero-alloc path applies.
+func (c *Context) seqTowers(workers int) bool {
+	return workers == 1 || c.Channels() <= 1
+}
+
+// NTTAll converts every tower of a to evaluation form into dst. dst may
+// alias a. Each tower's transform draws pooled scratch from its plan.
+func (c *Context) NTTAll(dst, a Poly, workers int) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	if c.seqTowers(workers) {
+		for i, p := range c.Plans {
+			p.ForwardInto(dst.Res[i], a.Res[i])
+		}
+		return nil
+	}
+	ring.ParallelChunks(c.Channels(), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			c.Plans[i].ForwardInto(dst.Res[i], a.Res[i])
+		}
+	})
+	return nil
+}
+
+// INTTAll converts every tower of a back to coefficient form into dst,
+// with the same dispatch and allocation behavior as NTTAll.
+func (c *Context) INTTAll(dst, a Poly, workers int) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	if c.seqTowers(workers) {
+		for i, p := range c.Plans {
+			p.InverseInto(dst.Res[i], a.Res[i])
+		}
+		return nil
+	}
+	ring.ParallelChunks(c.Channels(), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			c.Plans[i].InverseInto(dst.Res[i], a.Res[i])
+		}
+	})
+	return nil
+}
+
+// MulAll computes the negacyclic product dst = a*b in Z_Q[x]/(x^n + 1),
+// every tower running its twisted-NTT convolution independently. dst may
+// alias a or b.
+func (c *Context) MulAll(dst, a, b Poly, workers int) error {
+	if err := c.checkPoly(dst, a, b); err != nil {
+		return err
+	}
+	if c.seqTowers(workers) {
+		for i, p := range c.Plans {
+			p.PolyMulNegacyclicInto(dst.Res[i], a.Res[i], b.Res[i])
+		}
+		return nil
+	}
+	ring.ParallelChunks(c.Channels(), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			c.Plans[i].PolyMulNegacyclicInto(dst.Res[i], a.Res[i], b.Res[i])
+		}
+	})
+	return nil
+}
+
+// AddInto computes dst = a + b tower-wise. dst may alias a or b.
+func (c *Context) AddInto(dst, a, b Poly) error {
+	return c.ewiseInto(dst, a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Add(x, y) })
+}
+
+// SubInto computes dst = a - b tower-wise. dst may alias a or b.
+func (c *Context) SubInto(dst, a, b Poly) error {
+	return c.ewiseInto(dst, a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Sub(x, y) })
+}
+
+// PMulInto computes the coefficient-wise (evaluation-form) product
+// dst = a ∘ b. dst may alias a or b.
+func (c *Context) PMulInto(dst, a, b Poly) error {
+	return c.ewiseInto(dst, a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Mul(x, y) })
+}
+
+func (c *Context) ewiseInto(dst, a, b Poly, f func(m *modmath.Modulus64, x, y uint64) uint64) error {
+	if err := c.checkPoly(dst, a, b); err != nil {
+		return err
+	}
+	for i, mod := range c.Mods {
+		dr, ar, br := dst.Res[i], a.Res[i], b.Res[i]
+		for j := 0; j < c.N; j++ {
+			dr[j] = f(mod, ar[j], br[j])
+		}
+	}
+	return nil
+}
+
+// NegInto computes dst = -a tower-wise. dst may alias a.
+func (c *Context) NegInto(dst, a Poly) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	for i, mod := range c.Mods {
+		dr, ar := dst.Res[i], a.Res[i]
+		for j := 0; j < c.N; j++ {
+			dr[j] = mod.Neg(ar[j])
+		}
+	}
+	return nil
+}
+
+// ScalarMulUint64Into computes dst = k * a for a small scalar k < min q_i
+// (reduced residue in every tower). dst may alias a.
+func (c *Context) ScalarMulUint64Into(dst, a Poly, k uint64) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	for i, mod := range c.Mods {
+		ki := k % mod.Q
+		dr, ar := dst.Res[i], a.Res[i]
+		for j := 0; j < c.N; j++ {
+			dr[j] = mod.Mul(ar[j], ki)
+		}
+	}
+	return nil
+}

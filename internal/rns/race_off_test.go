@@ -1,0 +1,5 @@
+//go:build !race
+
+package rns
+
+const raceEnabled = false

@@ -2,20 +2,28 @@
 // primes: the conventional CPU/GPU approach to large-coefficient polynomial
 // arithmetic that the paper contrasts with its 128-bit double-word residues
 // (Sections 1 and 8). Big coefficients are decomposed into single-word
-// residues, each residue channel runs an independent 64-bit NTT, and
-// results are reconstructed by the Chinese remainder theorem.
+// residues, each residue tower runs an independent 64-bit NTT, and results
+// are reconstructed by the Chinese remainder theorem.
+//
+// Polynomials are first-class batched values (poly.go): a Poly allocated by
+// NewPoly holds its k tower rows in one contiguous backing array, the hot
+// conversions DecomposeInto/ReconstructInto run on precomputed Barrett limb
+// tables instead of per-coefficient big.Int arithmetic (zero steady-state
+// allocations), and the tower-parallel NTTAll/INTTAll/MulAll dispatch all k
+// towers through the shared internal/ring worker pool as one batch.
 package rns
 
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/ntt"
 )
 
 // Context is an RNS basis q = q_0 * q_1 * ... * q_{k-1} of distinct
-// NTT-friendly primes, with per-channel NTT plans of a fixed size.
+// NTT-friendly primes, with per-tower NTT plans of a fixed size.
 type Context struct {
 	Mods  []*modmath.Modulus64
 	Plans []*ntt.Plan64
@@ -26,6 +34,18 @@ type Context struct {
 	// CRT reconstruction constants: Qi = Q/q_i, QiInv = Qi^-1 mod q_i.
 	qi    []*big.Int
 	qiInv []uint64
+
+	// Decomposition constants: qBig[i] mirrors Mods[i].Q as a big.Int for
+	// the wide-coefficient fallback; pow32[i][m] = 2^(32m) mod q_i feeds
+	// the Barrett-limb fast path; qLimbs is the 64-bit limb count of Q.
+	qBig   []*big.Int
+	pow32  [][]uint64
+	qLimbs int
+	// limbFast is true when every prime exceeds 2^32 (so 32-bit halves of
+	// big.Int limbs are already reduced residues) and big.Words are 64
+	// bits wide (so the 2^(64m) limb-position weights apply);
+	// DecomposeInto can then run entirely on word arithmetic.
+	limbFast bool
 }
 
 // NewContext builds an RNS basis of count primes of the given bit width
@@ -38,7 +58,7 @@ func NewContext(primeBits, count, n int) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Context{N: n, Q: big.NewInt(1)}
+	c := &Context{N: n, Q: big.NewInt(1), limbFast: bits.UintSize == 64}
 	for _, p := range primes {
 		mod := modmath.MustModulus64(p)
 		plan, err := ntt.CachedPlan64(mod, n)
@@ -48,168 +68,136 @@ func NewContext(primeBits, count, n int) (*Context, error) {
 		c.Mods = append(c.Mods, mod)
 		c.Plans = append(c.Plans, plan)
 		c.Q.Mul(c.Q, new(big.Int).SetUint64(p))
+		if bits.Len64(p) <= 32 {
+			c.limbFast = false
+		}
 	}
-	for i, mod := range c.Mods {
+	c.qLimbs = (c.Q.BitLen() + 63) / 64
+	for _, mod := range c.Mods {
 		qi := new(big.Int).Div(c.Q, new(big.Int).SetUint64(mod.Q))
 		c.qi = append(c.qi, qi)
 		qiModQi := new(big.Int).Mod(qi, new(big.Int).SetUint64(mod.Q)).Uint64()
 		c.qiInv = append(c.qiInv, mod.Inv(qiModQi))
-		_ = i
+		c.qBig = append(c.qBig, new(big.Int).SetUint64(mod.Q))
+
+		// 2^(32m) mod q for every 32-bit half-limb position of a
+		// coefficient in [0, Q).
+		pw := make([]uint64, 2*c.qLimbs)
+		pw[0] = 1 % mod.Q
+		r32 := (uint64(1) << 32) % mod.Q
+		for m := 1; m < len(pw); m++ {
+			pw[m] = mod.Mul(pw[m-1], r32)
+		}
+		c.pow32 = append(c.pow32, pw)
 	}
 	return c, nil
 }
 
-// Channels returns the number of residue channels.
+// Channels returns the number of residue towers.
 func (c *Context) Channels() int { return len(c.Mods) }
 
-// Poly is a polynomial in RNS form: Res[i][j] is coefficient j modulo
-// prime i.
-type Poly struct {
-	Res [][]uint64
-}
-
 // Decompose converts big-integer coefficients (reduced modulo Q or not)
-// into RNS form.
+// into RNS form. It is an allocating wrapper over DecomposeInto.
 func (c *Context) Decompose(coeffs []*big.Int) (Poly, error) {
-	if len(coeffs) != c.N {
-		return Poly{}, fmt.Errorf("rns: got %d coefficients, want %d", len(coeffs), c.N)
-	}
-	p := Poly{Res: make([][]uint64, c.Channels())}
-	t := new(big.Int)
-	for i, mod := range c.Mods {
-		row := make([]uint64, c.N)
-		qb := new(big.Int).SetUint64(mod.Q)
-		for j, x := range coeffs {
-			row[j] = t.Mod(x, qb).Uint64()
-		}
-		p.Res[i] = row
+	p := c.NewPoly()
+	if err := c.DecomposeInto(p, coeffs); err != nil {
+		return Poly{}, err
 	}
 	return p, nil
 }
 
 // Reconstruct converts RNS form back to big-integer coefficients in
-// [0, Q) by the CRT: x = sum_i Qi * ((x_i * QiInv) mod q_i) mod Q.
+// [0, Q). It is an allocating wrapper over ReconstructInto.
 func (c *Context) Reconstruct(p Poly) ([]*big.Int, error) {
-	if len(p.Res) != c.Channels() {
-		return nil, fmt.Errorf("rns: got %d channels, want %d", len(p.Res), c.Channels())
-	}
 	out := make([]*big.Int, c.N)
-	for j := 0; j < c.N; j++ {
-		acc := new(big.Int)
-		for i, mod := range c.Mods {
-			t := mod.Mul(p.Res[i][j], c.qiInv[i])
-			acc.Add(acc, new(big.Int).Mul(c.qi[i], new(big.Int).SetUint64(t)))
-		}
-		out[j] = acc.Mod(acc, c.Q)
+	if err := c.ReconstructInto(out, p); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // PolyMulNegacyclic multiplies two RNS polynomials in Z_Q[x]/(x^n + 1):
-// each residue channel runs an independent negacyclic NTT convolution.
+// each residue tower runs an independent negacyclic NTT convolution. It is
+// an allocating wrapper over MulAll.
 func (c *Context) PolyMulNegacyclic(a, b Poly) (Poly, error) {
-	if len(a.Res) != c.Channels() || len(b.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
-	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
-	for i, plan := range c.Plans {
-		row := make([]uint64, c.N)
-		plan.PolyMulNegacyclicInto(row, a.Res[i], b.Res[i])
-		out.Res[i] = row
+	out := c.NewPoly()
+	if err := c.MulAll(out, a, b, 1); err != nil {
+		return Poly{}, err
 	}
 	return out, nil
 }
 
-// Add adds two RNS polynomials channel-wise.
+// Add adds two RNS polynomials tower-wise.
 func (c *Context) Add(a, b Poly) (Poly, error) {
-	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Add(x, y) })
+	out := c.NewPoly()
+	if err := c.AddInto(out, a, b); err != nil {
+		return Poly{}, err
+	}
+	return out, nil
 }
 
-// Sub subtracts two RNS polynomials channel-wise.
+// Sub subtracts two RNS polynomials tower-wise.
 func (c *Context) Sub(a, b Poly) (Poly, error) {
-	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Sub(x, y) })
+	out := c.NewPoly()
+	if err := c.SubInto(out, a, b); err != nil {
+		return Poly{}, err
+	}
+	return out, nil
 }
 
 // PMul multiplies two RNS polynomials coefficient-wise (the evaluation-form
 // product; distinct from the convolution PolyMulNegacyclic computes).
 func (c *Context) PMul(a, b Poly) (Poly, error) {
-	return c.ewise(a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Mul(x, y) })
-}
-
-func (c *Context) ewise(a, b Poly, f func(m *modmath.Modulus64, x, y uint64) uint64) (Poly, error) {
-	if len(a.Res) != c.Channels() || len(b.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
-	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
-	for i, mod := range c.Mods {
-		row := make([]uint64, c.N)
-		for j := 0; j < c.N; j++ {
-			row[j] = f(mod, a.Res[i][j], b.Res[i][j])
-		}
-		out.Res[i] = row
+	out := c.NewPoly()
+	if err := c.PMulInto(out, a, b); err != nil {
+		return Poly{}, err
 	}
 	return out, nil
 }
 
 // Neg negates an RNS polynomial.
 func (c *Context) Neg(a Poly) (Poly, error) {
-	if len(a.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
-	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
-	for i, mod := range c.Mods {
-		row := make([]uint64, c.N)
-		for j := 0; j < c.N; j++ {
-			row[j] = mod.Neg(a.Res[i][j])
-		}
-		out.Res[i] = row
+	out := c.NewPoly()
+	if err := c.NegInto(out, a); err != nil {
+		return Poly{}, err
 	}
 	return out, nil
 }
 
 // ScalarMul multiplies every coefficient by a big-integer scalar (reduced
-// per channel).
+// per tower).
 func (c *Context) ScalarMul(a Poly, k *big.Int) (Poly, error) {
-	if len(a.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
+	if err := c.checkPoly(a); err != nil {
+		return Poly{}, err
 	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
+	out := c.NewPoly()
 	t := new(big.Int)
 	for i, mod := range c.Mods {
-		ki := t.Mod(k, new(big.Int).SetUint64(mod.Q)).Uint64()
-		row := make([]uint64, c.N)
+		ki := t.Mod(k, c.qBig[i]).Uint64()
+		row, ar := out.Res[i], a.Res[i]
 		for j := 0; j < c.N; j++ {
-			row[j] = mod.Mul(a.Res[i][j], ki)
+			row[j] = mod.Mul(ar[j], ki)
 		}
-		out.Res[i] = row
 	}
 	return out, nil
 }
 
-// NTT converts every channel to evaluation (frequency) form.
+// NTT converts every tower to evaluation (frequency) form. It is an
+// allocating wrapper over NTTAll.
 func (c *Context) NTT(a Poly) (Poly, error) {
-	if len(a.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
-	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
-	for i, plan := range c.Plans {
-		row := make([]uint64, c.N)
-		plan.ForwardInto(row, a.Res[i])
-		out.Res[i] = row
+	out := c.NewPoly()
+	if err := c.NTTAll(out, a, 1); err != nil {
+		return Poly{}, err
 	}
 	return out, nil
 }
 
-// INTT converts every channel back to coefficient form.
+// INTT converts every tower back to coefficient form. It is an allocating
+// wrapper over INTTAll.
 func (c *Context) INTT(a Poly) (Poly, error) {
-	if len(a.Res) != c.Channels() {
-		return Poly{}, fmt.Errorf("rns: channel count mismatch")
-	}
-	out := Poly{Res: make([][]uint64, c.Channels())}
-	for i, plan := range c.Plans {
-		row := make([]uint64, c.N)
-		plan.InverseInto(row, a.Res[i])
-		out.Res[i] = row
+	out := c.NewPoly()
+	if err := c.INTTAll(out, a, 1); err != nil {
+		return Poly{}, err
 	}
 	return out, nil
 }
