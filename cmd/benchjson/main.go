@@ -15,9 +15,15 @@
 // (tower-parallel MulAll against k x the single-tower sequential
 // baseline) at n in {1024, 4096, 16384} and k in {2, 3, 4}.
 //
+// A third report (BENCH_PR3.json) measures the fused span-kernel seam:
+// per width, the kernel path against the element-op fallback (the same
+// plan over ring.ElementOnly) and, at 64 bits, lazy [0, 2q) reduction
+// against the strict span kernels, at n in {1024, 4096, 16384}. Every
+// path is cross-checked bit-exact before timing.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-n 4096] [-batch 64] [-workers 8]
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -131,6 +137,7 @@ type opResult struct {
 func main() {
 	out := flag.String("out", "BENCH_PR1.json", "output path")
 	out2 := flag.String("out2", "BENCH_PR2.json", "128-bit vs RNS report path (empty to skip)")
+	out3 := flag.String("out3", "BENCH_PR3.json", "kernel vs element-op report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -233,6 +240,11 @@ func main() {
 
 	if *out2 != "" {
 		if err := runBackendComparison(ctx, *out2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *out3 != "" {
+		if err := runKernelComparison(ctx, *out3); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -55,12 +55,8 @@ func (b ringBackend) MulNegacyclic(dst, a, c Poly) {
 }
 
 func (b ringBackend) ScalarMul(dst, a Poly, k uint64) {
-	mod := b.p.Mod
-	kk := u128.From64(k).Mod(mod.Q)
-	d, x := dst.([]u128.U128), a.([]u128.U128)
-	for i := range d {
-		d[i] = mod.Mul(x[i], kk)
-	}
+	kk := u128.From64(k).Mod(b.p.Mod.Q)
+	b.p.plan.Generic().ScalarMulInto(dst.([]u128.U128), a.([]u128.U128), kk)
 }
 
 func (b ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
@@ -83,12 +79,10 @@ func (b ringBackend) SetSigned(dst Poly, coeffs []int64) {
 	}
 }
 
+// AddDeltaMsg folds Delta-scaled plaintext into a ciphertext component on
+// the plan's scale-accumulate kernel.
 func (b ringBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
-	mod := b.p.Mod
-	d, x := dst.([]u128.U128), a.([]u128.U128)
-	for i := range d {
-		d[i] = mod.Add(x[i], mod.Mul(b.p.Delta, u128.From64(msg[i])))
-	}
+	b.p.plan.Generic().ScaleAddInto(dst.([]u128.U128), a.([]u128.U128), msg, b.p.Delta)
 }
 
 func (b ringBackend) RoundToPlain(a Poly) []uint64 {

@@ -126,14 +126,12 @@ func (b *rnsBackend) SetSigned(dst Poly, coeffs []int64) {
 	}
 }
 
+// AddDeltaMsg folds Delta-scaled plaintext into a ciphertext component,
+// each tower on its plan's scale-accumulate kernel.
 func (b *rnsBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
 	d, x := dst.(rns.Poly), a.(rns.Poly)
-	for i, mod := range b.c.Mods {
-		dr, xr := d.Res[i], x.Res[i]
-		delta := b.deltaResT[i]
-		for j := range dr {
-			dr[j] = mod.Add(xr[j], mod.Mul(delta, msg[j]))
-		}
+	for i := range b.c.Mods {
+		b.c.Plans[i].Generic().ScaleAddInto(d.Res[i], x.Res[i], msg, b.deltaResT[i])
 	}
 }
 

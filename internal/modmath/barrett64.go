@@ -76,18 +76,28 @@ func (m *Modulus64) Mul(a, b uint64) uint64 {
 	return m.reduce(hi, lo)
 }
 
-func (m *Modulus64) reduce(hi, lo uint64) uint64 {
-	// t1 = floor(t / 2^(n-1)), at most n+1 bits. N is validated to be at
-	// most 62 in NewModulus64, so the shift amounts stay in range.
-	t1 := lo>>(m.N-1) | hi<<(65-m.N)
+// Barrett64Reduce reduces a 128-bit product hi:lo of two residues modulo
+// q, with the constants passed in registers: mu is the Barrett constant
+// floor(2^(2n)/q) and n = bitlen(q), at most 62 (as NewModulus64
+// validates) so every shift amount stays in range. This is the one shared
+// copy of the single-word reduction: Modulus64.Mul reaches it through
+// reduce, and internal/ring's fused Shoup64.MulSpan kernel calls it
+// directly with constants hoisted out of its loop.
+func Barrett64Reduce(hi, lo, q, mu uint64, n uint) uint64 {
+	// t1 = floor(t / 2^(n-1)), at most n+1 bits.
+	t1 := lo>>(n-1) | hi<<(65-n)
 	// qhat = floor(t1 * mu / 2^(n+1)).
-	h2, l2 := bits.Mul64(t1, m.Mu)
-	qhat := l2>>(m.N+1) | h2<<(63-m.N)
-	r := lo - qhat*m.Q
-	for r >= m.Q {
-		r -= m.Q
+	h2, l2 := bits.Mul64(t1, mu)
+	qhat := l2>>(n+1) | h2<<(63-n)
+	r := lo - qhat*q
+	for r >= q {
+		r -= q
 	}
 	return r
+}
+
+func (m *Modulus64) reduce(hi, lo uint64) uint64 {
+	return Barrett64Reduce(hi, lo, m.Q, m.Mu, m.N)
 }
 
 // Pow returns base^exp mod q.

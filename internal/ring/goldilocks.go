@@ -1,0 +1,163 @@
+package ring
+
+import (
+	"fmt"
+
+	"mqxgo/internal/modmath"
+)
+
+// Goldilocks is the Ring[uint64] instantiation over the fixed prime
+// p = 2^64 - 2^32 + 1 (modmath/goldilocks.go): the specialized-modulus
+// alternative the paper contrasts with general Barrett reduction.
+// Reduction needs only shifts and adds, but the system is locked to one
+// prime — exactly the trade-off the fhe.Backend / Ring[T] seam lets the
+// benchmarks measure side by side with Shoup64 towers and 128-bit
+// residues.
+//
+// Two arithmetic consequences shape the instantiation:
+//
+//   - p >= 2^63, so the Shoup one-correction multiply (which needs
+//     q < 2^63 for its [0, 2q) bound) does not apply: MulPre is a plain
+//     Goldilocks multiply and Precompute returns 0.
+//   - 2p > 2^64, so the lazy [0, 2p) discipline of Shoup64's kernels
+//     cannot be represented in a word. The span kernels below are strict:
+//     their win is purely fusion (the modmath.Goldilocks ops are
+//     value-receiver leaf functions that inline into the span loops,
+//     where the element path pays a dictionary call per op).
+//
+// p - 1 = 2^32 · (2^32 - 1), so power-of-two transform sizes up to 2^31
+// (psi of order 2^32) are supported, with 7 as the standard generator.
+type Goldilocks struct{}
+
+// NewGoldilocks returns the Goldilocks ring (stateless: the prime is
+// baked into the arithmetic).
+func NewGoldilocks() Goldilocks { return Goldilocks{} }
+
+// goldilocksGenerator is the smallest generator of F_p^*, the same one
+// the zero-knowledge proof systems built on this prime use.
+const goldilocksGenerator = 7
+
+var gl modmath.Goldilocks
+
+func (Goldilocks) Add(a, b uint64) uint64 { return gl.Add(a, b) }
+func (Goldilocks) Sub(a, b uint64) uint64 { return gl.Sub(a, b) }
+func (Goldilocks) Mul(a, b uint64) uint64 { return gl.Mul(a, b) }
+
+func (Goldilocks) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return modmath.GoldilocksPrime - a
+}
+
+// MulPre is a plain multiply: Shoup precomputation requires q < 2^63.
+func (Goldilocks) MulPre(a, w uint64, _ uint64) uint64 { return gl.Mul(a, w) }
+func (Goldilocks) Precompute(uint64) uint64            { return 0 }
+func (Goldilocks) Inv(a uint64) uint64                 { return gl.Inv(a) }
+func (Goldilocks) FromUint64(v uint64) uint64          { return v % modmath.GoldilocksPrime }
+
+// PrimitiveRootOfUnity returns 7^((p-1)/n), which has order exactly n
+// because 7 generates the full multiplicative group. n must be a power of
+// two dividing p-1 = 2^32·(2^32-1), i.e. at most 2^32.
+func (Goldilocks) PrimitiveRootOfUnity(n uint64) (uint64, error) {
+	if n == 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("ring: goldilocks root order %d is not a power of two", n)
+	}
+	if n > 1<<32 {
+		return 0, fmt.Errorf("ring: goldilocks supports roots of order up to 2^32, got %d", n)
+	}
+	return gl.Pow(goldilocksGenerator, (modmath.GoldilocksPrime-1)/n), nil
+}
+
+func (Goldilocks) Fingerprint() Fingerprint {
+	return Fingerprint{QLo: modmath.GoldilocksPrime, Tag: TagGoldilocks}
+}
+
+// Span kernels: strict fused loops. The gl.* calls are value-receiver
+// functions on an empty struct with immediate constants, so they inline;
+// fusion removes the per-element dictionary dispatch of the fallback.
+
+// CTSpan: one forward stage, canonical throughout.
+func (r Goldilocks) CTSpan(out, lo, hi, w []uint64, pre []uint64) {
+	n := len(w)
+	lo, hi = lo[:n], hi[:n]
+	out = out[:2*n]
+	for i := 0; i < n; i++ {
+		a, b := lo[i], hi[i]
+		out[2*i] = gl.Add(a, b)
+		out[2*i+1] = gl.Mul(gl.Sub(a, b), w[i])
+	}
+}
+
+// CTSpanLast is CTSpan: strict outputs are already canonical.
+func (r Goldilocks) CTSpanLast(out, lo, hi, w []uint64, pre []uint64) {
+	r.CTSpan(out, lo, hi, w, pre)
+}
+
+// GSSpan: one inverse stage.
+func (r Goldilocks) GSSpan(oLo, oHi, in, w []uint64, pre []uint64) {
+	n := len(w)
+	oLo, oHi = oLo[:n], oHi[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		t := gl.Mul(o, w[i])
+		oLo[i] = gl.Add(e, t)
+		oHi[i] = gl.Sub(e, t)
+	}
+}
+
+// GSSpanLastScaled: the final inverse stage with 1/N folded.
+func (r Goldilocks) GSSpanLastScaled(oLo, oHi, in, w []uint64, pre []uint64, nInv uint64, nInvPre uint64) {
+	n := len(w)
+	oLo, oHi = oLo[:n], oHi[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		t := gl.Mul(o, w[i])
+		es := gl.Mul(e, nInv)
+		oLo[i] = gl.Add(es, t)
+		oHi[i] = gl.Sub(es, t)
+	}
+}
+
+// MulSpan: pointwise product.
+func (Goldilocks) MulSpan(dst, a, b []uint64) {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = gl.Mul(a[i], b[i])
+	}
+}
+
+// MulPreSpan: the twist pass.
+func (r Goldilocks) MulPreSpan(dst, a, w []uint64, pre []uint64) {
+	n := len(dst)
+	a, w = a[:n], w[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = gl.Mul(a[i], w[i])
+	}
+}
+
+// MulPreNormSpan: the untwist pass (identical: strict ring).
+func (r Goldilocks) MulPreNormSpan(dst, a, w []uint64, pre []uint64) {
+	r.MulPreSpan(dst, a, w, pre)
+}
+
+// ScalarMulSpan: dst[i] = a[i]·w.
+func (Goldilocks) ScalarMulSpan(dst, a []uint64, w uint64, pre uint64) {
+	n := len(dst)
+	a = a[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = gl.Mul(a[i], w)
+	}
+}
+
+// ScaleAddSpan: dst[i] = a[i] + m[i]·w.
+func (Goldilocks) ScaleAddSpan(dst, a []uint64, m []uint64, w uint64, pre uint64) {
+	n := len(dst)
+	a, m = a[:n], m[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = gl.Add(a[i], gl.Mul(m[i], w))
+	}
+}

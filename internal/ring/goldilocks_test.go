@@ -1,0 +1,151 @@
+package ring_test
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
+	"mqxgo/internal/u128"
+)
+
+// The Goldilocks prime p = 2^64 - 2^32 + 1 exceeds Shoup64's q < 2^62
+// Barrett bound, so a same-prime cross-check against the Shoup tower ring
+// is not applicable; Barrett128 handles any q <= 2^124 and stands in as
+// the same-prime oracle instead (plus big.Int for the raw arithmetic).
+
+func TestGoldilocksRingArithmetic(t *testing.T) {
+	g := ring.NewGoldilocks()
+	p := new(big.Int).SetUint64(modmath.GoldilocksPrime)
+	rng := rand.New(rand.NewSource(401))
+	vals := []uint64{0, 1, 2, 1<<32 - 1, 1 << 32, modmath.GoldilocksPrime - 1}
+	for i := 0; i < 200; i++ {
+		vals = append(vals, rng.Uint64()%modmath.GoldilocksPrime)
+	}
+	chk := func(name string, got uint64, a, b *big.Int, op func(z, a, b *big.Int) *big.Int) {
+		t.Helper()
+		want := op(new(big.Int), a, b)
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Fatalf("%s(%s, %s) = %d, want %s", name, a, b, got, want)
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			ab, bb := new(big.Int).SetUint64(a), new(big.Int).SetUint64(b)
+			chk("Add", g.Add(a, b), ab, bb, (*big.Int).Add)
+			chk("Sub", g.Sub(a, b), ab, bb, (*big.Int).Sub)
+			chk("Mul", g.Mul(a, b), ab, bb, (*big.Int).Mul)
+		}
+	}
+	for _, a := range vals {
+		if a == 0 {
+			continue
+		}
+		if got := g.Mul(a, g.Inv(a)); got != 1 {
+			t.Fatalf("a * Inv(a) = %d for a=%d", got, a)
+		}
+	}
+}
+
+// TestGoldilocksRootOrders: PrimitiveRootOfUnity(n) must have order
+// exactly n (omega^(n/2) = -1 suffices for power-of-two n when
+// omega^n = 1).
+func TestGoldilocksRootOrders(t *testing.T) {
+	g := ring.NewGoldilocks()
+	for _, n := range []uint64{2, 4, 1 << 10, 1 << 20, 1 << 32} {
+		w, err := g.PrimitiveRootOfUnity(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw := uint64(1)
+		// omega^(n/2) by repeated squaring of omega log2(n)-1 times.
+		pw = w
+		for k := n; k > 2; k >>= 1 {
+			pw = g.Mul(pw, pw)
+		}
+		if pw != modmath.GoldilocksPrime-1 {
+			t.Fatalf("root of order %d: omega^(n/2) = %d, want p-1", n, pw)
+		}
+		if got := g.Mul(pw, pw); got != 1 {
+			t.Fatalf("root of order %d: omega^n = %d, want 1", n, got)
+		}
+	}
+	if _, err := g.PrimitiveRootOfUnity(3); err == nil {
+		t.Error("accepted non-power-of-two order")
+	}
+	if _, err := g.PrimitiveRootOfUnity(1 << 33); err == nil {
+		t.Error("accepted order beyond 2^32")
+	}
+}
+
+// TestGoldilocksCrossCheck128 runs the same negacyclic products modulo the
+// same prime on the Goldilocks plan and on a Barrett128 plan (the product
+// in Z_p[x]/(x^n+1) is canonical, independent of each plan's choice of
+// psi), plus a schoolbook check at small n.
+func TestGoldilocksCrossCheck128(t *testing.T) {
+	g := ring.NewGoldilocks()
+	m128, err := modmath.NewModulus128(u128.From64(modmath.GoldilocksPrime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := ring.NewBarrett128(m128)
+	rng := rand.New(rand.NewSource(402))
+	for _, n := range []int{16, 256} {
+		gp := ring.MustPlan[uint64, ring.Goldilocks](g, n)
+		op := ring.MustPlan[u128.U128, ring.Barrett128](oracle, n)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		a128 := make([]u128.U128, n)
+		b128 := make([]u128.U128, n)
+		for i := range a {
+			a[i] = rng.Uint64() % modmath.GoldilocksPrime
+			b[i] = rng.Uint64() % modmath.GoldilocksPrime
+			a128[i] = u128.From64(a[i])
+			b128[i] = u128.From64(b[i])
+		}
+		got := gp.PolyMulNegacyclic(a, b)
+		want := op.PolyMulNegacyclic(a128, b128)
+		for i := range want {
+			if !want[i].Is64() || got[i] != want[i].Lo {
+				t.Fatalf("n=%d coeff %d: goldilocks %d, barrett128 %s", n, i, got[i], want[i])
+			}
+		}
+
+		// Round trip through the Goldilocks transform.
+		back := gp.Inverse(gp.Forward(a))
+		for i := range a {
+			if back[i] != a[i] {
+				t.Fatalf("n=%d: round trip failed at %d", n, i)
+			}
+		}
+	}
+
+	// Schoolbook negacyclic oracle at n=16.
+	const n = 16
+	gp := ring.MustPlan[uint64, ring.Goldilocks](g, n)
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := range a {
+		a[i] = rng.Uint64() % modmath.GoldilocksPrime
+		b[i] = rng.Uint64() % modmath.GoldilocksPrime
+	}
+	got := gp.PolyMulNegacyclic(a, b)
+	want := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			prod := g.Mul(a[i], b[j])
+			if k := i + j; k < n {
+				want[k] = g.Add(want[k], prod)
+			} else {
+				want[k-n] = g.Sub(want[k-n], prod)
+			}
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schoolbook coeff %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package ring
+
+import (
+	"math/bits"
+
+	"mqxgo/internal/modmath"
+)
+
+// Fused span kernels for the single-word Shoup ring, with lazy reduction:
+// residues travel between Pease stages in the relaxed domain [0, 2q) and
+// the deferred normalization is folded into the final stage (alongside the
+// already-folded 1/N on the inverse). Per butterfly this drops the
+// conditional subtraction at the tail of the Shoup multiply and replaces
+// the branchy canonical subtract with a branchless a + 2q - b, which is
+// the software analogue of the paper's pipelined modular stages keeping
+// intermediates unnormalized between pipeline registers.
+//
+// Headroom (q < 2^62, enforced by modmath.NewModulus64):
+//
+//	a, b ∈ [0, 2q)  ⇒  a + b < 4q < 2^64        (sums never wrap)
+//	                   a + 2q - b ∈ (0, 4q)      (differences stay positive)
+//	d < 2^64        ⇒  d·w - floor(d·w'/2^64)·q ∈ [0, 2q)
+//
+// The last line is modmath.MulShoupLazy's bound: it holds for ANY 64-bit
+// multiplicand, so the (0, 4q) differences feed the twiddle multiply
+// directly, with no normalization between the subtract and the multiply.
+// The loops below inline that multiply rather than call it so the modulus
+// words stay in registers across the span.
+
+// CTSpan: one non-final forward stage, relaxed in, relaxed out.
+func (r Shoup64) CTSpan(out, lo, hi, w []uint64, pre []uint64) {
+	q := r.M.Q
+	twoQ := 2 * q
+	n := len(w)
+	lo, hi, pre = lo[:n], hi[:n], pre[:n]
+	out = out[:2*n]
+	for i := 0; i < n; i++ {
+		a, b := lo[i], hi[i]
+		s := a + b
+		if s >= twoQ {
+			s -= twoQ
+		}
+		d := a + twoQ - b
+		qhat, _ := bits.Mul64(d, pre[i])
+		out[2*i] = s
+		out[2*i+1] = d*w[i] - qhat*q
+	}
+}
+
+// CTSpanLast: the final forward stage; accepts relaxed inputs and lands
+// the deferred normalization, producing canonical outputs.
+func (r Shoup64) CTSpanLast(out, lo, hi, w []uint64, pre []uint64) {
+	q := r.M.Q
+	twoQ := 2 * q
+	n := len(w)
+	lo, hi, pre = lo[:n], hi[:n], pre[:n]
+	out = out[:2*n]
+	for i := 0; i < n; i++ {
+		a, b := lo[i], hi[i]
+		s := a + b // < 4q
+		if s >= twoQ {
+			s -= twoQ
+		}
+		if s >= q {
+			s -= q
+		}
+		d := a + twoQ - b
+		qhat, _ := bits.Mul64(d, pre[i])
+		t := d*w[i] - qhat*q // < 2q
+		if t >= q {
+			t -= q
+		}
+		out[2*i] = s
+		out[2*i+1] = t
+	}
+}
+
+// GSSpan: one non-final inverse stage, relaxed in, relaxed out.
+func (r Shoup64) GSSpan(oLo, oHi, in, w []uint64, pre []uint64) {
+	q := r.M.Q
+	twoQ := 2 * q
+	n := len(w)
+	oLo, oHi, pre = oLo[:n], oHi[:n], pre[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		qhat, _ := bits.Mul64(o, pre[i])
+		t := o*w[i] - qhat*q // ∈ [0, 2q)
+		lo := e + t          // < 4q
+		if lo >= twoQ {
+			lo -= twoQ
+		}
+		hi := e + twoQ - t // ∈ (0, 4q)
+		if hi >= twoQ {
+			hi -= twoQ
+		}
+		oLo[i] = lo
+		oHi[i] = hi
+	}
+}
+
+// GSSpanLastScaled: the final inverse stage with 1/N folded into the
+// twiddle table and applied to the even lane; relaxed in, canonical out.
+func (r Shoup64) GSSpanLastScaled(oLo, oHi, in, w []uint64, pre []uint64, nInv uint64, nInvPre uint64) {
+	q := r.M.Q
+	twoQ := 2 * q
+	n := len(w)
+	oLo, oHi, pre = oLo[:n], oHi[:n], pre[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		qhat, _ := bits.Mul64(o, pre[i])
+		t := o*w[i] - qhat*q // twiddle·N⁻¹ folded, ∈ [0, 2q)
+		qhat, _ = bits.Mul64(e, nInvPre)
+		es := e*nInv - qhat*q // ∈ [0, 2q)
+		lo := es + t          // < 4q
+		if lo >= twoQ {
+			lo -= twoQ
+		}
+		if lo >= q {
+			lo -= q
+		}
+		hi := es + twoQ - t // ∈ (0, 4q)
+		if hi >= twoQ {
+			hi -= twoQ
+		}
+		if hi >= q {
+			hi -= q
+		}
+		oLo[i] = lo
+		oHi[i] = hi
+	}
+}
+
+// MulSpan: canonical pointwise Barrett product via the one shared copy of
+// the single-word reduction (modmath.Barrett64Reduce — the same sequence
+// Modulus64.Mul runs), with the constants hoisted out of the loop.
+func (r Shoup64) MulSpan(dst, a, b []uint64) {
+	m := r.M
+	q, mu, nb := m.Q, m.Mu, m.N
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(a[i], b[i])
+		dst[i] = modmath.Barrett64Reduce(hi, lo, q, mu, nb)
+	}
+}
+
+// MulPreSpan: the twist pass dst[i] = a[i]·w[i], canonical in, relaxed out.
+func (r Shoup64) MulPreSpan(dst, a, w []uint64, pre []uint64) {
+	q := r.M.Q
+	n := len(dst)
+	a, w, pre = a[:n], w[:n], pre[:n]
+	for i := 0; i < n; i++ {
+		qhat, _ := bits.Mul64(a[i], pre[i])
+		dst[i] = a[i]*w[i] - qhat*q
+	}
+}
+
+// MulPreNormSpan: the untwist pass; relaxed in, canonical out (this is
+// where a negacyclic product's deferred normalization lands).
+func (r Shoup64) MulPreNormSpan(dst, a, w []uint64, pre []uint64) {
+	q := r.M.Q
+	n := len(dst)
+	a, w, pre = a[:n], w[:n], pre[:n]
+	for i := 0; i < n; i++ {
+		qhat, _ := bits.Mul64(a[i], pre[i])
+		t := a[i]*w[i] - qhat*q
+		if t >= q {
+			t -= q
+		}
+		dst[i] = t
+	}
+}
+
+// ScalarMulSpan: dst[i] = a[i]·w for one fixed scalar, canonical in/out.
+func (r Shoup64) ScalarMulSpan(dst, a []uint64, w uint64, pre uint64) {
+	q := r.M.Q
+	n := len(dst)
+	a = a[:n]
+	for i := 0; i < n; i++ {
+		qhat, _ := bits.Mul64(a[i], pre)
+		t := a[i]*w - qhat*q
+		if t >= q {
+			t -= q
+		}
+		dst[i] = t
+	}
+}
+
+// ScaleAddSpan: dst[i] = a[i] + m[i]·w, canonical in/out.
+func (r Shoup64) ScaleAddSpan(dst, a []uint64, m []uint64, w uint64, pre uint64) {
+	q := r.M.Q
+	n := len(dst)
+	a, m = a[:n], m[:n]
+	for i := 0; i < n; i++ {
+		qhat, _ := bits.Mul64(m[i], pre)
+		t := m[i]*w - qhat*q
+		if t >= q {
+			t -= q
+		}
+		s := a[i] + t
+		if s >= q {
+			s -= q
+		}
+		dst[i] = s
+	}
+}
+
+// Shoup64Strict is Shoup64 with strict (canonical-everywhere) span
+// kernels: the same fused loops, but every butterfly fully reduces its
+// outputs and the twist pass stays canonical. It exists to isolate the
+// lazy-reduction win from the devirtualization win on the benchmark axis
+// (cmd/benchjson's lazy-vs-strict comparison); production paths use the
+// lazy Shoup64.
+type Shoup64Strict struct{ Shoup64 }
+
+// NewShoup64Strict wraps a 64-bit modulus as a strict-kernel ring.
+func NewShoup64Strict(m *modmath.Modulus64) Shoup64Strict {
+	return Shoup64Strict{Shoup64: NewShoup64(m)}
+}
+
+// Fingerprint separates strict-kernel plans from lazy ones in the cache.
+func (r Shoup64Strict) Fingerprint() Fingerprint {
+	return Fingerprint{QLo: r.M.Q, Tag: TagShoup64Strict}
+}
+
+// CTSpan: canonical in, canonical out (one extra conditional subtract per
+// lane versus the lazy kernel — exactly the cost lazy reduction removes).
+func (r Shoup64Strict) CTSpan(out, lo, hi, w []uint64, pre []uint64) {
+	q := r.M.Q
+	n := len(w)
+	lo, hi, pre = lo[:n], hi[:n], pre[:n]
+	out = out[:2*n]
+	for i := 0; i < n; i++ {
+		a, b := lo[i], hi[i]
+		s := a + b
+		if s >= q {
+			s -= q
+		}
+		d := a + q - b
+		if d >= q {
+			d -= q
+		}
+		qhat, _ := bits.Mul64(d, pre[i])
+		t := d*w[i] - qhat*q
+		if t >= q {
+			t -= q
+		}
+		out[2*i] = s
+		out[2*i+1] = t
+	}
+}
+
+// CTSpanLast is CTSpan: strict outputs are already canonical.
+func (r Shoup64Strict) CTSpanLast(out, lo, hi, w []uint64, pre []uint64) {
+	r.CTSpan(out, lo, hi, w, pre)
+}
+
+// GSSpan: canonical in, canonical out.
+func (r Shoup64Strict) GSSpan(oLo, oHi, in, w []uint64, pre []uint64) {
+	q := r.M.Q
+	n := len(w)
+	oLo, oHi, pre = oLo[:n], oHi[:n], pre[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		qhat, _ := bits.Mul64(o, pre[i])
+		t := o*w[i] - qhat*q
+		if t >= q {
+			t -= q
+		}
+		lo := e + t
+		if lo >= q {
+			lo -= q
+		}
+		hi := e + q - t
+		if hi >= q {
+			hi -= q
+		}
+		oLo[i] = lo
+		oHi[i] = hi
+	}
+}
+
+// GSSpanLastScaled: canonical in, canonical out, 1/N folded.
+func (r Shoup64Strict) GSSpanLastScaled(oLo, oHi, in, w []uint64, pre []uint64, nInv uint64, nInvPre uint64) {
+	q := r.M.Q
+	n := len(w)
+	oLo, oHi, pre = oLo[:n], oHi[:n], pre[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		qhat, _ := bits.Mul64(o, pre[i])
+		t := o*w[i] - qhat*q
+		if t >= q {
+			t -= q
+		}
+		qhat, _ = bits.Mul64(e, nInvPre)
+		es := e*nInv - qhat*q
+		if es >= q {
+			es -= q
+		}
+		lo := es + t
+		if lo >= q {
+			lo -= q
+		}
+		hi := es + q - t
+		if hi >= q {
+			hi -= q
+		}
+		oLo[i] = lo
+		oHi[i] = hi
+	}
+}
+
+// MulPreSpan: strict kernels keep the twist pass canonical, because their
+// butterflies assume canonical inputs.
+func (r Shoup64Strict) MulPreSpan(dst, a, w []uint64, pre []uint64) {
+	r.MulPreNormSpan(dst, a, w, pre)
+}

@@ -43,6 +43,13 @@ type Plan[T any, R Ring[T]] struct {
 	// scratch pools ping-pong buffer pairs so steady-state transforms
 	// allocate nothing.
 	scratch sync.Pool
+
+	// kern is the ring's fused span-kernel implementation, type-asserted
+	// exactly once at plan build (nil when the ring does not provide one,
+	// or vetoes it for its arithmetic configuration). When non-nil the
+	// stage loops and the PolyMul* passes dispatch one interface call per
+	// span instead of dictionary-mediated element ops per butterfly.
+	kern SpanKernels[T]
 }
 
 // table is one twiddle table: the values and their MulPre constants.
@@ -86,8 +93,20 @@ func NewPlan[T any, R Ring[T]](r R, n int) (*Plan[T, R], error) {
 	p.scratch.New = func() any {
 		return &scratchPair[T]{a: make([]T, n), b: make([]T, n)}
 	}
+	// The kernel seam: asserted once here, never per element. A ring may
+	// veto attachment for configurations its fused loops do not honor
+	// (Barrett128 with Karatsuba dispatch).
+	if k, ok := any(r).(SpanKernels[T]); ok {
+		if v, vetoable := any(r).(interface{ kernelsDisabled() bool }); !vetoable || !v.kernelsDisabled() {
+			p.kern = k
+		}
+	}
 	return p, nil
 }
+
+// HasSpanKernels reports whether transforms run on the fused span-kernel
+// path (true) or the element-op fallback (false).
+func (p *Plan[T, R]) HasSpanKernels() bool { return p.kern != nil }
 
 // MustPlan is NewPlan but panics on error.
 func MustPlan[T any, R Ring[T]](r R, n int) *Plan[T, R] {
@@ -239,15 +258,12 @@ func (p *Plan[T, R]) PolyMulCyclicInto(dst, a, b []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
 	p.checkLen(len(b))
-	r := p.R
 	sc := p.getScratch()
 	ping := p.getScratch()
 	af, bf := sc.a, sc.b
 	p.forwardStages(af, a, ping)
 	p.forwardStages(bf, b, ping)
-	for j := range af {
-		af[j] = r.Mul(af[j], bf[j])
-	}
+	p.PointwiseMulInto(af, af, bf)
 	p.inverseStages(dst, af, ping, true)
 	p.putScratch(ping)
 	p.putScratch(sc)
@@ -274,12 +290,66 @@ func (p *Plan[T, R]) PolyMulNegacyclic(a, b []T) []T {
 	return out
 }
 
+// PointwiseMulInto computes the coefficient-wise product dst[i] = a[i]·b[i]
+// (the evaluation-domain Hadamard product) on the kernel path when the
+// ring provides one. dst may alias a or b; it allocates nothing.
+func (p *Plan[T, R]) PointwiseMulInto(dst, a, b []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	p.checkLen(len(b))
+	if k := p.kern; k != nil {
+		k.MulSpan(dst, a, b)
+		return
+	}
+	r := p.R
+	for i := range dst {
+		dst[i] = r.Mul(a[i], b[i])
+	}
+}
+
+// ScalarMulInto computes dst[i] = a[i]·w for one reduced scalar w,
+// precomputing the ring's per-multiplicand constant once for the whole
+// span. dst may alias a; it allocates nothing.
+func (p *Plan[T, R]) ScalarMulInto(dst, a []T, w T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	r := p.R
+	pre := r.Precompute(w)
+	if k := p.kern; k != nil {
+		k.ScalarMulSpan(dst, a, w, pre)
+		return
+	}
+	for i := range dst {
+		dst[i] = r.MulPre(a[i], w, pre)
+	}
+}
+
+// ScaleAddInto is the scale-accumulate entry point dst[i] = a[i] + m[i]·w
+// for small already-reduced integers m[i] (the encrypt-side Δ·message fold
+// of the fhe backends). dst may alias a; it allocates nothing.
+func (p *Plan[T, R]) ScaleAddInto(dst, a []T, m []uint64, w T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	p.checkLen(len(m))
+	r := p.R
+	pre := r.Precompute(w)
+	if k := p.kern; k != nil {
+		k.ScaleAddSpan(dst, a, m, w, pre)
+		return
+	}
+	for i := range dst {
+		dst[i] = r.Add(a[i], r.MulPre(r.FromUint64(m[i]), w, pre))
+	}
+}
+
 // forwardStages runs the constant-geometry forward dataflow: stage 0
 // reads x, intermediate stages ping-pong between the scratch buffers, and
 // the final stage writes dst. Safe for dst aliasing x because x is only
 // read by stage 0 (and the single-stage N=2 case reads both inputs before
-// writing).
+// writing). On the kernel path, intermediate stages may carry residues in
+// the kernel's relaxed domain; the final stage (CTSpanLast) is canonical.
 func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
+	k := p.kern
 	r := p.R
 	half := p.N >> 1
 	src := x
@@ -295,11 +365,18 @@ func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
 		lo := src[:half]
 		hi := src[half:p.N]
 		o := out[:p.N]
-		for i := range w {
-			a, b := lo[i], hi[i]
-			d := r.Sub(a, b)
-			o[2*i] = r.Add(a, b)
-			o[2*i+1] = r.MulPre(d, w[i], pre[i])
+		switch {
+		case k != nil && s == p.M-1:
+			k.CTSpanLast(o, lo, hi, w, pre)
+		case k != nil:
+			k.CTSpan(o, lo, hi, w, pre)
+		default:
+			for i := range w {
+				a, b := lo[i], hi[i]
+				d := r.Sub(a, b)
+				o[2*i] = r.Add(a, b)
+				o[2*i+1] = r.MulPre(d, w[i], pre[i])
+			}
 		}
 		src = out
 	}
@@ -312,6 +389,7 @@ func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
 // caller folds 1/N elsewhere (the negacyclic untwist table already
 // carries it).
 func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
+	kern := p.kern
 	r := p.R
 	half := p.N >> 1
 	src := y
@@ -332,7 +410,14 @@ func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
 		in := src[:p.N]
 		oLo := out[:half]
 		oHi := out[half:p.N]
-		if s == 0 && scale {
+		switch {
+		case kern != nil && s == 0 && scale:
+			kern.GSSpanLastScaled(oLo, oHi, in, w, pre, p.NInv, p.nInvPre)
+		case kern != nil:
+			// When scale is false the final pass stays relaxed: the
+			// caller's untwist (MulPreNormSpan) lands the normalization.
+			kern.GSSpan(oLo, oHi, in, w, pre)
+		case s == 0 && scale:
 			nInv, nPre := p.NInv, p.nInvPre
 			for i := range w {
 				e, o := in[2*i], in[2*i+1]
@@ -341,7 +426,7 @@ func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
 				oLo[i] = r.Add(es, t)
 				oHi[i] = r.Sub(es, t)
 			}
-		} else {
+		default:
 			for i := range w {
 				e, o := in[2*i], in[2*i+1]
 				t := r.MulPre(o, w[i], pre[i])
@@ -359,10 +444,26 @@ func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
 // products. poly holds the twisted operands; ping holds the transform
 // ping-pong buffers.
 func (p *Plan[T, R]) polyMulNegacyclicScratch(dst, a, b []T, poly, ping *scratchPair[T]) {
-	r := p.R
 	at, bt := poly.a, poly.b
 	tw := p.twist.w[:p.N]
 	tp := p.twist.pre[:p.N]
+	ut := p.untwist.w[:p.N]
+	up := p.untwist.pre[:p.N]
+	if k := p.kern; k != nil {
+		// Kernel path: the twist may leave residues relaxed (the stage
+		// loops accept them), the transforms hand back canonical values
+		// for the pointwise product, the unscaled inverse stays relaxed,
+		// and the untwist lands the deferred normalization with 1/N.
+		k.MulPreSpan(at, a, tw, tp)
+		k.MulPreSpan(bt, b, tw, tp)
+		p.forwardStages(at, at, ping)
+		p.forwardStages(bt, bt, ping)
+		k.MulSpan(at, at, bt)
+		p.inverseStages(at, at, ping, false)
+		k.MulPreNormSpan(dst, at, ut, up) // psi^-j * N^-1
+		return
+	}
+	r := p.R
 	for j := range tw {
 		at[j] = r.MulPre(a[j], tw[j], tp[j])
 		bt[j] = r.MulPre(b[j], tw[j], tp[j])
@@ -373,8 +474,6 @@ func (p *Plan[T, R]) polyMulNegacyclicScratch(dst, a, b []T, poly, ping *scratch
 		at[j] = r.Mul(at[j], bt[j])
 	}
 	p.inverseStages(at, at, ping, false)
-	ut := p.untwist.w[:p.N]
-	up := p.untwist.pre[:p.N]
 	for j := range ut {
 		dst[j] = r.MulPre(at[j], ut[j], up[j]) // psi^-j * N^-1
 	}

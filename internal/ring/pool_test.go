@@ -1,0 +1,44 @@
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// poolStarted reads the worker pool size under its lock (safe under -race).
+func poolStarted() int {
+	workerPool.mu.Lock()
+	defer workerPool.mu.Unlock()
+	return workerPool.started
+}
+
+// TestWorkerPoolGrowsAfterGOMAXPROCSRaise exercises the re-check-on-submit
+// path in submitJob: the pool is sized lazily from GOMAXPROCS, and a
+// GOMAXPROCS raise after first use must grow it on the next submit instead
+// of capping all future batches at the initial size. Run under -race to
+// also certify the growth path's synchronization.
+func TestWorkerPoolGrowsAfterGOMAXPROCSRaise(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	// Warm the pool at the current size (any prior test may already have).
+	var ran atomic.Int64
+	ParallelChunks(4, 2, func(start, end int) { ran.Add(int64(end - start)) })
+	if got := poolStarted(); got < 1 {
+		t.Fatalf("pool did not start any workers after a submit: %d", got)
+	}
+
+	// Raise beyond anything this process can have seen and submit again:
+	// the pool must grow to the new GOMAXPROCS.
+	target := old + 2
+	runtime.GOMAXPROCS(target)
+	ran.Store(0)
+	ParallelChunks(2*target, target, func(start, end int) { ran.Add(int64(end - start)) })
+	if got := int(ran.Load()); got != 2*target {
+		t.Fatalf("chunks covered %d indices, want %d", got, 2*target)
+	}
+	if got := poolStarted(); got < target {
+		t.Errorf("pool has %d workers after GOMAXPROCS raise to %d; re-check-on-submit did not grow it", got, target)
+	}
+}

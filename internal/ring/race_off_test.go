@@ -1,0 +1,5 @@
+//go:build !race
+
+package ring_test
+
+const raceEnabled = false

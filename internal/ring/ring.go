@@ -64,12 +64,18 @@ type Fingerprint struct {
 // Tags for the built-in ring families. Wrapper-level caches (internal/ntt)
 // use tags at or above TagExternalBase so a wrapper entry never collides
 // with the generic plan entry for the same modulus. The low 16 bits of a
-// tag name the family; families with per-modulus arithmetic configuration
-// (Barrett128's MulAlgorithm) fold it into the high bits.
+// tag name the family (bit 15 is the ElementOnly modifier); families with
+// per-modulus arithmetic configuration (Barrett128's MulAlgorithm) fold it
+// into the high bits.
 const (
 	TagBarrett128 uint32 = iota
 	TagShoup64
+	TagGoldilocks
+	TagShoup64Strict
 	TagExternalBase uint32 = 8
+	// TagElementOnly marks a plan built over ElementOnly (kernel seam
+	// disabled); it must never share a cache entry with the kernel plan.
+	TagElementOnly uint32 = 1 << 15
 )
 
 // Barrett128 is the double-word ring over modmath.Modulus128: 128-bit

@@ -213,9 +213,16 @@ func (c *Context) SubInto(dst, a, b Poly) error {
 }
 
 // PMulInto computes the coefficient-wise (evaluation-form) product
-// dst = a ∘ b. dst may alias a or b.
+// dst = a ∘ b, each tower on its plan's fused-kernel path. dst may alias
+// a or b.
 func (c *Context) PMulInto(dst, a, b Poly) error {
-	return c.ewiseInto(dst, a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Mul(x, y) })
+	if err := c.checkPoly(dst, a, b); err != nil {
+		return err
+	}
+	for i, p := range c.Plans {
+		p.Generic().PointwiseMulInto(dst.Res[i], a.Res[i], b.Res[i])
+	}
+	return nil
 }
 
 func (c *Context) ewiseInto(dst, a, b Poly, f func(m *modmath.Modulus64, x, y uint64) uint64) error {
@@ -246,17 +253,14 @@ func (c *Context) NegInto(dst, a Poly) error {
 }
 
 // ScalarMulUint64Into computes dst = k * a for a small scalar k < min q_i
-// (reduced residue in every tower). dst may alias a.
+// (reduced residue in every tower), one Shoup precomputation per tower
+// instead of a Barrett reduction per coefficient. dst may alias a.
 func (c *Context) ScalarMulUint64Into(dst, a Poly, k uint64) error {
 	if err := c.checkPoly(dst, a); err != nil {
 		return err
 	}
 	for i, mod := range c.Mods {
-		ki := k % mod.Q
-		dr, ar := dst.Res[i], a.Res[i]
-		for j := 0; j < c.N; j++ {
-			dr[j] = mod.Mul(ar[j], ki)
-		}
+		c.Plans[i].Generic().ScalarMulInto(dst.Res[i], a.Res[i], k%mod.Q)
 	}
 	return nil
 }
