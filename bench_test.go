@@ -24,6 +24,7 @@ import (
 
 	"mqxgo/internal/blas"
 	"mqxgo/internal/core"
+	"mqxgo/internal/fhe"
 	"mqxgo/internal/isa"
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/multiword"
@@ -611,4 +612,67 @@ func BenchmarkRNSMulAllParK4N4096(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/4, "ns/tower")
+}
+
+// --- PR 4: homomorphic multiply on the Backend seam ---
+
+// benchMulCtFixture prepares a ready-to-multiply ciphertext pair, relin
+// key, and reusable destination on one backend.
+func benchMulCtFixture(b *testing.B, backend fhe.Backend) (fhe.BackendCiphertext, fhe.BackendCiphertext, fhe.BackendCiphertext, fhe.BackendRelinKey) {
+	b.Helper()
+	s := fhe.NewBackendScheme(backend, 77)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	n := backend.N()
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = uint64(i*13+5) % backend.PlainModulus()
+	}
+	c1, err := s.Encrypt(sk, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := fhe.BackendCiphertext{A: backend.NewPoly(), B: backend.NewPoly()}
+	backend.MulCt(&dst, c1, c2, rlk) // warm every pool
+	return c1, c2, dst, rlk
+}
+
+// BenchmarkMulCtRNSK2N4096 is the BEHZ pipeline at the paper's sweet
+// spot (two towers): base-extend, tensor, divide-and-round, exact
+// Shenoy-Kumaresan return, CRT-gadget relin — 0 allocs/op steady state.
+func BenchmarkMulCtRNSK2N4096(b *testing.B) {
+	c, err := rns.NewContext(59, 2, 1<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := fhe.NewRNSBackend(c, 257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c1, c2, dst, rlk := benchMulCtFixture(b, backend)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backend.MulCt(&dst, c1, c2, rlk)
+	}
+}
+
+// BenchmarkMulCtOracleN4096 is the 128-bit oracle multiply: exact
+// integer tensor via the wide CRT basis and exact big-int rescale — the
+// correctness reference the RNS pipeline is differentially tested
+// against, and the wall-clock bar it must beat.
+func BenchmarkMulCtOracleN4096(b *testing.B) {
+	params, err := fhe.NewParams(modmath.DefaultModulus128(), 1<<12, 257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend := fhe.NewRingBackend(params)
+	c1, c2, dst, rlk := benchMulCtFixture(b, backend)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backend.MulCt(&dst, c1, c2, rlk)
+	}
 }

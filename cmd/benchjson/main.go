@@ -21,9 +21,17 @@
 // against the strict span kernels, at n in {1024, 4096, 16384}. Every
 // path is cross-checked bit-exact before timing.
 //
+// A fourth report (BENCH_PR4.json) measures homomorphic
+// ciphertext-ciphertext multiplication on the fhe.Backend seam: the BEHZ
+// RNS pipeline (base-extend, tensor, divide-and-round, exact
+// Shenoy-Kumaresan return, CRT-gadget relinearization — residues end to
+// end) against the 128-bit oracle backend's exact integer tensor and
+// big-int rescale, at n in {1024, 4096, 16384} and k in {2, 3, 4}
+// towers. Decryptions are cross-checked bit-identical before timing.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-n 4096] [-batch 64] [-workers 8]
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -138,6 +146,7 @@ func main() {
 	out := flag.String("out", "BENCH_PR1.json", "output path")
 	out2 := flag.String("out2", "BENCH_PR2.json", "128-bit vs RNS report path (empty to skip)")
 	out3 := flag.String("out3", "BENCH_PR3.json", "kernel vs element-op report path (empty to skip)")
+	out4 := flag.String("out4", "BENCH_PR4.json", "homomorphic multiply report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -245,6 +254,11 @@ func main() {
 	}
 	if *out3 != "" {
 		if err := runKernelComparison(ctx, *out3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *out4 != "" {
+		if err := runMulCtComparison(*out4); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,50 @@
+package fhe
+
+import (
+	"testing"
+
+	"mqxgo/internal/rns"
+)
+
+// Steady-state allocation regression for the BEHZ multiply, extending the
+// PR 1 discipline to the new hot path: with the scratch pool warmed and a
+// reused destination ciphertext, the RNS backend's MulCt — base
+// extension, tensor, divide-and-round, exact return, relinearization —
+// must allocate nothing. (The 128-bit oracle backend is exempt by
+// design: it trades allocation discipline for exact big-int arithmetic.)
+func TestRNSMulCtDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n, T = 256, 257
+	c, err := rns.NewContext(59, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBackendScheme(b, 321)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = uint64(3*i+1) % T
+	}
+	c1, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
+	b.MulCt(&dst, c1, c2, rlk) // warm the multiply and transform pools
+	if got := testing.AllocsPerRun(10, func() {
+		b.MulCt(&dst, c1, c2, rlk)
+	}); got != 0 {
+		t.Errorf("RNS MulCt allocates %.1f per run, want 0", got)
+	}
+}

@@ -2,6 +2,8 @@ package fhe
 
 import (
 	"fmt"
+	"math/big"
+	"math/bits"
 	"math/rand"
 )
 
@@ -52,7 +54,24 @@ type Backend interface {
 	// NoiseBits returns the bit length of the largest centered noise
 	// magnitude of a - Delta*msg, or 0 when the noise is exactly zero.
 	NoiseBits(a Poly, msg []uint64) int
+	// RelinKeyGen builds a relinearization key for the secret s: gadget
+	// encryptions of s^2 that MulCt uses to bring a degree-2 tensor
+	// product back to a degree-1 ciphertext. The key representation is
+	// backend-owned and must not be mixed across backends.
+	RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey
+	// MulCt computes the homomorphic product of ct1 and ct2 into dst:
+	// tensor product over the integers, rescale by T/q, and
+	// relinearization with rlk, so dst decrypts (degree-1, via the usual
+	// B - A*S) to the negacyclic product of the plaintexts mod T, noise
+	// permitting. dst's components must be distinct polynomials not
+	// aliasing ct1's or ct2's. The RNS backend is allocation-free in
+	// steady state; the 128-bit oracle backend favors exactness over
+	// allocation discipline.
+	MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey)
 }
+
+// BackendRelinKey is an opaque backend-owned relinearization key handle.
+type BackendRelinKey any
 
 // BackendSecretKey is a small ternary secret polynomial.
 type BackendSecretKey struct {
@@ -171,6 +190,56 @@ func (s *BackendScheme) Neg(ct BackendCiphertext) BackendCiphertext {
 	return out
 }
 
+// RelinKeyGen samples a relinearization key for sk, required by
+// MulCiphertexts. One key serves any number of multiplications.
+func (s *BackendScheme) RelinKeyGen(sk BackendSecretKey) BackendRelinKey {
+	return s.B.RelinKeyGen(sk.S, s.rng)
+}
+
+// MulCiphertexts is homomorphic multiplication: the result decrypts to
+// NegacyclicProductModT of the two plaintexts, noise permitting. Each
+// multiply grows the noise roughly as documented at MulNoiseBoundBits;
+// once the budget is gone, decryption fails.
+func (s *BackendScheme) MulCiphertexts(c1, c2 BackendCiphertext, rlk BackendRelinKey) BackendCiphertext {
+	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
+	s.B.MulCt(&out, c1, c2, rlk)
+	return out
+}
+
+// MulNoiseBoundBits bounds the noise magnitude (in bits) of a MulCt
+// result, turning the scheme's depth capacity into code instead of
+// folklore. Writing 2^noiseBits for the operands' current noise
+// magnitude, n for the ring degree, T for the plaintext modulus, and
+// digits gadget digits each of magnitude < 2^digitBits in the relin key,
+// the dominant post-multiply noise terms are
+//
+//	tensor scaling:   ~ 2*n*T*2^noiseBits (T/q * Delta*m_i * e_j cross terms)
+//	plaintext wrap:   ~ n*T^2             ((q mod T) * floor(m1*m2 / T): the
+//	                                      integer plaintext product exceeds T
+//	                                      and its excess folds into noise)
+//	relinearization:  ~ digits*n*2^digitBits*noiseBound
+//	conversion/round: ~ 2*(towers+1)*n^2  (FastBConv overshoot + rounding, times ||s^2||_1)
+//
+// Decryption of the product round-trips while this stays below
+// DeltaBits - 1 — the depth-1 property test asserts exactly that, and the
+// over-deep chain test shows the bound's growth exhausting the budget.
+func MulNoiseBoundBits(n int, t uint64, noiseBits, digits, digitBits, towers int) int {
+	nb := new(big.Int).SetInt64(int64(n))
+	tb := new(big.Int).SetUint64(t)
+	tensor := new(big.Int).Lsh(big.NewInt(1), uint(noiseBits))
+	tensor.Mul(tensor, nb).Mul(tensor, tb).Lsh(tensor, 1)
+	wrap := new(big.Int).Mul(tb, tb)
+	wrap.Mul(wrap, nb)
+	relin := new(big.Int).Lsh(big.NewInt(1), uint(digitBits))
+	relin.Mul(relin, nb).Mul(relin, big.NewInt(int64(digits)*noiseBound))
+	conv := new(big.Int).Mul(nb, nb)
+	conv.Mul(conv, big.NewInt(2*int64(towers+1)))
+	sum := tensor.Add(tensor, wrap)
+	sum.Add(sum, relin)
+	sum.Add(sum, conv)
+	return sum.BitLen() + 1
+}
+
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
 // coefficients (negacyclic convolution of both components). pt must be a
 // handle from this scheme's backend.
@@ -199,6 +268,45 @@ func (s *BackendScheme) AddPlain(ct BackendCiphertext, msg []uint64) (BackendCip
 	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPoly()}
 	s.B.AddDeltaMsg(out.B, ct.B, msg)
 	return out, nil
+}
+
+// NegacyclicProductModT is the schoolbook product in Z_T[x]/(x^n + 1):
+// the plaintext-side ground truth a MulCiphertexts result decrypts to.
+// O(n^2) — it exists for tests, demos, and benchmark gates, not for
+// performance.
+func NegacyclicProductModT(m1, m2 []uint64, t uint64) []uint64 {
+	n := len(m1)
+	out := make([]uint64, n)
+	for i, a := range m1 {
+		if a == 0 {
+			continue
+		}
+		for j, b := range m2 {
+			hi, lo := bits.Mul64(a%t, b%t)
+			p := bits.Rem64(hi, lo, t)
+			if i+j < n {
+				out[i+j] = (out[i+j] + p) % t
+			} else {
+				out[i+j-n] = (out[i+j-n] + t - p) % t // x^n = -1
+			}
+		}
+	}
+	return out
+}
+
+// NoiseBits measures a ciphertext's noise magnitude in bits against the
+// expected plaintext: the bit length of max |B - A*S - Delta*msg| over
+// the coefficients. Diagnostic only (requires the secret key); the
+// property tests compare it against MulNoiseBoundBits.
+func (s *BackendScheme) NoiseBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if len(msg) != s.B.N() {
+		return 0, fmt.Errorf("fhe: message length mismatch")
+	}
+	b := s.B
+	noisy := b.NewPoly()
+	b.MulNegacyclic(noisy, ct.A, sk.S)
+	b.Sub(noisy, ct.B, noisy)
+	return b.NoiseBits(noisy, msg), nil
 }
 
 // NoiseBudgetBits estimates the remaining noise budget of a ciphertext in

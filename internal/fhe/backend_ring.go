@@ -1,8 +1,12 @@
 package fhe
 
 import (
+	"fmt"
+	"math/big"
 	"math/rand"
+	"sync"
 
+	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 )
 
@@ -10,23 +14,41 @@ import (
 // 124-bit double-word ring with the Barrett-multiplied 128-bit NTT. Its
 // Poly handles are plain []u128.U128, so the legacy Scheme API unwraps
 // them at zero cost.
+//
+// For homomorphic multiplication this backend is the exactness oracle the
+// differential harness trusts: the ciphertext tensor product is computed
+// over the integers (a CRT tower convolution wide enough that no
+// coefficient wraps) and the T/q rescale is exact big-integer
+// round-half-up, so the only approximations anywhere are the ones the
+// scheme itself defines. It allocates freely on that path; the RNS
+// backend is the performance configuration.
 type ringBackend struct {
 	p *Params
+
+	// wide is the integer-convolution engine for MulCt, built on first
+	// use: enough 59-bit NTT towers that negacyclic products of two
+	// ring elements are exact over the integers.
+	wideOnce sync.Once
+	wide     *rns.Context
+	wideErr  error
+	qBig     *big.Int // the ring modulus q
+	halfQ    *big.Int // floor(q/2), for the exact rescale's rounding
+	tBig     *big.Int
 }
 
 // NewRingBackend wraps ring parameters as a Backend.
-func NewRingBackend(p *Params) Backend { return ringBackend{p: p} }
+func NewRingBackend(p *Params) Backend { return &ringBackend{p: p} }
 
-func (b ringBackend) Name() string         { return "u128" }
-func (b ringBackend) N() int               { return b.p.N }
-func (b ringBackend) PlainModulus() uint64 { return b.p.T }
-func (b ringBackend) NewPoly() Poly        { return make([]u128.U128, b.p.N) }
+func (b *ringBackend) Name() string         { return "u128" }
+func (b *ringBackend) N() int               { return b.p.N }
+func (b *ringBackend) PlainModulus() uint64 { return b.p.T }
+func (b *ringBackend) NewPoly() Poly        { return make([]u128.U128, b.p.N) }
 
-func (b ringBackend) Copy(a Poly) Poly {
+func (b *ringBackend) Copy(a Poly) Poly {
 	return append([]u128.U128(nil), a.([]u128.U128)...)
 }
 
-func (b ringBackend) Add(dst, a, c Poly) {
+func (b *ringBackend) Add(dst, a, c Poly) {
 	mod := b.p.Mod
 	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
 	for i := range d {
@@ -34,7 +56,7 @@ func (b ringBackend) Add(dst, a, c Poly) {
 	}
 }
 
-func (b ringBackend) Sub(dst, a, c Poly) {
+func (b *ringBackend) Sub(dst, a, c Poly) {
 	mod := b.p.Mod
 	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
 	for i := range d {
@@ -42,7 +64,7 @@ func (b ringBackend) Sub(dst, a, c Poly) {
 	}
 }
 
-func (b ringBackend) Neg(dst, a Poly) {
+func (b *ringBackend) Neg(dst, a Poly) {
 	mod := b.p.Mod
 	d, x := dst.([]u128.U128), a.([]u128.U128)
 	for i := range d {
@@ -50,16 +72,16 @@ func (b ringBackend) Neg(dst, a Poly) {
 	}
 }
 
-func (b ringBackend) MulNegacyclic(dst, a, c Poly) {
+func (b *ringBackend) MulNegacyclic(dst, a, c Poly) {
 	b.p.plan.PolyMulNegacyclicInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
 }
 
-func (b ringBackend) ScalarMul(dst, a Poly, k uint64) {
+func (b *ringBackend) ScalarMul(dst, a Poly, k uint64) {
 	kk := u128.From64(k).Mod(b.p.Mod.Q)
 	b.p.plan.Generic().ScalarMulInto(dst.([]u128.U128), a.([]u128.U128), kk)
 }
 
-func (b ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
+func (b *ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
 	mod := b.p.Mod
 	d := dst.([]u128.U128)
 	for i := range d {
@@ -67,7 +89,7 @@ func (b ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
 	}
 }
 
-func (b ringBackend) SetSigned(dst Poly, coeffs []int64) {
+func (b *ringBackend) SetSigned(dst Poly, coeffs []int64) {
 	mod := b.p.Mod
 	d := dst.([]u128.U128)
 	for i, e := range coeffs {
@@ -81,11 +103,11 @@ func (b ringBackend) SetSigned(dst Poly, coeffs []int64) {
 
 // AddDeltaMsg folds Delta-scaled plaintext into a ciphertext component on
 // the plan's scale-accumulate kernel.
-func (b ringBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
+func (b *ringBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
 	b.p.plan.Generic().ScaleAddInto(dst.([]u128.U128), a.([]u128.U128), msg, b.p.Delta)
 }
 
-func (b ringBackend) RoundToPlain(a Poly) []uint64 {
+func (b *ringBackend) RoundToPlain(a Poly) []uint64 {
 	x := a.([]u128.U128)
 	out := make([]uint64, b.p.N)
 	half, _ := b.p.Delta.DivMod64(2)
@@ -97,9 +119,9 @@ func (b ringBackend) RoundToPlain(a Poly) []uint64 {
 	return out
 }
 
-func (b ringBackend) DeltaBits() int { return b.p.Delta.BitLen() }
+func (b *ringBackend) DeltaBits() int { return b.p.Delta.BitLen() }
 
-func (b ringBackend) NoiseBits(a Poly, msg []uint64) int {
+func (b *ringBackend) NoiseBits(a Poly, msg []uint64) int {
 	mod := b.p.Mod
 	x := a.([]u128.U128)
 	halfQ := mod.Q.Rsh(1)
@@ -115,4 +137,182 @@ func (b ringBackend) NoiseBits(a Poly, msg []uint64) int {
 		}
 	}
 	return maxNoise.BitLen()
+}
+
+// oracleDigitBits is the relinearization gadget radix: c2 decomposes into
+// digits below 2^31, keeping relin noise around n*2^31*noiseBound — far
+// under Delta for any plaintext modulus this scheme accepts.
+const oracleDigitBits = 31
+
+// ringRelinKey holds gadget encryptions of 2^(31d) * s^2 with both
+// components stored in the twisted-evaluation domain, so relinearization
+// costs one forward transform per digit plus two inverse transforms
+// total.
+type ringRelinKey struct {
+	ahat, bhat [][]u128.U128
+}
+
+// wideCtx returns the integer-convolution tower basis, built on first
+// use: the product of the towers exceeds 4*n*q^2, so signed negacyclic
+// product coefficients (magnitude < n*q^2, doubled once for the c1 sum)
+// reconstruct exactly. It panics if the basis cannot be built, which for
+// any ring the 128-bit plan itself supports cannot happen.
+func (b *ringBackend) wideCtx() *rns.Context {
+	b.wideOnce.Do(func() {
+		need := 2*b.p.Mod.Q.BitLen() + b.p.plan.M + 3
+		count := (need + 57) / 58 // 59-bit primes carry at least 58 bits each
+		b.wide, b.wideErr = rns.NewContext(59, count, b.p.N)
+		b.qBig = b.p.Mod.Q.ToBig()
+		b.halfQ = new(big.Int).Rsh(b.qBig, 1)
+		b.tBig = new(big.Int).SetUint64(b.p.T)
+	})
+	if b.wideErr != nil {
+		panic(fmt.Sprintf("fhe: oracle wide basis: %v", b.wideErr))
+	}
+	return b.wide
+}
+
+// RelinKeyGen builds the 2^31-gadget relinearization key: for each digit
+// position d, an encryption (a_d, a_d*s + e_d + 2^(31d)*s^2).
+func (b *ringBackend) RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey {
+	p := b.p
+	g := p.plan.Generic()
+	sk := s.([]u128.U128)
+	s2 := make([]u128.U128, p.N)
+	p.plan.PolyMulNegacyclicInto(s2, sk, sk)
+	digits := (p.Mod.Q.BitLen() + oracleDigitBits - 1) / oracleDigitBits
+	key := &ringRelinKey{}
+	noise := make([]int64, p.N)
+	e := make([]u128.U128, p.N)
+	tmp := make([]u128.U128, p.N)
+	for d := 0; d < digits; d++ {
+		a := make([]u128.U128, p.N)
+		b.SampleUniform(a, rng)
+		for i := range noise {
+			noise[i] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+		}
+		b.SetSigned(e, noise)
+		bb := make([]u128.U128, p.N)
+		p.plan.PolyMulNegacyclicInto(bb, a, sk) // a_d * s
+		b.Add(bb, bb, e)                        // + e_d
+		g.ScalarMulInto(tmp, s2, u128.One.Lsh(uint(oracleDigitBits*d)))
+		b.Add(bb, bb, tmp) // + 2^(31d) * s^2
+		ahat := make([]u128.U128, p.N)
+		bhat := make([]u128.U128, p.N)
+		g.NegacyclicForwardInto(ahat, a)
+		g.NegacyclicForwardInto(bhat, bb)
+		key.ahat = append(key.ahat, ahat)
+		key.bhat = append(key.bhat, bhat)
+	}
+	return key
+}
+
+// liftInto lifts u128 residues into big.Int coefficients, reusing dst's
+// entries.
+func liftInto(dst []*big.Int, src []u128.U128, t *big.Int) {
+	for i, v := range src {
+		if dst[i] == nil {
+			dst[i] = new(big.Int)
+		}
+		dst[i].SetUint64(v.Hi)
+		dst[i].Lsh(dst[i], 64)
+		dst[i].Or(dst[i], t.SetUint64(v.Lo))
+	}
+}
+
+// scaleRoundInto applies the exact BFV rescale to a reconstructed signed
+// tensor component: out = round(T*v/q) mod q per coefficient, where v is
+// centered by wideQ. This is the oracle's defining step — big-integer
+// round-half-up, no approximation.
+func (b *ringBackend) scaleRoundInto(out []u128.U128, coeffs []*big.Int, wideQ, halfWideQ *big.Int) {
+	for i, v := range coeffs {
+		if v.Cmp(halfWideQ) > 0 {
+			v.Sub(v, wideQ)
+		}
+		v.Mul(v, b.tBig)
+		v.Add(v, b.halfQ)
+		v.Div(v, b.qBig) // Euclidean: floor for the positive modulus
+		v.Mod(v, b.qBig)
+		x, ok := u128.FromBig(v)
+		if !ok {
+			panic("fhe: oracle rescale out of range")
+		}
+		out[i] = x
+	}
+}
+
+// MulCt is the oracle homomorphic multiply: exact integer tensor product
+// via the wide CRT basis, exact big-int rescale by T/q, then 2^31-gadget
+// relinearization. dst must not alias the inputs.
+func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) {
+	key := rlk.(*ringRelinKey)
+	w := b.wideCtx()
+	p := b.p
+	g := p.plan.Generic()
+	n := p.N
+
+	// Lift the four components and decompose into the wide basis.
+	coeffs := make([]*big.Int, n)
+	t := new(big.Int)
+	ops := [4]Poly{ct1.A, ct1.B, ct2.A, ct2.B}
+	var wp [4]rns.Poly
+	for i, op := range ops {
+		liftInto(coeffs, op.([]u128.U128), t)
+		wp[i] = w.NewPoly()
+		must(w.DecomposeInto(wp[i], coeffs))
+	}
+	a1, b1, a2, b2 := wp[0], wp[1], wp[2], wp[3]
+
+	// Integer tensor product: c0 = b1*b2, c1 = a1*b2 + a2*b1, c2 = a1*a2,
+	// every product an exact negacyclic convolution (no tower wraps).
+	c0, c1, c2, tmp := w.NewPoly(), w.NewPoly(), w.NewPoly(), w.NewPoly()
+	must(w.MulAll(c0, b1, b2, 1))
+	must(w.MulAll(c1, a1, b2, 1))
+	must(w.MulAll(tmp, a2, b1, 1))
+	must(w.AddInto(c1, c1, tmp))
+	must(w.MulAll(c2, a1, a2, 1))
+
+	halfWideQ := new(big.Int).Rsh(w.Q, 1)
+	r0 := make([]u128.U128, n)
+	r1 := make([]u128.U128, n)
+	r2 := make([]u128.U128, n)
+	for _, pair := range []struct {
+		src rns.Poly
+		out []u128.U128
+	}{{c0, r0}, {c1, r1}, {c2, r2}} {
+		must(w.ReconstructInto(coeffs, pair.src))
+		b.scaleRoundInto(pair.out, coeffs, w.Q, halfWideQ)
+	}
+
+	// Relinearize: digit-decompose r2 and fold the gadget encryptions of
+	// s^2 in the evaluation domain.
+	accA := make([]u128.U128, n)
+	accB := make([]u128.U128, n)
+	zd := make([]u128.U128, n)
+	zhat := make([]u128.U128, n)
+	prod := make([]u128.U128, n)
+	mod := p.Mod
+	for d := range key.ahat {
+		shift := uint(oracleDigitBits * d)
+		for j := range zd {
+			zd[j] = u128.From64(r2[j].Rsh(shift).Lo & (1<<oracleDigitBits - 1))
+		}
+		g.NegacyclicForwardInto(zhat, zd)
+		g.PointwiseMulInto(prod, zhat, key.ahat[d])
+		for j := range accA {
+			accA[j] = mod.Add(accA[j], prod[j])
+		}
+		g.PointwiseMulInto(prod, zhat, key.bhat[d])
+		for j := range accB {
+			accB[j] = mod.Add(accB[j], prod[j])
+		}
+	}
+	dstA := dst.A.([]u128.U128)
+	dstB := dst.B.([]u128.U128)
+	g.NegacyclicInverseInto(dstA, accA)
+	g.NegacyclicInverseInto(dstB, accB)
+	for j := range dstA {
+		dstA[j] = mod.Add(dstA[j], r1[j])
+		dstB[j] = mod.Add(dstB[j], r0[j])
+	}
 }

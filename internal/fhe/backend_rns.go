@@ -3,8 +3,12 @@ package fhe
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"math/rand"
+	"sync"
 
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
 	"mqxgo/internal/rns"
 )
 
@@ -13,6 +17,15 @@ import (
 // residues. Ciphertext polynomials stay decomposed (rns.Poly) through
 // every homomorphic operation; the CRT is only applied at decryption
 // rounding and noise diagnostics, where the full-width value is needed.
+//
+// Homomorphic multiplication is BEHZ-style and never leaves residue form:
+// operands are fast-base-extended (rns.BaseConverter) into a disjoint
+// extension base wide enough for the integer tensor product, the tensor
+// and the T/Q divide-and-round run tower-by-tower on the plan kernels, and
+// the result returns to base Q through the exact Shenoy-Kumaresan
+// conversion (rns.SKConverter) — the pipeline the README maps function by
+// function. All multiply state is pooled; steady-state MulCt allocates
+// nothing.
 type rnsBackend struct {
 	c *rns.Context
 	t uint64
@@ -22,20 +35,56 @@ type rnsBackend struct {
 	halfDelta *big.Int
 	halfQ     *big.Int
 	deltaBits int
+
+	// BEHZ multiply machinery. ext is the extension base: k+1 towers
+	// whose product P gives the tensor headroom, plus the redundant
+	// Shenoy-Kumaresan modulus m_sk as the last tower.
+	ext    *rns.Context
+	conv   *rns.BaseConverter // Q -> ext, approximate FastBConv
+	skConv *rns.SKConverter   // ext -> Q, exact
+	tResQ  []uint64           // T mod q_i
+	tResE  []uint64           // T mod e_j
+	hResQ  []uint64           // floor(Q/2) mod q_i, the divide-by-Q rounding offset
+	hResE  []uint64           // floor(Q/2) mod e_j
+	qInvE  []uint64           // Q^-1 mod e_j
+	gadget [][]uint64         // gadget[i][tau] = (Q/q_i) mod q_tau, the relin gadget
+
+	mulPool sync.Pool
+}
+
+// rnsMulScratch is the pooled working set of one MulCt call.
+type rnsMulScratch struct {
+	opE              [4]rns.Poly // operands extended to the ext base
+	ev               [5][]uint64 // per-tower evaluation-domain rows
+	c0Q, c1Q, c2Q    rns.Poly    // tensor, then scaled ciphertext, in Q
+	c0E, c1E, c2E    rns.Poly    // tensor in the ext base
+	convE            rns.Poly    // FastBConv([w]_Q) landing buffer
+	zrow, lift, prod []uint64    // relin digit, lifted digit, product rows
+	accA, accB       rns.Poly    // relin evaluation-domain accumulators
 }
 
 // NewRNSBackend wraps an RNS context and plaintext modulus t as a
 // Backend. t must be at least 2, below every basis prime (so plaintext
-// residues are reduced in every tower), and small enough that Delta =
-// floor(Q/t) is nonzero.
+// residues are reduced in every tower), small enough that Delta =
+// floor(Q/t) is nonzero, and — for the BEHZ multiply's headroom — small
+// enough that rescaled tensor coefficients stay below half the extension
+// base (validated exactly below).
 func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
 	if t < 2 {
 		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
 	}
+	minQ, maxQ := c.Mods[0].Q, c.Mods[0].Q
 	for _, mod := range c.Mods {
 		if t >= mod.Q {
 			return nil, fmt.Errorf("fhe: plaintext modulus %d not below tower prime %d", t, mod.Q)
 		}
+		minQ = min(minQ, mod.Q)
+		maxQ = max(maxQ, mod.Q)
+	}
+	if maxQ >= 2*minQ {
+		// The relin digit lift reduces a tower-i residue into tower tau
+		// with one conditional subtraction, which needs q_i < 2*q_tau.
+		return nil, fmt.Errorf("fhe: mixed-width RNS basis unsupported (primes %d and %d)", minQ, maxQ)
 	}
 	delta := new(big.Int).Div(c.Q, new(big.Int).SetUint64(t))
 	if delta.Sign() == 0 {
@@ -53,7 +102,109 @@ func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
 	for _, mod := range c.Mods {
 		b.deltaResT = append(b.deltaResT, qb.Mod(delta, new(big.Int).SetUint64(mod.Q)).Uint64())
 	}
+	if err := b.buildMulMachinery(); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// buildMulMachinery constructs the extension base, converters, and
+// precomputed residues the BEHZ multiply needs.
+func (b *rnsBackend) buildMulMachinery() error {
+	c := b.c
+	k := c.Channels()
+	primeBits := bits.Len64(c.Mods[0].Q)
+	// The extension needs k+2 primes (P's k+1 plus m_sk) disjoint from
+	// Q's; the deterministic top-down search returns Q's own primes
+	// first, so overshoot and filter.
+	found, err := modmath.FindNTTPrimes64(primeBits, uint64(2*c.N), 2*k+2)
+	if err != nil {
+		return fmt.Errorf("fhe: extension base: %w", err)
+	}
+	inQ := make(map[uint64]bool, k)
+	for _, mod := range c.Mods {
+		inQ[mod.Q] = true
+	}
+	var extPrimes []uint64
+	for _, p := range found {
+		if !inQ[p] && len(extPrimes) < k+2 {
+			extPrimes = append(extPrimes, p)
+		}
+	}
+	if len(extPrimes) < k+2 {
+		return fmt.Errorf("fhe: only %d extension primes available, need %d", len(extPrimes), k+2)
+	}
+	ext, err := rns.NewContextForPrimes(extPrimes, c.N)
+	if err != nil {
+		return err
+	}
+	conv, err := rns.NewBaseConverter(c, ext)
+	if err != nil {
+		return err
+	}
+	skConv, err := rns.NewSKConverter(ext, c)
+	if err != nil {
+		return err
+	}
+	b.ext, b.conv, b.skConv = ext, conv, skConv
+
+	// Exact headroom validation, in code rather than folklore. With
+	// operands fast-base-extended to values below k*Q, tensor
+	// coefficients |v| <= 2n(kQ)^2 and the rescaled |y| <= T*2nk^2*Q +
+	// (k+2); the tensor must fit the full base (|w| < Q*E/2) and y must
+	// fit the Shenoy-Kumaresan window (|y| < P/2, P = E/m_sk).
+	n := new(big.Int).SetInt64(int64(c.N))
+	kk := new(big.Int).SetInt64(int64(k))
+	vMax := new(big.Int).Mul(kk, c.Q)
+	vMax.Mul(vMax, vMax).Mul(vMax, n).Lsh(vMax, 1) // 2n(kQ)^2
+	wMax := new(big.Int).Mul(vMax, new(big.Int).SetUint64(b.t))
+	wMax.Add(wMax, b.halfQ)
+	full := new(big.Int).Mul(c.Q, ext.Q)
+	if wMax.Cmp(new(big.Int).Rsh(full, 1)) >= 0 {
+		return fmt.Errorf("fhe: tensor product overflows base Q*E for T=%d", b.t)
+	}
+	yMax := new(big.Int).Div(wMax, c.Q)
+	yMax.Add(yMax, new(big.Int).SetInt64(int64(k+2)))
+	p := new(big.Int).Div(ext.Q, new(big.Int).SetUint64(ext.Mods[k+1].Q))
+	if yMax.Cmp(new(big.Int).Rsh(p, 1)) >= 0 {
+		return fmt.Errorf("fhe: rescaled product overflows extension base P for T=%d", b.t)
+	}
+
+	t := new(big.Int)
+	for i, mod := range c.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		b.tResQ = append(b.tResQ, b.t%mod.Q)
+		b.hResQ = append(b.hResQ, t.Mod(b.halfQ, qb).Uint64())
+		row := make([]uint64, k)
+		qi := c.QiBig(i)
+		for tau, modT := range c.Mods {
+			row[tau] = t.Mod(qi, new(big.Int).SetUint64(modT.Q)).Uint64()
+		}
+		b.gadget = append(b.gadget, row)
+	}
+	for _, mod := range ext.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		b.tResE = append(b.tResE, b.t%mod.Q)
+		b.hResE = append(b.hResE, t.Mod(b.halfQ, qb).Uint64())
+		b.qInvE = append(b.qInvE, mod.Inv(t.Mod(c.Q, qb).Uint64()))
+	}
+	b.mulPool.New = func() any {
+		sc := &rnsMulScratch{
+			c0Q: c.NewPoly(), c1Q: c.NewPoly(), c2Q: c.NewPoly(),
+			c0E: ext.NewPoly(), c1E: ext.NewPoly(), c2E: ext.NewPoly(),
+			convE: ext.NewPoly(),
+			accA:  c.NewPoly(), accB: c.NewPoly(),
+			zrow: make([]uint64, c.N), lift: make([]uint64, c.N), prod: make([]uint64, c.N),
+		}
+		for i := range sc.opE {
+			sc.opE[i] = ext.NewPoly()
+		}
+		for i := range sc.ev {
+			sc.ev[i] = make([]uint64, c.N)
+		}
+		return sc
+	}
+	return nil
 }
 
 func (b *rnsBackend) Name() string {
@@ -168,4 +319,198 @@ func (b *rnsBackend) NoiseBits(a Poly, msg []uint64) int {
 		}
 	}
 	return maxBits
+}
+
+// rnsRelinKey holds the RNS-gadget relinearization key: for each tower i,
+// an encryption (a_i, a_i*s + e_i + (Q/q_i)*s^2), both components stored
+// per tower in the twisted-evaluation domain so relinearization pays one
+// forward transform per digit-tower pair and two inverse transforms per
+// tower.
+type rnsRelinKey struct {
+	ahat, bhat []rns.Poly
+}
+
+// RelinKeyGen builds the CRT-gadget relinearization key. The gadget
+// digits are the towers themselves (z_i = [c2_i * (Q/q_i)^-1]_{q_i}, with
+// sum_i z_i*(Q/q_i) = c2 mod Q), so no integer digit extraction is ever
+// needed — the decomposition the paper's RNS philosophy already paid for
+// is the key-switching gadget.
+func (b *rnsBackend) RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey {
+	c := b.c
+	k := c.Channels()
+	sk := s.(rns.Poly)
+	s2 := c.NewPoly()
+	must(c.MulAll(s2, sk, sk, 1))
+	noise := make([]int64, c.N)
+	e := c.NewPoly()
+	key := &rnsRelinKey{}
+	for i := 0; i < k; i++ {
+		a := c.NewPoly()
+		b.SampleUniform(a, rng)
+		for j := range noise {
+			noise[j] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+		}
+		b.SetSigned(e, noise)
+		bb := c.NewPoly()
+		must(c.MulAll(bb, a, sk, 1)) // a_i * s
+		must(c.AddInto(bb, bb, e))   // + e_i
+		for tau := 0; tau < k; tau++ {
+			// + (Q/q_i mod q_tau) * s^2, on the scale-accumulate kernel.
+			c.Plans[tau].Generic().ScaleAddInto(bb.Res[tau], bb.Res[tau], s2.Res[tau], b.gadget[i][tau])
+		}
+		ahat, bhat := c.NewPoly(), c.NewPoly()
+		for tau := 0; tau < k; tau++ {
+			plan := c.Plans[tau].Generic()
+			plan.NegacyclicForwardInto(ahat.Res[tau], a.Res[tau])
+			plan.NegacyclicForwardInto(bhat.Res[tau], bb.Res[tau])
+		}
+		key.ahat = append(key.ahat, ahat)
+		key.bhat = append(key.bhat, bhat)
+	}
+	return key
+}
+
+// tensorTower computes one tower's share of the ciphertext tensor
+// product: four twisted forward transforms, four pointwise products, and
+// three inverse transforms yield c0 = b1*b2, c1 = a1*b2 + a2*b1 and
+// c2 = a1*a2 for that tower.
+func tensorTower(plan *ring.Plan[uint64, ring.Shoup64], mod *modmath.Modulus64,
+	a1, b1, a2, b2 []uint64, ev *[5][]uint64, o0, o1, o2 []uint64) {
+	plan.NegacyclicForwardInto(ev[0], a1)
+	plan.NegacyclicForwardInto(ev[1], b1)
+	plan.NegacyclicForwardInto(ev[2], a2)
+	plan.NegacyclicForwardInto(ev[3], b2)
+	plan.PointwiseMulInto(ev[4], ev[1], ev[3]) // b1 ∘ b2
+	plan.NegacyclicInverseInto(o0, ev[4])
+	plan.PointwiseMulInto(ev[4], ev[0], ev[2]) // a1 ∘ a2
+	plan.NegacyclicInverseInto(o2, ev[4])
+	plan.PointwiseMulInto(ev[4], ev[0], ev[3]) // a1 ∘ b2
+	plan.PointwiseMulInto(ev[0], ev[2], ev[1]) // a2 ∘ b1
+	r4, r0 := ev[4], ev[0]
+	for j := range r4 {
+		r4[j] = mod.Add(r4[j], r0[j])
+	}
+	plan.NegacyclicInverseInto(o1, ev[4])
+}
+
+// scaleRound turns one tensor component held in (cQ, cE) into the scaled
+// ciphertext component round(T*v/Q) mod Q, written back into cQ:
+// w = T*v + floor(Q/2) in both bases, FastBConv of w's Q-remainder into
+// the extension base, y = (w - [w]_Q)/Q there, and the exact
+// Shenoy-Kumaresan conversion back to Q. The FastBConv overshoot divides
+// down to an additive error below k+1 — noise, not wrongness.
+func (b *rnsBackend) scaleRound(sc *rnsMulScratch, cQ, cE rns.Poly) {
+	for i, mod := range b.c.Mods {
+		plan := b.c.Plans[i].Generic()
+		plan.ScalarMulInto(cQ.Res[i], cQ.Res[i], b.tResQ[i])
+		addConstRow(cQ.Res[i], mod, b.hResQ[i])
+	}
+	for j, mod := range b.ext.Mods {
+		plan := b.ext.Plans[j].Generic()
+		plan.ScalarMulInto(cE.Res[j], cE.Res[j], b.tResE[j])
+		addConstRow(cE.Res[j], mod, b.hResE[j])
+	}
+	must(b.conv.ConvertInto(sc.convE, cQ))
+	for j, mod := range b.ext.Mods {
+		we, ce := cE.Res[j], sc.convE.Res[j]
+		for idx := range we {
+			we[idx] = mod.Sub(we[idx], ce[idx])
+		}
+		b.ext.Plans[j].Generic().ScalarMulInto(we, we, b.qInvE[j])
+	}
+	must(b.skConv.ConvertInto(cQ, cE))
+}
+
+func addConstRow(row []uint64, mod *modmath.Modulus64, v uint64) {
+	for j := range row {
+		row[j] = mod.Add(row[j], v)
+	}
+}
+
+// MulCt is the BEHZ homomorphic multiply: base-extend, tensor,
+// divide-and-round by Q/T, exact return to base Q, and CRT-gadget
+// relinearization — residues end to end, no big integers anywhere, zero
+// allocations in steady state. dst must not alias the inputs.
+func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) {
+	key := rlk.(*rnsRelinKey)
+	c, ext := b.c, b.ext
+	k, m := c.Channels(), ext.Channels()
+	sc := b.mulPool.Get().(*rnsMulScratch)
+
+	// 1. Fast-base-extend the four operand polynomials into the
+	// extension base (values grow to at most k*Q; the headroom
+	// validation in buildMulMachinery accounts for it).
+	ops := [4]rns.Poly{ct1.A.(rns.Poly), ct1.B.(rns.Poly), ct2.A.(rns.Poly), ct2.B.(rns.Poly)}
+	for i := range ops {
+		must(b.conv.ConvertInto(sc.opE[i], ops[i]))
+	}
+
+	// 2. Tensor product, tower by tower across both bases.
+	for tau := 0; tau < k; tau++ {
+		tensorTower(c.Plans[tau].Generic(), c.Mods[tau],
+			ops[0].Res[tau], ops[1].Res[tau], ops[2].Res[tau], ops[3].Res[tau],
+			&sc.ev, sc.c0Q.Res[tau], sc.c1Q.Res[tau], sc.c2Q.Res[tau])
+	}
+	for tau := 0; tau < m; tau++ {
+		tensorTower(ext.Plans[tau].Generic(), ext.Mods[tau],
+			sc.opE[0].Res[tau], sc.opE[1].Res[tau], sc.opE[2].Res[tau], sc.opE[3].Res[tau],
+			&sc.ev, sc.c0E.Res[tau], sc.c1E.Res[tau], sc.c2E.Res[tau])
+	}
+
+	// 3. Divide-and-round each component by Q/T; results land in the
+	// c*Q polys as the degree-2 scaled ciphertext.
+	b.scaleRound(sc, sc.c0Q, sc.c0E)
+	b.scaleRound(sc, sc.c1Q, sc.c1E)
+	b.scaleRound(sc, sc.c2Q, sc.c2E)
+
+	// 4. Relinearize: the towers of c2 are the gadget digits. Everything
+	// accumulates in the evaluation domain; one inverse per tower at the
+	// end.
+	for tau := 0; tau < k; tau++ {
+		clearRow(sc.accA.Res[tau])
+		clearRow(sc.accB.Res[tau])
+	}
+	for i := 0; i < k; i++ {
+		c.Plans[i].Generic().ScalarMulInto(sc.zrow, sc.c2Q.Res[i], c.QiInv(i))
+		for tau := 0; tau < k; tau++ {
+			mod := c.Mods[tau]
+			q := mod.Q
+			for j, v := range sc.zrow {
+				// One conditional subtract lifts the digit into tower
+				// tau (same-width basis, validated at construction).
+				if v >= q {
+					v -= q
+				}
+				sc.lift[j] = v
+			}
+			plan := c.Plans[tau].Generic()
+			plan.NegacyclicForwardInto(sc.lift, sc.lift)
+			plan.PointwiseMulInto(sc.prod, sc.lift, key.ahat[i].Res[tau])
+			addRow(sc.accA.Res[tau], sc.prod, mod)
+			plan.PointwiseMulInto(sc.prod, sc.lift, key.bhat[i].Res[tau])
+			addRow(sc.accB.Res[tau], sc.prod, mod)
+		}
+	}
+	dstA, dstB := dst.A.(rns.Poly), dst.B.(rns.Poly)
+	for tau := 0; tau < k; tau++ {
+		plan := c.Plans[tau].Generic()
+		mod := c.Mods[tau]
+		plan.NegacyclicInverseInto(dstA.Res[tau], sc.accA.Res[tau])
+		addRow(dstA.Res[tau], sc.c1Q.Res[tau], mod)
+		plan.NegacyclicInverseInto(dstB.Res[tau], sc.accB.Res[tau])
+		addRow(dstB.Res[tau], sc.c0Q.Res[tau], mod)
+	}
+	b.mulPool.Put(sc)
+}
+
+func clearRow(row []uint64) {
+	for j := range row {
+		row[j] = 0
+	}
+}
+
+func addRow(dst, src []uint64, mod *modmath.Modulus64) {
+	for j := range dst {
+		dst[j] = mod.Add(dst[j], src[j])
+	}
 }

@@ -116,6 +116,22 @@ func (s *Scheme) Neg(ct Ciphertext) Ciphertext {
 	return unwrapCT(s.bs.Neg(wrapCT(ct)))
 }
 
+// RelinKey is a relinearization key on the 128-bit ring backend.
+type RelinKey struct {
+	k BackendRelinKey
+}
+
+// RelinKeyGen samples the relinearization key MulCiphertexts needs.
+func (s *Scheme) RelinKeyGen(sk SecretKey) RelinKey {
+	return RelinKey{k: s.bs.RelinKeyGen(BackendSecretKey{S: sk.S})}
+}
+
+// MulCiphertexts is homomorphic multiplication: the result decrypts to
+// the negacyclic product of the two plaintexts mod T, noise permitting.
+func (s *Scheme) MulCiphertexts(c1, c2 Ciphertext, rlk RelinKey) Ciphertext {
+	return unwrapCT(s.bs.MulCiphertexts(wrapCT(c1), wrapCT(c2), rlk.k))
+}
+
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
 // coefficients (negacyclic convolution of both components).
 func (s *Scheme) MulPlain(ct Ciphertext, pt []u128.U128) (Ciphertext, error) {

@@ -1,0 +1,277 @@
+package fhe
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/rns"
+)
+
+// The cross-backend differential harness for homomorphic multiplication:
+// the same (keygen, encrypt, relin-keygen, MulCt, decrypt) trace runs
+// through the 128-bit oracle backend — exact integer tensor, exact big-int
+// rescale — and through the BEHZ RNS backend, and the decrypted plaintexts
+// must be bit-identical (and equal to the schoolbook negacyclic product
+// mod T). Table-driven over ring degree, tower count, and message
+// pattern.
+
+// msgPatterns enumerates the harness's message shapes.
+var msgPatterns = []struct {
+	name string
+	fill func(msg []uint64, t uint64, rng *rand.Rand)
+}{
+	{"zero", func(msg []uint64, t uint64, rng *rand.Rand) {
+		clear(msg)
+	}},
+	{"max", func(msg []uint64, t uint64, rng *rand.Rand) {
+		for i := range msg {
+			msg[i] = t - 1
+		}
+	}},
+	{"random", func(msg []uint64, t uint64, rng *rand.Rand) {
+		for i := range msg {
+			msg[i] = rng.Uint64() % t
+		}
+	}},
+	{"impulse", func(msg []uint64, t uint64, rng *rand.Rand) {
+		clear(msg)
+		msg[len(msg)/3] = t - 1
+	}},
+}
+
+// mulTrace runs the full multiply trace on one backend with a seeded RNG
+// and returns the decrypted product.
+func mulTrace(t *testing.T, b Backend, seed int64, m1, m2 []uint64) []uint64 {
+	t.Helper()
+	s := NewBackendScheme(b, seed)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	c1, err := s.Encrypt(sk, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(sk, s.MulCiphertexts(c1, c2, rlk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMulCtDifferentialAcrossBackends(t *testing.T) {
+	const T = 257
+	sizes := []int{64, 1024, 4096}
+	if testing.Short() {
+		sizes = []int{64, 1024}
+	}
+	for _, n := range sizes {
+		params, err := NewParams(modmath.DefaultModulus128(), n, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := NewRingBackend(params)
+		var rnsBackends []Backend
+		for _, k := range []int{2, 3, 4} {
+			c, err := rns.NewContext(59, k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := NewRNSBackend(c, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rnsBackends = append(rnsBackends, rb)
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		for _, pat := range msgPatterns {
+			t.Run(fmt.Sprintf("n%d/%s", n, pat.name), func(t *testing.T) {
+				m1 := make([]uint64, n)
+				m2 := make([]uint64, n)
+				pat.fill(m1, T, rng)
+				pat.fill(m2, T, rng)
+				want := NegacyclicProductModT(m1, m2, T)
+				ref := mulTrace(t, oracle, 42, m1, m2)
+				for i := range want {
+					if ref[i] != want[i] {
+						t.Fatalf("oracle coeff %d: got %d, want %d", i, ref[i], want[i])
+					}
+				}
+				for _, rb := range rnsBackends {
+					got := mulTrace(t, rb, 42, m1, m2)
+					for i := range want {
+						if got[i] != ref[i] {
+							t.Fatalf("%s coeff %d: got %d, oracle %d", rb.Name(), i, got[i], ref[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMulCiphertextsLegacyScheme covers the 128-bit compatibility wrapper.
+func TestMulCiphertextsLegacyScheme(t *testing.T) {
+	const n, T = 64, 257
+	params, err := NewParams(modmath.DefaultModulus128(), n, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheme(params, 7)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	m1 := make([]uint64, n)
+	m2 := make([]uint64, n)
+	for i := range m1 {
+		m1[i] = uint64(i) % T
+		m2[i] = uint64(5*i+2) % T
+	}
+	c1, err := s.Encrypt(sk, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(sk, s.MulCiphertexts(c1, c2, rlk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NegacyclicProductModT(m1, m2, T)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coeff %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMulCtNoiseBudgetProperty pins the scheme's depth behavior to the
+// documented bound (MulNoiseBoundBits) instead of folklore: a depth-1
+// product of full-amplitude messages round-trips and its measured noise
+// respects the bound; a deliberately over-deep squaring chain must
+// exhaust the budget and fail decryption, with NoiseBudgetBits reading
+// zero at the failure point.
+func TestMulCtNoiseBudgetProperty(t *testing.T) {
+	const n = 256
+	// A large plaintext modulus burns budget fast, so the over-deep
+	// failure arrives within a few squarings.
+	const T = (1 << 30) + 3
+	params, err := NewParams(modmath.DefaultModulus128(), n, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rns.NewContext(59, 2, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		b         Backend
+		digits    int // relin gadget digits
+		digitBits int // gadget digit magnitude
+		towers    int
+	}{
+		{NewRingBackend(params), (params.Mod.Q.BitLen() + oracleDigitBits - 1) / oracleDigitBits, oracleDigitBits, 0},
+		{rb, 2, 59, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.b.Name(), func(t *testing.T) {
+			s := NewBackendScheme(tc.b, 99)
+			sk := s.KeyGen()
+			rlk := s.RelinKeyGen(sk)
+			rng := rand.New(rand.NewSource(5))
+			msg := make([]uint64, n)
+			for i := range msg {
+				msg[i] = rng.Uint64() % T
+			}
+			ct, err := s.Encrypt(sk, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshNoise := noiseBitsOf(t, s, sk, ct, msg)
+			budget, err := s.NoiseBudgetBits(sk, ct, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected := append([]uint64(nil), msg...)
+
+			// Depth 1: full-amplitude messages must round-trip, and the
+			// measured noise must respect the documented bound.
+			ct = s.MulCiphertexts(ct, ct, rlk)
+			expected = NegacyclicProductModT(expected, expected, T)
+			got, err := s.Decrypt(sk, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range expected {
+				if got[i] != expected[i] {
+					t.Fatalf("depth-1 coeff %d: got %d, want %d", i, got[i], expected[i])
+				}
+			}
+			bound := MulNoiseBoundBits(n, T, freshNoise, tc.digits, tc.digitBits, tc.towers)
+			if noise := noiseBitsOf(t, s, sk, ct, expected); noise > bound {
+				t.Fatalf("depth-1 noise %d bits exceeds documented bound %d", noise, bound)
+			}
+			if bound >= tc.b.DeltaBits()-1 {
+				t.Fatalf("bound %d leaves no depth-1 margin against DeltaBits %d", bound, tc.b.DeltaBits())
+			}
+			after, err := s.NoiseBudgetBits(sk, ct, expected)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after >= budget {
+				t.Fatalf("budget did not drop: %d -> %d", budget, after)
+			}
+
+			// Over-deep chain: keep squaring; decryption must fail within
+			// a few levels, with the budget reading zero when it does.
+			failed := false
+			for depth := 2; depth <= 6; depth++ {
+				ct = s.MulCiphertexts(ct, ct, rlk)
+				expected = NegacyclicProductModT(expected, expected, T)
+				got, err := s.Decrypt(sk, ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mismatch := false
+				for i := range expected {
+					if got[i] != expected[i] {
+						mismatch = true
+						break
+					}
+				}
+				if mismatch {
+					b, err := s.NoiseBudgetBits(sk, ct, expected)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if b != 0 {
+						t.Fatalf("depth-%d decryption failed with %d budget bits left", depth, b)
+					}
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				t.Fatal("over-deep chain never exhausted the noise budget")
+			}
+		})
+	}
+}
+
+func noiseBitsOf(t *testing.T, s *BackendScheme, sk BackendSecretKey, ct BackendCiphertext, msg []uint64) int {
+	t.Helper()
+	nb, err := s.NoiseBits(sk, ct, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nb
+}

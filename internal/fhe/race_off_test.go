@@ -1,0 +1,5 @@
+//go:build !race
+
+package fhe
+
+const raceEnabled = false

@@ -290,6 +290,54 @@ func (p *Plan[T, R]) PolyMulNegacyclic(a, b []T) []T {
 	return out
 }
 
+// NegacyclicForwardInto computes the forward half of a negacyclic product:
+// dst = NTT(psi^j ∘ a), the twisted transform whose pointwise products
+// invert (via NegacyclicInverseInto) to products in Z_q[x]/(x^N + 1).
+// Splitting the two halves out of PolyMulNegacyclicInto lets callers with
+// many products over few operands (ciphertext tensor products) transform
+// each operand once. Outputs are canonical; dst may alias a. Steady-state
+// it allocates nothing.
+func (p *Plan[T, R]) NegacyclicForwardInto(dst, a []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(a))
+	tw := p.twist.w[:p.N]
+	tp := p.twist.pre[:p.N]
+	sc := p.getScratch()
+	if k := p.kern; k != nil {
+		k.MulPreSpan(dst, a, tw, tp)
+	} else {
+		r := p.R
+		for j := range tw {
+			dst[j] = r.MulPre(a[j], tw[j], tp[j])
+		}
+	}
+	p.forwardStages(dst, dst, sc)
+	p.putScratch(sc)
+}
+
+// NegacyclicInverseInto is the inverse half: dst = psi^-j ∘ INTT(y), with
+// the 1/N scale riding the untwist table exactly as in
+// PolyMulNegacyclicInto, so NegacyclicForwardInto on two operands, a
+// pointwise product, and this call compose to the same bits as the fused
+// path. dst may alias y. Steady-state it allocates nothing.
+func (p *Plan[T, R]) NegacyclicInverseInto(dst, y []T) {
+	p.checkLen(len(dst))
+	p.checkLen(len(y))
+	ut := p.untwist.w[:p.N]
+	up := p.untwist.pre[:p.N]
+	sc := p.getScratch()
+	p.inverseStages(dst, y, sc, false)
+	if k := p.kern; k != nil {
+		k.MulPreNormSpan(dst, dst, ut, up) // psi^-j * N^-1, lands normalization
+	} else {
+		r := p.R
+		for j := range ut {
+			dst[j] = r.MulPre(dst[j], ut[j], up[j])
+		}
+	}
+	p.putScratch(sc)
+}
+
 // PointwiseMulInto computes the coefficient-wise product dst[i] = a[i]·b[i]
 // (the evaluation-domain Hadamard product) on the kernel path when the
 // ring provides one. dst may alias a or b; it allocates nothing.

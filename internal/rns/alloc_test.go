@@ -74,6 +74,58 @@ func TestPolyHotPathsDoNotAllocate(t *testing.T) {
 	}
 }
 
+// TestBaseConversionHotPathsDoNotAllocate extends the discipline to the
+// BEHZ conversion trio: fast base conversion, the exact Shenoy-Kumaresan
+// return, and divide-and-round by the last tower all run on precomputed
+// tables and pooled digit scratch, so with reused destinations none may
+// allocate.
+func TestBaseConversionHotPathsDoNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	f := convFix(t)
+	src := f.q.NewPoly()
+	fillResidues(src, f.q.Mods, 4242, 0)
+	dstE := f.e.NewPoly()
+	srcE := f.e.NewPoly()
+	fillResidues(srcE, f.e.Mods, 4243, 8) // allocation behavior is input-independent
+	dstQ := f.q.NewPoly()
+	dstSub := f.sub.NewPoly()
+
+	// Warm the digit-scratch pools.
+	if err := f.conv.ConvertInto(dstE, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sk.ConvertInto(dstQ, srcE); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rs.RescaleInto(dstSub, src); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := testing.AllocsPerRun(20, func() {
+		if err := f.conv.ConvertInto(dstE, src); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("BaseConverter.ConvertInto allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := f.sk.ConvertInto(dstQ, srcE); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("SKConverter.ConvertInto allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
+		if err := f.rs.RescaleInto(dstSub, src); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("Rescaler.RescaleInto allocates %.1f per run, want 0", got)
+	}
+}
+
 // TestReconstructIntoSteadyStateAllocs checks the CRT side: after the
 // first call has grown the destination big.Ints to capacity, repeated
 // reconstruction into the same buffers allocates nothing.

@@ -1,0 +1,322 @@
+package rns
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// This file implements the RNS base-management trio that a BFV-style
+// homomorphic multiply needs on top of the tower machinery in poly.go,
+// following the BEHZ construction [Bajard-Eynard-Hasan-Zucca 2016]:
+//
+//   - BaseConverter: the approximate fast base conversion FastBConv from a
+//     base Q to a disjoint base P. Given residues x_i of x in [0, Q), it
+//     computes residues of x + alpha*Q in base P for some overshoot
+//     0 <= alpha < k. The overshoot is the defining trade of FastBConv: no
+//     per-coefficient big-integer reconstruction, just k scale-accumulate
+//     spans per output tower, and the alpha*Q error is either harmless
+//     (it vanishes mod Q, and divides down to an additive error < k after
+//     a divide-by-Q rescale) or repaired by the exact converter below.
+//   - SKConverter: the exact Shenoy-Kumaresan conversion out of an
+//     extension base whose last tower is a redundant modulus m_sk. Because
+//     the converted value's residue mod m_sk is carried alongside base P,
+//     the FastBConv overshoot gamma can be recovered exactly
+//     (gamma = (FastBConv(y) - y) * P^-1 mod m_sk, valid while
+//     gamma < m_sk) and subtracted, so values |y| < P/2 convert without
+//     error — the step that brings a rescaled ciphertext product back to
+//     base Q bit-exactly.
+//   - Rescaler: divide-and-round by the last tower of a base
+//     (round(x / q_{k-1}) into the prefix base), the BGV/CKKS-style
+//     modulus-switch primitive.
+//
+// All three ride the existing plan kernels (ScalarMulSpan /
+// ScaleAddSpan): the Shoup multiply underlying them is exact for ANY
+// 64-bit multiplicand, which is what lets a digit z_i < q_i feed a tower
+// with a smaller prime p_j, and what makes every entry point tolerant of
+// lazy [0, 2q) inputs. With pooled scratch, all conversions are
+// allocation-free in steady state.
+
+// convScratch pools the digit rows (shaped like the source base) and the
+// correction row a conversion needs.
+type convScratch struct {
+	z     Poly
+	gamma []uint64
+}
+
+// BaseConverter converts polynomials from base Q (the from context) to a
+// base P (the to context) by approximate fast base conversion.
+type BaseConverter struct {
+	from, to *Context
+
+	// m[j][i] = (Q/q_i) mod p_j, the cross-base CRT weight matrix.
+	m [][]uint64
+
+	scratch sync.Pool
+}
+
+// NewBaseConverter precomputes the conversion tables between two contexts
+// of the same transform size.
+func NewBaseConverter(from, to *Context) (*BaseConverter, error) {
+	if from.N != to.N {
+		return nil, fmt.Errorf("rns: base sizes differ: %d vs %d", from.N, to.N)
+	}
+	bc := &BaseConverter{from: from, to: to}
+	t := new(big.Int)
+	for _, mod := range to.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		row := make([]uint64, from.Channels())
+		for i := range from.Mods {
+			row[i] = t.Mod(from.qi[i], qb).Uint64()
+		}
+		bc.m = append(bc.m, row)
+	}
+	bc.scratch.New = func() any {
+		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+	}
+	return bc, nil
+}
+
+// digitsInto fills z with the fast-base-conversion digits of src:
+// z_i = x_i * (Q/q_i)^-1 mod q_i. Inputs may be lazy ([0, 2q_i)); digits
+// are canonical.
+func (bc *BaseConverter) digitsInto(z, src Poly) {
+	for i := range bc.from.Mods {
+		bc.from.Plans[i].Generic().ScalarMulInto(z.Res[i], src.Res[i], bc.from.qiInv[i])
+	}
+}
+
+// accumulateInto folds the digit rows z against column i of the weight
+// matrix into every tower of dst: dst_j = sum_i z_i * m[j][i] mod p_j.
+func (bc *BaseConverter) accumulateInto(dst, z Poly) {
+	for j := range bc.to.Mods {
+		plan := bc.to.Plans[j].Generic()
+		row := bc.m[j]
+		plan.ScalarMulInto(dst.Res[j], z.Res[0], row[0])
+		for i := 1; i < bc.from.Channels(); i++ {
+			plan.ScaleAddInto(dst.Res[j], dst.Res[j], z.Res[i], row[i])
+		}
+	}
+}
+
+// ConvertInto writes the fast base conversion of src (in the from base)
+// into dst (in the to base): residues of x + alpha*Q with 0 <= alpha < k,
+// where x in [0, Q) is the value src represents and k is the source tower
+// count. src rows may carry lazy [0, 2q) residues; dst is canonical.
+// Steady-state it allocates nothing.
+func (bc *BaseConverter) ConvertInto(dst, src Poly) error {
+	if err := bc.from.checkPoly(src); err != nil {
+		return err
+	}
+	if err := bc.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := bc.scratch.Get().(*convScratch)
+	bc.digitsInto(sc.z, src)
+	bc.accumulateInto(dst, sc.z)
+	bc.scratch.Put(sc)
+	return nil
+}
+
+// SKConverter converts exactly from an extension base {p_0..p_{l-1}, m_sk}
+// — the from context, whose LAST tower is the redundant Shenoy-Kumaresan
+// modulus — to a base Q (the to context). P denotes the product of the
+// first l towers only.
+type SKConverter struct {
+	from, to *Context
+	l        int // towers of P (from minus the redundant modulus)
+
+	piInv  []uint64   // (P/p_i)^-1 mod p_i
+	m      [][]uint64 // m[j][i] = (P/p_i) mod q_j
+	mSK    []uint64   // (P/p_i) mod m_sk
+	pInvSK uint64     // P^-1 mod m_sk
+	negP   []uint64   // (-P) mod q_j, folds the gamma correction via ScaleAdd
+
+	scratch sync.Pool
+}
+
+// NewSKConverter precomputes the exact-conversion tables. The from context
+// must have at least two towers (base P plus the redundant modulus).
+func NewSKConverter(from, to *Context) (*SKConverter, error) {
+	if from.N != to.N {
+		return nil, fmt.Errorf("rns: base sizes differ: %d vs %d", from.N, to.N)
+	}
+	if from.Channels() < 2 {
+		return nil, fmt.Errorf("rns: Shenoy-Kumaresan base needs >= 2 towers, got %d", from.Channels())
+	}
+	l := from.Channels() - 1
+	skMod := from.Mods[l]
+	p := big.NewInt(1)
+	for i := 0; i < l; i++ {
+		p.Mul(p, new(big.Int).SetUint64(from.Mods[i].Q))
+	}
+	sk := &SKConverter{from: from, to: to, l: l}
+	t := new(big.Int)
+	pis := make([]*big.Int, l) // pis[i] = P/p_i
+	for i := 0; i < l; i++ {
+		mod := from.Mods[i]
+		qb := new(big.Int).SetUint64(mod.Q)
+		pis[i] = new(big.Int).Div(p, qb)
+		sk.piInv = append(sk.piInv, mod.Inv(t.Mod(pis[i], qb).Uint64()))
+		sk.mSK = append(sk.mSK, t.Mod(pis[i], new(big.Int).SetUint64(skMod.Q)).Uint64())
+	}
+	sk.pInvSK = skMod.Inv(t.Mod(p, new(big.Int).SetUint64(skMod.Q)).Uint64())
+	for _, mod := range to.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		row := make([]uint64, l)
+		for i := 0; i < l; i++ {
+			row[i] = t.Mod(pis[i], qb).Uint64()
+		}
+		sk.m = append(sk.m, row)
+		sk.negP = append(sk.negP, mod.Neg(t.Mod(p, qb).Uint64()))
+	}
+	sk.scratch.New = func() any {
+		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+	}
+	return sk, nil
+}
+
+// ConvertInto writes the exact conversion of src into dst. src must hold
+// consistent residues (across all from towers, including m_sk) of a
+// centered value y with |y| < P/2; dst receives y mod q_j exactly —
+// negative y wrap to q_j - |y| as ordinary signed residues do. src rows
+// may carry lazy [0, 2q) residues. Steady-state it allocates nothing.
+func (sk *SKConverter) ConvertInto(dst, src Poly) error {
+	if err := sk.from.checkPoly(src); err != nil {
+		return err
+	}
+	if err := sk.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := sk.scratch.Get().(*convScratch)
+	z := sc.z
+	// Digits over base P only.
+	for i := 0; i < sk.l; i++ {
+		sk.from.Plans[i].Generic().ScalarMulInto(z.Res[i], src.Res[i], sk.piInv[i])
+	}
+	// gamma = (FastBConv_{P->m_sk}(y) - y) * P^-1 mod m_sk: the exact
+	// overshoot count, recoverable because 0 <= gamma <= l < m_sk.
+	skMod := sk.from.Mods[sk.l]
+	skPlan := sk.from.Plans[sk.l].Generic()
+	g := sc.gamma
+	skPlan.ScalarMulInto(g, z.Res[0], sk.mSK[0])
+	for i := 1; i < sk.l; i++ {
+		skPlan.ScaleAddInto(g, g, z.Res[i], sk.mSK[i])
+	}
+	ySK := src.Res[sk.l]
+	q := skMod.Q
+	for j := range g {
+		v := ySK[j]
+		if v >= q { // tolerate lazy inputs on the redundant tower
+			v -= q
+		}
+		g[j] = skMod.Sub(g[j], v)
+	}
+	skPlan.ScalarMulInto(g, g, sk.pInvSK)
+	// dst_j = sum_i z_i*(P/p_i) - gamma*P mod q_j.
+	for j := range sk.to.Mods {
+		plan := sk.to.Plans[j].Generic()
+		row := sk.m[j]
+		plan.ScalarMulInto(dst.Res[j], z.Res[0], row[0])
+		for i := 1; i < sk.l; i++ {
+			plan.ScaleAddInto(dst.Res[j], dst.Res[j], z.Res[i], row[i])
+		}
+		plan.ScaleAddInto(dst.Res[j], dst.Res[j], g, sk.negP[j])
+	}
+	sk.scratch.Put(sc)
+	return nil
+}
+
+// Rescaler divides polynomials in the from base by the from base's last
+// tower prime, rounding to nearest, into the to base (the prefix of from
+// with the last tower dropped).
+type Rescaler struct {
+	from, to *Context
+
+	qkInv    []uint64 // q_{k-1}^-1 mod q_i
+	qkInvPre []uint64 // Shoup precomputation of qkInv
+	half     uint64   // floor(q_{k-1} / 2)
+	halfRes  []uint64 // half mod q_i
+
+	scratch sync.Pool
+}
+
+// NewRescaler validates that to is the prefix of from with the last tower
+// dropped and precomputes the rescale constants. Every prefix prime must
+// exceed half the dropped prime (true for any same-bit-width basis), so
+// the dropped tower's remainder reduces with one conditional subtraction.
+func NewRescaler(from, to *Context) (*Rescaler, error) {
+	if from.N != to.N {
+		return nil, fmt.Errorf("rns: base sizes differ: %d vs %d", from.N, to.N)
+	}
+	if to.Channels() != from.Channels()-1 {
+		return nil, fmt.Errorf("rns: rescale target must drop exactly the last tower: %d vs %d towers",
+			to.Channels(), from.Channels())
+	}
+	qk := from.Mods[from.Channels()-1].Q
+	r := &Rescaler{from: from, to: to, half: qk / 2}
+	for i, mod := range to.Mods {
+		if mod.Q != from.Mods[i].Q {
+			return nil, fmt.Errorf("rns: rescale target tower %d prime %d != source %d", i, mod.Q, from.Mods[i].Q)
+		}
+		if 2*mod.Q <= qk {
+			return nil, fmt.Errorf("rns: rescale prefix prime %d too small for dropped prime %d", mod.Q, qk)
+		}
+		inv := mod.Inv(qk % mod.Q)
+		r.qkInv = append(r.qkInv, inv)
+		r.qkInvPre = append(r.qkInvPre, mod.ShoupPrecompute(inv))
+		r.halfRes = append(r.halfRes, r.half%mod.Q)
+	}
+	r.scratch.New = func() any { return &convScratch{gamma: make([]uint64, from.N)} }
+	return r, nil
+}
+
+// RescaleInto writes round(x / q_{k-1}) into dst for every coefficient x
+// of a: dst_i = (x_i + h - [x_{k-1} + h]_{q_{k-1}}) * q_{k-1}^-1 mod q_i
+// with h = floor(q_{k-1}/2), the divide-and-round that drops the last
+// tower. Input rows may be lazy ([0, 2q)); dst is canonical. dst rows may
+// alias a's prefix rows. Steady-state it allocates nothing.
+func (r *Rescaler) RescaleInto(dst, a Poly) error {
+	if err := r.from.checkPoly(a); err != nil {
+		return err
+	}
+	if err := r.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := r.scratch.Get().(*convScratch)
+	u := sc.gamma
+	qk := r.from.Mods[r.from.Channels()-1].Q
+	last := a.Res[r.from.Channels()-1]
+	// u[j] = (x_{k-1} + h) mod q_{k-1}: the rounded-division remainder.
+	for j := range u {
+		v := last[j]
+		if v >= qk {
+			v -= qk
+		}
+		s := v + r.half // < 2*q_k, no overflow: q_k < 2^62
+		if s >= qk {
+			s -= qk
+		}
+		u[j] = s
+	}
+	for i, mod := range r.to.Mods {
+		q := mod.Q
+		ar, dr := a.Res[i], dst.Res[i]
+		h := r.halfRes[i]
+		inv, pre := r.qkInv[i], r.qkInvPre[i]
+		for j := range dr {
+			v := ar[j]
+			if v >= q {
+				v -= q
+			}
+			w := u[j] // < q_k < 2q, one subtract reduces
+			if w >= q {
+				w -= q
+			}
+			t := mod.Sub(mod.Add(v, h), w)
+			dr[j] = mod.MulShoup(t, inv, pre)
+		}
+	}
+	r.scratch.Put(sc)
+	return nil
+}

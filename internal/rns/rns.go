@@ -58,6 +58,27 @@ func NewContext(primeBits, count, n int) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewContextForPrimes(primes, n)
+}
+
+// NewContextForPrimes builds an RNS basis over an explicit list of distinct
+// NTT-friendly primes, each supporting negacyclic NTTs of size n. It is how
+// extension bases (BEHZ base conversion) are built disjoint from a main
+// base whose primes came from the same deterministic search.
+func NewContextForPrimes(primes []uint64, n int) (*Context, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("rns: size %d is not a power of two", n)
+	}
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("rns: empty prime list")
+	}
+	for i, p := range primes {
+		for _, q := range primes[:i] {
+			if p == q {
+				return nil, fmt.Errorf("rns: duplicate prime %d", p)
+			}
+		}
+	}
 	c := &Context{N: n, Q: big.NewInt(1), limbFast: bits.UintSize == 64}
 	for _, p := range primes {
 		mod := modmath.MustModulus64(p)
@@ -95,6 +116,15 @@ func NewContext(primeBits, count, n int) (*Context, error) {
 
 // Channels returns the number of residue towers.
 func (c *Context) Channels() int { return len(c.Mods) }
+
+// QiBig returns a copy of Q/q_i, the CRT weight of tower i. Callers use it
+// to derive gadget constants (e.g. (Q/q_i) mod p for another modulus p).
+func (c *Context) QiBig(i int) *big.Int { return new(big.Int).Set(c.qi[i]) }
+
+// QiInv returns (Q/q_i)^-1 mod q_i, the CRT scaling residue of tower i:
+// multiplying tower i's residue by it yields the fast-base-conversion digit
+// z_i with x = sum_i z_i*(Q/q_i) - alpha*Q for some 0 <= alpha < k.
+func (c *Context) QiInv(i int) uint64 { return c.qiInv[i] }
 
 // Decompose converts big-integer coefficients (reduced modulo Q or not)
 // into RNS form. It is an allocating wrapper over DecomposeInto.
