@@ -18,6 +18,7 @@
 package benches
 
 import (
+	"fmt"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -674,5 +675,84 @@ func BenchmarkMulCtOracleN4096(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		backend.MulCt(&dst, c1, c2, rlk)
+	}
+}
+
+// --- PR 5: the modulus ladder ---
+
+// ladderFixture prepares a k-tower RNS backend with a ciphertext pair
+// switched down to the requested level, ready to multiply there.
+func ladderFixture(b *testing.B, towers, level, n int) (fhe.Backend, fhe.BackendCiphertext, fhe.BackendCiphertext, fhe.BackendCiphertext, fhe.BackendRelinKey) {
+	b.Helper()
+	c, err := rns.NewContext(59, towers, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := fhe.NewRNSBackend(c, 257)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := fhe.NewBackendScheme(backend, 77)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = uint64(i*13+5) % backend.PlainModulus()
+	}
+	c1, err := s.Encrypt(sk, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := s.Encrypt(sk, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for l := 0; l < level; l++ {
+		if c1, err = s.ModSwitch(c1); err != nil {
+			b.Fatal(err)
+		}
+		if c2, err = s.ModSwitch(c2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := fhe.BackendCiphertext{A: backend.NewPolyAt(level), B: backend.NewPolyAt(level), Level: level}
+	if err := backend.MulCt(&dst, c1, c2, rlk); err != nil { // warm every pool
+		b.Fatal(err)
+	}
+	return backend, c1, c2, dst, rlk
+}
+
+// BenchmarkMulCtLadderK4N4096 measures the per-level multiply cost down a
+// k=4 ladder: the BEHZ pipeline shrinks by one tower per DropLevel, so
+// wall-clock must fall strictly with the level — the reason the ladder
+// exists.
+func BenchmarkMulCtLadderK4N4096(b *testing.B) {
+	for level := 0; level <= 2; level++ {
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			backend, c1, c2, dst, rlk := ladderFixture(b, 4, level, 1<<12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := backend.MulCt(&dst, c1, c2, rlk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModSwitchRNSK4N4096 is the ladder step itself: the Rescaler's
+// divide-and-round of both ciphertext components, residues only, 0
+// allocs/op steady state.
+func BenchmarkModSwitchRNSK4N4096(b *testing.B) {
+	backend, c1, _, _, _ := ladderFixture(b, 4, 0, 1<<12)
+	dst := fhe.BackendCiphertext{A: backend.NewPolyAt(1), B: backend.NewPolyAt(1), Level: 1}
+	if err := backend.ModSwitch(&dst, c1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := backend.ModSwitch(&dst, c1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

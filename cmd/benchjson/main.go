@@ -29,9 +29,17 @@
 // big-int rescale, at n in {1024, 4096, 16384} and k in {2, 3, 4}
 // towers. Decryptions are cross-checked bit-identical before timing.
 //
+// A fifth report (BENCH_PR5.json) measures the modulus-switching ladder:
+// a depth-3 squaring chain down a k=4 RNS ladder at n=4096, with the
+// BEHZ MulCt timed at every level (towers shrink with the level, so the
+// series must fall), NTT-domain relinearization keys against the
+// coefficient-domain layout, the 128-bit oracle multiply at the same
+// levels, and the ModSwitch step itself — decryptions cross-checked
+// bit-identical between backends after every multiply and every switch.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-n 4096] [-batch 64] [-workers 8]
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-out5 BENCH_PR5.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -147,6 +155,7 @@ func main() {
 	out2 := flag.String("out2", "BENCH_PR2.json", "128-bit vs RNS report path (empty to skip)")
 	out3 := flag.String("out3", "BENCH_PR3.json", "kernel vs element-op report path (empty to skip)")
 	out4 := flag.String("out4", "BENCH_PR4.json", "homomorphic multiply report path (empty to skip)")
+	out5 := flag.String("out5", "BENCH_PR5.json", "modulus ladder report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -259,6 +268,11 @@ func main() {
 	}
 	if *out4 != "" {
 		if err := runMulCtComparison(*out4); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *out5 != "" {
+		if err := runLadderComparison(*out5); err != nil {
 			log.Fatal(err)
 		}
 	}

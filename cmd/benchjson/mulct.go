@@ -67,7 +67,9 @@ func newMulFixture(b fhe.Backend, seed int64, n int) (*mulFixture, error) {
 		return nil, err
 	}
 	f.dst = fhe.BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
-	b.MulCt(&f.dst, f.c1, f.c2, f.rlk)
+	if err := b.MulCt(&f.dst, f.c1, f.c2, f.rlk); err != nil {
+		return nil, err
+	}
 	if f.expected, err = f.s.Decrypt(f.sk, f.dst); err != nil {
 		return nil, err
 	}
@@ -99,7 +101,7 @@ func runMulCtComparison(path string) error {
 				}
 			}
 		}
-		oracleNs := bench(func() { oracleFix.b.MulCt(&oracleFix.dst, oracleFix.c1, oracleFix.c2, oracleFix.rlk) })
+		oracleNs := bench(func() { _ = oracleFix.b.MulCt(&oracleFix.dst, oracleFix.c1, oracleFix.c2, oracleFix.rlk) })
 
 		rows := map[string]mulRow{}
 		for _, k := range towerCounts {
@@ -123,7 +125,7 @@ func runMulCtComparison(path string) error {
 					return fmt.Errorf("benchjson: %s MulCt disagrees with oracle at n=%d coeff %d", rb.Name(), n, i)
 				}
 			}
-			ns := bench(func() { rb.MulCt(&fix.dst, fix.c1, fix.c2, fix.rlk) })
+			ns := bench(func() { _ = rb.MulCt(&fix.dst, fix.c1, fix.c2, fix.rlk) })
 			noise, err := fix.s.NoiseBits(fix.sk, fix.dst, fix.expected)
 			if err != nil {
 				return err
@@ -135,10 +137,10 @@ func runMulCtComparison(path string) error {
 			row := mulRow{
 				Towers:        k,
 				MulCtNs:       ns,
-				MulCtAllocs:   allocs(func() { rb.MulCt(&fix.dst, fix.c1, fix.c2, fix.rlk) }),
+				MulCtAllocs:   allocs(func() { _ = rb.MulCt(&fix.dst, fix.c1, fix.c2, fix.rlk) }),
 				RNSVsOracle:   ns / oracleNs,
 				NoiseBits:     noise,
-				DeltaBits:     rb.DeltaBits(),
+				DeltaBits:     rb.DeltaBits(0),
 				BudgetBitsOut: budget,
 			}
 			rows[fmt.Sprintf("k%d", k)] = row

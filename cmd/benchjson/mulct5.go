@@ -1,0 +1,246 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mqxgo/internal/fhe"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/rns"
+)
+
+// The PR 5 report: the modulus-switching ladder on the Backend seam. A
+// depth-3 squaring chain runs down a k=4 RNS ladder (ModSwitch after
+// every multiply) next to the 128-bit oracle's own ladder; before
+// anything is timed, the two backends' decryptions are cross-checked
+// bit-identical after every multiply AND after every DropLevel. Each
+// level then gets three timings: the BEHZ MulCt with the default
+// NTT-domain relinearization keys, the same multiply with
+// coefficient-domain keys (the PR 4-style layout, paying its per-multiply
+// key transforms), and the oracle multiply — plus the ModSwitch step
+// itself with its allocs/op.
+
+// ladderLevelRow is one level's measurements.
+type ladderLevelRow struct {
+	Level           int     `json:"level"`
+	Towers          int     `json:"towers"`
+	MulCtNs         float64 `json:"rns_mulct_ns"`
+	MulCtCoeffNs    float64 `json:"rns_mulct_coeff_keys_ns"`
+	NTTVsCoeffKeys  float64 `json:"ntt_keys_vs_coeff_keys"` // < 1 means NTT-domain keys win
+	OracleMulCtNs   float64 `json:"oracle_mulct_ns"`
+	RNSVsOracle     float64 `json:"rns_vs_oracle"`
+	MulCtAllocs     float64 `json:"rns_mulct_allocs_per_op"`
+	ModSwitchNs     float64 `json:"rns_modswitch_ns,omitempty"`
+	ModSwitchAllocs float64 `json:"rns_modswitch_allocs_per_op"`
+	BudgetBits      int     `json:"budget_bits_after_mul"`
+}
+
+// runLadderComparison benchmarks the k=4 ladder at n=4096 and writes the
+// PR 5 report.
+func runLadderComparison(path string) error {
+	const n = 4096
+	const k = 4
+	const T = mulPlainMod
+	const depth = 3
+
+	params, err := fhe.NewParams(modmath.DefaultModulus128(), n, T)
+	if err != nil {
+		return err
+	}
+	oracle := fhe.NewRingBackend(params)
+	c, err := rns.NewContext(59, k, n)
+	if err != nil {
+		return err
+	}
+	rb, err := fhe.NewRNSBackend(c, T)
+	if err != nil {
+		return err
+	}
+	ckg, ok := rb.(fhe.CoeffDomainRelinKeyGenerator)
+	if !ok {
+		return fmt.Errorf("benchjson: RNS backend lost the coeff-domain key axis")
+	}
+
+	type chain struct {
+		s        *fhe.BackendScheme
+		sk       fhe.BackendSecretKey
+		rlk      fhe.BackendRelinKey
+		ct       fhe.BackendCiphertext
+		expected []uint64
+	}
+	newChain := func(b fhe.Backend, genKey bool) (*chain, error) {
+		ch := &chain{s: fhe.NewBackendScheme(b, 555)}
+		ch.sk = ch.s.KeyGen()
+		if genKey {
+			ch.rlk = ch.s.RelinKeyGen(ch.sk)
+		}
+		rng := rand.New(rand.NewSource(999))
+		msg := make([]uint64, n)
+		for i := range msg {
+			msg[i] = rng.Uint64() % T
+		}
+		ch.expected = msg
+		var err error
+		ch.ct, err = ch.s.Encrypt(ch.sk, msg)
+		return ch, err
+	}
+	oc, err := newChain(oracle, true)
+	if err != nil {
+		return err
+	}
+	rc, err := newChain(rb, false)
+	if err != nil {
+		return err
+	}
+	// Both key layouts from identically seeded generators: the multiply
+	// outputs must then be bit-identical, making the NTT-vs-coefficient
+	// comparison purely about layout cost.
+	rc.rlk = rb.RelinKeyGen(rc.sk.S, rand.New(rand.NewSource(556)))
+	rlkCoeff := ckg.RelinKeyGenCoeffDomain(rc.sk.S, rand.New(rand.NewSource(556)))
+
+	verify := func(stage string) error {
+		og, err := oc.s.Decrypt(oc.sk, oc.ct)
+		if err != nil {
+			return err
+		}
+		rg, err := rc.s.Decrypt(rc.sk, rc.ct)
+		if err != nil {
+			return err
+		}
+		for i := range og {
+			if og[i] != rg[i] {
+				return fmt.Errorf("benchjson: ladder decryptions diverge %s at coeff %d", stage, i)
+			}
+		}
+		return nil
+	}
+
+	levels := map[string]ladderLevelRow{}
+	var mulSeries, nttVsCoeff []float64
+	for level := 0; level < depth; level++ {
+		// Timing fixtures at this level: square the current chain state.
+		rnsDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level), B: rb.NewPolyAt(level), Level: level}
+		oraDst := fhe.BackendCiphertext{A: oracle.NewPolyAt(level), B: oracle.NewPolyAt(level), Level: level}
+		rct, oct := rc.ct, oc.ct
+		if err := rb.MulCt(&rnsDst, rct, rct, rc.rlk); err != nil {
+			return err
+		}
+		coeffDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level), B: rb.NewPolyAt(level), Level: level}
+		if err := rb.MulCt(&coeffDst, rct, rct, rlkCoeff); err != nil {
+			return err
+		}
+		// Gate: the coefficient-domain key path must produce the identical
+		// ciphertext — it is the same math, laid out differently. Both
+		// components matter: B is where the s^2 relin term accumulates.
+		for ci, pair := range [2][2]fhe.Poly{{rnsDst.A, coeffDst.A}, {rnsDst.B, coeffDst.B}} {
+			for i, row := range pair[0].(rns.Poly).Res {
+				for j, v := range row {
+					if pair[1].(rns.Poly).Res[i][j] != v {
+						return fmt.Errorf("benchjson: coeff-domain relin diverges at level %d component %d tower %d coeff %d", level, ci, i, j)
+					}
+				}
+			}
+		}
+		rnsNs := bench(func() { _ = rb.MulCt(&rnsDst, rct, rct, rc.rlk) })
+		coeffNs := bench(func() { _ = rb.MulCt(&coeffDst, rct, rct, rlkCoeff) })
+		oraNs := bench(func() { _ = oracle.MulCt(&oraDst, oct, oct, oc.rlk) })
+		row := ladderLevelRow{
+			Level:          level,
+			Towers:         k - level,
+			MulCtNs:        rnsNs,
+			MulCtCoeffNs:   coeffNs,
+			NTTVsCoeffKeys: rnsNs / coeffNs,
+			OracleMulCtNs:  oraNs,
+			RNSVsOracle:    rnsNs / oraNs,
+			MulCtAllocs:    allocs(func() { _ = rb.MulCt(&rnsDst, rct, rct, rc.rlk) }),
+		}
+
+		// Advance both chains through the multiply just measured.
+		var e1, e2 error
+		oc.ct, e1 = oc.s.MulCiphertexts(oc.ct, oc.ct, oc.rlk)
+		rc.ct, e2 = rc.s.MulCiphertexts(rc.ct, rc.ct, rc.rlk)
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("benchjson: ladder multiply at level %d: %v %v", level, e1, e2)
+		}
+		rc.expected = fhe.NegacyclicProductModT(rc.expected, rc.expected, T)
+		if err := verify(fmt.Sprintf("after mul at level %d", level)); err != nil {
+			return err
+		}
+		budget, err := rc.s.NoiseBudgetBits(rc.sk, rc.ct, rc.expected)
+		if err != nil {
+			return err
+		}
+		row.BudgetBits = budget
+
+		if level < depth-1 {
+			// Time the switch, then take it on both chains.
+			swDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level + 1), B: rb.NewPolyAt(level + 1), Level: level + 1}
+			src := rc.ct
+			if err := rb.ModSwitch(&swDst, src); err != nil {
+				return err
+			}
+			row.ModSwitchNs = bench(func() { _ = rb.ModSwitch(&swDst, src) })
+			row.ModSwitchAllocs = allocs(func() { _ = rb.ModSwitch(&swDst, src) })
+			if oc.ct, err = oc.s.ModSwitch(oc.ct); err != nil {
+				return err
+			}
+			if rc.ct, err = rc.s.ModSwitch(rc.ct); err != nil {
+				return err
+			}
+			if err := verify(fmt.Sprintf("after switch to level %d", level+1)); err != nil {
+				return err
+			}
+		}
+		levels[fmt.Sprintf("level%d", level)] = row
+		mulSeries = append(mulSeries, rnsNs)
+		nttVsCoeff = append(nttVsCoeff, row.NTTVsCoeffKeys)
+		fmt.Printf("ladder level %d (k=%d): rns mulct %.0f ns (coeff keys %.0f ns, %.3fx), oracle %.0f ns, budget %d bits\n",
+			level, k-level, rnsNs, coeffNs, row.NTTVsCoeffKeys, oraNs, row.BudgetBits)
+	}
+
+	decreasing := true
+	for i := 1; i < len(mulSeries); i++ {
+		if mulSeries[i] >= mulSeries[i-1] {
+			decreasing = false
+		}
+	}
+	nttWins := true
+	for _, r := range nttVsCoeff {
+		if r >= 1 {
+			nttWins = false
+		}
+	}
+	report := map[string]any{
+		"schema":         "mqxgo-bench/v1",
+		"pr":             5,
+		"generated_unix": time.Now().Unix(),
+		"config": map[string]any{
+			"n": n, "towers": k, "depth": depth, "prime_bits": 59, "plain_modulus": T,
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"verified": true,
+		"results":  levels,
+		"acceptance": map[string]any{
+			"mulct_ns_by_level":          mulSeries,
+			"strictly_decreasing":        decreasing,
+			"ntt_keys_beat_coeff_keys":   nttWins,
+			"ntt_keys_vs_coeff_by_level": nttVsCoeff,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (per-level MulCt strictly decreasing: %v; NTT keys beat coeff keys at every level: %v)\n",
+		path, decreasing, nttWins)
+	return nil
+}

@@ -5,7 +5,10 @@
 // product, rescale, relinearize), and decrypts; then runs the identical
 // scheme again on the RNS tower backend — where the multiply is the BEHZ
 // pipeline, never leaving residue form — the paper's two hardware
-// philosophies as swappable Go backends.
+// philosophies as swappable Go backends. The finale is the PR 5 modulus
+// ladder: a depth-3 multiply chain that a fixed two-tower basis cannot
+// survive, carried to the end by a four-tower basis that switches down a
+// level after every multiply, paying two-tower prices at the bottom.
 package main
 
 import (
@@ -46,7 +49,10 @@ func main() {
 	}
 
 	// Homomorphic addition.
-	sum := scheme.AddCiphertexts(c1, c2)
+	sum, err := scheme.AddCiphertexts(c1, c2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	dec, err := scheme.Decrypt(sk, sum)
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +84,11 @@ func main() {
 	// Homomorphic multiplication: ciphertext x ciphertext, decrypting to
 	// the negacyclic product of the plaintexts mod T.
 	rlk := scheme.RelinKeyGen(sk)
-	prod, err := scheme.Decrypt(sk, scheme.MulCiphertexts(c1, c2, rlk))
+	prodCT, err := scheme.MulCiphertexts(c1, c2, rlk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prod, err := scheme.Decrypt(sk, prodCT)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,7 +125,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rdec, err := rs.Decrypt(rsk, rs.AddCiphertexts(rc1, rc2))
+	rsum, err := rs.AddCiphertexts(rc1, rc2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rdec, err := rs.Decrypt(rsk, rsum)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,12 +144,16 @@ func main() {
 		backend.Name(), rc.Q.BitLen(), rok)
 
 	// The same multiply on the RNS backend runs the BEHZ pipeline:
-	// fast-base-extend into a disjoint extension base, tensor product per
-	// tower, divide-and-round by Q/T, exact Shenoy-Kumaresan return to
-	// base Q, CRT-gadget relinearization — residues end to end, no big
-	// integers on the hot path.
+	// m~-corrected base extension into a disjoint extension base, tensor
+	// product per tower, divide-and-round by Q/T, exact Shenoy-Kumaresan
+	// return to base Q, CRT-gadget relinearization with NTT-domain keys —
+	// residues end to end, no big integers on the hot path.
 	rrlk := rs.RelinKeyGen(rsk)
-	rprod, err := rs.Decrypt(rsk, rs.MulCiphertexts(rc1, rc2, rrlk))
+	rprodCT, err := rs.MulCiphertexts(rc1, rc2, rrlk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rprod, err := rs.Decrypt(rsk, rprodCT)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -148,4 +166,71 @@ func main() {
 	}
 	fmt.Printf("same multiply via BEHZ on %s: correct = %v, bit-identical to the 128-bit oracle = %v\n",
 		backend.Name(), rmulOK, slices.Equal(rprod, prod))
+
+	// --- The PR 5 modulus ladder: depth 3 ---
+	//
+	// ModSwitch is budget-neutral (Delta and the noise divide by the
+	// dropped tower together), so what the ladder buys is COST: each drop
+	// removes one tower from every subsequent transform and tensor. The
+	// provisioning story: a fixed k=2 basis (what a single multiply
+	// needs) dies at depth 3; a k=4 basis switched down after every
+	// multiply finishes the chain with budget to spare, and its last
+	// multiply already runs at k=2 prices. T = 65537 makes every multiply
+	// burn ~25 budget bits so the contrast fits three levels.
+	const ladderT = 65537
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = uint64(i*i+7) % ladderT
+	}
+	expected := append([]uint64(nil), msg...)
+	for d := 0; d < 3; d++ {
+		expected = fhe.NegacyclicProductModT(expected, expected, ladderT)
+	}
+
+	runDepth3 := func(towers int, switching bool) (got []uint64, budget int, level int) {
+		ctx, err := rns.NewContext(59, towers, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := fhe.NewRNSBackend(ctx, ladderT)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := fhe.NewBackendScheme(b, 2026)
+		sk := s.KeyGen()
+		rlk := s.RelinKeyGen(sk)
+		ct, err := s.Encrypt(sk, msg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for d := 0; d < 3; d++ {
+			if ct, err = s.MulCiphertexts(ct, ct, rlk); err != nil {
+				log.Fatal(err)
+			}
+			if switching && d < 2 {
+				if ct, err = s.ModSwitch(ct); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		got, err = s.Decrypt(sk, ct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget, err = s.NoiseBudgetBits(sk, ct, expected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return got, budget, ct.Level
+	}
+
+	gotFixed, budgetFixed, _ := runDepth3(2, false)
+	gotLadder, budgetLadder, level := runDepth3(4, true)
+	fmt.Printf("depth-3 chain on a fixed k=2 basis (no switching): correct = %v, budget = %d bits\n",
+		slices.Equal(gotFixed, expected), budgetFixed)
+	fmt.Printf("depth-3 chain on the k=4 ladder (ModSwitch after each multiply): correct = %v, budget = %d bits at level %d\n",
+		slices.Equal(gotLadder, expected), budgetLadder, level)
+	if !slices.Equal(gotFixed, expected) && slices.Equal(gotLadder, expected) {
+		fmt.Println("the ladder carried the chain the fixed small basis could not — while its last multiply ran on 2 towers, not 4")
+	}
 }

@@ -41,10 +41,50 @@ func TestRNSMulCtDoesNotAllocate(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
-	b.MulCt(&dst, c1, c2, rlk) // warm the multiply and transform pools
+	if err := b.MulCt(&dst, c1, c2, rlk); err != nil { // warm the multiply and transform pools
+		t.Fatal(err)
+	}
 	if got := testing.AllocsPerRun(10, func() {
-		b.MulCt(&dst, c1, c2, rlk)
+		if err := b.MulCt(&dst, c1, c2, rlk); err != nil {
+			t.Fatal(err)
+		}
 	}); got != 0 {
 		t.Errorf("RNS MulCt allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestRNSModSwitchDoesNotAllocate extends the gate to the new ladder
+// primitive: with the Rescaler's scratch pool warmed and a reused
+// destination ciphertext, dropping a level allocates nothing.
+func TestRNSModSwitchDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n, T = 256, 257
+	c, err := rns.NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBackendScheme(b, 654)
+	sk := s.KeyGen()
+	msg := make([]uint64, n)
+	ct, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1}
+	if err := b.ModSwitch(&dst, ct); err != nil { // warm the rescale scratch pool
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.ModSwitch(&dst, ct); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS ModSwitch allocates %.1f per run, want 0", got)
 	}
 }

@@ -9,15 +9,23 @@ import (
 
 // Poly is an opaque backend-owned polynomial handle: []u128.U128 for the
 // 128-bit ring backend, rns.Poly for the RNS backend. Handles from
-// different backends must never be mixed.
+// different backends must never be mixed; the scheme layer validates
+// provenance at every public entry point and returns errors instead of
+// crashing when they are.
 type Poly any
 
 // Backend is the ring-arithmetic seam the RLWE scheme runs on: the
 // paper's two hardware philosophies — one 124-bit double-word ring versus
 // a basis of 64-bit RNS towers — as swappable implementations. A backend
-// fixes the ring degree N, the ciphertext modulus (q or the tower product
-// Q), and the plaintext modulus T with its scaling factor Delta =
-// floor(q/T); the scheme layer (BackendScheme) never sees coefficients.
+// fixes the ring degree N, the plaintext modulus T, and — since PR 5 — a
+// modulus-switching LADDER: a decreasing chain of ciphertext moduli
+// Q_0 > Q_1 > ... > Q_{L-1} built once at construction. Level 0 is the
+// full modulus fresh encryptions live at; ModSwitch moves a ciphertext
+// down one level (dividing coefficients — and noise — by the dropped
+// factor), and every ciphertext-space operation takes the level it runs
+// at, because the modulus, the plaintext scale Delta_l = floor(Q_l / T),
+// and (for RNS) the tower count all depend on it. The scheme layer
+// (BackendScheme) never sees coefficients.
 type Backend interface {
 	// Name identifies the backend in benchmarks and reports.
 	Name() string
@@ -25,62 +33,106 @@ type Backend interface {
 	N() int
 	// PlainModulus is the plaintext modulus T.
 	PlainModulus() uint64
-	// NewPoly returns a zero polynomial.
+	// Levels is the length of the modulus chain; valid levels are
+	// [0, Levels()-1], level 0 the widest.
+	Levels() int
+	// NewPoly returns a zero polynomial at level 0.
 	NewPoly() Poly
-	// Copy returns an independent copy of a.
+	// NewPolyAt returns a zero polynomial shaped for the given level.
+	NewPolyAt(level int) Poly
+	// Copy returns an independent copy of a (any level; the shape is
+	// carried by the handle).
 	Copy(a Poly) Poly
-	// Add computes dst = a + b; dst may alias a or b.
-	Add(dst, a, b Poly)
-	// Sub computes dst = a - b; dst may alias a or b.
-	Sub(dst, a, b Poly)
-	// Neg computes dst = -a; dst may alias a.
-	Neg(dst, a Poly)
-	// MulNegacyclic computes dst = a*b in Z_q[x]/(x^N + 1).
-	MulNegacyclic(dst, a, b Poly)
-	// ScalarMul computes dst = k*a for a small integer constant k.
-	ScalarMul(dst, a Poly, k uint64)
-	// SampleUniform overwrites dst with a uniform ring element.
+	// CheckCiphertext validates a ciphertext's provenance against this
+	// backend: handle types, level range, per-level shape, and
+	// coefficient ranges. It is the scheme layer's gate — a ciphertext
+	// from another backend (or a corrupted one) fails here with an error
+	// instead of crashing deeper in the pipeline.
+	CheckCiphertext(ct BackendCiphertext) error
+	// CheckPoly validates a single polynomial handle the same way:
+	// backend type, the level's shape, and residue ranges.
+	CheckPoly(level int, a Poly) error
+	// Add computes dst = a + b at the given level; dst may alias a or b.
+	Add(level int, dst, a, b Poly)
+	// Sub computes dst = a - b at the given level; dst may alias a or b.
+	Sub(level int, dst, a, b Poly)
+	// Neg computes dst = -a at the given level; dst may alias a.
+	Neg(level int, dst, a Poly)
+	// MulNegacyclic computes dst = a*b in Z_{Q_l}[x]/(x^N + 1).
+	MulNegacyclic(level int, dst, a, b Poly)
+	// ScalarMul computes dst = k*a at the given level for a small
+	// integer constant k.
+	ScalarMul(level int, dst, a Poly, k uint64)
+	// SampleUniform overwrites dst (a level-0 polynomial) with a uniform
+	// ring element.
 	SampleUniform(dst Poly, rng *rand.Rand)
-	// SetSigned overwrites dst with small signed coefficients (secret
-	// keys, noise). len(coeffs) must equal N.
+	// SetSigned overwrites dst (a level-0 polynomial) with small signed
+	// coefficients (secret keys, noise). len(coeffs) must equal N.
 	SetSigned(dst Poly, coeffs []int64)
-	// AddDeltaMsg computes dst = a + Delta*msg for msg coefficients in
+	// SecretAt returns the level-0 secret (or any small signed
+	// polynomial set by SetSigned) re-encoded at the given level. The
+	// result may share storage with s and must be treated as read-only.
+	SecretAt(level int, s Poly) Poly
+	// AddDeltaMsg computes dst = a + Delta_l*msg for msg coefficients in
 	// [0, T); dst may alias a.
-	AddDeltaMsg(dst, a Poly, msg []uint64)
-	// RoundToPlain recovers round(a / Delta) mod T per coefficient.
-	RoundToPlain(a Poly) []uint64
-	// DeltaBits is the bit length of Delta (the fresh noise budget).
-	DeltaBits() int
+	AddDeltaMsg(level int, dst, a Poly, msg []uint64)
+	// RoundToPlain recovers round(a / Delta_l) mod T per coefficient.
+	RoundToPlain(level int, a Poly) []uint64
+	// DeltaBits is the bit length of Delta_l (the noise budget ceiling
+	// at that level).
+	DeltaBits(level int) int
 	// NoiseBits returns the bit length of the largest centered noise
-	// magnitude of a - Delta*msg, or 0 when the noise is exactly zero.
-	NoiseBits(a Poly, msg []uint64) int
-	// RelinKeyGen builds a relinearization key for the secret s: gadget
-	// encryptions of s^2 that MulCt uses to bring a degree-2 tensor
-	// product back to a degree-1 ciphertext. The key representation is
+	// magnitude of a - Delta_l*msg, or 0 when the noise is exactly zero.
+	NoiseBits(level int, a Poly, msg []uint64) int
+	// RelinKeyGen builds a relinearization key for the secret s: at
+	// every level of the chain, gadget encryptions of s^2 (stored in the
+	// NTT domain) that MulCt uses to bring a degree-2 tensor product
+	// back to a degree-1 ciphertext. The key representation is
 	// backend-owned and must not be mixed across backends.
 	RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey
 	// MulCt computes the homomorphic product of ct1 and ct2 into dst:
-	// tensor product over the integers, rescale by T/q, and
-	// relinearization with rlk, so dst decrypts (degree-1, via the usual
-	// B - A*S) to the negacyclic product of the plaintexts mod T, noise
-	// permitting. dst's components must be distinct polynomials not
-	// aliasing ct1's or ct2's. The RNS backend is allocation-free in
-	// steady state; the 128-bit oracle backend favors exactness over
-	// allocation discipline.
-	MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey)
+	// tensor product over the integers in the CURRENT level's basis,
+	// rescale by T/Q_l, and relinearization with rlk's keys for that
+	// level, so dst decrypts (degree-1, via the usual B - A*S) to the
+	// negacyclic product of the plaintexts mod T, noise permitting.
+	// ct1, ct2, and dst must share one level; dst's components must be
+	// distinct polynomials not aliasing ct1's or ct2's. Malformed
+	// handles, mixed-backend keys, and out-of-range tensors (the oracle
+	// backend's rescale detection) return errors. The RNS backend is
+	// allocation-free in steady state; the 128-bit oracle backend favors
+	// exactness over allocation discipline.
+	MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error
+	// ModSwitch rescales ct from its level to level+1 into dst: every
+	// coefficient becomes round(c * Q_{l+1} / Q_l), dividing the noise
+	// by the dropped factor along with the modulus. dst must be shaped
+	// for ct.Level+1 with dst.Level already set; the RNS path is
+	// allocation-free in steady state.
+	ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error
 }
 
 // BackendRelinKey is an opaque backend-owned relinearization key handle.
 type BackendRelinKey any
 
-// BackendSecretKey is a small ternary secret polynomial.
+// CoeffDomainRelinKeyGenerator is implemented by backends that can also
+// build their relinearization keys in the COEFFICIENT domain — the PR 4
+// layout whose per-multiply key-transform cost the NTT-domain default
+// eliminates. It exists as the benchmark comparison axis (benchjson
+// -out5); production callers want Backend.RelinKeyGen.
+type CoeffDomainRelinKeyGenerator interface {
+	RelinKeyGenCoeffDomain(s Poly, rng *rand.Rand) BackendRelinKey
+}
+
+// BackendSecretKey is a small ternary secret polynomial (level 0).
 type BackendSecretKey struct {
 	S Poly
 }
 
-// BackendCiphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M.
+// BackendCiphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M,
+// tagged with the modulus-chain level its coefficients live at. Fresh
+// encryptions are at level 0; ModSwitch increments Level.
 type BackendCiphertext struct {
-	A, B Poly
+	A, B  Poly
+	Level int
 }
 
 // BackendScheme is the symmetric-key RLWE ("BFV-style") scheme written
@@ -132,7 +184,24 @@ func (s *BackendScheme) checkMsg(msg []uint64) error {
 	return nil
 }
 
-// Encrypt encrypts a plaintext polynomial with coefficients in [0, T).
+// checkCts validates every ciphertext's provenance against the backend
+// and that they all sit at one level — the hardening gate every public
+// entry point passes malformed inputs through instead of panicking.
+func (s *BackendScheme) checkCts(cts ...BackendCiphertext) error {
+	for i, ct := range cts {
+		if err := s.B.CheckCiphertext(ct); err != nil {
+			return err
+		}
+		if ct.Level != cts[0].Level {
+			return fmt.Errorf("fhe: operand %d at level %d, operand 0 at level %d",
+				i, ct.Level, cts[0].Level)
+		}
+	}
+	return nil
+}
+
+// Encrypt encrypts a plaintext polynomial with coefficients in [0, T) at
+// level 0, the top of the modulus chain.
 func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphertext, error) {
 	if err := s.checkMsg(msg); err != nil {
 		return BackendCiphertext{}, err
@@ -147,93 +216,149 @@ func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphe
 	e := b.NewPoly()
 	b.SetSigned(e, noise)
 	bb := b.NewPoly()
-	b.MulNegacyclic(bb, a, sk.S) // A*S
-	b.Add(bb, bb, e)             // + E
-	b.AddDeltaMsg(bb, bb, msg)   // + Delta*M
+	b.MulNegacyclic(0, bb, a, sk.S) // A*S
+	b.Add(0, bb, bb, e)             // + E
+	b.AddDeltaMsg(0, bb, bb, msg)   // + Delta*M
 	return BackendCiphertext{A: a, B: bb}, nil
 }
 
-// Decrypt recovers the plaintext: round((B - A*S) * T / q) mod T.
+// Decrypt recovers the plaintext at the ciphertext's level:
+// round((B - A*S) * T / Q_l) mod T.
 func (s *BackendScheme) Decrypt(sk BackendSecretKey, ct BackendCiphertext) ([]uint64, error) {
-	if ct.A == nil || ct.B == nil {
-		return nil, fmt.Errorf("fhe: malformed ciphertext")
+	if err := s.checkCts(ct); err != nil {
+		return nil, err
 	}
 	b := s.B
-	noisy := b.NewPoly()
-	b.MulNegacyclic(noisy, ct.A, sk.S)
-	b.Sub(noisy, ct.B, noisy) // B - A*S = Delta*M + E
-	return b.RoundToPlain(noisy), nil
+	l := ct.Level
+	noisy := b.NewPolyAt(l)
+	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, ct.B, noisy) // B - A*S = Delta*M + E
+	return b.RoundToPlain(l, noisy), nil
 }
 
 // AddCiphertexts is homomorphic addition: decrypts to the coefficient-wise
-// sum of the plaintexts mod T (noise permitting).
-func (s *BackendScheme) AddCiphertexts(c1, c2 BackendCiphertext) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.Add(out.A, c1.A, c2.A)
-	s.B.Add(out.B, c1.B, c2.B)
-	return out
+// sum of the plaintexts mod T (noise permitting). The operands must share
+// a level.
+func (s *BackendScheme) AddCiphertexts(c1, c2 BackendCiphertext) (BackendCiphertext, error) {
+	if err := s.checkCts(c1, c2); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := c1.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	s.B.Add(l, out.A, c1.A, c2.A)
+	s.B.Add(l, out.B, c1.B, c2.B)
+	return out, nil
 }
 
 // SubCiphertexts is homomorphic subtraction.
-func (s *BackendScheme) SubCiphertexts(c1, c2 BackendCiphertext) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.Sub(out.A, c1.A, c2.A)
-	s.B.Sub(out.B, c1.B, c2.B)
-	return out
+func (s *BackendScheme) SubCiphertexts(c1, c2 BackendCiphertext) (BackendCiphertext, error) {
+	if err := s.checkCts(c1, c2); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := c1.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	s.B.Sub(l, out.A, c1.A, c2.A)
+	s.B.Sub(l, out.B, c1.B, c2.B)
+	return out, nil
 }
 
 // Neg negates a ciphertext (decrypts to -m mod T).
-func (s *BackendScheme) Neg(ct BackendCiphertext) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.Neg(out.A, ct.A)
-	s.B.Neg(out.B, ct.B)
-	return out
+func (s *BackendScheme) Neg(ct BackendCiphertext) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := ct.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	s.B.Neg(l, out.A, ct.A)
+	s.B.Neg(l, out.B, ct.B)
+	return out, nil
 }
 
 // RelinKeyGen samples a relinearization key for sk, required by
-// MulCiphertexts. One key serves any number of multiplications.
+// MulCiphertexts. One key serves any number of multiplications at any
+// level of the chain.
 func (s *BackendScheme) RelinKeyGen(sk BackendSecretKey) BackendRelinKey {
 	return s.B.RelinKeyGen(sk.S, s.rng)
 }
 
-// MulCiphertexts is homomorphic multiplication: the result decrypts to
-// NegacyclicProductModT of the two plaintexts, noise permitting. Each
-// multiply grows the noise roughly as documented at MulNoiseBoundBits;
-// once the budget is gone, decryption fails.
-func (s *BackendScheme) MulCiphertexts(c1, c2 BackendCiphertext, rlk BackendRelinKey) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.MulCt(&out, c1, c2, rlk)
-	return out
+// MulCiphertexts is homomorphic multiplication at the operands' shared
+// level: the result decrypts to NegacyclicProductModT of the two
+// plaintexts, noise permitting. Each multiply grows the noise roughly as
+// documented at MulNoiseBoundBits; once the budget is gone, decryption
+// fails. Running the chain down the modulus ladder (ModSwitch between
+// multiplies) makes every subsequent multiply cheaper — fewer towers,
+// smaller transforms — at the same decryption correctness.
+func (s *BackendScheme) MulCiphertexts(c1, c2 BackendCiphertext, rlk BackendRelinKey) (BackendCiphertext, error) {
+	if err := s.checkCts(c1, c2); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := c1.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	if err := s.B.MulCt(&out, c1, c2, rlk); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
+}
+
+// ModSwitch moves a ciphertext one level down the modulus chain:
+// coefficients (and noise) are divided-and-rounded by the dropped modulus
+// factor. The plaintext is unchanged; what shrinks is the cost of every
+// subsequent operation. Fails when the ciphertext is malformed or already
+// at the bottom of the chain.
+func (s *BackendScheme) ModSwitch(ct BackendCiphertext) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if ct.Level >= s.B.Levels()-1 {
+		return BackendCiphertext{}, fmt.Errorf("fhe: ciphertext already at bottom level %d", ct.Level)
+	}
+	l := ct.Level + 1
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	if err := s.B.ModSwitch(&out, ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
 }
 
 // MulNoiseBoundBits bounds the noise magnitude (in bits) of a MulCt
 // result, turning the scheme's depth capacity into code instead of
 // folklore. Writing 2^noiseBits for the operands' current noise
-// magnitude, n for the ring degree, T for the plaintext modulus, and
-// digits gadget digits each of magnitude < 2^digitBits in the relin key,
-// the dominant post-multiply noise terms are
+// magnitude, n for the ring degree, T for the plaintext modulus, digits
+// gadget digits each of magnitude < 2^digitBits in the relin key, and
+// overshoot for the base-conversion operand overshoot factor — how many
+// multiples of Q an extended operand may carry: k-1 for the plain
+// FastBConv PR 4 shipped, 1 for the m~-corrected conversion (PR 5,
+// rns.MontBaseConverter), 0 for the oracle's exact integer tensor — the
+// dominant post-multiply noise terms are
 //
-//	tensor scaling:   ~ 2*n*T*2^noiseBits (T/q * Delta*m_i * e_j cross terms)
+//	tensor scaling:   ~ 2*n*T*2^noiseBits * (1+overshoot)
+//	                  (T/q * Delta*m_i * e_j cross terms; each operand's
+//	                  overshoot multiple of Q survives the rescale as an
+//	                  extra T * [operand](s) cross term, so the factor)
 //	plaintext wrap:   ~ n*T^2             ((q mod T) * floor(m1*m2 / T): the
 //	                                      integer plaintext product exceeds T
 //	                                      and its excess folds into noise)
 //	relinearization:  ~ digits*n*2^digitBits*noiseBound
-//	conversion/round: ~ 2*(towers+1)*n^2  (FastBConv overshoot + rounding, times ||s^2||_1)
+//	conversion/round: ~ 2*(overshoot+2)*n^2  (divide-by-Q FastBConv
+//	                                      overshoot + rounding, times ||s^2||_1)
 //
 // Decryption of the product round-trips while this stays below
-// DeltaBits - 1 — the depth-1 property test asserts exactly that, and the
-// over-deep chain test shows the bound's growth exhausting the budget.
-func MulNoiseBoundBits(n int, t uint64, noiseBits, digits, digitBits, towers int) int {
+// DeltaBits - 1 — the depth-1 property test asserts exactly that, the
+// over-deep chain test shows the bound's growth exhausting the budget,
+// and the m~ property test shows the overshoot=1 bound sitting strictly
+// below the PR 4 overshoot=k-1 bound once the tensor term dominates.
+func MulNoiseBoundBits(n int, t uint64, noiseBits, digits, digitBits, overshoot int) int {
 	nb := new(big.Int).SetInt64(int64(n))
 	tb := new(big.Int).SetUint64(t)
 	tensor := new(big.Int).Lsh(big.NewInt(1), uint(noiseBits))
 	tensor.Mul(tensor, nb).Mul(tensor, tb).Lsh(tensor, 1)
+	tensor.Mul(tensor, big.NewInt(int64(1+overshoot)))
 	wrap := new(big.Int).Mul(tb, tb)
 	wrap.Mul(wrap, nb)
 	relin := new(big.Int).Lsh(big.NewInt(1), uint(digitBits))
 	relin.Mul(relin, nb).Mul(relin, big.NewInt(int64(digits)*noiseBound))
 	conv := new(big.Int).Mul(nb, nb)
-	conv.Mul(conv, big.NewInt(2*int64(towers+1)))
+	conv.Mul(conv, big.NewInt(2*int64(overshoot+2)))
 	sum := tensor.Add(tensor, wrap)
 	sum.Add(sum, relin)
 	sum.Add(sum, conv)
@@ -242,31 +367,46 @@ func MulNoiseBoundBits(n int, t uint64, noiseBits, digits, digitBits, towers int
 
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
 // coefficients (negacyclic convolution of both components). pt must be a
-// handle from this scheme's backend.
-func (s *BackendScheme) MulPlain(ct BackendCiphertext, pt Poly) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.MulNegacyclic(out.A, ct.A, pt)
-	s.B.MulNegacyclic(out.B, ct.B, pt)
-	return out
+// handle from this scheme's backend shaped for ct's level.
+func (s *BackendScheme) MulPlain(ct BackendCiphertext, pt Poly) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := ct.Level
+	if err := s.B.CheckPoly(l, pt); err != nil {
+		return BackendCiphertext{}, err
+	}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	s.B.MulNegacyclic(l, out.A, ct.A, pt)
+	s.B.MulNegacyclic(l, out.B, ct.B, pt)
+	return out, nil
 }
 
 // MulScalar multiplies a ciphertext by a small integer constant k
 // (decrypts to k*m mod T, noise permitting: noise grows by a factor k).
-func (s *BackendScheme) MulScalar(ct BackendCiphertext, k uint64) BackendCiphertext {
-	out := BackendCiphertext{A: s.B.NewPoly(), B: s.B.NewPoly()}
-	s.B.ScalarMul(out.A, ct.A, k)
-	s.B.ScalarMul(out.B, ct.B, k)
-	return out
+func (s *BackendScheme) MulScalar(ct BackendCiphertext, k uint64) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := ct.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	s.B.ScalarMul(l, out.A, ct.A, k)
+	s.B.ScalarMul(l, out.B, ct.B, k)
+	return out, nil
 }
 
 // AddPlain adds a plaintext message to a ciphertext without encrypting it
-// first: only the B component moves, by Delta * m.
+// first: only the B component moves, by Delta_l * m.
 func (s *BackendScheme) AddPlain(ct BackendCiphertext, msg []uint64) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
 	if err := s.checkMsg(msg); err != nil {
 		return BackendCiphertext{}, err
 	}
-	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPoly()}
-	s.B.AddDeltaMsg(out.B, ct.B, msg)
+	l := ct.Level
+	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPolyAt(l), Level: l}
+	s.B.AddDeltaMsg(l, out.B, ct.B, msg)
 	return out, nil
 }
 
@@ -295,37 +435,48 @@ func NegacyclicProductModT(m1, m2 []uint64, t uint64) []uint64 {
 }
 
 // NoiseBits measures a ciphertext's noise magnitude in bits against the
-// expected plaintext: the bit length of max |B - A*S - Delta*msg| over
+// expected plaintext: the bit length of max |B - A*S - Delta_l*msg| over
 // the coefficients. Diagnostic only (requires the secret key); the
 // property tests compare it against MulNoiseBoundBits.
 func (s *BackendScheme) NoiseBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if err := s.checkCts(ct); err != nil {
+		return 0, err
+	}
 	if len(msg) != s.B.N() {
 		return 0, fmt.Errorf("fhe: message length mismatch")
 	}
 	b := s.B
-	noisy := b.NewPoly()
-	b.MulNegacyclic(noisy, ct.A, sk.S)
-	b.Sub(noisy, ct.B, noisy)
-	return b.NoiseBits(noisy, msg), nil
+	l := ct.Level
+	noisy := b.NewPolyAt(l)
+	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, ct.B, noisy)
+	return b.NoiseBits(l, noisy, msg), nil
 }
 
 // NoiseBudgetBits estimates the remaining noise budget of a ciphertext in
-// bits: log2(Delta / (2*|noise|)) where noise = B - A*S - Delta*m. When it
-// reaches zero, decryption starts failing. Diagnostic only (requires the
-// secret key).
+// bits at its level: log2(Delta_l / (2*|noise|)) where noise =
+// B - A*S - Delta_l*m. When it reaches zero, decryption starts failing.
+// ModSwitch approximately preserves the budget (both Delta and the noise
+// shrink by the dropped factor, up to a small additive rounding floor) —
+// what it buys is cheaper arithmetic, not headroom. Diagnostic only
+// (requires the secret key).
 func (s *BackendScheme) NoiseBudgetBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if err := s.checkCts(ct); err != nil {
+		return 0, err
+	}
 	if len(msg) != s.B.N() {
 		return 0, fmt.Errorf("fhe: message length mismatch")
 	}
 	b := s.B
-	noisy := b.NewPoly()
-	b.MulNegacyclic(noisy, ct.A, sk.S)
-	b.Sub(noisy, ct.B, noisy)
-	nb := b.NoiseBits(noisy, msg)
+	l := ct.Level
+	noisy := b.NewPolyAt(l)
+	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, ct.B, noisy)
+	nb := b.NoiseBits(l, noisy, msg)
 	if nb == 0 {
-		return b.DeltaBits(), nil
+		return b.DeltaBits(l), nil
 	}
-	budget := b.DeltaBits() - nb - 1
+	budget := b.DeltaBits(l) - nb - 1
 	if budget < 0 {
 		budget = 0
 	}

@@ -6,12 +6,14 @@ import (
 	"math/rand"
 	"sync"
 
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ntt"
 	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 )
 
-// ringBackend runs the scheme on the library's primary configuration: one
-// 124-bit double-word ring with the Barrett-multiplied 128-bit NTT. Its
+// ringBackend runs the scheme on the library's primary configuration:
+// 128-bit double-word rings with the Barrett-multiplied 128-bit NTT. Its
 // Poly handles are plain []u128.U128, so the legacy Scheme API unwraps
 // them at zero cost.
 //
@@ -20,114 +22,250 @@ import (
 // over the integers (a CRT tower convolution wide enough that no
 // coefficient wraps) and the T/q rescale is exact big-integer
 // round-half-up, so the only approximations anywhere are the ones the
-// scheme itself defines. It allocates freely on that path; the RNS
-// backend is the performance configuration.
+// scheme itself defines. The same philosophy extends to the modulus
+// ladder: the chain is a sequence of shrinking 128-bit NTT primes
+// q_0 > q_1 > ..., and ModSwitch is the exact big-integer
+// round(c * q_{l+1} / q_l) — the ground truth the RNS Rescaler path is
+// differentially tested against. It allocates freely on those paths; the
+// RNS backend is the performance configuration.
 type ringBackend struct {
-	p *Params
+	p      *Params
+	levels []*ringLevel
 
 	// wide is the integer-convolution engine for MulCt, built on first
 	// use: enough 59-bit NTT towers that negacyclic products of two
-	// ring elements are exact over the integers.
+	// level-0 ring elements are exact over the integers (and a fortiori
+	// of any lower level's).
 	wideOnce sync.Once
 	wide     *rns.Context
 	wideErr  error
-	qBig     *big.Int // the ring modulus q
-	halfQ    *big.Int // floor(q/2), for the exact rescale's rounding
 	tBig     *big.Int
 }
 
-// NewRingBackend wraps ring parameters as a Backend.
-func NewRingBackend(p *Params) Backend { return &ringBackend{p: p} }
+// ringLevel is one rung of the oracle's modulus ladder.
+type ringLevel struct {
+	mod       *modmath.Modulus128
+	plan      *ntt.Plan
+	qBig      *big.Int
+	halfQ     *big.Int  // floor(q_l / 2), rescale rounding and centering
+	delta     u128.U128 // floor(q_l / T)
+	deltaBits int
+	digits    int      // relin gadget digits at this level
+	vBound    *big.Int // 2*n*q_l^2: the largest centered tensor coefficient
+	//                    a well-formed multiply can produce at this level
+}
+
+// Oracle ladder geometry: each level drops oracleLevelDropBits from the
+// modulus, and the chain stops before Delta falls under
+// oracleMinDeltaBits (no point switching to a level that cannot decrypt).
+const (
+	oracleLevelDropBits = 28
+	oracleMinDeltaBits  = 20
+)
+
+// NewRingBackend wraps ring parameters as a Backend. Level 0 is exactly
+// p's modulus; lower levels are found deterministically (the largest NTT
+// prime of each shrinking width), so every backend over the same
+// parameters sees the same ladder.
+func NewRingBackend(p *Params) Backend {
+	b := &ringBackend{p: p}
+	b.levels = append(b.levels, newRingLevel(p.Mod, p.plan, p.T))
+	bits := p.Mod.Q.BitLen()
+	for {
+		bits -= oracleLevelDropBits
+		mod, plan, ok := findRingLevel(bits, p.N)
+		if !ok {
+			break
+		}
+		lv := newRingLevel(mod, plan, p.T)
+		if lv.deltaBits < oracleMinDeltaBits {
+			break
+		}
+		b.levels = append(b.levels, lv)
+	}
+	return b
+}
+
+func newRingLevel(mod *modmath.Modulus128, plan *ntt.Plan, t uint64) *ringLevel {
+	qBig := mod.Q.ToBig()
+	delta, _ := mod.Q.DivMod64(t)
+	n := int64(plan.N)
+	vBound := new(big.Int).Mul(qBig, qBig)
+	vBound.Mul(vBound, big.NewInt(2*n))
+	return &ringLevel{
+		mod:       mod,
+		plan:      plan,
+		qBig:      qBig,
+		halfQ:     new(big.Int).Rsh(qBig, 1),
+		delta:     delta,
+		deltaBits: delta.BitLen(),
+		digits:    (mod.Q.BitLen() + oracleDigitBits - 1) / oracleDigitBits,
+		vBound:    vBound,
+	}
+}
+
+// findRingLevel locates the deterministic NTT prime and plan for one
+// ladder rung; a failed search (width too small for the transform order)
+// just ends the chain.
+func findRingLevel(bits, n int) (*modmath.Modulus128, *ntt.Plan, bool) {
+	q, err := modmath.FindNTTPrime128(bits, uint64(2*n))
+	if err != nil {
+		return nil, nil, false
+	}
+	mod, err := modmath.NewModulus128(q)
+	if err != nil {
+		return nil, nil, false
+	}
+	plan, err := ntt.CachedPlan(mod, n)
+	if err != nil {
+		return nil, nil, false
+	}
+	return mod, plan, true
+}
 
 func (b *ringBackend) Name() string         { return "u128" }
 func (b *ringBackend) N() int               { return b.p.N }
 func (b *ringBackend) PlainModulus() uint64 { return b.p.T }
+func (b *ringBackend) Levels() int          { return len(b.levels) }
 func (b *ringBackend) NewPoly() Poly        { return make([]u128.U128, b.p.N) }
+func (b *ringBackend) NewPolyAt(int) Poly   { return make([]u128.U128, b.p.N) }
 
 func (b *ringBackend) Copy(a Poly) Poly {
 	return append([]u128.U128(nil), a.([]u128.U128)...)
 }
 
-func (b *ringBackend) Add(dst, a, c Poly) {
-	mod := b.p.Mod
+// checkPolyAt validates one handle: backend type, shape, and residues
+// reduced below the level modulus.
+func (b *ringBackend) checkPolyAt(level int, a Poly) error {
+	x, ok := a.([]u128.U128)
+	if !ok {
+		return fmt.Errorf("fhe: foreign polynomial handle %T on the %s backend", a, b.Name())
+	}
+	if len(x) != b.p.N {
+		return fmt.Errorf("fhe: polynomial length %d != N %d", len(x), b.p.N)
+	}
+	q := b.levels[level].mod.Q
+	for i := range x {
+		if !x[i].Less(q) {
+			return fmt.Errorf("fhe: coefficient %d not reduced mod the level-%d modulus", i, level)
+		}
+	}
+	return nil
+}
+
+func (b *ringBackend) CheckPoly(level int, a Poly) error {
+	if level < 0 || level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", level, len(b.levels))
+	}
+	return b.checkPolyAt(level, a)
+}
+
+func (b *ringBackend) CheckCiphertext(ct BackendCiphertext) error {
+	if ct.Level < 0 || ct.Level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if ct.A == nil || ct.B == nil {
+		return fmt.Errorf("fhe: malformed ciphertext (nil component)")
+	}
+	if err := b.checkPolyAt(ct.Level, ct.A); err != nil {
+		return err
+	}
+	return b.checkPolyAt(ct.Level, ct.B)
+}
+
+func (b *ringBackend) Add(level int, dst, a, c Poly) {
+	mod := b.levels[level].mod
 	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
 	for i := range d {
 		d[i] = mod.Add(x[i], y[i])
 	}
 }
 
-func (b *ringBackend) Sub(dst, a, c Poly) {
-	mod := b.p.Mod
+func (b *ringBackend) Sub(level int, dst, a, c Poly) {
+	mod := b.levels[level].mod
 	d, x, y := dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128)
 	for i := range d {
 		d[i] = mod.Sub(x[i], y[i])
 	}
 }
 
-func (b *ringBackend) Neg(dst, a Poly) {
-	mod := b.p.Mod
+func (b *ringBackend) Neg(level int, dst, a Poly) {
+	mod := b.levels[level].mod
 	d, x := dst.([]u128.U128), a.([]u128.U128)
 	for i := range d {
 		d[i] = mod.Neg(x[i])
 	}
 }
 
-func (b *ringBackend) MulNegacyclic(dst, a, c Poly) {
-	b.p.plan.PolyMulNegacyclicInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
+func (b *ringBackend) MulNegacyclic(level int, dst, a, c Poly) {
+	b.levels[level].plan.PolyMulNegacyclicInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
 }
 
-func (b *ringBackend) ScalarMul(dst, a Poly, k uint64) {
-	kk := u128.From64(k).Mod(b.p.Mod.Q)
-	b.p.plan.Generic().ScalarMulInto(dst.([]u128.U128), a.([]u128.U128), kk)
+func (b *ringBackend) ScalarMul(level int, dst, a Poly, k uint64) {
+	lv := b.levels[level]
+	kk := u128.From64(k).Mod(lv.mod.Q)
+	lv.plan.Generic().ScalarMulInto(dst.([]u128.U128), a.([]u128.U128), kk)
 }
 
 func (b *ringBackend) SampleUniform(dst Poly, rng *rand.Rand) {
-	mod := b.p.Mod
-	d := dst.([]u128.U128)
-	for i := range d {
-		d[i] = u128.New(rng.Uint64(), rng.Uint64()).Mod(mod.Q)
-	}
+	b.sampleUniformAt(0, dst.([]u128.U128), rng)
 }
 
 func (b *ringBackend) SetSigned(dst Poly, coeffs []int64) {
-	mod := b.p.Mod
-	d := dst.([]u128.U128)
-	for i, e := range coeffs {
-		if e >= 0 {
-			d[i] = u128.From64(uint64(e))
+	b.setSignedAt(0, dst.([]u128.U128), coeffs)
+}
+
+// SecretAt re-encodes a small signed polynomial from the level-0 modulus
+// to a lower level's: values above q_0/2 are the negative coefficients
+// and wrap to q_l - |e|.
+func (b *ringBackend) SecretAt(level int, s Poly) Poly {
+	if level == 0 {
+		return s
+	}
+	src := s.([]u128.U128)
+	lv := b.levels[level]
+	halfU := b.p.Mod.Q.Rsh(1)
+	out := make([]u128.U128, len(src))
+	for i, v := range src {
+		if v.LessEq(halfU) {
+			out[i] = v.Mod(lv.mod.Q)
 		} else {
-			d[i] = mod.Neg(u128.From64(uint64(-e)))
+			out[i] = lv.mod.Neg(b.p.Mod.Q.Sub(v).Mod(lv.mod.Q))
 		}
 	}
+	return out
 }
 
-// AddDeltaMsg folds Delta-scaled plaintext into a ciphertext component on
-// the plan's scale-accumulate kernel.
-func (b *ringBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
-	b.p.plan.Generic().ScaleAddInto(dst.([]u128.U128), a.([]u128.U128), msg, b.p.Delta)
+// AddDeltaMsg folds Delta_l-scaled plaintext into a ciphertext component
+// on the level plan's scale-accumulate kernel.
+func (b *ringBackend) AddDeltaMsg(level int, dst, a Poly, msg []uint64) {
+	lv := b.levels[level]
+	lv.plan.Generic().ScaleAddInto(dst.([]u128.U128), a.([]u128.U128), msg, lv.delta)
 }
 
-func (b *ringBackend) RoundToPlain(a Poly) []uint64 {
+func (b *ringBackend) RoundToPlain(level int, a Poly) []uint64 {
+	lv := b.levels[level]
 	x := a.([]u128.U128)
 	out := make([]uint64, b.p.N)
-	half, _ := b.p.Delta.DivMod64(2)
+	half, _ := lv.delta.DivMod64(2)
 	for i := range x {
-		// Round to the nearest multiple of Delta.
-		q, _ := x[i].Add(half).DivMod(b.p.Delta)
+		// Round to the nearest multiple of Delta_l.
+		q, _ := x[i].Add(half).DivMod(lv.delta)
 		out[i] = q.Lo % b.p.T
 	}
 	return out
 }
 
-func (b *ringBackend) DeltaBits() int { return b.p.Delta.BitLen() }
+func (b *ringBackend) DeltaBits(level int) int { return b.levels[level].deltaBits }
 
-func (b *ringBackend) NoiseBits(a Poly, msg []uint64) int {
-	mod := b.p.Mod
+func (b *ringBackend) NoiseBits(level int, a Poly, msg []uint64) int {
+	lv := b.levels[level]
+	mod := lv.mod
 	x := a.([]u128.U128)
 	halfQ := mod.Q.Rsh(1)
 	maxNoise := u128.Zero
 	for i := range x {
-		noise := mod.Sub(x[i], mod.Mul(b.p.Delta, u128.From64(msg[i]%b.p.T)))
+		noise := mod.Sub(x[i], mod.Mul(lv.delta, u128.From64(msg[i]%b.p.T)))
 		// Centered magnitude.
 		if halfQ.Less(noise) {
 			noise = mod.Q.Sub(noise)
@@ -144,26 +282,30 @@ func (b *ringBackend) NoiseBits(a Poly, msg []uint64) int {
 // under Delta for any plaintext modulus this scheme accepts.
 const oracleDigitBits = 31
 
-// ringRelinKey holds gadget encryptions of 2^(31d) * s^2 with both
-// components stored in the twisted-evaluation domain, so relinearization
-// costs one forward transform per digit plus two inverse transforms
-// total.
+// ringRelinKey holds, per ladder level, gadget encryptions of
+// 2^(31d) * s^2 with both components stored in that level's
+// twisted-evaluation domain, so relinearization costs one forward
+// transform per digit plus two inverse transforms total at whichever
+// level the multiply runs.
 type ringRelinKey struct {
+	levels []ringLevelKey
+}
+
+type ringLevelKey struct {
 	ahat, bhat [][]u128.U128
 }
 
 // wideCtx returns the integer-convolution tower basis, built on first
-// use: the product of the towers exceeds 4*n*q^2, so signed negacyclic
-// product coefficients (magnitude < n*q^2, doubled once for the c1 sum)
-// reconstruct exactly. It panics if the basis cannot be built, which for
-// any ring the 128-bit plan itself supports cannot happen.
+// use: the product of the towers exceeds 4*n*q_0^2, so signed negacyclic
+// product coefficients (magnitude < n*q_l^2 at any level, doubled once
+// for the c1 sum) reconstruct exactly. It panics if the basis cannot be
+// built, which for any ring the 128-bit plan itself supports cannot
+// happen.
 func (b *ringBackend) wideCtx() *rns.Context {
 	b.wideOnce.Do(func() {
 		need := 2*b.p.Mod.Q.BitLen() + b.p.plan.M + 3
 		count := (need + 57) / 58 // 59-bit primes carry at least 58 bits each
 		b.wide, b.wideErr = rns.NewContext(59, count, b.p.N)
-		b.qBig = b.p.Mod.Q.ToBig()
-		b.halfQ = new(big.Int).Rsh(b.qBig, 1)
 		b.tBig = new(big.Int).SetUint64(b.p.T)
 	})
 	if b.wideErr != nil {
@@ -172,39 +314,61 @@ func (b *ringBackend) wideCtx() *rns.Context {
 	return b.wide
 }
 
-// RelinKeyGen builds the 2^31-gadget relinearization key: for each digit
-// position d, an encryption (a_d, a_d*s + e_d + 2^(31d)*s^2).
+// RelinKeyGen builds the 2^31-gadget relinearization key at every ladder
+// level: for each level l and digit position d, an encryption
+// (a_d, a_d*s + e_d + 2^(31d)*s^2) under the level's modulus.
 func (b *ringBackend) RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey {
 	p := b.p
-	g := p.plan.Generic()
-	sk := s.([]u128.U128)
-	s2 := make([]u128.U128, p.N)
-	p.plan.PolyMulNegacyclicInto(s2, sk, sk)
-	digits := (p.Mod.Q.BitLen() + oracleDigitBits - 1) / oracleDigitBits
 	key := &ringRelinKey{}
 	noise := make([]int64, p.N)
-	e := make([]u128.U128, p.N)
-	tmp := make([]u128.U128, p.N)
-	for d := 0; d < digits; d++ {
-		a := make([]u128.U128, p.N)
-		b.SampleUniform(a, rng)
-		for i := range noise {
-			noise[i] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+	for l, lv := range b.levels {
+		g := lv.plan.Generic()
+		sk := b.SecretAt(l, s).([]u128.U128)
+		s2 := make([]u128.U128, p.N)
+		lv.plan.PolyMulNegacyclicInto(s2, sk, sk)
+		lk := ringLevelKey{}
+		e := make([]u128.U128, p.N)
+		tmp := make([]u128.U128, p.N)
+		for d := 0; d < lv.digits; d++ {
+			a := make([]u128.U128, p.N)
+			b.sampleUniformAt(l, a, rng)
+			for i := range noise {
+				noise[i] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+			}
+			b.setSignedAt(l, e, noise)
+			bb := make([]u128.U128, p.N)
+			lv.plan.PolyMulNegacyclicInto(bb, a, sk) // a_d * s
+			b.Add(l, bb, bb, e)                      // + e_d
+			g.ScalarMulInto(tmp, s2, u128.One.Lsh(uint(oracleDigitBits*d)).Mod(lv.mod.Q))
+			b.Add(l, bb, bb, tmp) // + 2^(31d) * s^2
+			ahat := make([]u128.U128, p.N)
+			bhat := make([]u128.U128, p.N)
+			g.NegacyclicForwardInto(ahat, a)
+			g.NegacyclicForwardInto(bhat, bb)
+			lk.ahat = append(lk.ahat, ahat)
+			lk.bhat = append(lk.bhat, bhat)
 		}
-		b.SetSigned(e, noise)
-		bb := make([]u128.U128, p.N)
-		p.plan.PolyMulNegacyclicInto(bb, a, sk) // a_d * s
-		b.Add(bb, bb, e)                        // + e_d
-		g.ScalarMulInto(tmp, s2, u128.One.Lsh(uint(oracleDigitBits*d)))
-		b.Add(bb, bb, tmp) // + 2^(31d) * s^2
-		ahat := make([]u128.U128, p.N)
-		bhat := make([]u128.U128, p.N)
-		g.NegacyclicForwardInto(ahat, a)
-		g.NegacyclicForwardInto(bhat, bb)
-		key.ahat = append(key.ahat, ahat)
-		key.bhat = append(key.bhat, bhat)
+		key.levels = append(key.levels, lk)
 	}
 	return key
+}
+
+func (b *ringBackend) sampleUniformAt(level int, dst []u128.U128, rng *rand.Rand) {
+	q := b.levels[level].mod.Q
+	for i := range dst {
+		dst[i] = u128.New(rng.Uint64(), rng.Uint64()).Mod(q)
+	}
+}
+
+func (b *ringBackend) setSignedAt(level int, dst []u128.U128, coeffs []int64) {
+	mod := b.levels[level].mod
+	for i, e := range coeffs {
+		if e >= 0 {
+			dst[i] = u128.From64(uint64(e))
+		} else {
+			dst[i] = mod.Neg(u128.From64(uint64(-e)))
+		}
+	}
 }
 
 // liftInto lifts u128 residues into big.Int coefficients, reusing dst's
@@ -221,34 +385,69 @@ func liftInto(dst []*big.Int, src []u128.U128, t *big.Int) {
 }
 
 // scaleRoundInto applies the exact BFV rescale to a reconstructed signed
-// tensor component: out = round(T*v/q) mod q per coefficient, where v is
-// centered by wideQ. This is the oracle's defining step — big-integer
-// round-half-up, no approximation.
-func (b *ringBackend) scaleRoundInto(out []u128.U128, coeffs []*big.Int, wideQ, halfWideQ *big.Int) {
+// tensor component: out = round(T*v/q_l) mod q_l per coefficient, where v
+// is centered by wideQ. This is the oracle's defining step — big-integer
+// round-half-up, no approximation. A centered tensor coefficient larger
+// than the level's vBound cannot come from reduced operands: the wide
+// basis has wrapped, the rescale would silently decrypt garbage, and —
+// since PR 5's hardening pass — the condition is detected and returned as
+// an error instead of being unreachable-panic folklore. It is reachable
+// exactly when a caller bypasses the scheme layer's range validation with
+// unreduced (adversarially noisy) ciphertext coefficients.
+func (b *ringBackend) scaleRoundInto(lv *ringLevel, out []u128.U128, coeffs []*big.Int, wideQ, halfWideQ *big.Int) error {
 	for i, v := range coeffs {
 		if v.Cmp(halfWideQ) > 0 {
 			v.Sub(v, wideQ)
 		}
+		if v.CmpAbs(lv.vBound) > 0 {
+			return fmt.Errorf("fhe: oracle rescale out of range at coefficient %d (tensor exceeded the wide basis; unreduced ciphertext input?)", i)
+		}
 		v.Mul(v, b.tBig)
-		v.Add(v, b.halfQ)
-		v.Div(v, b.qBig) // Euclidean: floor for the positive modulus
-		v.Mod(v, b.qBig)
+		v.Add(v, lv.halfQ)
+		v.Div(v, lv.qBig) // Euclidean: floor for the positive modulus
+		v.Mod(v, lv.qBig)
 		x, ok := u128.FromBig(v)
 		if !ok {
-			panic("fhe: oracle rescale out of range")
+			return fmt.Errorf("fhe: oracle rescale out of range at coefficient %d", i)
 		}
 		out[i] = x
 	}
+	return nil
 }
 
-// MulCt is the oracle homomorphic multiply: exact integer tensor product
-// via the wide CRT basis, exact big-int rescale by T/q, then 2^31-gadget
-// relinearization. dst must not alias the inputs.
-func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) {
-	key := rlk.(*ringRelinKey)
+// MulCt is the oracle homomorphic multiply at the operands' level: exact
+// integer tensor product via the wide CRT basis, exact big-int rescale by
+// T/q_l, then 2^31-gadget relinearization with the level's keys. dst must
+// not alias the inputs.
+func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
+	key, ok := rlk.(*ringRelinKey)
+	if !ok {
+		return fmt.Errorf("fhe: foreign relinearization key %T on the %s backend", rlk, b.Name())
+	}
+	if ct1.Level != ct2.Level || dst.Level != ct1.Level {
+		return fmt.Errorf("fhe: MulCt level mismatch: %d, %d -> %d", ct1.Level, ct2.Level, dst.Level)
+	}
+	if ct1.Level < 0 || ct1.Level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct1.Level, len(b.levels))
+	}
+	lv := b.levels[ct1.Level]
+	// A key of the right TYPE can still come from a backend over other
+	// parameters: validate its chain depth and row shapes before use.
+	if ct1.Level >= len(key.levels) {
+		return fmt.Errorf("fhe: relin key covers %d levels, ciphertext at level %d", len(key.levels), ct1.Level)
+	}
+	lkey := key.levels[ct1.Level]
+	if len(lkey.ahat) != lv.digits || len(lkey.bhat) != lv.digits {
+		return fmt.Errorf("fhe: relin key has %d digits at level %d, want %d", len(lkey.ahat), ct1.Level, lv.digits)
+	}
+	for d := 0; d < lv.digits; d++ {
+		if len(lkey.ahat[d]) != b.p.N || len(lkey.bhat[d]) != b.p.N {
+			return fmt.Errorf("fhe: relin key digit %d shaped for another backend", d)
+		}
+	}
 	w := b.wideCtx()
 	p := b.p
-	g := p.plan.Generic()
+	g := lv.plan.Generic()
 	n := p.N
 
 	// Lift the four components and decompose into the wide basis.
@@ -257,7 +456,11 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	ops := [4]Poly{ct1.A, ct1.B, ct2.A, ct2.B}
 	var wp [4]rns.Poly
 	for i, op := range ops {
-		liftInto(coeffs, op.([]u128.U128), t)
+		x, ok := op.([]u128.U128)
+		if !ok || len(x) != n {
+			return fmt.Errorf("fhe: malformed MulCt operand %d on the %s backend", i, b.Name())
+		}
+		liftInto(coeffs, x, t)
 		wp[i] = w.NewPoly()
 		must(w.DecomposeInto(wp[i], coeffs))
 	}
@@ -281,7 +484,9 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 		out []u128.U128
 	}{{c0, r0}, {c1, r1}, {c2, r2}} {
 		must(w.ReconstructInto(coeffs, pair.src))
-		b.scaleRoundInto(pair.out, coeffs, w.Q, halfWideQ)
+		if err := b.scaleRoundInto(lv, pair.out, coeffs, w.Q, halfWideQ); err != nil {
+			return err
+		}
 	}
 
 	// Relinearize: digit-decompose r2 and fold the gadget encryptions of
@@ -291,28 +496,83 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	zd := make([]u128.U128, n)
 	zhat := make([]u128.U128, n)
 	prod := make([]u128.U128, n)
-	mod := p.Mod
-	for d := range key.ahat {
+	mod := lv.mod
+	for d := range lkey.ahat {
 		shift := uint(oracleDigitBits * d)
 		for j := range zd {
 			zd[j] = u128.From64(r2[j].Rsh(shift).Lo & (1<<oracleDigitBits - 1))
 		}
 		g.NegacyclicForwardInto(zhat, zd)
-		g.PointwiseMulInto(prod, zhat, key.ahat[d])
+		g.PointwiseMulInto(prod, zhat, lkey.ahat[d])
 		for j := range accA {
 			accA[j] = mod.Add(accA[j], prod[j])
 		}
-		g.PointwiseMulInto(prod, zhat, key.bhat[d])
+		g.PointwiseMulInto(prod, zhat, lkey.bhat[d])
 		for j := range accB {
 			accB[j] = mod.Add(accB[j], prod[j])
 		}
 	}
-	dstA := dst.A.([]u128.U128)
-	dstB := dst.B.([]u128.U128)
+	dstA, ok := dst.A.([]u128.U128)
+	if !ok || len(dstA) != n {
+		return fmt.Errorf("fhe: malformed MulCt destination on the %s backend", b.Name())
+	}
+	dstB, ok := dst.B.([]u128.U128)
+	if !ok || len(dstB) != n {
+		return fmt.Errorf("fhe: malformed MulCt destination on the %s backend", b.Name())
+	}
 	g.NegacyclicInverseInto(dstA, accA)
 	g.NegacyclicInverseInto(dstB, accB)
 	for j := range dstA {
 		dstA[j] = mod.Add(dstA[j], r1[j])
 		dstB[j] = mod.Add(dstB[j], r0[j])
 	}
+	return nil
+}
+
+// ModSwitch is the oracle's exact modulus switch: every coefficient moves
+// from level l to l+1 as the big-integer round(c * q_{l+1} / q_l) of its
+// centered value — the bit-exactness ground truth the RNS Rescaler path
+// is differentially tested against.
+func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error {
+	if ct.Level < 0 || ct.Level+1 >= len(b.levels) {
+		return fmt.Errorf("fhe: cannot switch below level %d of a %d-level chain", ct.Level, len(b.levels))
+	}
+	if dst.Level != ct.Level+1 {
+		return fmt.Errorf("fhe: ModSwitch destination at level %d, want %d", dst.Level, ct.Level+1)
+	}
+	from, to := b.levels[ct.Level], b.levels[ct.Level+1]
+	for i, pair := range [2][2]Poly{{ct.A, dst.A}, {ct.B, dst.B}} {
+		src, ok := pair[0].([]u128.U128)
+		if !ok || len(src) != b.p.N {
+			return fmt.Errorf("fhe: malformed ModSwitch operand %d on the %s backend", i, b.Name())
+		}
+		out, ok := pair[1].([]u128.U128)
+		if !ok || len(out) != b.p.N {
+			return fmt.Errorf("fhe: malformed ModSwitch destination %d on the %s backend", i, b.Name())
+		}
+		v := new(big.Int)
+		t := new(big.Int)
+		for j := range src {
+			liftOne(v, src[j], t)
+			if v.Cmp(from.halfQ) > 0 { // center mod q_l
+				v.Sub(v, from.qBig)
+			}
+			v.Mul(v, to.qBig)
+			v.Add(v, from.halfQ)
+			v.Div(v, from.qBig) // Euclidean floor: round-half-up of the quotient
+			v.Mod(v, to.qBig)
+			x, ok := u128.FromBig(v)
+			if !ok {
+				return fmt.Errorf("fhe: ModSwitch result out of range at coefficient %d", j)
+			}
+			out[j] = x
+		}
+	}
+	return nil
+}
+
+func liftOne(dst *big.Int, v u128.U128, t *big.Int) {
+	dst.SetUint64(v.Hi)
+	dst.Lsh(dst, 64)
+	dst.Or(dst, t.SetUint64(v.Lo))
 }

@@ -18,45 +18,70 @@ import (
 // every homomorphic operation; the CRT is only applied at decryption
 // rounding and noise diagnostics, where the full-width value is needed.
 //
-// Homomorphic multiplication is BEHZ-style and never leaves residue form:
-// operands are fast-base-extended (rns.BaseConverter) into a disjoint
-// extension base wide enough for the integer tensor product, the tensor
-// and the T/Q divide-and-round run tower-by-tower on the plan kernels, and
-// the result returns to base Q through the exact Shenoy-Kumaresan
-// conversion (rns.SKConverter) — the pipeline the README maps function by
-// function. All multiply state is pooled; steady-state MulCt allocates
-// nothing.
+// The modulus ladder is where the RNS philosophy pays off structurally: a
+// level is just a PREFIX of the tower basis (Q_l = q_0 * ... * q_{k-1-l}),
+// so ModSwitch is the PR 4 Rescaler (divide-and-round by the dropped
+// tower, residues only) and every operation below a switch runs on one
+// tower fewer — smaller transforms, smaller tensors, fewer relin digits.
+// The per-level contexts, converters, rescalers, and gadget tables are
+// all built once at construction and share the process-wide plan cache,
+// so a k-tower backend costs k plans total, not k^2.
+//
+// Homomorphic multiplication is BEHZ-style in the CURRENT level's basis
+// and never leaves residue form: operands are base-extended with the
+// m~-corrected conversion (rns.MontBaseConverter — overshoot-free, the
+// PR 4 kQ operand overshoot is gone), the tensor and the T/Q_l
+// divide-and-round run tower-by-tower on the plan kernels, and the result
+// returns to base Q_l through the exact Shenoy-Kumaresan conversion
+// (rns.SKConverter). Relinearization keys are stored per level in that
+// level's NTT domain, so the per-multiply key-side forward transforms are
+// gone. All multiply state is pooled per level; steady-state MulCt and
+// ModSwitch allocate nothing.
 type rnsBackend struct {
-	c *rns.Context
-	t uint64
+	t      uint64
+	k      int // towers at level 0
+	levels []*rnsLevel
+}
 
-	delta     *big.Int // floor(Q / T), the plaintext scaling factor
-	deltaResT []uint64 // deltaResT[i] = Delta mod q_i
+// mtilde is the auxiliary Montgomery modulus of the m~-corrected operand
+// extension: a power of two well above 2k for any supported basis.
+const mtilde = 1 << 16
+
+// rnsLevel is one rung of the RNS modulus ladder: the prefix context, its
+// plaintext scale, the BEHZ multiply machinery sized for its tower count,
+// and the rescaler that drops to the next rung.
+type rnsLevel struct {
+	c *rns.Context
+
+	delta     *big.Int // floor(Q_l / T), the plaintext scaling factor
+	deltaResT []uint64 // deltaResT[i] = Delta_l mod q_i
 	halfDelta *big.Int
 	halfQ     *big.Int
 	deltaBits int
 
-	// BEHZ multiply machinery. ext is the extension base: k+1 towers
+	// BEHZ multiply machinery. ext is the extension base: k_l+1 towers
 	// whose product P gives the tensor headroom, plus the redundant
 	// Shenoy-Kumaresan modulus m_sk as the last tower.
 	ext    *rns.Context
-	conv   *rns.BaseConverter // Q -> ext, approximate FastBConv
-	skConv *rns.SKConverter   // ext -> Q, exact
-	tResQ  []uint64           // T mod q_i
-	tResE  []uint64           // T mod e_j
-	hResQ  []uint64           // floor(Q/2) mod q_i, the divide-by-Q rounding offset
-	hResE  []uint64           // floor(Q/2) mod e_j
-	qInvE  []uint64           // Q^-1 mod e_j
-	gadget [][]uint64         // gadget[i][tau] = (Q/q_i) mod q_tau, the relin gadget
+	conv   *rns.BaseConverter     // Q_l -> ext, plain FastBConv for the divide-by-Q step
+	mconv  *rns.MontBaseConverter // Q_l -> ext, m~-corrected operand extension
+	skConv *rns.SKConverter       // ext -> Q_l, exact
+	tResQ  []uint64               // T mod q_i
+	tResE  []uint64               // T mod e_j
+	hResQ  []uint64               // floor(Q_l/2) mod q_i, the divide-by-Q rounding offset
+	hResE  []uint64               // floor(Q_l/2) mod e_j
+	qInvE  []uint64               // Q_l^-1 mod e_j
+	gadget [][]uint64             // gadget[i][tau] = (Q_l/q_i) mod q_tau, the relin gadget
 
+	rescale *rns.Rescaler // Q_l -> Q_{l+1} (nil at the bottom rung)
 	mulPool sync.Pool
 }
 
-// rnsMulScratch is the pooled working set of one MulCt call.
+// rnsMulScratch is the pooled working set of one MulCt call at one level.
 type rnsMulScratch struct {
 	opE              [4]rns.Poly // operands extended to the ext base
 	ev               [5][]uint64 // per-tower evaluation-domain rows
-	c0Q, c1Q, c2Q    rns.Poly    // tensor, then scaled ciphertext, in Q
+	c0Q, c1Q, c2Q    rns.Poly    // tensor, then scaled ciphertext, in Q_l
 	c0E, c1E, c2E    rns.Poly    // tensor in the ext base
 	convE            rns.Poly    // FastBConv([w]_Q) landing buffer
 	zrow, lift, prod []uint64    // relin digit, lifted digit, product rows
@@ -65,10 +90,10 @@ type rnsMulScratch struct {
 
 // NewRNSBackend wraps an RNS context and plaintext modulus t as a
 // Backend. t must be at least 2, below every basis prime (so plaintext
-// residues are reduced in every tower), small enough that Delta =
-// floor(Q/t) is nonzero, and — for the BEHZ multiply's headroom — small
-// enough that rescaled tensor coefficients stay below half the extension
-// base (validated exactly below).
+// residues are reduced in every tower), small enough that Delta_l =
+// floor(Q_l/t) is nonzero at every level, and — for the BEHZ multiply's
+// headroom — small enough that rescaled tensor coefficients stay below
+// half the extension base (validated exactly, per level, below).
 func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
 	if t < 2 {
 		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
@@ -86,44 +111,23 @@ func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
 		// with one conditional subtraction, which needs q_i < 2*q_tau.
 		return nil, fmt.Errorf("fhe: mixed-width RNS basis unsupported (primes %d and %d)", minQ, maxQ)
 	}
-	delta := new(big.Int).Div(c.Q, new(big.Int).SetUint64(t))
-	if delta.Sign() == 0 {
-		return nil, fmt.Errorf("fhe: plaintext modulus %d too large for Q", t)
-	}
-	b := &rnsBackend{
-		c:         c,
-		t:         t,
-		delta:     delta,
-		halfDelta: new(big.Int).Rsh(delta, 1),
-		halfQ:     new(big.Int).Rsh(c.Q, 1),
-		deltaBits: delta.BitLen(),
-	}
-	qb := new(big.Int)
-	for _, mod := range c.Mods {
-		b.deltaResT = append(b.deltaResT, qb.Mod(delta, new(big.Int).SetUint64(mod.Q)).Uint64())
-	}
-	if err := b.buildMulMachinery(); err != nil {
-		return nil, err
-	}
-	return b, nil
-}
-
-// buildMulMachinery constructs the extension base, converters, and
-// precomputed residues the BEHZ multiply needs.
-func (b *rnsBackend) buildMulMachinery() error {
-	c := b.c
 	k := c.Channels()
+	b := &rnsBackend{t: t, k: k}
+
+	// The extension primes are shared by every level: the top-down search
+	// returns Q's own primes first, so overshoot and filter against the
+	// FULL basis (a level's extension may then never collide with any
+	// rung's towers).
 	primeBits := bits.Len64(c.Mods[0].Q)
-	// The extension needs k+2 primes (P's k+1 plus m_sk) disjoint from
-	// Q's; the deterministic top-down search returns Q's own primes
-	// first, so overshoot and filter.
 	found, err := modmath.FindNTTPrimes64(primeBits, uint64(2*c.N), 2*k+2)
 	if err != nil {
-		return fmt.Errorf("fhe: extension base: %w", err)
+		return nil, fmt.Errorf("fhe: extension base: %w", err)
 	}
 	inQ := make(map[uint64]bool, k)
-	for _, mod := range c.Mods {
+	basePrimes := make([]uint64, k)
+	for i, mod := range c.Mods {
 		inQ[mod.Q] = true
+		basePrimes[i] = mod.Q
 	}
 	var extPrimes []uint64
 	for _, p := range found {
@@ -132,63 +136,118 @@ func (b *rnsBackend) buildMulMachinery() error {
 		}
 	}
 	if len(extPrimes) < k+2 {
-		return fmt.Errorf("fhe: only %d extension primes available, need %d", len(extPrimes), k+2)
+		return nil, fmt.Errorf("fhe: only %d extension primes available, need %d", len(extPrimes), k+2)
+	}
+
+	// Build the ladder top-down: level l is the prefix basis with k-l
+	// towers. Contexts share the process-wide plan cache, so the chain
+	// costs no extra transform plans.
+	for l := 0; l < k; l++ {
+		kl := k - l
+		var cl *rns.Context
+		if l == 0 {
+			cl = c
+		} else {
+			cl, err = rns.NewContextForPrimes(basePrimes[:kl], c.N)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lv, err := b.buildLevel(cl, extPrimes[:kl+2])
+		if err != nil {
+			return nil, fmt.Errorf("fhe: level %d: %w", l, err)
+		}
+		b.levels = append(b.levels, lv)
+	}
+	for l := 0; l+1 < k; l++ {
+		r, err := rns.NewRescaler(b.levels[l].c, b.levels[l+1].c)
+		if err != nil {
+			return nil, fmt.Errorf("fhe: rescaler %d -> %d: %w", l, l+1, err)
+		}
+		b.levels[l].rescale = r
+	}
+	return b, nil
+}
+
+// buildLevel constructs one rung: plaintext scale constants plus the
+// BEHZ multiply machinery (extension base, converters, precomputed
+// residues, gadget) sized for the rung's tower count, with the exact
+// headroom validation in code rather than folklore.
+func (b *rnsBackend) buildLevel(c *rns.Context, extPrimes []uint64) (*rnsLevel, error) {
+	k := c.Channels()
+	delta := new(big.Int).Div(c.Q, new(big.Int).SetUint64(b.t))
+	if delta.Sign() == 0 {
+		return nil, fmt.Errorf("fhe: plaintext modulus %d too large for Q", b.t)
+	}
+	lv := &rnsLevel{
+		c:         c,
+		delta:     delta,
+		halfDelta: new(big.Int).Rsh(delta, 1),
+		halfQ:     new(big.Int).Rsh(c.Q, 1),
+		deltaBits: delta.BitLen(),
+	}
+	qb := new(big.Int)
+	for _, mod := range c.Mods {
+		lv.deltaResT = append(lv.deltaResT, qb.Mod(delta, new(big.Int).SetUint64(mod.Q)).Uint64())
 	}
 	ext, err := rns.NewContextForPrimes(extPrimes, c.N)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	conv, err := rns.NewBaseConverter(c, ext)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	mconv, err := rns.NewMontBaseConverter(c, ext, mtilde)
+	if err != nil {
+		return nil, err
 	}
 	skConv, err := rns.NewSKConverter(ext, c)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	b.ext, b.conv, b.skConv = ext, conv, skConv
+	lv.ext, lv.conv, lv.mconv, lv.skConv = ext, conv, mconv, skConv
 
-	// Exact headroom validation, in code rather than folklore. With
-	// operands fast-base-extended to values below k*Q, tensor
-	// coefficients |v| <= 2n(kQ)^2 and the rescaled |y| <= T*2nk^2*Q +
-	// (k+2); the tensor must fit the full base (|w| < Q*E/2) and y must
-	// fit the Shenoy-Kumaresan window (|y| < P/2, P = E/m_sk).
+	// Exact headroom validation. The m~-corrected extension bounds every
+	// operand by |y| < Q (gamma in {-1, 0} — no k*Q overshoot), so tensor
+	// coefficients |v| <= 2n*Q^2 and the rescaled |y| <= T*2n*Q + (k+2);
+	// the tensor must fit the full base (|w| < Q*E/2) and y must fit the
+	// Shenoy-Kumaresan window (|y| < P/2, P = E/m_sk).
 	n := new(big.Int).SetInt64(int64(c.N))
-	kk := new(big.Int).SetInt64(int64(k))
-	vMax := new(big.Int).Mul(kk, c.Q)
-	vMax.Mul(vMax, vMax).Mul(vMax, n).Lsh(vMax, 1) // 2n(kQ)^2
+	vMax := new(big.Int).Mul(c.Q, c.Q)
+	vMax.Mul(vMax, n).Lsh(vMax, 1) // 2n*Q^2
 	wMax := new(big.Int).Mul(vMax, new(big.Int).SetUint64(b.t))
-	wMax.Add(wMax, b.halfQ)
+	wMax.Add(wMax, lv.halfQ)
 	full := new(big.Int).Mul(c.Q, ext.Q)
 	if wMax.Cmp(new(big.Int).Rsh(full, 1)) >= 0 {
-		return fmt.Errorf("fhe: tensor product overflows base Q*E for T=%d", b.t)
+		return nil, fmt.Errorf("fhe: tensor product overflows base Q*E for T=%d", b.t)
 	}
 	yMax := new(big.Int).Div(wMax, c.Q)
 	yMax.Add(yMax, new(big.Int).SetInt64(int64(k+2)))
 	p := new(big.Int).Div(ext.Q, new(big.Int).SetUint64(ext.Mods[k+1].Q))
 	if yMax.Cmp(new(big.Int).Rsh(p, 1)) >= 0 {
-		return fmt.Errorf("fhe: rescaled product overflows extension base P for T=%d", b.t)
+		return nil, fmt.Errorf("fhe: rescaled product overflows extension base P for T=%d", b.t)
 	}
 
 	t := new(big.Int)
 	for i, mod := range c.Mods {
 		qb := new(big.Int).SetUint64(mod.Q)
-		b.tResQ = append(b.tResQ, b.t%mod.Q)
-		b.hResQ = append(b.hResQ, t.Mod(b.halfQ, qb).Uint64())
+		lv.tResQ = append(lv.tResQ, b.t%mod.Q)
+		lv.hResQ = append(lv.hResQ, t.Mod(lv.halfQ, qb).Uint64())
 		row := make([]uint64, k)
 		qi := c.QiBig(i)
 		for tau, modT := range c.Mods {
 			row[tau] = t.Mod(qi, new(big.Int).SetUint64(modT.Q)).Uint64()
 		}
-		b.gadget = append(b.gadget, row)
+		lv.gadget = append(lv.gadget, row)
 	}
 	for _, mod := range ext.Mods {
 		qb := new(big.Int).SetUint64(mod.Q)
-		b.tResE = append(b.tResE, b.t%mod.Q)
-		b.hResE = append(b.hResE, t.Mod(b.halfQ, qb).Uint64())
-		b.qInvE = append(b.qInvE, mod.Inv(t.Mod(c.Q, qb).Uint64()))
+		lv.tResE = append(lv.tResE, b.t%mod.Q)
+		lv.hResE = append(lv.hResE, t.Mod(lv.halfQ, qb).Uint64())
+		lv.qInvE = append(lv.qInvE, mod.Inv(t.Mod(c.Q, qb).Uint64()))
 	}
-	b.mulPool.New = func() any {
+	lv.mulPool.New = func() any {
 		sc := &rnsMulScratch{
 			c0Q: c.NewPoly(), c1Q: c.NewPoly(), c2Q: c.NewPoly(),
 			c0E: ext.NewPoly(), c1E: ext.NewPoly(), c2E: ext.NewPoly(),
@@ -204,58 +263,110 @@ func (b *rnsBackend) buildMulMachinery() error {
 		}
 		return sc
 	}
-	return nil
+	return lv, nil
 }
 
 func (b *rnsBackend) Name() string {
-	return fmt.Sprintf("rns-k%d", b.c.Channels())
+	return fmt.Sprintf("rns-k%d", b.k)
 }
 
-func (b *rnsBackend) N() int               { return b.c.N }
-func (b *rnsBackend) PlainModulus() uint64 { return b.t }
-func (b *rnsBackend) NewPoly() Poly        { return b.c.NewPoly() }
+func (b *rnsBackend) N() int                   { return b.levels[0].c.N }
+func (b *rnsBackend) PlainModulus() uint64     { return b.t }
+func (b *rnsBackend) Levels() int              { return len(b.levels) }
+func (b *rnsBackend) NewPoly() Poly            { return b.levels[0].c.NewPoly() }
+func (b *rnsBackend) NewPolyAt(level int) Poly { return b.levels[level].c.NewPoly() }
 
 func (b *rnsBackend) Copy(a Poly) Poly {
-	out := b.c.NewPoly()
-	for i, row := range a.(rns.Poly).Res {
+	src := a.(rns.Poly)
+	out := rns.Poly{Res: ring.AllocBatch[uint64](b.levels[0].c.N, len(src.Res))}
+	for i, row := range src.Res {
 		copy(out.Res[i], row)
 	}
 	return out
 }
 
-// must panics on shape errors: backend handles are always
-// context-shaped, so an error here is a mixed-backend bug.
+// checkPolyAt validates one handle: backend type, the level's tower
+// shape, and residues reduced below each tower prime.
+func (b *rnsBackend) checkPolyAt(level int, a Poly) error {
+	x, ok := a.(rns.Poly)
+	if !ok {
+		return fmt.Errorf("fhe: foreign polynomial handle %T on the %s backend", a, b.Name())
+	}
+	c := b.levels[level].c
+	if len(x.Res) != c.Channels() {
+		return fmt.Errorf("fhe: got %d towers, want %d at level %d", len(x.Res), c.Channels(), level)
+	}
+	for i, row := range x.Res {
+		if len(row) != c.N {
+			return fmt.Errorf("fhe: tower %d has %d coefficients, want %d", i, len(row), c.N)
+		}
+		q := c.Mods[i].Q
+		for j, v := range row {
+			if v >= q {
+				return fmt.Errorf("fhe: tower %d coefficient %d not reduced mod %d", i, j, q)
+			}
+		}
+	}
+	return nil
+}
+
+func (b *rnsBackend) CheckPoly(level int, a Poly) error {
+	if level < 0 || level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", level, len(b.levels))
+	}
+	return b.checkPolyAt(level, a)
+}
+
+func (b *rnsBackend) CheckCiphertext(ct BackendCiphertext) error {
+	if ct.Level < 0 || ct.Level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if ct.A == nil || ct.B == nil {
+		return fmt.Errorf("fhe: malformed ciphertext (nil component)")
+	}
+	if err := b.checkPolyAt(ct.Level, ct.A); err != nil {
+		return err
+	}
+	return b.checkPolyAt(ct.Level, ct.B)
+}
+
+// must panics on shape errors: backend handles reaching these internal
+// paths have passed the scheme layer's provenance validation, so an error
+// here is a backend-private invariant violation, not user input.
 func must(err error) {
 	if err != nil {
 		panic(err)
 	}
 }
 
-func (b *rnsBackend) Add(dst, a, c Poly) {
-	must(b.c.AddInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
+func (b *rnsBackend) Add(level int, dst, a, c Poly) {
+	must(b.levels[level].c.AddInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
 }
 
-func (b *rnsBackend) Sub(dst, a, c Poly) {
-	must(b.c.SubInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
+func (b *rnsBackend) Sub(level int, dst, a, c Poly) {
+	must(b.levels[level].c.SubInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
 }
 
-func (b *rnsBackend) Neg(dst, a Poly) {
-	must(b.c.NegInto(dst.(rns.Poly), a.(rns.Poly)))
+func (b *rnsBackend) Neg(level int, dst, a Poly) {
+	must(b.levels[level].c.NegInto(dst.(rns.Poly), a.(rns.Poly)))
 }
 
-func (b *rnsBackend) MulNegacyclic(dst, a, c Poly) {
-	must(b.c.MulAll(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly), 0))
+func (b *rnsBackend) MulNegacyclic(level int, dst, a, c Poly) {
+	must(b.levels[level].c.MulAll(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly), 0))
 }
 
-func (b *rnsBackend) ScalarMul(dst, a Poly, k uint64) {
-	must(b.c.ScalarMulUint64Into(dst.(rns.Poly), a.(rns.Poly), k))
+func (b *rnsBackend) ScalarMul(level int, dst, a Poly, k uint64) {
+	must(b.levels[level].c.ScalarMulUint64Into(dst.(rns.Poly), a.(rns.Poly), k))
 }
 
 // SampleUniform draws independent uniform residues per tower, which by
 // the CRT is exactly a uniform element of Z_Q.
 func (b *rnsBackend) SampleUniform(dst Poly, rng *rand.Rand) {
-	d := dst.(rns.Poly)
-	for i, mod := range b.c.Mods {
+	sampleUniformCtx(b.levels[0].c, dst.(rns.Poly), rng)
+}
+
+func sampleUniformCtx(c *rns.Context, d rns.Poly, rng *rand.Rand) {
+	for i, mod := range c.Mods {
 		row := d.Res[i]
 		for j := range row {
 			row[j] = rng.Uint64() % mod.Q
@@ -264,55 +375,56 @@ func (b *rnsBackend) SampleUniform(dst Poly, rng *rand.Rand) {
 }
 
 func (b *rnsBackend) SetSigned(dst Poly, coeffs []int64) {
-	d := dst.(rns.Poly)
-	for i, mod := range b.c.Mods {
-		row := d.Res[i]
-		for j, e := range coeffs {
-			if e >= 0 {
-				row[j] = uint64(e) % mod.Q
-			} else {
-				row[j] = mod.Neg(uint64(-e) % mod.Q)
-			}
-		}
-	}
+	b.setSignedCtx(b.levels[0].c, dst.(rns.Poly), coeffs)
 }
 
-// AddDeltaMsg folds Delta-scaled plaintext into a ciphertext component,
+// SecretAt restricts a level-0 small signed polynomial to a lower rung.
+// Because a level is a tower PREFIX, the restriction is just the first
+// k-l rows — no re-encoding, no copy.
+func (b *rnsBackend) SecretAt(level int, s Poly) Poly {
+	src := s.(rns.Poly)
+	return rns.Poly{Res: src.Res[:b.levels[level].c.Channels()]}
+}
+
+// AddDeltaMsg folds Delta_l-scaled plaintext into a ciphertext component,
 // each tower on its plan's scale-accumulate kernel.
-func (b *rnsBackend) AddDeltaMsg(dst, a Poly, msg []uint64) {
+func (b *rnsBackend) AddDeltaMsg(level int, dst, a Poly, msg []uint64) {
+	lv := b.levels[level]
 	d, x := dst.(rns.Poly), a.(rns.Poly)
-	for i := range b.c.Mods {
-		b.c.Plans[i].Generic().ScaleAddInto(d.Res[i], x.Res[i], msg, b.deltaResT[i])
+	for i := range lv.c.Mods {
+		lv.c.Plans[i].Generic().ScaleAddInto(d.Res[i], x.Res[i], msg, lv.deltaResT[i])
 	}
 }
 
-func (b *rnsBackend) RoundToPlain(a Poly) []uint64 {
-	coeffs := make([]*big.Int, b.c.N)
-	must(b.c.ReconstructInto(coeffs, a.(rns.Poly)))
-	out := make([]uint64, b.c.N)
+func (b *rnsBackend) RoundToPlain(level int, a Poly) []uint64 {
+	lv := b.levels[level]
+	coeffs := make([]*big.Int, lv.c.N)
+	must(lv.c.ReconstructInto(coeffs, a.(rns.Poly)))
+	out := make([]uint64, lv.c.N)
 	for i, x := range coeffs {
-		// Round to the nearest multiple of Delta.
-		x.Add(x, b.halfDelta).Div(x, b.delta)
+		// Round to the nearest multiple of Delta_l.
+		x.Add(x, lv.halfDelta).Div(x, lv.delta)
 		out[i] = x.Uint64() % b.t
 	}
 	return out
 }
 
-func (b *rnsBackend) DeltaBits() int { return b.deltaBits }
+func (b *rnsBackend) DeltaBits(level int) int { return b.levels[level].deltaBits }
 
-func (b *rnsBackend) NoiseBits(a Poly, msg []uint64) int {
-	coeffs := make([]*big.Int, b.c.N)
-	must(b.c.ReconstructInto(coeffs, a.(rns.Poly)))
+func (b *rnsBackend) NoiseBits(level int, a Poly, msg []uint64) int {
+	lv := b.levels[level]
+	coeffs := make([]*big.Int, lv.c.N)
+	must(lv.c.ReconstructInto(coeffs, a.(rns.Poly)))
 	noise := new(big.Int)
 	maxBits := 0
 	for i, x := range coeffs {
 		noise.SetUint64(msg[i] % b.t)
-		noise.Mul(noise, b.delta)
+		noise.Mul(noise, lv.delta)
 		noise.Sub(x, noise)
-		noise.Mod(noise, b.c.Q)
+		noise.Mod(noise, lv.c.Q)
 		// Centered magnitude.
-		if noise.Cmp(b.halfQ) > 0 {
-			noise.Sub(b.c.Q, noise)
+		if noise.Cmp(lv.halfQ) > 0 {
+			noise.Sub(lv.c.Q, noise)
 		}
 		if bl := noise.BitLen(); bl > maxBits {
 			maxBits = bl
@@ -321,53 +433,98 @@ func (b *rnsBackend) NoiseBits(a Poly, msg []uint64) int {
 	return maxBits
 }
 
-// rnsRelinKey holds the RNS-gadget relinearization key: for each tower i,
-// an encryption (a_i, a_i*s + e_i + (Q/q_i)*s^2), both components stored
-// per tower in the twisted-evaluation domain so relinearization pays one
-// forward transform per digit-tower pair and two inverse transforms per
-// tower.
+// rnsRelinKey holds the RNS-gadget relinearization key, one set per
+// ladder level: for each tower i of level l, an encryption
+// (a_i, a_i*s + e_i + (Q_l/q_i)*s^2) under that level's basis. With
+// nttDomain set (the default and the fast path), both components are
+// stored per tower in the twisted-evaluation domain, so relinearization
+// pays one forward transform per digit-tower pair and two inverse
+// transforms per tower — the key-side transforms are all at keygen.
+// Coefficient-domain keys (RelinKeyGenCoeffDomain) pay two extra forward
+// transforms per digit-tower pair on EVERY multiply; they exist as the
+// benchmark comparison axis that measures what the NTT-domain layout
+// saves.
 type rnsRelinKey struct {
-	ahat, bhat []rns.Poly
+	nttDomain bool
+	levels    []rnsLevelRelin
 }
 
-// RelinKeyGen builds the CRT-gadget relinearization key. The gadget
-// digits are the towers themselves (z_i = [c2_i * (Q/q_i)^-1]_{q_i}, with
-// sum_i z_i*(Q/q_i) = c2 mod Q), so no integer digit extraction is ever
-// needed — the decomposition the paper's RNS philosophy already paid for
-// is the key-switching gadget.
+type rnsLevelRelin struct {
+	a, b []rns.Poly
+}
+
+// RelinKeyGen builds the CRT-gadget relinearization key at every ladder
+// level, stored in the NTT domain. The gadget digits are the towers
+// themselves (z_i = [c2_i * (Q_l/q_i)^-1]_{q_i}, with
+// sum_i z_i*(Q_l/q_i) = c2 mod Q_l), so no integer digit extraction is
+// ever needed — the decomposition the paper's RNS philosophy already paid
+// for is the key-switching gadget, at every level.
 func (b *rnsBackend) RelinKeyGen(s Poly, rng *rand.Rand) BackendRelinKey {
-	c := b.c
-	k := c.Channels()
-	sk := s.(rns.Poly)
-	s2 := c.NewPoly()
-	must(c.MulAll(s2, sk, sk, 1))
-	noise := make([]int64, c.N)
-	e := c.NewPoly()
-	key := &rnsRelinKey{}
-	for i := 0; i < k; i++ {
-		a := c.NewPoly()
-		b.SampleUniform(a, rng)
-		for j := range noise {
-			noise[j] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+	return b.relinKeyGen(s, rng, true)
+}
+
+// RelinKeyGenCoeffDomain builds the same per-level key with both
+// components left in the coefficient domain — the PR 4-style layout whose
+// per-multiply transform cost the NTT-domain default eliminates. It
+// exists for benchmarks and tests; production callers want RelinKeyGen.
+func (b *rnsBackend) RelinKeyGenCoeffDomain(s Poly, rng *rand.Rand) BackendRelinKey {
+	return b.relinKeyGen(s, rng, false)
+}
+
+func (b *rnsBackend) relinKeyGen(s Poly, rng *rand.Rand, nttDomain bool) BackendRelinKey {
+	sk0 := s.(rns.Poly)
+	// s^2 per tower is level-independent (each tower's negacyclic square
+	// stands alone), so compute it once at level 0 and slice prefixes.
+	s2 := b.levels[0].c.NewPoly()
+	must(b.levels[0].c.MulAll(s2, sk0, sk0, 1))
+	noise := make([]int64, b.N())
+	key := &rnsRelinKey{nttDomain: nttDomain}
+	for l, lv := range b.levels {
+		c := lv.c
+		k := c.Channels()
+		sk := b.SecretAt(l, s).(rns.Poly)
+		e := c.NewPoly()
+		lk := rnsLevelRelin{}
+		for i := 0; i < k; i++ {
+			a := c.NewPoly()
+			sampleUniformCtx(c, a, rng)
+			for j := range noise {
+				noise[j] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+			}
+			b.setSignedCtx(c, e, noise)
+			bb := c.NewPoly()
+			must(c.MulAll(bb, a, sk, 1)) // a_i * s
+			must(c.AddInto(bb, bb, e))   // + e_i
+			for tau := 0; tau < k; tau++ {
+				// + (Q_l/q_i mod q_tau) * s^2, on the scale-accumulate kernel.
+				c.Plans[tau].Generic().ScaleAddInto(bb.Res[tau], bb.Res[tau], s2.Res[tau], lv.gadget[i][tau])
+			}
+			if nttDomain {
+				for tau := 0; tau < k; tau++ {
+					plan := c.Plans[tau].Generic()
+					plan.NegacyclicForwardInto(a.Res[tau], a.Res[tau])
+					plan.NegacyclicForwardInto(bb.Res[tau], bb.Res[tau])
+				}
+			}
+			lk.a = append(lk.a, a)
+			lk.b = append(lk.b, bb)
 		}
-		b.SetSigned(e, noise)
-		bb := c.NewPoly()
-		must(c.MulAll(bb, a, sk, 1)) // a_i * s
-		must(c.AddInto(bb, bb, e))   // + e_i
-		for tau := 0; tau < k; tau++ {
-			// + (Q/q_i mod q_tau) * s^2, on the scale-accumulate kernel.
-			c.Plans[tau].Generic().ScaleAddInto(bb.Res[tau], bb.Res[tau], s2.Res[tau], b.gadget[i][tau])
-		}
-		ahat, bhat := c.NewPoly(), c.NewPoly()
-		for tau := 0; tau < k; tau++ {
-			plan := c.Plans[tau].Generic()
-			plan.NegacyclicForwardInto(ahat.Res[tau], a.Res[tau])
-			plan.NegacyclicForwardInto(bhat.Res[tau], bb.Res[tau])
-		}
-		key.ahat = append(key.ahat, ahat)
-		key.bhat = append(key.bhat, bhat)
+		key.levels = append(key.levels, lk)
 	}
 	return key
+}
+
+func (b *rnsBackend) setSignedCtx(c *rns.Context, dst rns.Poly, coeffs []int64) {
+	for i, mod := range c.Mods {
+		row := dst.Res[i]
+		for j, e := range coeffs {
+			if e >= 0 {
+				row[j] = uint64(e) % mod.Q
+			} else {
+				row[j] = mod.Neg(uint64(-e) % mod.Q)
+			}
+		}
+	}
 }
 
 // tensorTower computes one tower's share of the ciphertext tensor
@@ -394,31 +551,31 @@ func tensorTower(plan *ring.Plan[uint64, ring.Shoup64], mod *modmath.Modulus64,
 }
 
 // scaleRound turns one tensor component held in (cQ, cE) into the scaled
-// ciphertext component round(T*v/Q) mod Q, written back into cQ:
-// w = T*v + floor(Q/2) in both bases, FastBConv of w's Q-remainder into
-// the extension base, y = (w - [w]_Q)/Q there, and the exact
-// Shenoy-Kumaresan conversion back to Q. The FastBConv overshoot divides
-// down to an additive error below k+1 — noise, not wrongness.
-func (b *rnsBackend) scaleRound(sc *rnsMulScratch, cQ, cE rns.Poly) {
-	for i, mod := range b.c.Mods {
-		plan := b.c.Plans[i].Generic()
-		plan.ScalarMulInto(cQ.Res[i], cQ.Res[i], b.tResQ[i])
-		addConstRow(cQ.Res[i], mod, b.hResQ[i])
+// ciphertext component round(T*v/Q_l) mod Q_l, written back into cQ:
+// w = T*v + floor(Q_l/2) in both bases, FastBConv of w's Q-remainder into
+// the extension base, y = (w - [w]_Q)/Q_l there, and the exact
+// Shenoy-Kumaresan conversion back to Q_l. The FastBConv overshoot
+// divides down to an additive error below k+1 — noise, not wrongness.
+func (lv *rnsLevel) scaleRound(sc *rnsMulScratch, cQ, cE rns.Poly) {
+	for i, mod := range lv.c.Mods {
+		plan := lv.c.Plans[i].Generic()
+		plan.ScalarMulInto(cQ.Res[i], cQ.Res[i], lv.tResQ[i])
+		addConstRow(cQ.Res[i], mod, lv.hResQ[i])
 	}
-	for j, mod := range b.ext.Mods {
-		plan := b.ext.Plans[j].Generic()
-		plan.ScalarMulInto(cE.Res[j], cE.Res[j], b.tResE[j])
-		addConstRow(cE.Res[j], mod, b.hResE[j])
+	for j, mod := range lv.ext.Mods {
+		plan := lv.ext.Plans[j].Generic()
+		plan.ScalarMulInto(cE.Res[j], cE.Res[j], lv.tResE[j])
+		addConstRow(cE.Res[j], mod, lv.hResE[j])
 	}
-	must(b.conv.ConvertInto(sc.convE, cQ))
-	for j, mod := range b.ext.Mods {
+	must(lv.conv.ConvertInto(sc.convE, cQ))
+	for j, mod := range lv.ext.Mods {
 		we, ce := cE.Res[j], sc.convE.Res[j]
 		for idx := range we {
 			we[idx] = mod.Sub(we[idx], ce[idx])
 		}
-		b.ext.Plans[j].Generic().ScalarMulInto(we, we, b.qInvE[j])
+		lv.ext.Plans[j].Generic().ScalarMulInto(we, we, lv.qInvE[j])
 	}
-	must(b.skConv.ConvertInto(cQ, cE))
+	must(lv.skConv.ConvertInto(cQ, cE))
 }
 
 func addConstRow(row []uint64, mod *modmath.Modulus64, v uint64) {
@@ -427,22 +584,70 @@ func addConstRow(row []uint64, mod *modmath.Modulus64, v uint64) {
 	}
 }
 
-// MulCt is the BEHZ homomorphic multiply: base-extend, tensor,
-// divide-and-round by Q/T, exact return to base Q, and CRT-gadget
-// relinearization — residues end to end, no big integers anywhere, zero
-// allocations in steady state. dst must not alias the inputs.
-func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) {
-	key := rlk.(*rnsRelinKey)
-	c, ext := b.c, b.ext
+// MulCt is the BEHZ homomorphic multiply in the operands' level basis:
+// m~-corrected base extension (no operand overshoot), tensor,
+// divide-and-round by Q_l/T, exact return to base Q_l, and CRT-gadget
+// relinearization with the level's NTT-domain keys — residues end to end,
+// no big integers anywhere, zero allocations in steady state. dst must
+// not alias the inputs.
+func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
+	key, ok := rlk.(*rnsRelinKey)
+	if !ok {
+		return fmt.Errorf("fhe: foreign relinearization key %T on the %s backend", rlk, b.Name())
+	}
+	if ct1.Level != ct2.Level || dst.Level != ct1.Level {
+		return fmt.Errorf("fhe: MulCt level mismatch: %d, %d -> %d", ct1.Level, ct2.Level, dst.Level)
+	}
+	if ct1.Level < 0 || ct1.Level >= len(b.levels) {
+		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct1.Level, len(b.levels))
+	}
+	lv := b.levels[ct1.Level]
+	c, ext := lv.c, lv.ext
 	k, m := c.Channels(), ext.Channels()
-	sc := b.mulPool.Get().(*rnsMulScratch)
+	// A key of the right TYPE can still come from a different backend
+	// instance (other tower count, other N): validate its chain depth and
+	// per-level shape before the digit loop indexes into it.
+	if ct1.Level >= len(key.levels) {
+		return fmt.Errorf("fhe: relin key covers %d levels, ciphertext at level %d", len(key.levels), ct1.Level)
+	}
+	lkey := key.levels[ct1.Level]
+	if len(lkey.a) != k || len(lkey.b) != k {
+		return fmt.Errorf("fhe: relin key has %d digits at level %d, want %d", len(lkey.a), ct1.Level, k)
+	}
+	for i := 0; i < k; i++ {
+		if len(lkey.a[i].Res) != k || len(lkey.b[i].Res) != k ||
+			len(lkey.a[i].Res[0]) != c.N || len(lkey.b[i].Res[0]) != c.N {
+			return fmt.Errorf("fhe: relin key digit %d shaped for another backend", i)
+		}
+	}
+	a1, ok1 := ct1.A.(rns.Poly)
+	b1, ok2 := ct1.B.(rns.Poly)
+	a2, ok3 := ct2.A.(rns.Poly)
+	b2, ok4 := ct2.B.(rns.Poly)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("fhe: foreign ciphertext handle on the %s backend", b.Name())
+	}
+	dstA, okA := dst.A.(rns.Poly)
+	dstB, okB := dst.B.(rns.Poly)
+	if !okA || !okB {
+		return fmt.Errorf("fhe: foreign destination handle on the %s backend", b.Name())
+	}
+	if len(dstA.Res) != k || len(dstB.Res) != k ||
+		len(dstA.Res[0]) != c.N || len(dstB.Res[0]) != c.N {
+		return fmt.Errorf("fhe: MulCt destination not shaped for level %d", ct1.Level)
+	}
+	sc := lv.mulPool.Get().(*rnsMulScratch)
+	defer lv.mulPool.Put(sc)
 
-	// 1. Fast-base-extend the four operand polynomials into the
-	// extension base (values grow to at most k*Q; the headroom
-	// validation in buildMulMachinery accounts for it).
-	ops := [4]rns.Poly{ct1.A.(rns.Poly), ct1.B.(rns.Poly), ct2.A.(rns.Poly), ct2.B.(rns.Poly)}
+	// 1. Base-extend the four operand polynomials into the extension
+	// base with the m~ correction: extended values are x + gamma*Q with
+	// gamma in {-1, 0}, so the tensor headroom validated at construction
+	// carries no k*Q operand overshoot.
+	ops := [4]rns.Poly{a1, b1, a2, b2}
 	for i := range ops {
-		must(b.conv.ConvertInto(sc.opE[i], ops[i]))
+		if err := lv.mconv.ConvertInto(sc.opE[i], ops[i]); err != nil {
+			return err
+		}
 	}
 
 	// 2. Tensor product, tower by tower across both bases.
@@ -457,15 +662,18 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 			&sc.ev, sc.c0E.Res[tau], sc.c1E.Res[tau], sc.c2E.Res[tau])
 	}
 
-	// 3. Divide-and-round each component by Q/T; results land in the
+	// 3. Divide-and-round each component by Q_l/T; results land in the
 	// c*Q polys as the degree-2 scaled ciphertext.
-	b.scaleRound(sc, sc.c0Q, sc.c0E)
-	b.scaleRound(sc, sc.c1Q, sc.c1E)
-	b.scaleRound(sc, sc.c2Q, sc.c2E)
+	lv.scaleRound(sc, sc.c0Q, sc.c0E)
+	lv.scaleRound(sc, sc.c1Q, sc.c1E)
+	lv.scaleRound(sc, sc.c2Q, sc.c2E)
 
 	// 4. Relinearize: the towers of c2 are the gadget digits. Everything
 	// accumulates in the evaluation domain; one inverse per tower at the
-	// end.
+	// end. With NTT-domain keys (the default) the key rows are already
+	// transformed; coefficient-domain keys pay two forward transforms per
+	// digit-tower pair right here — the cost the per-level NTT layout
+	// removes.
 	for tau := 0; tau < k; tau++ {
 		clearRow(sc.accA.Res[tau])
 		clearRow(sc.accB.Res[tau])
@@ -485,13 +693,18 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 			}
 			plan := c.Plans[tau].Generic()
 			plan.NegacyclicForwardInto(sc.lift, sc.lift)
-			plan.PointwiseMulInto(sc.prod, sc.lift, key.ahat[i].Res[tau])
+			krowA, krowB := lkey.a[i].Res[tau], lkey.b[i].Res[tau]
+			if !key.nttDomain {
+				plan.NegacyclicForwardInto(sc.ev[0], krowA)
+				plan.NegacyclicForwardInto(sc.ev[1], krowB)
+				krowA, krowB = sc.ev[0], sc.ev[1]
+			}
+			plan.PointwiseMulInto(sc.prod, sc.lift, krowA)
 			addRow(sc.accA.Res[tau], sc.prod, mod)
-			plan.PointwiseMulInto(sc.prod, sc.lift, key.bhat[i].Res[tau])
+			plan.PointwiseMulInto(sc.prod, sc.lift, krowB)
 			addRow(sc.accB.Res[tau], sc.prod, mod)
 		}
 	}
-	dstA, dstB := dst.A.(rns.Poly), dst.B.(rns.Poly)
 	for tau := 0; tau < k; tau++ {
 		plan := c.Plans[tau].Generic()
 		mod := c.Mods[tau]
@@ -500,7 +713,34 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 		plan.NegacyclicInverseInto(dstB.Res[tau], sc.accB.Res[tau])
 		addRow(dstB.Res[tau], sc.c0Q.Res[tau], mod)
 	}
-	b.mulPool.Put(sc)
+	return nil
+}
+
+// ModSwitch drops one tower: dst = round(ct / q_{k-1-l}) via the PR 4
+// Rescaler, residues only, allocation-free in steady state — the RNS
+// half of the ladder the oracle's big-integer switch ground-truths.
+func (b *rnsBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error {
+	if ct.Level < 0 || ct.Level+1 >= len(b.levels) {
+		return fmt.Errorf("fhe: cannot switch below level %d of a %d-level chain", ct.Level, len(b.levels))
+	}
+	if dst.Level != ct.Level+1 {
+		return fmt.Errorf("fhe: ModSwitch destination at level %d, want %d", dst.Level, ct.Level+1)
+	}
+	srcA, ok1 := ct.A.(rns.Poly)
+	srcB, ok2 := ct.B.(rns.Poly)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("fhe: foreign ciphertext handle on the %s backend", b.Name())
+	}
+	dstA, ok3 := dst.A.(rns.Poly)
+	dstB, ok4 := dst.B.(rns.Poly)
+	if !ok3 || !ok4 {
+		return fmt.Errorf("fhe: foreign destination handle on the %s backend", b.Name())
+	}
+	r := b.levels[ct.Level].rescale
+	if err := r.RescaleInto(dstA, srcA); err != nil {
+		return err
+	}
+	return r.RescaleInto(dstB, srcB)
 }
 
 func clearRow(row []uint64) {

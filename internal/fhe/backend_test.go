@@ -11,6 +11,15 @@ import (
 // must run end to end on both of the paper's hardware philosophies — the
 // 128-bit double-word ring and a basis of 64-bit RNS towers.
 
+// mustCT unwraps an error-returning scheme entry point in tests where the
+// inputs are well-formed by construction.
+func mustCT(ct BackendCiphertext, err error) BackendCiphertext {
+	if err != nil {
+		panic(err)
+	}
+	return ct
+}
+
 func testBackends(t *testing.T, n int) []Backend {
 	t.Helper()
 	p, err := NewParams(modmath.DefaultModulus128(), n, 257)
@@ -77,20 +86,20 @@ func TestBackendSchemeHomomorphicOpsBothBackends(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			sum, err := s.Decrypt(sk, s.AddCiphertexts(c1, c2))
+			sum, err := s.Decrypt(sk, mustCT(s.AddCiphertexts(c1, c2)))
 			if err != nil {
 				t.Fatal(err)
 			}
-			diff, err := s.Decrypt(sk, s.SubCiphertexts(c1, c2))
+			diff, err := s.Decrypt(sk, mustCT(s.SubCiphertexts(c1, c2)))
 			if err != nil {
 				t.Fatal(err)
 			}
-			neg, err := s.Decrypt(sk, s.Neg(c1))
+			neg, err := s.Decrypt(sk, mustCT(s.Neg(c1)))
 			if err != nil {
 				t.Fatal(err)
 			}
 			const k = 5
-			scaled, err := s.Decrypt(sk, s.MulScalar(c1, k))
+			scaled, err := s.Decrypt(sk, mustCT(s.MulScalar(c1, k)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,7 +152,7 @@ func TestBackendSchemeMulPlainMonomialBothBackends(t *testing.T) {
 			mono[1] = 1
 			x := b.NewPoly()
 			b.SetSigned(x, mono)
-			got, err := s.Decrypt(sk, s.MulPlain(ct, x))
+			got, err := s.Decrypt(sk, mustCT(s.MulPlain(ct, x)))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,7 +191,7 @@ func TestBackendSchemeNoiseBudgetBothBackends(t *testing.T) {
 			// Repeated additions grow the noise and must not grow the budget.
 			acc := ct
 			for i := 0; i < 8; i++ {
-				acc = s.AddCiphertexts(acc, ct)
+				acc = mustCT(s.AddCiphertexts(acc, ct))
 			}
 			after, err := s.NoiseBudgetBits(sk, acc, m)
 			if err != nil {

@@ -4,8 +4,10 @@
 // seam (backend.go), so the identical keygen/encrypt/decrypt/homomorphic
 // pipeline runs on either of the paper's two hardware philosophies: the
 // 128-bit double-word ring (NewRingBackend) or a basis of 64-bit RNS
-// towers (NewRNSBackend). Scheme is the historical 128-bit-ring API, kept
-// as a thin specialization.
+// towers (NewRNSBackend). Both backends carry a modulus-switching ladder
+// (BackendScheme.ModSwitch) that trades ciphertext width for per-level
+// cost down a depth-L circuit. Scheme is the historical 128-bit-ring API,
+// kept as a thin level-0 specialization.
 //
 // This is an educational scheme: parameters are chosen for correctness
 // demonstrations, not for standardized security levels.
@@ -51,14 +53,16 @@ type SecretKey struct {
 	S []u128.U128
 }
 
-// Ciphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M.
+// Ciphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M at the top
+// of the modulus chain (level 0).
 type Ciphertext struct {
 	A, B []u128.U128
 }
 
 // Scheme is the RLWE scheme on the 128-bit ring backend: a compatibility
 // specialization of BackendScheme whose keys and ciphertexts expose their
-// []u128.U128 coefficients directly.
+// []u128.U128 coefficients directly and always live at level 0. Leveled
+// circuits (ModSwitch) use BackendScheme directly.
 type Scheme struct {
 	P  *Params
 	bs *BackendScheme
@@ -94,26 +98,35 @@ func (s *Scheme) Encrypt(sk SecretKey, msg []uint64) (Ciphertext, error) {
 
 // Decrypt recovers the plaintext: round((B - A*S) * T / q) mod T.
 func (s *Scheme) Decrypt(sk SecretKey, ct Ciphertext) ([]uint64, error) {
-	if len(ct.A) != s.P.N || len(ct.B) != s.P.N {
-		return nil, fmt.Errorf("fhe: malformed ciphertext")
-	}
 	return s.bs.Decrypt(BackendSecretKey{S: sk.S}, wrapCT(ct))
 }
 
 // AddCiphertexts is homomorphic addition: decrypts to the coefficient-wise
 // sum of the plaintexts mod T (noise permitting).
-func (s *Scheme) AddCiphertexts(c1, c2 Ciphertext) Ciphertext {
-	return unwrapCT(s.bs.AddCiphertexts(wrapCT(c1), wrapCT(c2)))
+func (s *Scheme) AddCiphertexts(c1, c2 Ciphertext) (Ciphertext, error) {
+	out, err := s.bs.AddCiphertexts(wrapCT(c1), wrapCT(c2))
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return unwrapCT(out), nil
 }
 
 // SubCiphertexts is homomorphic subtraction.
-func (s *Scheme) SubCiphertexts(c1, c2 Ciphertext) Ciphertext {
-	return unwrapCT(s.bs.SubCiphertexts(wrapCT(c1), wrapCT(c2)))
+func (s *Scheme) SubCiphertexts(c1, c2 Ciphertext) (Ciphertext, error) {
+	out, err := s.bs.SubCiphertexts(wrapCT(c1), wrapCT(c2))
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return unwrapCT(out), nil
 }
 
 // Neg negates a ciphertext (decrypts to -m mod T).
-func (s *Scheme) Neg(ct Ciphertext) Ciphertext {
-	return unwrapCT(s.bs.Neg(wrapCT(ct)))
+func (s *Scheme) Neg(ct Ciphertext) (Ciphertext, error) {
+	out, err := s.bs.Neg(wrapCT(ct))
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return unwrapCT(out), nil
 }
 
 // RelinKey is a relinearization key on the 128-bit ring backend.
@@ -128,23 +141,32 @@ func (s *Scheme) RelinKeyGen(sk SecretKey) RelinKey {
 
 // MulCiphertexts is homomorphic multiplication: the result decrypts to
 // the negacyclic product of the two plaintexts mod T, noise permitting.
-func (s *Scheme) MulCiphertexts(c1, c2 Ciphertext, rlk RelinKey) Ciphertext {
-	return unwrapCT(s.bs.MulCiphertexts(wrapCT(c1), wrapCT(c2), rlk.k))
+func (s *Scheme) MulCiphertexts(c1, c2 Ciphertext, rlk RelinKey) (Ciphertext, error) {
+	out, err := s.bs.MulCiphertexts(wrapCT(c1), wrapCT(c2), rlk.k)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return unwrapCT(out), nil
 }
 
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
 // coefficients (negacyclic convolution of both components).
 func (s *Scheme) MulPlain(ct Ciphertext, pt []u128.U128) (Ciphertext, error) {
-	if len(pt) != s.P.N {
-		return Ciphertext{}, fmt.Errorf("fhe: plaintext length mismatch")
+	out, err := s.bs.MulPlain(wrapCT(ct), pt)
+	if err != nil {
+		return Ciphertext{}, err
 	}
-	return unwrapCT(s.bs.MulPlain(wrapCT(ct), pt)), nil
+	return unwrapCT(out), nil
 }
 
 // MulScalar multiplies a ciphertext by a small integer constant k
 // (decrypts to k*m mod T, noise permitting: noise grows by a factor k).
-func (s *Scheme) MulScalar(ct Ciphertext, k uint64) Ciphertext {
-	return unwrapCT(s.bs.MulScalar(wrapCT(ct), k))
+func (s *Scheme) MulScalar(ct Ciphertext, k uint64) (Ciphertext, error) {
+	out, err := s.bs.MulScalar(wrapCT(ct), k)
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return unwrapCT(out), nil
 }
 
 // AddPlain adds a plaintext message to a ciphertext without encrypting it

@@ -22,7 +22,7 @@ func TestHomomorphicSubAndNeg(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	diff, err := s.Decrypt(sk, s.SubCiphertexts(c1, c2))
+	diff, err := s.Decrypt(sk, mustLCT(s.SubCiphertexts(c1, c2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestHomomorphicSubAndNeg(t *testing.T) {
 		}
 	}
 
-	neg, err := s.Decrypt(sk, s.Neg(c1))
+	neg, err := s.Decrypt(sk, mustLCT(s.Neg(c1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestMulScalar(t *testing.T) {
 		t.Fatal(err)
 	}
 	const k = 7
-	got, err := s.Decrypt(sk, s.MulScalar(ct, k))
+	got, err := s.Decrypt(sk, mustLCT(s.MulScalar(ct, k)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestNoiseBudget(t *testing.T) {
 	// Repeated additions consume budget monotonically (or keep it equal).
 	acc := ct
 	for i := 0; i < 8; i++ {
-		acc = s.AddCiphertexts(acc, ct)
+		acc = mustLCT(s.AddCiphertexts(acc, ct))
 	}
 	after, err := s.NoiseBudgetBits(sk, acc, m)
 	if err != nil {

@@ -7,6 +7,15 @@ import (
 	"mqxgo/internal/u128"
 )
 
+// mustLCT unwraps an error-returning legacy entry point in tests where
+// the inputs are well-formed by construction.
+func mustLCT(ct Ciphertext, err error) Ciphertext {
+	if err != nil {
+		panic(err)
+	}
+	return ct
+}
+
 func testScheme(t *testing.T, n int) *Scheme {
 	t.Helper()
 	p, err := NewParams(modmath.DefaultModulus128(), n, 257)
@@ -55,7 +64,7 @@ func TestHomomorphicAddition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum := s.AddCiphertexts(c1, c2)
+	sum := mustLCT(s.AddCiphertexts(c1, c2))
 	got, err := s.Decrypt(sk, sum)
 	if err != nil {
 		t.Fatal(err)

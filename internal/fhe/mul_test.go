@@ -56,7 +56,7 @@ func mulTrace(t *testing.T, b Backend, seed int64, m1, m2 []uint64) []uint64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Decrypt(sk, s.MulCiphertexts(c1, c2, rlk))
+	got, err := s.Decrypt(sk, mustCT(s.MulCiphertexts(c1, c2, rlk)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestMulCiphertextsLegacyScheme(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Decrypt(sk, s.MulCiphertexts(c1, c2, rlk))
+	got, err := s.Decrypt(sk, mustLCT(s.MulCiphertexts(c1, c2, rlk)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +177,10 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 		b         Backend
 		digits    int // relin gadget digits
 		digitBits int // gadget digit magnitude
-		towers    int
+		overshoot int // base-conversion operand overshoot (0 oracle, 1 m~)
 	}{
 		{NewRingBackend(params), (params.Mod.Q.BitLen() + oracleDigitBits - 1) / oracleDigitBits, oracleDigitBits, 0},
-		{rb, 2, 59, 2},
+		{rb, 2, 59, 1},
 	}
 	for _, tc := range cases {
 		t.Run(tc.b.Name(), func(t *testing.T) {
@@ -205,7 +205,7 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 
 			// Depth 1: full-amplitude messages must round-trip, and the
 			// measured noise must respect the documented bound.
-			ct = s.MulCiphertexts(ct, ct, rlk)
+			ct = mustCT(s.MulCiphertexts(ct, ct, rlk))
 			expected = NegacyclicProductModT(expected, expected, T)
 			got, err := s.Decrypt(sk, ct)
 			if err != nil {
@@ -216,12 +216,12 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 					t.Fatalf("depth-1 coeff %d: got %d, want %d", i, got[i], expected[i])
 				}
 			}
-			bound := MulNoiseBoundBits(n, T, freshNoise, tc.digits, tc.digitBits, tc.towers)
+			bound := MulNoiseBoundBits(n, T, freshNoise, tc.digits, tc.digitBits, tc.overshoot)
 			if noise := noiseBitsOf(t, s, sk, ct, expected); noise > bound {
 				t.Fatalf("depth-1 noise %d bits exceeds documented bound %d", noise, bound)
 			}
-			if bound >= tc.b.DeltaBits()-1 {
-				t.Fatalf("bound %d leaves no depth-1 margin against DeltaBits %d", bound, tc.b.DeltaBits())
+			if bound >= tc.b.DeltaBits(0)-1 {
+				t.Fatalf("bound %d leaves no depth-1 margin against DeltaBits %d", bound, tc.b.DeltaBits(0))
 			}
 			after, err := s.NoiseBudgetBits(sk, ct, expected)
 			if err != nil {
@@ -235,7 +235,7 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 			// a few levels, with the budget reading zero when it does.
 			failed := false
 			for depth := 2; depth <= 6; depth++ {
-				ct = s.MulCiphertexts(ct, ct, rlk)
+				ct = mustCT(s.MulCiphertexts(ct, ct, rlk))
 				expected = NegacyclicProductModT(expected, expected, T)
 				got, err := s.Decrypt(sk, ct)
 				if err != nil {
@@ -265,6 +265,60 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestMtildeReclaimsNoiseBoundBits pins down what the m~-corrected base
+// conversion (rns.MontBaseConverter) buys: the PR 4 FastBConv extended
+// operands carrying up to (k-1)*Q of overshoot, which the noise constant
+// had to absorb; with the correction the overshoot factor drops to 1. The
+// gap only shows once the tensor term dominates (it scales with the
+// operands' accumulated noise), so the property is asserted at depth 2 on
+// a k=4 basis: the overshoot=1 bound must sit strictly below the PR 4
+// overshoot=k-1 bound, and the measured depth-2 noise must respect the
+// TIGHTENED bound — the reclaimed bits are real, not bookkeeping.
+func TestMtildeReclaimsNoiseBoundBits(t *testing.T) {
+	const n = 256
+	const T = (1 << 30) + 3
+	const k = 4
+	c, err := rns.NewContext(59, k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewBackendScheme(rb, 2026)
+	sk := s.KeyGen()
+	rlk := s.RelinKeyGen(sk)
+	rng := rand.New(rand.NewSource(11))
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = rng.Uint64() % T
+	}
+	ct, err := s.Encrypt(sk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := append([]uint64(nil), msg...)
+	ct = mustCT(s.MulCiphertexts(ct, ct, rlk))
+	expected = NegacyclicProductModT(expected, expected, T)
+	depth1Noise := noiseBitsOf(t, s, sk, ct, expected)
+	ct = mustCT(s.MulCiphertexts(ct, ct, rlk))
+	expected = NegacyclicProductModT(expected, expected, T)
+	depth2Noise := noiseBitsOf(t, s, sk, ct, expected)
+
+	tight := MulNoiseBoundBits(n, T, depth1Noise, k, 59, 1)
+	pr4 := MulNoiseBoundBits(n, T, depth1Noise, k, 59, k-1)
+	if tight >= pr4 {
+		t.Fatalf("m~ correction reclaimed nothing: overshoot=1 bound %d vs overshoot=%d bound %d",
+			tight, k-1, pr4)
+	}
+	if depth2Noise > tight {
+		t.Fatalf("measured depth-2 noise %d bits exceeds the tightened bound %d", depth2Noise, tight)
+	}
+	t.Logf("depth-2 noise %d bits; bound %d (m~) vs %d (PR 4): %d bits reclaimed",
+		depth2Noise, tight, pr4, pr4-tight)
 }
 
 func noiseBitsOf(t *testing.T, s *BackendScheme, sk BackendSecretKey, ct BackendCiphertext, msg []uint64) int {

@@ -111,6 +111,13 @@ func TestBaseConversionHotPathsDoNotAllocate(t *testing.T) {
 		t.Errorf("BaseConverter.ConvertInto allocates %.1f per run, want 0", got)
 	}
 	if got := testing.AllocsPerRun(20, func() {
+		if err := f.mconv.ConvertInto(dstE, src); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("MontBaseConverter.ConvertInto allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(20, func() {
 		if err := f.sk.ConvertInto(dstQ, srcE); err != nil {
 			t.Fatal(err)
 		}

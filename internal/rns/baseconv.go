@@ -118,6 +118,155 @@ func (bc *BaseConverter) ConvertInto(dst, src Poly) error {
 	return nil
 }
 
+// MontBaseConverter is the m-tilde-corrected fast base conversion of BEHZ
+// §3.2 (the small Montgomery reduction SmMRq): it converts x in base Q to a
+// base P with the FastBConv overshoot alpha*Q (0 <= alpha < k) removed, at
+// the cost of one extra residue channel modulo a small auxiliary modulus
+// m~ and a per-coefficient correction.
+//
+// The trick, folded into the digit constants so no caller-side scaling is
+// needed: instead of converting x, convert X = [m~ * x]_Q (its digits are
+// just x_i * (m~ * (Q/q_i)^-1) mod q_i, one fused scalar multiply per
+// tower). The weighted digit sum V = sum_i z_i*(Q/q_i) equals
+// m~*x + (alpha - beta)*Q for overshoots alpha < k, beta < m~, and V's
+// residue modulo m~ is computable from the digits alone. Choosing
+// r = [-V * Q^-1]_m~ (centered) makes V + r*Q divisible by m~, and
+//
+//	y = (V + r*Q) / m~ = x + gamma*Q  with gamma in {-1, 0}
+//
+// (the multiple of m~ nearest alpha - beta + r is 0 or -m~ because
+// alpha < m~/2). So the converted operand's magnitude is bounded by Q
+// instead of k*Q — the operand overshoot PR 4 documented and absorbed into
+// the multiply noise constant is gone, which is what lets
+// fhe.MulNoiseBoundBits tighten its conversion term.
+//
+// Like BaseConverter, every step is exact for the Shoup span kernels
+// (digits and accumulation), inputs may be lazy ([0, 2q)), and steady-state
+// conversions allocate nothing. The correction itself is one masked
+// multiply-accumulate per coefficient (m~ is a power of two) plus two
+// modular multiplies per output residue.
+type MontBaseConverter struct {
+	from, to *Context
+	mt       uint64 // m~, a power of two > 2*k
+
+	digitMul []uint64   // (m~ * (Q/q_i)^-1) mod q_i: digits of [m~ x]_Q
+	m        [][]uint64 // m[j][i] = (Q/q_i) mod p_j
+	mRowMt   []uint64   // (Q/q_i) mod m~
+	negQInv  uint64     // (-Q^-1) mod m~
+	qModP    []uint64   // Q mod p_j
+	mtQModP  []uint64   // (m~ * Q) mod p_j, the centering subtract
+	mtInvP   []uint64   // m~^-1 mod p_j
+	mtInvPre []uint64   // Shoup precomputation of mtInvP
+
+	scratch sync.Pool
+}
+
+// NewMontBaseConverter precomputes the m-tilde-corrected conversion tables.
+// mtilde must be a power of two with 2*k < mtilde <= 2^31 (k the source
+// tower count); 1<<16 is a safe default for any basis this package builds.
+func NewMontBaseConverter(from, to *Context, mtilde uint64) (*MontBaseConverter, error) {
+	if from.N != to.N {
+		return nil, fmt.Errorf("rns: base sizes differ: %d vs %d", from.N, to.N)
+	}
+	if mtilde == 0 || mtilde&(mtilde-1) != 0 || mtilde > 1<<31 {
+		return nil, fmt.Errorf("rns: m~ %d is not a power of two <= 2^31", mtilde)
+	}
+	if mtilde <= 2*uint64(from.Channels()) {
+		return nil, fmt.Errorf("rns: m~ %d too small for %d towers", mtilde, from.Channels())
+	}
+	bc := &MontBaseConverter{from: from, to: to, mt: mtilde}
+	t := new(big.Int)
+	mtBig := new(big.Int).SetUint64(mtilde)
+	// Q is odd (product of odd primes), so Q^-1 mod the power of two exists.
+	qInvMt := new(big.Int).ModInverse(from.Q, mtBig)
+	if qInvMt == nil {
+		return nil, fmt.Errorf("rns: Q not invertible mod m~ %d", mtilde)
+	}
+	bc.negQInv = (mtilde - qInvMt.Uint64()) & (mtilde - 1)
+	for i, mod := range from.Mods {
+		if mod.Q <= mtilde {
+			return nil, fmt.Errorf("rns: source prime %d not above m~ %d", mod.Q, mtilde)
+		}
+		bc.digitMul = append(bc.digitMul, mod.Mul(mtilde%mod.Q, from.qiInv[i]))
+		bc.mRowMt = append(bc.mRowMt, t.Mod(from.qi[i], mtBig).Uint64())
+	}
+	for _, mod := range to.Mods {
+		qb := new(big.Int).SetUint64(mod.Q)
+		row := make([]uint64, from.Channels())
+		for i := range from.Mods {
+			row[i] = t.Mod(from.qi[i], qb).Uint64()
+		}
+		bc.m = append(bc.m, row)
+		qModP := t.Mod(from.Q, qb).Uint64()
+		bc.qModP = append(bc.qModP, qModP)
+		bc.mtQModP = append(bc.mtQModP, mod.Mul(mtilde%mod.Q, qModP))
+		inv := mod.Inv(mtilde % mod.Q)
+		bc.mtInvP = append(bc.mtInvP, inv)
+		bc.mtInvPre = append(bc.mtInvPre, mod.ShoupPrecompute(inv))
+	}
+	bc.scratch.New = func() any {
+		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+	}
+	return bc, nil
+}
+
+// ConvertInto writes the m-tilde-corrected conversion of src into dst: for
+// every coefficient x in [0, Q) of src, dst receives the residues of
+// y = x + gamma*Q with gamma in {-1, 0} (so |y| < Q — no k*Q overshoot).
+// src rows may carry lazy [0, 2q) residues; dst is canonical. Steady-state
+// it allocates nothing.
+func (bc *MontBaseConverter) ConvertInto(dst, src Poly) error {
+	if err := bc.from.checkPoly(src); err != nil {
+		return err
+	}
+	if err := bc.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := bc.scratch.Get().(*convScratch)
+	z, r := sc.z, sc.gamma
+	k := bc.from.Channels()
+	mask := bc.mt - 1
+	// Digits of X = [m~ x]_Q, one fused scalar multiply per tower.
+	for i := 0; i < k; i++ {
+		bc.from.Plans[i].Generic().ScalarMulInto(z.Res[i], src.Res[i], bc.digitMul[i])
+	}
+	// r = [-V * Q^-1]_m~ per coefficient, from the digit residues mod m~.
+	// The accumulator is re-masked every term: a masked value times a
+	// residue below m~ <= 2^31 stays under 2^62, so adding the (< m~)
+	// running value never overflows.
+	for j := range r {
+		acc := uint64(0)
+		for i := 0; i < k; i++ {
+			acc = (acc + (z.Res[i][j]&mask)*bc.mRowMt[i]) & mask
+		}
+		r[j] = (acc * bc.negQInv) & mask
+	}
+	half := bc.mt / 2
+	for jt, mod := range bc.to.Mods {
+		plan := bc.to.Plans[jt].Generic()
+		row := bc.m[jt]
+		dr := dst.Res[jt]
+		// dst = sum_i z_i * (Q/q_i) mod p_j, the plain FastBConv value...
+		plan.ScalarMulInto(dr, z.Res[0], row[0])
+		for i := 1; i < k; i++ {
+			plan.ScaleAddInto(dr, dr, z.Res[i], row[i])
+		}
+		// ...then the Montgomery correction: (V + r*Q) * m~^-1, with r
+		// centered in (-m~/2, m~/2] (values above m~/2 stand for r - m~).
+		qp, mtq := bc.qModP[jt], bc.mtQModP[jt]
+		inv, pre := bc.mtInvP[jt], bc.mtInvPre[jt]
+		for j := range dr {
+			t := mod.Add(dr[j], mod.Mul(r[j], qp))
+			if r[j] > half {
+				t = mod.Sub(t, mtq)
+			}
+			dr[j] = mod.MulShoup(t, inv, pre)
+		}
+	}
+	bc.scratch.Put(sc)
+	return nil
+}
+
 // SKConverter converts exactly from an extension base {p_0..p_{l-1}, m_sk}
 // — the from context, whose LAST tower is the redundant Shenoy-Kumaresan
 // modulus — to a base Q (the to context). P denotes the product of the

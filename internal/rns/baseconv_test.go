@@ -21,12 +21,13 @@ import (
 // extension base (4 towers of P plus m_sk), built once because fuzz
 // bodies run millions of times.
 type bcFix struct {
-	q, e *Context
-	conv *BaseConverter
-	sk   *SKConverter
-	p    *big.Int // product of the extension base minus m_sk
-	sub  *Context // q with its last tower dropped
-	rs   *Rescaler
+	q, e  *Context
+	conv  *BaseConverter
+	mconv *MontBaseConverter
+	sk    *SKConverter
+	p     *big.Int // product of the extension base minus m_sk
+	sub   *Context // q with its last tower dropped
+	rs    *Rescaler
 }
 
 var (
@@ -53,6 +54,10 @@ func convFix(t testing.TB) *bcFix {
 		if err != nil {
 			panic(err)
 		}
+		mconv, err := NewMontBaseConverter(q, e, 1<<16)
+		if err != nil {
+			panic(err)
+		}
 		sk, err := NewSKConverter(e, q)
 		if err != nil {
 			panic(err)
@@ -66,7 +71,7 @@ func convFix(t testing.TB) *bcFix {
 		if err != nil {
 			panic(err)
 		}
-		fix = bcFix{q: q, e: e, conv: conv, sk: sk, p: p, sub: sub, rs: rs}
+		fix = bcFix{q: q, e: e, conv: conv, mconv: mconv, sk: sk, p: p, sub: sub, rs: rs}
 	})
 	return &fix
 }
@@ -131,6 +136,56 @@ func checkBaseConvert(t *testing.T, seed int64, pattern byte) {
 				t.Fatalf("seed %d pattern %x: coeff %d ext tower %d: got %d, want %d",
 					seed, pattern, j, jj, dst.Res[jj][j], want)
 			}
+		}
+	}
+}
+
+// checkMontConvert verifies the m-tilde-corrected conversion's defining
+// property against big-integer reconstruction: every coefficient converts
+// to a representative y = x + gamma*Q with ONE gamma in {-1, 0} shared by
+// all extension towers — the k*Q overshoot of the plain FastBConv is gone.
+func checkMontConvert(t *testing.T, seed int64, pattern byte) {
+	t.Helper()
+	f := convFix(t)
+	src := f.q.NewPoly()
+	fillResidues(src, f.q.Mods, seed, pattern)
+	canon := f.q.NewPoly()
+	for i, mod := range f.q.Mods {
+		for j, v := range src.Res[i] {
+			canon.Res[i][j] = v % mod.Q
+		}
+	}
+	xs, err := f.q.Reconstruct(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := f.e.NewPoly()
+	if err := f.mconv.ConvertInto(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	tmp := new(big.Int)
+	y := new(big.Int)
+	for j, x := range xs {
+		matched := false
+		for _, gamma := range []int64{0, -1} {
+			y.SetInt64(gamma)
+			y.Mul(y, f.q.Q)
+			y.Add(y, x)
+			ok := true
+			for jj, mod := range f.e.Mods {
+				if dst.Res[jj][j] != tmp.Mod(y, tmp.SetUint64(mod.Q)).Uint64() {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Fatalf("seed %d pattern %x: coeff %d: no gamma in {-1,0} explains the converted residues (x=%v)",
+				seed, pattern, j, x)
 		}
 	}
 }
@@ -230,6 +285,31 @@ func TestBaseConverterMatchesBigInt(t *testing.T) {
 	}
 }
 
+func TestMontBaseConverterOvershootFree(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		for _, pattern := range []byte{0, 1, 2, 3, 4, 7, 8, 15} {
+			checkMontConvert(t, seed, pattern)
+		}
+	}
+}
+
+func TestMontBaseConverterValidation(t *testing.T) {
+	f := convFix(t)
+	if _, err := NewMontBaseConverter(f.q, f.e, 12345); err == nil {
+		t.Error("expected error for non-power-of-two m~")
+	}
+	if _, err := NewMontBaseConverter(f.q, f.e, 4); err == nil {
+		t.Error("expected error for m~ <= 2k")
+	}
+	if _, err := NewMontBaseConverter(f.q, f.e, 1<<32); err == nil {
+		t.Error("expected error for m~ above 2^31")
+	}
+	src := f.q.NewPoly()
+	if err := f.mconv.ConvertInto(f.q.NewPoly(), src); err == nil {
+		t.Error("expected shape error for destination in the wrong base")
+	}
+}
+
 func TestSKConverterExact(t *testing.T) {
 	for seed := int64(0); seed < 4; seed++ {
 		for _, pattern := range []byte{0, 1, 2, 3, 4, 7, 8, 15} {
@@ -286,6 +366,7 @@ func FuzzBaseConvert(f *testing.F) {
 	f.Add(int64(6), byte(15))
 	f.Fuzz(func(t *testing.T, seed int64, pattern byte) {
 		checkBaseConvert(t, seed, pattern)
+		checkMontConvert(t, seed, pattern)
 		checkSKConvert(t, seed, pattern)
 	})
 }
