@@ -39,7 +39,17 @@
 //
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-out5 BENCH_PR5.json] [-n 4096] [-batch 64] [-workers 8]
+// A sixth report (BENCH_PR6.json) measures double-CRT residency: the
+// same squaring ladder with NTT-resident ciphertexts, the resident MulCt
+// against the retensoring pipeline in the same process (interleaved
+// min-based timing), against the frozen BENCH_PR5 numbers, the resident
+// ModSwitch, and a workers-1-vs-GOMAXPROCS tower-scaling probe — with
+// the resident product checked bit-identical to the coefficient path at
+// every level first.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -151,11 +161,12 @@ type opResult struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR1.json", "output path")
+	out := flag.String("out", "BENCH_PR1.json", "seed NTT report path (empty to skip)")
 	out2 := flag.String("out2", "BENCH_PR2.json", "128-bit vs RNS report path (empty to skip)")
 	out3 := flag.String("out3", "BENCH_PR3.json", "kernel vs element-op report path (empty to skip)")
 	out4 := flag.String("out4", "BENCH_PR4.json", "homomorphic multiply report path (empty to skip)")
 	out5 := flag.String("out5", "BENCH_PR5.json", "modulus ladder report path (empty to skip)")
+	out6 := flag.String("out6", "BENCH_PR6.json", "resident-vs-retensor report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -170,91 +181,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	inputs := make([][]u128.U128, *batch)
-	dsts := make([][]u128.U128, *batch)
-	v := u128.From64(7)
-	for i := range inputs {
-		xs := make([]u128.U128, *n)
-		for j := range xs {
-			xs[j] = v
-			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
-		}
-		inputs[i] = xs
-		dsts[i] = make([]u128.U128, *n)
+	if *out != "" {
+		runSeedReport(ctx, plan, *out, *n, *batch, *workers)
 	}
-
-	// Gate: the seed reconstruction and the engine must agree before any
-	// timing is trusted.
-	x := inputs[0]
-	engF := make([]u128.U128, *n)
-	plan.ForwardInto(engF, x)
-	if !equal(seedForward(plan, x), engF) {
-		log.Fatal("benchjson: seed forward reconstruction disagrees with engine")
-	}
-	engI := make([]u128.U128, *n)
-	plan.InverseInto(engI, engF)
-	if !equal(seedInverse(plan, engF), engI) {
-		log.Fatal("benchjson: seed inverse reconstruction disagrees with engine")
-	}
-	if !equal(engI, x) {
-		log.Fatal("benchjson: engine round trip failed")
-	}
-
-	butterflies := float64(*n/2) * float64(plan.M)
-	results := map[string]opResult{}
-
-	fwdDst := make([]u128.U128, *n)
-	results["forward_into"] = perUnit(bench(func() { plan.ForwardInto(fwdDst, x) }),
-		allocs(func() { plan.ForwardInto(fwdDst, x) }), butterflies, "butterfly")
-	results["forward_seed"] = perUnit(bench(func() { seedForward(plan, x) }),
-		allocs(func() { seedForward(plan, x) }), butterflies, "butterfly")
-	results["inverse_into"] = perUnit(bench(func() { plan.InverseInto(fwdDst, engF) }),
-		allocs(func() { plan.InverseInto(fwdDst, engF) }), butterflies, "butterfly")
-	results["inverse_seed"] = perUnit(bench(func() { seedInverse(plan, engF) }),
-		allocs(func() { seedInverse(plan, engF) }), butterflies, "butterfly")
-
-	polyDst := make([]u128.U128, *n)
-	results["polymul_into"] = perUnit(bench(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }),
-		allocs(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }), 1, "")
-
-	results["batch_forward_pool"] = perUnit(bench(func() { plan.BatchForwardInto(dsts, inputs, *workers) }),
-		allocs(func() { plan.BatchForwardInto(dsts, inputs, *workers) }), float64(*batch), "transform")
-	results["batch_forward_seed"] = perUnit(bench(func() { seedBatchForward(plan, inputs, *workers) }),
-		allocs(func() { seedBatchForward(plan, inputs, *workers) }), float64(*batch), "transform")
-
-	report := map[string]any{
-		"schema":         "mqxgo-bench/v1",
-		"pr":             1,
-		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
-			"n": *n, "batch": *batch, "workers": *workers,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
-		"verified": true,
-		"results":  results,
-		"speedups": map[string]float64{
-			"forward_vs_seed": results["forward_seed"].NsPerOp / results["forward_into"].NsPerOp,
-			"inverse_vs_seed": results["inverse_seed"].NsPerOp / results["inverse_into"].NsPerOp,
-			"batch_throughput_vs_seed": results["batch_forward_seed"].NsPerOp /
-				results["batch_forward_pool"].NsPerOp,
-		},
-	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s\n", *out)
-	fmt.Printf("forward: %.0f ns (seed %.0f ns, %.2fx); batch: %.0f ns/transform (seed %.0f, %.2fx throughput)\n",
-		results["forward_into"].NsPerOp, results["forward_seed"].NsPerOp,
-		report["speedups"].(map[string]float64)["forward_vs_seed"],
-		results["batch_forward_pool"].NsPerOp/float64(*batch),
-		results["batch_forward_seed"].NsPerOp/float64(*batch),
-		report["speedups"].(map[string]float64)["batch_throughput_vs_seed"])
 
 	if *out2 != "" {
 		if err := runBackendComparison(ctx, *out2); err != nil {
@@ -276,6 +205,104 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *out6 != "" {
+		if err := runResidentComparison(*out6); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runSeedReport is the original PR 1 report: the engine's forward,
+// inverse, negacyclic polymul, and pooled batch transforms against their
+// seed reconstructions, gated on exact agreement before any timing is
+// trusted.
+func runSeedReport(ctx *core.Context, plan *ntt.Plan, out string, n, batch, workers int) {
+	inputs := make([][]u128.U128, batch)
+	dsts := make([][]u128.U128, batch)
+	v := u128.From64(7)
+	for i := range inputs {
+		xs := make([]u128.U128, n)
+		for j := range xs {
+			xs[j] = v
+			v = ctx.Add(ctx.Mul(v, u128.From64(0x9e3779b97f4a7c15)), u128.One)
+		}
+		inputs[i] = xs
+		dsts[i] = make([]u128.U128, n)
+	}
+
+	// Gate: the seed reconstruction and the engine must agree before any
+	// timing is trusted.
+	x := inputs[0]
+	engF := make([]u128.U128, n)
+	plan.ForwardInto(engF, x)
+	if !equal(seedForward(plan, x), engF) {
+		log.Fatal("benchjson: seed forward reconstruction disagrees with engine")
+	}
+	engI := make([]u128.U128, n)
+	plan.InverseInto(engI, engF)
+	if !equal(seedInverse(plan, engF), engI) {
+		log.Fatal("benchjson: seed inverse reconstruction disagrees with engine")
+	}
+	if !equal(engI, x) {
+		log.Fatal("benchjson: engine round trip failed")
+	}
+
+	butterflies := float64(n/2) * float64(plan.M)
+	results := map[string]opResult{}
+
+	fwdDst := make([]u128.U128, n)
+	results["forward_into"] = perUnit(bench(func() { plan.ForwardInto(fwdDst, x) }),
+		allocs(func() { plan.ForwardInto(fwdDst, x) }), butterflies, "butterfly")
+	results["forward_seed"] = perUnit(bench(func() { seedForward(plan, x) }),
+		allocs(func() { seedForward(plan, x) }), butterflies, "butterfly")
+	results["inverse_into"] = perUnit(bench(func() { plan.InverseInto(fwdDst, engF) }),
+		allocs(func() { plan.InverseInto(fwdDst, engF) }), butterflies, "butterfly")
+	results["inverse_seed"] = perUnit(bench(func() { seedInverse(plan, engF) }),
+		allocs(func() { seedInverse(plan, engF) }), butterflies, "butterfly")
+
+	polyDst := make([]u128.U128, n)
+	results["polymul_into"] = perUnit(bench(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }),
+		allocs(func() { plan.PolyMulNegacyclicInto(polyDst, inputs[0], inputs[1]) }), 1, "")
+
+	results["batch_forward_pool"] = perUnit(bench(func() { plan.BatchForwardInto(dsts, inputs, workers) }),
+		allocs(func() { plan.BatchForwardInto(dsts, inputs, workers) }), float64(batch), "transform")
+	results["batch_forward_seed"] = perUnit(bench(func() { seedBatchForward(plan, inputs, workers) }),
+		allocs(func() { seedBatchForward(plan, inputs, workers) }), float64(batch), "transform")
+
+	report := map[string]any{
+		"schema":         "mqxgo-bench/v1",
+		"pr":             1,
+		"generated_unix": time.Now().Unix(),
+		"config": map[string]any{
+			"n": n, "batch": batch, "workers": workers,
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+		"verified": true,
+		"results":  results,
+		"speedups": map[string]float64{
+			"forward_vs_seed": results["forward_seed"].NsPerOp / results["forward_into"].NsPerOp,
+			"inverse_vs_seed": results["inverse_seed"].NsPerOp / results["inverse_into"].NsPerOp,
+			"batch_throughput_vs_seed": results["batch_forward_seed"].NsPerOp /
+				results["batch_forward_pool"].NsPerOp,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	fmt.Printf("forward: %.0f ns (seed %.0f ns, %.2fx); batch: %.0f ns/transform (seed %.0f, %.2fx throughput)\n",
+		results["forward_into"].NsPerOp, results["forward_seed"].NsPerOp,
+		report["speedups"].(map[string]float64)["forward_vs_seed"],
+		results["batch_forward_pool"].NsPerOp/float64(batch),
+		results["batch_forward_seed"].NsPerOp/float64(batch),
+		report["speedups"].(map[string]float64)["batch_throughput_vs_seed"])
+
 }
 
 // rnsRow is the per-(n, k) comparison: the tower-parallel MulAll against

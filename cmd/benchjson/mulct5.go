@@ -123,9 +123,20 @@ func runLadderComparison(path string) error {
 	var mulSeries, nttVsCoeff []float64
 	for level := 0; level < depth; level++ {
 		// Timing fixtures at this level: square the current chain state.
+		// The chains rest in the NTT domain since PR 6; this report is the
+		// PR 5 baseline, so the fixtures cross to coefficient form and time
+		// the coefficient-domain pipeline (BENCH_PR6 times the resident
+		// one).
 		rnsDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level), B: rb.NewPolyAt(level), Level: level}
 		oraDst := fhe.BackendCiphertext{A: oracle.NewPolyAt(level), B: oracle.NewPolyAt(level), Level: level}
-		rct, oct := rc.ct, oc.ct
+		rct, err := rc.s.ConvertDomain(rc.ct, fhe.DomainCoeff)
+		if err != nil {
+			return err
+		}
+		oct, err := oc.s.ConvertDomain(oc.ct, fhe.DomainCoeff)
+		if err != nil {
+			return err
+		}
 		if err := rb.MulCt(&rnsDst, rct, rct, rc.rlk); err != nil {
 			return err
 		}
@@ -179,7 +190,10 @@ func runLadderComparison(path string) error {
 		if level < depth-1 {
 			// Time the switch, then take it on both chains.
 			swDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level + 1), B: rb.NewPolyAt(level + 1), Level: level + 1}
-			src := rc.ct
+			src, err := rc.s.ConvertDomain(rc.ct, fhe.DomainCoeff)
+			if err != nil {
+				return err
+			}
 			if err := rb.ModSwitch(&swDst, src); err != nil {
 				return err
 			}

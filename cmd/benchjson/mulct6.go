@@ -1,0 +1,364 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mqxgo/internal/fhe"
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/rns"
+)
+
+// The PR 6 report: double-CRT residency. The same depth-3 squaring chain
+// as BENCH_PR5 (n=4096, k=4, identical seeds) runs with NTT-resident
+// ciphertexts, and at every level the resident MulCt is timed against
+// the retensoring pipeline (the PR 5 coefficient path, same process,
+// same kernels) and against the frozen numbers recorded in
+// BENCH_PR5.json. Before timing, the resident product is checked
+// bit-identical to the coefficient product, and the chain's decryptions
+// are cross-checked against the 128-bit oracle after every multiply and
+// every DropLevel. Timings are min-of-interleaved pairs: the two
+// pipelines alternate within one loop so host-load drift hits both, and
+// the minimum is taken as the contention-free estimate.
+
+// pr5Recorded freezes the BENCH_PR5.json acceptance series this report
+// compares against (the same chain, pre-residency).
+var pr5Recorded = struct {
+	mulctNs     []float64
+	modswitchNs []float64
+}{
+	mulctNs:     []float64{12775913, 9257836, 6573280},
+	modswitchNs: []float64{197552, 117015},
+}
+
+// residentLevelRow is one level's measurements.
+type residentLevelRow struct {
+	Level              int     `json:"level"`
+	Towers             int     `json:"towers"`
+	ResidentNs         float64 `json:"resident_mulct_ns"`
+	RetensorNs         float64 `json:"retensor_mulct_ns"`
+	ResidentVsRetensor float64 `json:"resident_vs_retensor"` // retensor/resident; > 1 means residency wins
+	PR5RecordedNs      float64 `json:"pr5_recorded_mulct_ns"`
+	ResidentVsPR5      float64 `json:"resident_vs_pr5_recorded"` // pr5/resident; host drift caveat applies
+	ResidentAllocs     float64 `json:"resident_mulct_allocs_per_op"`
+	ModSwitchNs        float64 `json:"resident_modswitch_ns,omitempty"`
+	ModSwitchAllocs    float64 `json:"resident_modswitch_allocs_per_op"`
+	BudgetBits         int     `json:"budget_bits_after_mul"`
+}
+
+// minInterleaved times the given closures round-robin and returns each
+// one's minimum over the rounds. Interleaving is the point: the host
+// this runs on shows tens-of-percent load drift over seconds, and
+// alternating the contenders inside one loop exposes both to the same
+// windows, making the per-round minimum a fair contention-free estimate.
+func minInterleaved(rounds int, fs ...func()) []float64 {
+	mins := make([]float64, len(fs))
+	for i := range mins {
+		mins[i] = math.MaxFloat64
+	}
+	for i, f := range fs {
+		f() // warm scratch pools before timing
+		_ = i
+	}
+	for r := 0; r < rounds; r++ {
+		for i, f := range fs {
+			st := time.Now()
+			f()
+			if d := float64(time.Since(st).Nanoseconds()); d < mins[i] {
+				mins[i] = d
+			}
+		}
+	}
+	return mins
+}
+
+// runResidentComparison benchmarks the resident ladder at n=4096/k=4 and
+// writes the PR 6 report.
+func runResidentComparison(path string) error {
+	const n = 4096
+	const k = 4
+	const T = mulPlainMod
+	const depth = 3
+	const rounds = 40
+
+	oracle, rb, err := ladderBackends(n, k)
+	if err != nil {
+		return err
+	}
+	oc, err := newLadderChain(oracle, n, true)
+	if err != nil {
+		return err
+	}
+	rc, err := newLadderChain(rb, n, false)
+	if err != nil {
+		return err
+	}
+	rc.rlk = rb.RelinKeyGen(rc.sk.S, rand.New(rand.NewSource(556)))
+
+	verify := func(stage string) error {
+		og, err := oc.s.Decrypt(oc.sk, oc.ct)
+		if err != nil {
+			return err
+		}
+		rg, err := rc.s.Decrypt(rc.sk, rc.ct)
+		if err != nil {
+			return err
+		}
+		for i := range og {
+			if og[i] != rg[i] {
+				return fmt.Errorf("benchjson: resident ladder decryptions diverge %s at coeff %d", stage, i)
+			}
+		}
+		return nil
+	}
+
+	levels := map[string]residentLevelRow{}
+	var residentSeries, vsRetensor, vsPR5 []float64
+	allocClean := true
+	for level := 0; level < depth; level++ {
+		// Fixtures: the chain rests in the NTT domain, so the resident
+		// fixture squares it in place; the retensor fixture crosses the
+		// operands to coefficient form first — the exact PR 5 pipeline,
+		// sharing this build's kernels (blocked twiddles, wide
+		// conversions), so the ratio isolates residency itself.
+		resDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level), B: rb.NewPolyAt(level), Level: level, Domain: fhe.DomainNTT}
+		coeffDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level), B: rb.NewPolyAt(level), Level: level}
+		rct, err := rc.s.ConvertDomain(rc.ct, fhe.DomainCoeff)
+		if err != nil {
+			return err
+		}
+		if err := rb.MulCt(&resDst, rc.ct, rc.ct, rc.rlk); err != nil {
+			return err
+		}
+		if err := rb.MulCt(&coeffDst, rct, rct, rc.rlk); err != nil {
+			return err
+		}
+		// Gate: residency is a layout, not a different multiply — the
+		// resident product crossed back to coefficient form must be
+		// bit-identical to the coefficient pipeline's product.
+		resAsCoeff, err := rc.s.ConvertDomain(resDst, fhe.DomainCoeff)
+		if err != nil {
+			return err
+		}
+		for ci, pair := range [2][2]fhe.Poly{{resAsCoeff.A, coeffDst.A}, {resAsCoeff.B, coeffDst.B}} {
+			for i, row := range pair[0].(rns.Poly).Res {
+				for j, v := range row {
+					if pair[1].(rns.Poly).Res[i][j] != v {
+						return fmt.Errorf("benchjson: resident multiply diverges from coefficient path at level %d component %d tower %d coeff %d", level, ci, i, j)
+					}
+				}
+			}
+		}
+		mins := minInterleaved(rounds,
+			func() { _ = rb.MulCt(&resDst, rc.ct, rc.ct, rc.rlk) },
+			func() { _ = rb.MulCt(&coeffDst, rct, rct, rc.rlk) },
+		)
+		row := residentLevelRow{
+			Level:              level,
+			Towers:             k - level,
+			ResidentNs:         mins[0],
+			RetensorNs:         mins[1],
+			ResidentVsRetensor: mins[1] / mins[0],
+			PR5RecordedNs:      pr5Recorded.mulctNs[level],
+			ResidentVsPR5:      pr5Recorded.mulctNs[level] / mins[0],
+			ResidentAllocs:     allocs(func() { _ = rb.MulCt(&resDst, rc.ct, rc.ct, rc.rlk) }),
+		}
+		if row.ResidentAllocs != 0 {
+			allocClean = false
+		}
+
+		var e1, e2 error
+		oc.ct, e1 = oc.s.MulCiphertexts(oc.ct, oc.ct, oc.rlk)
+		rc.ct, e2 = rc.s.MulCiphertexts(rc.ct, rc.ct, rc.rlk)
+		if e1 != nil || e2 != nil {
+			return fmt.Errorf("benchjson: resident ladder multiply at level %d: %v %v", level, e1, e2)
+		}
+		rc.expected = fhe.NegacyclicProductModT(rc.expected, rc.expected, T)
+		if err := verify(fmt.Sprintf("after mul at level %d", level)); err != nil {
+			return err
+		}
+		budget, err := rc.s.NoiseBudgetBits(rc.sk, rc.ct, rc.expected)
+		if err != nil {
+			return err
+		}
+		row.BudgetBits = budget
+
+		if level < depth-1 {
+			// The resident switch: NTT-domain source and destination.
+			swDst := fhe.BackendCiphertext{A: rb.NewPolyAt(level + 1), B: rb.NewPolyAt(level + 1), Level: level + 1, Domain: fhe.DomainNTT}
+			if err := rb.ModSwitch(&swDst, rc.ct); err != nil {
+				return err
+			}
+			row.ModSwitchNs = minInterleaved(rounds, func() { _ = rb.ModSwitch(&swDst, rc.ct) })[0]
+			row.ModSwitchAllocs = allocs(func() { _ = rb.ModSwitch(&swDst, rc.ct) })
+			if row.ModSwitchAllocs != 0 {
+				allocClean = false
+			}
+			if oc.ct, err = oc.s.ModSwitch(oc.ct); err != nil {
+				return err
+			}
+			if rc.ct, err = rc.s.ModSwitch(rc.ct); err != nil {
+				return err
+			}
+			if err := verify(fmt.Sprintf("after switch to level %d", level+1)); err != nil {
+				return err
+			}
+		}
+		levels[fmt.Sprintf("level%d", level)] = row
+		residentSeries = append(residentSeries, mins[0])
+		vsRetensor = append(vsRetensor, row.ResidentVsRetensor)
+		vsPR5 = append(vsPR5, row.ResidentVsPR5)
+		fmt.Printf("resident level %d (k=%d): resident %.0f ns, retensor %.0f ns (%.3fx), vs PR5 recorded %.0f ns (%.3fx), budget %d bits\n",
+			level, k-level, mins[0], mins[1], row.ResidentVsRetensor, row.PR5RecordedNs, row.ResidentVsPR5, row.BudgetBits)
+	}
+
+	decreasing := true
+	steeper := true
+	for i := 1; i < len(residentSeries); i++ {
+		if residentSeries[i] >= residentSeries[i-1] {
+			decreasing = false
+		}
+		// Steeper per-level decrease than PR 5: the level-to-level cost
+		// ratio must be below PR 5's at the same step.
+		if residentSeries[i]/residentSeries[i-1] >= pr5Recorded.mulctNs[i]/pr5Recorded.mulctNs[i-1] {
+			steeper = false
+		}
+	}
+
+	scaling, err := towerScaling(n, k, rounds)
+	if err != nil {
+		return err
+	}
+
+	report := map[string]any{
+		"schema":         "mqxgo-bench/v1",
+		"pr":             6,
+		"generated_unix": time.Now().Unix(),
+		"config": map[string]any{
+			"n": n, "towers": k, "depth": depth, "prime_bits": 59, "plain_modulus": T,
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"gomaxprocs": runtime.GOMAXPROCS(0), "host_cpus": runtime.NumCPU(),
+			"timing": fmt.Sprintf("min of %d interleaved rounds per contender", rounds),
+		},
+		"verified":      true,
+		"results":       levels,
+		"tower_scaling": scaling,
+		"acceptance": map[string]any{
+			"resident_mulct_ns_by_level":        residentSeries,
+			"resident_vs_retensor_by_level":     vsRetensor,
+			"resident_vs_pr5_recorded_by_level": vsPR5,
+			"strictly_decreasing":               decreasing,
+			"steeper_than_pr5":                  steeper,
+			"resident_path_zero_allocs":         allocClean,
+		},
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (strictly decreasing: %v, steeper than PR5: %v, resident path 0 allocs: %v)\n",
+		path, decreasing, steeper, allocClean)
+	return nil
+}
+
+// ladderBackends builds the oracle and RNS backends for the ladder shape.
+func ladderBackends(n, k int) (fhe.Backend, fhe.Backend, error) {
+	params, err := fhe.NewParams(modmath.DefaultModulus128(), n, mulPlainMod)
+	if err != nil {
+		return nil, nil, err
+	}
+	oracle := fhe.NewRingBackend(params)
+	c, err := rns.NewContext(59, k, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := fhe.NewRNSBackend(c, mulPlainMod)
+	if err != nil {
+		return nil, nil, err
+	}
+	return oracle, rb, nil
+}
+
+// ladderChain is one backend's keyed squaring chain.
+type ladderChain struct {
+	s        *fhe.BackendScheme
+	sk       fhe.BackendSecretKey
+	rlk      fhe.BackendRelinKey
+	ct       fhe.BackendCiphertext
+	expected []uint64
+}
+
+// newLadderChain seeds a chain identically to the PR 5 report so the two
+// reports describe the same computation.
+func newLadderChain(b fhe.Backend, n int, genKey bool) (*ladderChain, error) {
+	ch := &ladderChain{s: fhe.NewBackendScheme(b, 555)}
+	ch.sk = ch.s.KeyGen()
+	if genKey {
+		ch.rlk = ch.s.RelinKeyGen(ch.sk)
+	}
+	rng := rand.New(rand.NewSource(999))
+	msg := make([]uint64, n)
+	for i := range msg {
+		msg[i] = rng.Uint64() % mulPlainMod
+	}
+	ch.expected = msg
+	var err error
+	ch.ct, err = ch.s.Encrypt(ch.sk, msg)
+	return ch, err
+}
+
+// towerScaling measures the resident MulCt at workers=1 against the
+// GOMAXPROCS worker pool on a fresh level-0 fixture. On a single-CPU
+// host this honestly reports ~1x: the per-tower dispatch exists for
+// multi-core hosts, and host_cpus in the config says which one ran.
+func towerScaling(n, k, rounds int) (map[string]any, error) {
+	c, err := rns.NewContext(59, k, n)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := fhe.NewRNSBackendWorkers(c, mulPlainMod, 1)
+	if err != nil {
+		return nil, err
+	}
+	par, err := fhe.NewRNSBackendWorkers(c, mulPlainMod, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := func(b fhe.Backend) (func(), error) {
+		s := fhe.NewBackendScheme(b, 555)
+		sk := s.KeyGen()
+		rlk := b.RelinKeyGen(sk.S, rand.New(rand.NewSource(556)))
+		msg := make([]uint64, n)
+		ct, err := s.Encrypt(sk, msg)
+		if err != nil {
+			return nil, err
+		}
+		dst := fhe.BackendCiphertext{A: b.NewPolyAt(0), B: b.NewPolyAt(0), Domain: fhe.DomainNTT}
+		return func() { _ = b.MulCt(&dst, ct, ct, rlk) }, nil
+	}
+	seqOp, err := run(seq)
+	if err != nil {
+		return nil, err
+	}
+	parOp, err := run(par)
+	if err != nil {
+		return nil, err
+	}
+	mins := minInterleaved(rounds, seqOp, parOp)
+	return map[string]any{
+		"workers1_mulct_ns":   mins[0],
+		"gomaxprocs_mulct_ns": mins[1],
+		"speedup":             mins[0] / mins[1],
+		"gomaxprocs":          runtime.GOMAXPROCS(0),
+		"host_cpus":           runtime.NumCPU(),
+	}, nil
+}

@@ -6,22 +6,17 @@ import (
 	"mqxgo/internal/rns"
 )
 
-// Steady-state allocation regression for the BEHZ multiply, extending the
-// PR 1 discipline to the new hot path: with the scratch pool warmed and a
-// reused destination ciphertext, the RNS backend's MulCt — base
-// extension, tensor, divide-and-round, exact return, relinearization —
-// must allocate nothing. (The 128-bit oracle backend is exempt by
-// design: it trades allocation discipline for exact big-int arithmetic.)
-func TestRNSMulCtDoesNotAllocate(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race instrumentation allocates")
-	}
+// allocFixture builds a single-worker RNS backend (the zero-allocation
+// configuration: the tower dispatch runs as plain loops, no pool
+// submission) with two encryptions of the same message and a relin key.
+func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRelinKey, BackendCiphertext, BackendCiphertext) {
+	t.Helper()
 	const n, T = 256, 257
-	c, err := rns.NewContext(59, 2, n)
+	c, err := rns.NewContext(59, levels, n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewRNSBackend(c, T)
+	b, err := NewRNSBackendWorkers(c, T, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +35,22 @@ func TestRNSMulCtDoesNotAllocate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
+	return b, s, rlk, c1, c2
+}
+
+// Steady-state allocation regression for the BEHZ multiply, extending the
+// PR 1 discipline to the hot path in its PR 6 resting state: with the
+// scratch pool warmed and a reused destination ciphertext, the RNS
+// backend's NTT-resident MulCt — operand crossing, base extension,
+// tensor, fused divide-and-round, relinearization, resident return —
+// must allocate nothing. (The 128-bit oracle backend is exempt by
+// design: it trades allocation discipline for exact big-int arithmetic.)
+func TestRNSMulCtDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	b, _, rlk, c1, c2 := allocFixture(t, 2)
+	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
 	if err := b.MulCt(&dst, c1, c2, rlk); err != nil { // warm the multiply and transform pools
 		t.Fatal(err)
 	}
@@ -49,34 +59,71 @@ func TestRNSMulCtDoesNotAllocate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}); got != 0 {
-		t.Errorf("RNS MulCt allocates %.1f per run, want 0", got)
+		t.Errorf("RNS resident MulCt allocates %.1f per run, want 0", got)
 	}
 }
 
-// TestRNSModSwitchDoesNotAllocate extends the gate to the new ladder
-// primitive: with the Rescaler's scratch pool warmed and a reused
-// destination ciphertext, dropping a level allocates nothing.
+// TestRNSMulCtSquaringDoesNotAllocate pins the resident squaring
+// shortcut (aliased operands, deduplicated crossings and extensions) to
+// the same zero-allocation bar — it is the ladder benchmark's exact
+// workload.
+func TestRNSMulCtSquaringDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	b, _, rlk, c1, _ := allocFixture(t, 2)
+	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
+	if err := b.MulCt(&dst, c1, c1, rlk); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.MulCt(&dst, c1, c1, rlk); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS resident squaring allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestRNSMulCtCoeffDoesNotAllocate keeps the PR 5 coefficient-domain
+// pipeline — still reachable through ConvertDomain and coefficient-domain
+// handles — under the same gate.
+func TestRNSMulCtCoeffDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	b, s, rlk, c1, c2 := allocFixture(t, 2)
+	cc1, err := s.ConvertDomain(c1, DomainCoeff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc2, err := s.ConvertDomain(c2, DomainCoeff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
+	if err := b.MulCt(&dst, cc1, cc2, rlk); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.MulCt(&dst, cc1, cc2, rlk); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS coefficient MulCt allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestRNSModSwitchDoesNotAllocate extends the gate to the ladder
+// primitive in its resident form: with the Rescaler's scratch pool warmed
+// and a reused destination ciphertext, dropping a level of an NTT-domain
+// ciphertext allocates nothing.
 func TestRNSModSwitchDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	const n, T = 256, 257
-	c, err := rns.NewContext(59, 3, n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewRNSBackend(c, T)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := NewBackendScheme(b, 654)
-	sk := s.KeyGen()
-	msg := make([]uint64, n)
-	ct, err := s.Encrypt(sk, msg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1}
+	b, _, _, ct, _ := allocFixture(t, 3)
+	dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1, Domain: DomainNTT}
 	if err := b.ModSwitch(&dst, ct); err != nil { // warm the rescale scratch pool
 		t.Fatal(err)
 	}
@@ -85,6 +132,29 @@ func TestRNSModSwitchDoesNotAllocate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}); got != 0 {
-		t.Errorf("RNS ModSwitch allocates %.1f per run, want 0", got)
+		t.Errorf("RNS resident ModSwitch allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestRNSModSwitchCoeffDoesNotAllocate is the coefficient-domain variant.
+func TestRNSModSwitchCoeffDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	b, s, _, ct, _ := allocFixture(t, 3)
+	cct, err := s.ConvertDomain(ct, DomainCoeff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1}
+	if err := b.ModSwitch(&dst, cct); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.ModSwitch(&dst, cct); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS coefficient ModSwitch allocates %.1f per run, want 0", got)
 	}
 }

@@ -14,6 +14,35 @@ import (
 // crashing when they are.
 type Poly any
 
+// Domain says which representation a ciphertext's components are resting
+// in. Since PR 6 the NTT (double-CRT) domain is the RESTING STATE of a
+// ciphertext: Encrypt produces DomainNTT, the linear ops and
+// MulCt/ModSwitch keep it, and coefficient form appears only at the
+// Encrypt/Decrypt boundaries and inside the BEHZ base-extension steps
+// where positional coefficients are mandatory. DomainCoeff is the zero
+// value, so directly-constructed ciphertexts (tests, the legacy
+// fhe.Scheme wrapper) keep their historical coefficient-domain meaning.
+type Domain uint8
+
+const (
+	// DomainCoeff: components hold positional coefficients.
+	DomainCoeff Domain = iota
+	// DomainNTT: components hold per-tower twisted-evaluation (negacyclic
+	// NTT) values — double-CRT form on the RNS backend.
+	DomainNTT
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainCoeff:
+		return "coeff"
+	case DomainNTT:
+		return "ntt"
+	default:
+		return fmt.Sprintf("domain(%d)", uint8(d))
+	}
+}
+
 // Backend is the ring-arithmetic seam the RLWE scheme runs on: the
 // paper's two hardware philosophies — one 124-bit double-word ring versus
 // a basis of 64-bit RNS towers — as swappable implementations. A backend
@@ -58,8 +87,19 @@ type Backend interface {
 	Sub(level int, dst, a, b Poly)
 	// Neg computes dst = -a at the given level; dst may alias a.
 	Neg(level int, dst, a Poly)
-	// MulNegacyclic computes dst = a*b in Z_{Q_l}[x]/(x^N + 1).
+	// MulNegacyclic computes dst = a*b in Z_{Q_l}[x]/(x^N + 1), both
+	// operands in coefficient form.
 	MulNegacyclic(level int, dst, a, b Poly)
+	// ToNTT moves a (coefficient form at the given level) into the
+	// twisted-evaluation domain: every tower/limb forward-transformed.
+	// dst may alias a.
+	ToNTT(level int, dst, a Poly)
+	// ToCoeff is the inverse of ToNTT (1/N folded in). dst may alias a.
+	ToCoeff(level int, dst, a Poly)
+	// PMul computes the evaluation-domain pointwise product dst = a ∘ b
+	// for operands already in the twisted NTT domain — the negacyclic
+	// convolution of their coefficient forms. dst may alias a or b.
+	PMul(level int, dst, a, b Poly)
 	// ScalarMul computes dst = k*a at the given level for a small
 	// integer constant k.
 	ScalarMul(level int, dst, a Poly, k uint64)
@@ -95,18 +135,28 @@ type Backend interface {
 	// rescale by T/Q_l, and relinearization with rlk's keys for that
 	// level, so dst decrypts (degree-1, via the usual B - A*S) to the
 	// negacyclic product of the plaintexts mod T, noise permitting.
-	// ct1, ct2, and dst must share one level; dst's components must be
-	// distinct polynomials not aliasing ct1's or ct2's. Malformed
-	// handles, mixed-backend keys, and out-of-range tensors (the oracle
-	// backend's rescale detection) return errors. The RNS backend is
-	// allocation-free in steady state; the 128-bit oracle backend favors
+	// ct1, ct2, and dst must share one level AND one domain (set
+	// dst.Domain before the call; domain-mismatched handles are
+	// rejected); dst's components must be distinct polynomials not
+	// aliasing ct1's or ct2's. With DomainNTT operands the RNS backend
+	// runs the resident pipeline: the tensor consumes the operands'
+	// evaluation form directly, per-tower work dispatches through the
+	// worker pool, and the relinearized result is returned resident —
+	// only the BEHZ base-extension and divide-and-round steps touch
+	// coefficient form. Malformed handles, mixed-backend keys, and
+	// out-of-range tensors (the oracle backend's rescale detection)
+	// return errors. The RNS backend is allocation-free in steady state
+	// (sequential dispatch; parallel dispatch pays the pool's fixed
+	// per-chunk closure cost); the 128-bit oracle backend favors
 	// exactness over allocation discipline.
 	MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error
 	// ModSwitch rescales ct from its level to level+1 into dst: every
 	// coefficient becomes round(c * Q_{l+1} / Q_l), dividing the noise
 	// by the dropped factor along with the modulus. dst must be shaped
-	// for ct.Level+1 with dst.Level already set; the RNS path is
-	// allocation-free in steady state.
+	// for ct.Level+1 with dst.Level already set and dst.Domain matching
+	// ct's. DomainNTT ciphertexts stay resident: only the dropped tower
+	// is inverse-transformed (rns.Rescaler.RescaleNTTInto). The RNS path
+	// is allocation-free in steady state.
 	ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error
 }
 
@@ -128,11 +178,15 @@ type BackendSecretKey struct {
 }
 
 // BackendCiphertext is an RLWE pair (A, B) with B = A*S + E + Delta*M,
-// tagged with the modulus-chain level its coefficients live at. Fresh
-// encryptions are at level 0; ModSwitch increments Level.
+// tagged with the modulus-chain level its components live at and the
+// representation Domain they rest in. Fresh encryptions are at level 0 in
+// DomainNTT (the double-CRT resting state); ModSwitch increments Level
+// and preserves the domain. The zero Domain is DomainCoeff, so pairs
+// constructed directly from coefficient polynomials remain valid.
 type BackendCiphertext struct {
-	A, B  Poly
-	Level int
+	A, B   Poly
+	Level  int
+	Domain Domain
 }
 
 // BackendScheme is the symmetric-key RLWE ("BFV-style") scheme written
@@ -185,10 +239,17 @@ func (s *BackendScheme) checkMsg(msg []uint64) error {
 }
 
 // checkCts validates every ciphertext's provenance against the backend
-// and that they all sit at one level — the hardening gate every public
-// entry point passes malformed inputs through instead of panicking.
+// and that they all sit at one level AND in one domain — the hardening
+// gate every public entry point passes malformed inputs through instead
+// of panicking. Domain-mismatched operands are rejected, never silently
+// converted: a resident and a coefficient handle meeting in one operation
+// means some caller lost track of representation state, and an implicit
+// transform would bury that bug under a correctness-preserving cost.
 func (s *BackendScheme) checkCts(cts ...BackendCiphertext) error {
 	for i, ct := range cts {
+		if ct.Domain > DomainNTT {
+			return fmt.Errorf("fhe: operand %d carries unknown domain tag %d", i, ct.Domain)
+		}
 		if err := s.B.CheckCiphertext(ct); err != nil {
 			return err
 		}
@@ -196,12 +257,20 @@ func (s *BackendScheme) checkCts(cts ...BackendCiphertext) error {
 			return fmt.Errorf("fhe: operand %d at level %d, operand 0 at level %d",
 				i, ct.Level, cts[0].Level)
 		}
+		if ct.Domain != cts[0].Domain {
+			return fmt.Errorf("fhe: operand %d in the %s domain, operand 0 in the %s domain",
+				i, ct.Domain, cts[0].Domain)
+		}
 	}
 	return nil
 }
 
 // Encrypt encrypts a plaintext polynomial with coefficients in [0, T) at
-// level 0, the top of the modulus chain.
+// level 0, the top of the modulus chain. The returned ciphertext is
+// NTT-RESIDENT (DomainNTT): sampling, key product, and message embedding
+// happen in coefficient form, then both components forward-transform once
+// — the last mandatory transform until Decrypt, as far as the linear ops,
+// MulCiphertexts, and ModSwitch are concerned.
 func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphertext, error) {
 	if err := s.checkMsg(msg); err != nil {
 		return BackendCiphertext{}, err
@@ -219,20 +288,68 @@ func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphe
 	b.MulNegacyclic(0, bb, a, sk.S) // A*S
 	b.Add(0, bb, bb, e)             // + E
 	b.AddDeltaMsg(0, bb, bb, msg)   // + Delta*M
-	return BackendCiphertext{A: a, B: bb}, nil
+	b.ToNTT(0, a, a)
+	b.ToNTT(0, bb, bb)
+	return BackendCiphertext{A: a, B: bb, Domain: DomainNTT}, nil
+}
+
+// coeffAB returns ct's components in coefficient form: the originals for
+// a DomainCoeff handle, fresh inverse-transformed copies for a resident
+// one. It is the decryption-side boundary crossing; ct is never mutated.
+func (s *BackendScheme) coeffAB(ct BackendCiphertext) (a, b Poly) {
+	if ct.Domain != DomainNTT {
+		return ct.A, ct.B
+	}
+	a = s.B.Copy(ct.A)
+	b = s.B.Copy(ct.B)
+	s.B.ToCoeff(ct.Level, a, a)
+	s.B.ToCoeff(ct.Level, b, b)
+	return a, b
+}
+
+// ConvertDomain returns a copy of ct with its components resting in
+// domain d — the explicit boundary crossing between the resident
+// double-CRT world and coefficient-form consumers (serialization, the
+// legacy fhe.Scheme wrapper, coefficient-domain benchmark fixtures).
+// Converting to the domain ct already rests in returns an independent
+// copy. Decryption commutes with this conversion bit-for-bit: the
+// transforms are exact, so a resident chain checked through ConvertDomain
+// must agree with a coefficient chain at every step.
+func (s *BackendScheme) ConvertDomain(ct BackendCiphertext, d Domain) (BackendCiphertext, error) {
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if d > DomainNTT {
+		return BackendCiphertext{}, fmt.Errorf("fhe: unknown target domain tag %d", d)
+	}
+	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.Copy(ct.B), Level: ct.Level, Domain: d}
+	if ct.Domain == d {
+		return out, nil
+	}
+	if d == DomainNTT {
+		s.B.ToNTT(ct.Level, out.A, out.A)
+		s.B.ToNTT(ct.Level, out.B, out.B)
+	} else {
+		s.B.ToCoeff(ct.Level, out.A, out.A)
+		s.B.ToCoeff(ct.Level, out.B, out.B)
+	}
+	return out, nil
 }
 
 // Decrypt recovers the plaintext at the ciphertext's level:
-// round((B - A*S) * T / Q_l) mod T.
+// round((B - A*S) * T / Q_l) mod T. Resident ciphertexts are
+// inverse-transformed into scratch copies first — decryption is the other
+// boundary where coefficient form is mandatory.
 func (s *BackendScheme) Decrypt(sk BackendSecretKey, ct BackendCiphertext) ([]uint64, error) {
 	if err := s.checkCts(ct); err != nil {
 		return nil, err
 	}
 	b := s.B
 	l := ct.Level
+	ca, cb := s.coeffAB(ct)
 	noisy := b.NewPolyAt(l)
-	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
-	b.Sub(l, noisy, ct.B, noisy) // B - A*S = Delta*M + E
+	b.MulNegacyclic(l, noisy, ca, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, cb, noisy) // B - A*S = Delta*M + E
 	return b.RoundToPlain(l, noisy), nil
 }
 
@@ -244,7 +361,7 @@ func (s *BackendScheme) AddCiphertexts(c1, c2 BackendCiphertext) (BackendCiphert
 		return BackendCiphertext{}, err
 	}
 	l := c1.Level
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: c1.Domain}
 	s.B.Add(l, out.A, c1.A, c2.A)
 	s.B.Add(l, out.B, c1.B, c2.B)
 	return out, nil
@@ -256,7 +373,7 @@ func (s *BackendScheme) SubCiphertexts(c1, c2 BackendCiphertext) (BackendCiphert
 		return BackendCiphertext{}, err
 	}
 	l := c1.Level
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: c1.Domain}
 	s.B.Sub(l, out.A, c1.A, c2.A)
 	s.B.Sub(l, out.B, c1.B, c2.B)
 	return out, nil
@@ -268,7 +385,7 @@ func (s *BackendScheme) Neg(ct BackendCiphertext) (BackendCiphertext, error) {
 		return BackendCiphertext{}, err
 	}
 	l := ct.Level
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
 	s.B.Neg(l, out.A, ct.A)
 	s.B.Neg(l, out.B, ct.B)
 	return out, nil
@@ -293,7 +410,7 @@ func (s *BackendScheme) MulCiphertexts(c1, c2 BackendCiphertext, rlk BackendReli
 		return BackendCiphertext{}, err
 	}
 	l := c1.Level
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: c1.Domain}
 	if err := s.B.MulCt(&out, c1, c2, rlk); err != nil {
 		return BackendCiphertext{}, err
 	}
@@ -313,7 +430,7 @@ func (s *BackendScheme) ModSwitch(ct BackendCiphertext) (BackendCiphertext, erro
 		return BackendCiphertext{}, fmt.Errorf("fhe: ciphertext already at bottom level %d", ct.Level)
 	}
 	l := ct.Level + 1
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
 	if err := s.B.ModSwitch(&out, ct); err != nil {
 		return BackendCiphertext{}, err
 	}
@@ -367,7 +484,11 @@ func MulNoiseBoundBits(n int, t uint64, noiseBits, digits, digitBits, overshoot 
 
 // MulPlain multiplies a ciphertext by a plaintext polynomial with small
 // coefficients (negacyclic convolution of both components). pt must be a
-// handle from this scheme's backend shaped for ct's level.
+// COEFFICIENT-form handle from this scheme's backend shaped for ct's
+// level. A resident ciphertext stays resident: pt forward-transforms once
+// into scratch and both components take the pointwise product, replacing
+// two full negacyclic convolutions (4 transforms each) with one transform
+// total.
 func (s *BackendScheme) MulPlain(ct BackendCiphertext, pt Poly) (BackendCiphertext, error) {
 	if err := s.checkCts(ct); err != nil {
 		return BackendCiphertext{}, err
@@ -376,7 +497,14 @@ func (s *BackendScheme) MulPlain(ct BackendCiphertext, pt Poly) (BackendCipherte
 	if err := s.B.CheckPoly(l, pt); err != nil {
 		return BackendCiphertext{}, err
 	}
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
+	if ct.Domain == DomainNTT {
+		ev := s.B.Copy(pt)
+		s.B.ToNTT(l, ev, ev)
+		s.B.PMul(l, out.A, ct.A, ev)
+		s.B.PMul(l, out.B, ct.B, ev)
+		return out, nil
+	}
 	s.B.MulNegacyclic(l, out.A, ct.A, pt)
 	s.B.MulNegacyclic(l, out.B, ct.B, pt)
 	return out, nil
@@ -389,7 +517,7 @@ func (s *BackendScheme) MulScalar(ct BackendCiphertext, k uint64) (BackendCipher
 		return BackendCiphertext{}, err
 	}
 	l := ct.Level
-	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
 	s.B.ScalarMul(l, out.A, ct.A, k)
 	s.B.ScalarMul(l, out.B, ct.B, k)
 	return out, nil
@@ -405,7 +533,17 @@ func (s *BackendScheme) AddPlain(ct BackendCiphertext, msg []uint64) (BackendCip
 		return BackendCiphertext{}, err
 	}
 	l := ct.Level
-	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPolyAt(l), Level: l}
+	out := BackendCiphertext{A: s.B.Copy(ct.A), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
+	if ct.Domain == DomainNTT {
+		// Embed Delta*m in coefficient form, transform it (the NTT is
+		// linear, so adding its image is adding the message), and add into
+		// the resident B.
+		dm := s.B.NewPolyAt(l)
+		s.B.AddDeltaMsg(l, dm, dm, msg)
+		s.B.ToNTT(l, dm, dm)
+		s.B.Add(l, out.B, ct.B, dm)
+		return out, nil
+	}
 	s.B.AddDeltaMsg(l, out.B, ct.B, msg)
 	return out, nil
 }
@@ -447,9 +585,10 @@ func (s *BackendScheme) NoiseBits(sk BackendSecretKey, ct BackendCiphertext, msg
 	}
 	b := s.B
 	l := ct.Level
+	ca, cb := s.coeffAB(ct)
 	noisy := b.NewPolyAt(l)
-	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
-	b.Sub(l, noisy, ct.B, noisy)
+	b.MulNegacyclic(l, noisy, ca, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, cb, noisy)
 	return b.NoiseBits(l, noisy, msg), nil
 }
 
@@ -469,9 +608,10 @@ func (s *BackendScheme) NoiseBudgetBits(sk BackendSecretKey, ct BackendCiphertex
 	}
 	b := s.B
 	l := ct.Level
+	ca, cb := s.coeffAB(ct)
 	noisy := b.NewPolyAt(l)
-	b.MulNegacyclic(l, noisy, ct.A, b.SecretAt(l, sk.S))
-	b.Sub(l, noisy, ct.B, noisy)
+	b.MulNegacyclic(l, noisy, ca, b.SecretAt(l, sk.S))
+	b.Sub(l, noisy, cb, noisy)
 	nb := b.NoiseBits(l, noisy, msg)
 	if nb == 0 {
 		return b.DeltaBits(l), nil

@@ -201,6 +201,18 @@ func (b *ringBackend) MulNegacyclic(level int, dst, a, c Poly) {
 	b.levels[level].plan.PolyMulNegacyclicInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
 }
 
+func (b *ringBackend) ToNTT(level int, dst, a Poly) {
+	b.levels[level].plan.Generic().NegacyclicForwardInto(dst.([]u128.U128), a.([]u128.U128))
+}
+
+func (b *ringBackend) ToCoeff(level int, dst, a Poly) {
+	b.levels[level].plan.Generic().NegacyclicInverseInto(dst.([]u128.U128), a.([]u128.U128))
+}
+
+func (b *ringBackend) PMul(level int, dst, a, c Poly) {
+	b.levels[level].plan.Generic().PointwiseMulInto(dst.([]u128.U128), a.([]u128.U128), c.([]u128.U128))
+}
+
 func (b *ringBackend) ScalarMul(level int, dst, a Poly, k uint64) {
 	lv := b.levels[level]
 	kk := u128.From64(k).Mod(lv.mod.Q)
@@ -427,9 +439,13 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	if ct1.Level != ct2.Level || dst.Level != ct1.Level {
 		return fmt.Errorf("fhe: MulCt level mismatch: %d, %d -> %d", ct1.Level, ct2.Level, dst.Level)
 	}
+	if ct1.Domain != ct2.Domain || dst.Domain != ct1.Domain {
+		return fmt.Errorf("fhe: MulCt domain mismatch: %s, %s -> %s", ct1.Domain, ct2.Domain, dst.Domain)
+	}
 	if ct1.Level < 0 || ct1.Level >= len(b.levels) {
 		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct1.Level, len(b.levels))
 	}
+	resident := ct1.Domain == DomainNTT
 	lv := b.levels[ct1.Level]
 	// A key of the right TYPE can still come from a backend over other
 	// parameters: validate its chain depth and row shapes before use.
@@ -450,15 +466,26 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	g := lv.plan.Generic()
 	n := p.N
 
-	// Lift the four components and decompose into the wide basis.
+	// Lift the four components and decompose into the wide basis. Resident
+	// operands cross back to coefficient form through a scratch copy first:
+	// the oracle's integer tensor is defined on positional coefficients,
+	// and exactness — not transform count — is this backend's contract.
 	coeffs := make([]*big.Int, n)
 	t := new(big.Int)
 	ops := [4]Poly{ct1.A, ct1.B, ct2.A, ct2.B}
+	var coeffScratch []u128.U128
+	if resident {
+		coeffScratch = make([]u128.U128, n)
+	}
 	var wp [4]rns.Poly
 	for i, op := range ops {
 		x, ok := op.([]u128.U128)
 		if !ok || len(x) != n {
 			return fmt.Errorf("fhe: malformed MulCt operand %d on the %s backend", i, b.Name())
+		}
+		if resident {
+			g.NegacyclicInverseInto(coeffScratch, x)
+			x = coeffScratch
 		}
 		liftInto(coeffs, x, t)
 		wp[i] = w.NewPoly()
@@ -520,6 +547,20 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	if !ok || len(dstB) != n {
 		return fmt.Errorf("fhe: malformed MulCt destination on the %s backend", b.Name())
 	}
+	if resident {
+		// The relin accumulators already live in the evaluation domain; a
+		// resident result adds the transformed rescaled components instead
+		// of leaving the domain: NTT(INTT(acc) + r) = acc + NTT(r) exactly.
+		g.NegacyclicForwardInto(zhat, r1)
+		for j := range dstA {
+			dstA[j] = mod.Add(accA[j], zhat[j])
+		}
+		g.NegacyclicForwardInto(zhat, r0)
+		for j := range dstB {
+			dstB[j] = mod.Add(accB[j], zhat[j])
+		}
+		return nil
+	}
 	g.NegacyclicInverseInto(dstA, accA)
 	g.NegacyclicInverseInto(dstB, accB)
 	for j := range dstA {
@@ -540,7 +581,15 @@ func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) er
 	if dst.Level != ct.Level+1 {
 		return fmt.Errorf("fhe: ModSwitch destination at level %d, want %d", dst.Level, ct.Level+1)
 	}
+	if dst.Domain != ct.Domain {
+		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
+	}
+	resident := ct.Domain == DomainNTT
 	from, to := b.levels[ct.Level], b.levels[ct.Level+1]
+	var coeffScratch []u128.U128
+	if resident {
+		coeffScratch = make([]u128.U128, b.p.N)
+	}
 	for i, pair := range [2][2]Poly{{ct.A, dst.A}, {ct.B, dst.B}} {
 		src, ok := pair[0].([]u128.U128)
 		if !ok || len(src) != b.p.N {
@@ -549,6 +598,13 @@ func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) er
 		out, ok := pair[1].([]u128.U128)
 		if !ok || len(out) != b.p.N {
 			return fmt.Errorf("fhe: malformed ModSwitch destination %d on the %s backend", i, b.Name())
+		}
+		if resident {
+			// Exactness first: the oracle crosses to coefficient form for
+			// the big-integer rescale and transforms the result back under
+			// the NEW level's plan (the twiddle tower changes with q).
+			from.plan.Generic().NegacyclicInverseInto(coeffScratch, src)
+			src = coeffScratch
 		}
 		v := new(big.Int)
 		t := new(big.Int)
@@ -566,6 +622,9 @@ func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) er
 				return fmt.Errorf("fhe: ModSwitch result out of range at coefficient %d", j)
 			}
 			out[j] = x
+		}
+		if resident {
+			to.plan.Generic().NegacyclicForwardInto(out, out)
 		}
 	}
 	return nil

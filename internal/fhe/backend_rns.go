@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"math/bits"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"mqxgo/internal/modmath"
@@ -36,11 +37,32 @@ import (
 // (rns.SKConverter). Relinearization keys are stored per level in that
 // level's NTT domain, so the per-multiply key-side forward transforms are
 // gone. All multiply state is pooled per level; steady-state MulCt and
-// ModSwitch allocate nothing.
+// ModSwitch allocate nothing in the workers == 1 configuration.
+//
+// Since PR 6 ciphertexts REST in the twisted-evaluation (double-CRT)
+// domain, and MulCt has two pipelines keyed off the operands' Domain tag:
+//
+//   - DomainCoeff: the PR 5 pipeline, bit-for-bit — each tensor tower
+//     forward-transforms its four operand rows, multiplies pointwise, and
+//     inverse-transforms the three products.
+//   - DomainNTT (the resident pipeline): the Q-base tensor consumes the
+//     operands' evaluation form directly (zero forward transforms), the
+//     operands cross to coefficient form exactly once for the m~-corrected
+//     extension, squared operands are detected by row identity and
+//     extended/transformed once instead of twice, the divide-and-round
+//     runs as fused single-pass kernels per tower, and the relinearized
+//     result is returned resident (the accumulators already live in the
+//     evaluation domain, so the result adds NTT(c0/c1) instead of leaving
+//     the domain). Coefficient form survives only where BEHZ needs
+//     positional digits: the base conversions and the rounding offsets.
+//
+// Both pipelines dispatch their per-tower phases through the shared
+// ring.ParallelChunks worker pool when workers != 1.
 type rnsBackend struct {
-	t      uint64
-	k      int // towers at level 0
-	levels []*rnsLevel
+	t       uint64
+	k       int // towers at level 0
+	workers int // tower-dispatch width: 1 sequential/zero-alloc, 0 GOMAXPROCS
+	levels  []*rnsLevel
 }
 
 // mtilde is the auxiliary Montgomery modulus of the m~-corrected operand
@@ -73,19 +95,61 @@ type rnsLevel struct {
 	qInvE  []uint64               // Q_l^-1 mod e_j
 	gadget [][]uint64             // gadget[i][tau] = (Q_l/q_i) mod q_tau, the relin gadget
 
+	// Fused divide-and-round constants (the resident pipeline). The PR 5
+	// rescale materializes w_i = T*v_i + h per Q tower and then lets
+	// FastBConv take w's digit w_i*(Q_l/q_i)^-1; folding the constants
+	// gives the digit directly in one pass per tower,
+	// z_i = v_i*tQiInv[i] + hQiInv[i] mod q_i, feeding
+	// rns.BaseConverter.ConvertDigitsInto. On the extension side tResEPre
+	// and qInvEPre let the two scalar passes and the subtraction collapse
+	// into one fused loop after the conversion lands.
+	tQiInv    []uint64 // (T * (Q_l/q_i)^-1) mod q_i
+	tQiInvPre []uint64 // Shoup precomputation of tQiInv
+	hQiInv    []uint64 // (floor(Q_l/2) * (Q_l/q_i)^-1) mod q_i
+	tResEPre  []uint64 // Shoup precomputation of tResE
+	qInvEPre  []uint64 // Shoup precomputation of qInvE
+
+	// relinLazy reports that k lazy Shoup products (each < 2q) fit a
+	// 64-bit accumulator for every tower of this level, enabling the
+	// deferred-reduction relin accumulation (one Barrett per element at
+	// the end instead of a canonical multiply-add per digit).
+	relinLazy bool
+
 	rescale *rns.Rescaler // Q_l -> Q_{l+1} (nil at the bottom rung)
 	mulPool sync.Pool
 }
 
 // rnsMulScratch is the pooled working set of one MulCt call at one level.
+// The per-TOWER-disjoint members (evE, opQ, zQ, liftQ, prodQ) exist so the
+// dispatched phases can run towers concurrently without sharing rows; the
+// flat rows (ev, zrow, lift, prod) serve the sequential coefficient-domain
+// pipeline, whose explicit loops are what escape analysis keeps
+// allocation-free.
+//
+// The struct doubles as the call frame of the dispatched phases: the
+// operand/destination fields are set at the top of MulCt so the parallel
+// closures capture ONE pointer (the scratch itself, already pooled)
+// instead of a fresh environment per phase.
 type rnsMulScratch struct {
 	opE              [4]rns.Poly // operands extended to the ext base
-	ev               [5][]uint64 // per-tower evaluation-domain rows
+	ev               [5][]uint64 // shared evaluation-domain rows (sequential path)
+	evE              [5]rns.Poly // per-tower evaluation-domain rows (ext-base shaped)
+	opQ              [4]rns.Poly // resident path: operand coefficient forms in Q_l
+	zQ               rns.Poly    // resident path: fused rescale digits / relin digit rows
+	liftQ, prodQ     rns.Poly    // per-tower relin scratch (parallel + resident)
 	c0Q, c1Q, c2Q    rns.Poly    // tensor, then scaled ciphertext, in Q_l
 	c0E, c1E, c2E    rns.Poly    // tensor in the ext base
 	convE            rns.Poly    // FastBConv([w]_Q) landing buffer
 	zrow, lift, prod []uint64    // relin digit, lifted digit, product rows
 	accA, accB       rns.Poly    // relin evaluation-domain accumulators
+
+	// Call frame for the dispatched phases.
+	lv           *rnsLevel
+	in           [4]rns.Poly // a1, b1, a2, b2 as passed
+	outA, outB   rns.Poly
+	lkey         *rnsLevelRelin
+	keyNTTDomain bool
+	squaring     bool // operand rows of ct1 and ct2 are identical slices
 }
 
 // NewRNSBackend wraps an RNS context and plaintext modulus t as a
@@ -95,6 +159,24 @@ type rnsMulScratch struct {
 // headroom — small enough that rescaled tensor coefficients stay below
 // half the extension base (validated exactly, per level, below).
 func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
+	return NewRNSBackendWorkers(c, t, 0)
+}
+
+// NewRNSBackendWorkers is NewRNSBackend with the tower-dispatch width
+// pinned. workers == 1 runs every per-tower phase as a plain sequential
+// loop — the zero-allocation configuration the alloc gates measure.
+// workers == 0 resolves to GOMAXPROCS at construction (the default): on
+// a single-CPU host that IS the sequential zero-allocation path, so the
+// default backend never pays pool dispatch it cannot use. Any other
+// positive value caps the pool fan-out at that many concurrent tower
+// chunks.
+func NewRNSBackendWorkers(c *rns.Context, t uint64, workers int) (Backend, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("fhe: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if t < 2 {
 		return nil, fmt.Errorf("fhe: plaintext modulus %d too small", t)
 	}
@@ -112,7 +194,7 @@ func NewRNSBackend(c *rns.Context, t uint64) (Backend, error) {
 		return nil, fmt.Errorf("fhe: mixed-width RNS basis unsupported (primes %d and %d)", minQ, maxQ)
 	}
 	k := c.Channels()
-	b := &rnsBackend{t: t, k: k}
+	b := &rnsBackend{t: t, k: k, workers: workers}
 
 	// The extension primes are shared by every level: the top-down search
 	// returns Q's own primes first, so overshoot and filter against the
@@ -232,8 +314,14 @@ func (b *rnsBackend) buildLevel(c *rns.Context, extPrimes []uint64) (*rnsLevel, 
 	t := new(big.Int)
 	for i, mod := range c.Mods {
 		qb := new(big.Int).SetUint64(mod.Q)
+		hq := t.Mod(lv.halfQ, qb).Uint64()
 		lv.tResQ = append(lv.tResQ, b.t%mod.Q)
-		lv.hResQ = append(lv.hResQ, t.Mod(lv.halfQ, qb).Uint64())
+		lv.hResQ = append(lv.hResQ, hq)
+		qiInv := c.QiInv(i)
+		tqi := mod.Mul(b.t%mod.Q, qiInv)
+		lv.tQiInv = append(lv.tQiInv, tqi)
+		lv.tQiInvPre = append(lv.tQiInvPre, mod.ShoupPrecompute(tqi))
+		lv.hQiInv = append(lv.hQiInv, mod.Mul(hq, qiInv))
 		row := make([]uint64, k)
 		qi := c.QiBig(i)
 		for tau, modT := range c.Mods {
@@ -243,23 +331,49 @@ func (b *rnsBackend) buildLevel(c *rns.Context, extPrimes []uint64) (*rnsLevel, 
 	}
 	for _, mod := range ext.Mods {
 		qb := new(big.Int).SetUint64(mod.Q)
-		lv.tResE = append(lv.tResE, b.t%mod.Q)
+		tRes := b.t % mod.Q
+		qInv := mod.Inv(t.Mod(c.Q, qb).Uint64())
+		lv.tResE = append(lv.tResE, tRes)
+		lv.tResEPre = append(lv.tResEPre, mod.ShoupPrecompute(tRes))
 		lv.hResE = append(lv.hResE, t.Mod(lv.halfQ, qb).Uint64())
-		lv.qInvE = append(lv.qInvE, mod.Inv(t.Mod(c.Q, qb).Uint64()))
+		lv.qInvE = append(lv.qInvE, qInv)
+		lv.qInvEPre = append(lv.qInvEPre, mod.ShoupPrecompute(qInv))
 	}
+	maxQ, minQ := c.Mods[0].Q, c.Mods[0].Q
+	for _, mod := range c.Mods[1:] {
+		if mod.Q > maxQ {
+			maxQ = mod.Q
+		}
+		if mod.Q < minQ {
+			minQ = mod.Q
+		}
+	}
+	// Both halves of the lazy contract: k summands < 2*maxQ may not wrap
+	// the 64-bit accumulator, and the final Barrett64Reduce(0, acc) needs
+	// acc < q^2, i.e. q > 2^32 so that q^2 covers the whole accumulator.
+	lv.relinLazy = uint64(k) <= ^uint64(0)/(2*maxQ) && minQ > 1<<32
 	lv.mulPool.New = func() any {
 		sc := &rnsMulScratch{
 			c0Q: c.NewPoly(), c1Q: c.NewPoly(), c2Q: c.NewPoly(),
 			c0E: ext.NewPoly(), c1E: ext.NewPoly(), c2E: ext.NewPoly(),
 			convE: ext.NewPoly(),
-			accA:  c.NewPoly(), accB: c.NewPoly(),
+			zQ:    c.NewPoly(), liftQ: c.NewPoly(), prodQ: c.NewPoly(),
+			accA: c.NewPoly(), accB: c.NewPoly(),
 			zrow: make([]uint64, c.N), lift: make([]uint64, c.N), prod: make([]uint64, c.N),
 		}
 		for i := range sc.opE {
 			sc.opE[i] = ext.NewPoly()
 		}
+		for i := range sc.opQ {
+			sc.opQ[i] = c.NewPoly()
+		}
 		for i := range sc.ev {
 			sc.ev[i] = make([]uint64, c.N)
+		}
+		for i := range sc.evE {
+			// Ext-base shaped (the wider base), so the same rows serve both
+			// bases' per-tower phases: m >= k and every row is length N.
+			sc.evE[i] = ext.NewPoly()
 		}
 		return sc
 	}
@@ -352,7 +466,19 @@ func (b *rnsBackend) Neg(level int, dst, a Poly) {
 }
 
 func (b *rnsBackend) MulNegacyclic(level int, dst, a, c Poly) {
-	must(b.levels[level].c.MulAll(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly), 0))
+	must(b.levels[level].c.MulAll(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly), b.workers))
+}
+
+func (b *rnsBackend) ToNTT(level int, dst, a Poly) {
+	must(b.levels[level].c.NegacyclicNTTAll(dst.(rns.Poly), a.(rns.Poly), b.workers))
+}
+
+func (b *rnsBackend) ToCoeff(level int, dst, a Poly) {
+	must(b.levels[level].c.NegacyclicINTTAll(dst.(rns.Poly), a.(rns.Poly), b.workers))
+}
+
+func (b *rnsBackend) PMul(level int, dst, a, c Poly) {
+	must(b.levels[level].c.PMulInto(dst.(rns.Poly), a.(rns.Poly), c.(rns.Poly)))
 }
 
 func (b *rnsBackend) ScalarMul(level int, dst, a Poly, k uint64) {
@@ -451,6 +577,13 @@ type rnsRelinKey struct {
 
 type rnsLevelRelin struct {
 	a, b []rns.Poly
+
+	// aPre/bPre are the elementwise Shoup precomputations of the
+	// NTT-domain key rows (nil for coefficient-domain keys). With the
+	// second multiplicand fixed — the key — the relin inner product can
+	// run as lazy Shoup products accumulated with plain integer adds,
+	// deferring the per-digit Barrett reduction to one pass per tower.
+	aPre, bPre []rns.Poly
 }
 
 // RelinKeyGen builds the CRT-gadget relinearization key at every ladder
@@ -500,11 +633,21 @@ func (b *rnsBackend) relinKeyGen(s Poly, rng *rand.Rand, nttDomain bool) Backend
 				c.Plans[tau].Generic().ScaleAddInto(bb.Res[tau], bb.Res[tau], s2.Res[tau], lv.gadget[i][tau])
 			}
 			if nttDomain {
+				aPre, bPre := c.NewPoly(), c.NewPoly()
 				for tau := 0; tau < k; tau++ {
 					plan := c.Plans[tau].Generic()
 					plan.NegacyclicForwardInto(a.Res[tau], a.Res[tau])
 					plan.NegacyclicForwardInto(bb.Res[tau], bb.Res[tau])
+					mod := c.Mods[tau]
+					for j, v := range a.Res[tau] {
+						aPre.Res[tau][j] = mod.ShoupPrecompute(v)
+					}
+					for j, v := range bb.Res[tau] {
+						bPre.Res[tau][j] = mod.ShoupPrecompute(v)
+					}
 				}
+				lk.aPre = append(lk.aPre, aPre)
+				lk.bPre = append(lk.bPre, bPre)
 			}
 			lk.a = append(lk.a, a)
 			lk.b = append(lk.b, bb)
@@ -588,8 +731,10 @@ func addConstRow(row []uint64, mod *modmath.Modulus64, v uint64) {
 // m~-corrected base extension (no operand overshoot), tensor,
 // divide-and-round by Q_l/T, exact return to base Q_l, and CRT-gadget
 // relinearization with the level's NTT-domain keys — residues end to end,
-// no big integers anywhere, zero allocations in steady state. dst must
-// not alias the inputs.
+// no big integers anywhere, zero allocations in steady state when workers
+// == 1. dst must not alias the inputs. The two operand domains select the
+// two pipelines described on rnsBackend; they produce bit-identical
+// ciphertexts up to the final exact transform.
 func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
 	key, ok := rlk.(*rnsRelinKey)
 	if !ok {
@@ -598,8 +743,19 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	if ct1.Level != ct2.Level || dst.Level != ct1.Level {
 		return fmt.Errorf("fhe: MulCt level mismatch: %d, %d -> %d", ct1.Level, ct2.Level, dst.Level)
 	}
+	if ct1.Domain != ct2.Domain || dst.Domain != ct1.Domain {
+		return fmt.Errorf("fhe: MulCt domain mismatch: %s, %s -> %s", ct1.Domain, ct2.Domain, dst.Domain)
+	}
 	if ct1.Level < 0 || ct1.Level >= len(b.levels) {
 		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct1.Level, len(b.levels))
+	}
+	resident := ct1.Domain == DomainNTT
+	if resident && !key.nttDomain {
+		// The coefficient-domain key layout exists as the PR 4 benchmark
+		// axis; the resident pipeline's relin accumulation assumes key rows
+		// already transformed. Callers measuring that axis hold
+		// coefficient-domain ciphertexts (ConvertDomain) anyway.
+		return fmt.Errorf("fhe: coefficient-domain relin keys require coefficient-domain ciphertexts")
 	}
 	lv := b.levels[ct1.Level]
 	c, ext := lv.c, lv.ext
@@ -610,7 +766,7 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	if ct1.Level >= len(key.levels) {
 		return fmt.Errorf("fhe: relin key covers %d levels, ciphertext at level %d", len(key.levels), ct1.Level)
 	}
-	lkey := key.levels[ct1.Level]
+	lkey := &key.levels[ct1.Level]
 	if len(lkey.a) != k || len(lkey.b) != k {
 		return fmt.Errorf("fhe: relin key has %d digits at level %d, want %d", len(lkey.a), ct1.Level, k)
 	}
@@ -638,14 +794,62 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	}
 	sc := lv.mulPool.Get().(*rnsMulScratch)
 	defer lv.mulPool.Put(sc)
+	sc.lv = lv
+	sc.in = [4]rns.Poly{a1, b1, a2, b2}
+	sc.outA, sc.outB = dstA, dstB
+	sc.lkey = lkey
+	sc.keyNTTDomain = key.nttDomain
+	sc.squaring = sameRows(a1, a2) && sameRows(b1, b2)
+
+	if resident {
+		if err := b.mulResident(lv, sc); err != nil {
+			return err
+		}
+	} else if b.workers == 1 {
+		if err := b.mulCoeffSequential(lv, sc, k, m); err != nil {
+			return err
+		}
+	} else {
+		if err := b.mulCoeffParallel(lv, sc, k, m); err != nil {
+			return err
+		}
+	}
+	// Drop the caller's polynomials from the pooled frame so the pool
+	// never pins live ciphertext storage between multiplies.
+	sc.lv, sc.lkey = nil, nil
+	sc.in = [4]rns.Poly{}
+	sc.outA, sc.outB = rns.Poly{}, rns.Poly{}
+	return nil
+}
+
+// sameRows reports whether two polynomials share their row storage — the
+// squaring detection the resident pipeline uses to base-extend and
+// transform aliased operands once instead of twice.
+func sameRows(a, b rns.Poly) bool {
+	if len(a.Res) != len(b.Res) {
+		return false
+	}
+	for i := range a.Res {
+		if len(a.Res[i]) == 0 || len(b.Res[i]) == 0 || &a.Res[i][0] != &b.Res[i][0] {
+			return false
+		}
+	}
+	return true
+}
+
+// mulCoeffSequential is the PR 5 coefficient-domain pipeline, verbatim:
+// the explicit loops (no dispatch closures) are what escape analysis
+// keeps allocation-free, and it is the bit-exact baseline the resident
+// pipeline is measured and differentially tested against.
+func (b *rnsBackend) mulCoeffSequential(lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
+	c, ext := lv.c, lv.ext
 
 	// 1. Base-extend the four operand polynomials into the extension
 	// base with the m~ correction: extended values are x + gamma*Q with
 	// gamma in {-1, 0}, so the tensor headroom validated at construction
 	// carries no k*Q operand overshoot.
-	ops := [4]rns.Poly{a1, b1, a2, b2}
-	for i := range ops {
-		if err := lv.mconv.ConvertInto(sc.opE[i], ops[i]); err != nil {
+	for i := range sc.in {
+		if err := lv.mconv.ConvertInto(sc.opE[i], sc.in[i]); err != nil {
 			return err
 		}
 	}
@@ -653,7 +857,7 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	// 2. Tensor product, tower by tower across both bases.
 	for tau := 0; tau < k; tau++ {
 		tensorTower(c.Plans[tau].Generic(), c.Mods[tau],
-			ops[0].Res[tau], ops[1].Res[tau], ops[2].Res[tau], ops[3].Res[tau],
+			sc.in[0].Res[tau], sc.in[1].Res[tau], sc.in[2].Res[tau], sc.in[3].Res[tau],
 			&sc.ev, sc.c0Q.Res[tau], sc.c1Q.Res[tau], sc.c2Q.Res[tau])
 	}
 	for tau := 0; tau < m; tau++ {
@@ -693,8 +897,8 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 			}
 			plan := c.Plans[tau].Generic()
 			plan.NegacyclicForwardInto(sc.lift, sc.lift)
-			krowA, krowB := lkey.a[i].Res[tau], lkey.b[i].Res[tau]
-			if !key.nttDomain {
+			krowA, krowB := sc.lkey.a[i].Res[tau], sc.lkey.b[i].Res[tau]
+			if !sc.keyNTTDomain {
 				plan.NegacyclicForwardInto(sc.ev[0], krowA)
 				plan.NegacyclicForwardInto(sc.ev[1], krowB)
 				krowA, krowB = sc.ev[0], sc.ev[1]
@@ -708,12 +912,397 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	for tau := 0; tau < k; tau++ {
 		plan := c.Plans[tau].Generic()
 		mod := c.Mods[tau]
-		plan.NegacyclicInverseInto(dstA.Res[tau], sc.accA.Res[tau])
-		addRow(dstA.Res[tau], sc.c1Q.Res[tau], mod)
-		plan.NegacyclicInverseInto(dstB.Res[tau], sc.accB.Res[tau])
-		addRow(dstB.Res[tau], sc.c0Q.Res[tau], mod)
+		plan.NegacyclicInverseInto(sc.outA.Res[tau], sc.accA.Res[tau])
+		addRow(sc.outA.Res[tau], sc.c1Q.Res[tau], mod)
+		plan.NegacyclicInverseInto(sc.outB.Res[tau], sc.accB.Res[tau])
+		addRow(sc.outB.Res[tau], sc.c0Q.Res[tau], mod)
 	}
 	return nil
+}
+
+// mulCoeffParallel is the coefficient-domain pipeline with its per-tower
+// phases dispatched through the worker pool: same math, same bits, the
+// tensor and relin towers running concurrently on per-tower-disjoint
+// scratch rows. The base conversions stay sequential (they carry
+// cross-tower accumulations).
+func (b *rnsBackend) mulCoeffParallel(lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
+	for i := range sc.in {
+		if err := lv.mconv.ConvertInto(sc.opE[i], sc.in[i]); err != nil {
+			return err
+		}
+	}
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for tau := start; tau < end; tau++ {
+			coeffTensorQ(sc, tau)
+		}
+	})
+	ring.ParallelChunks(m, b.workers, func(start, end int) {
+		for tau := start; tau < end; tau++ {
+			coeffTensorExt(sc, tau)
+		}
+	})
+	lv.scaleRound(sc, sc.c0Q, sc.c0E)
+	lv.scaleRound(sc, sc.c1Q, sc.c1E)
+	lv.scaleRound(sc, sc.c2Q, sc.c2E)
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			relinDigitRow(sc, i)
+		}
+	})
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for tau := start; tau < end; tau++ {
+			relinTower(sc, tau, false)
+		}
+	})
+	return nil
+}
+
+// mulResident is the NTT-resident BEHZ multiply (see the rnsBackend doc):
+// the Q-base tensor consumes the operands' resident evaluation form
+// directly, coefficient form appears exactly where base conversion needs
+// positional digits, the divide-and-round runs as fused one-pass kernels,
+// and the result is returned resident.
+func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
+	k, m := lv.c.Channels(), lv.ext.Channels()
+	seq := b.workers == 1
+	nops := 4
+	if sc.squaring {
+		nops = 2
+	}
+
+	// 1. Operands cross to coefficient form once — nops*k independent
+	// tower transforms — and base-extend with the m~ correction. Squared
+	// operands (identical rows, the ladder's dominant workload) make the
+	// crossing and both extensions once.
+	if seq {
+		for u := 0; u < nops*k; u++ {
+			residentOpINTT(sc, u)
+		}
+	} else {
+		ring.ParallelChunks(nops*k, b.workers, func(start, end int) {
+			for u := start; u < end; u++ {
+				residentOpINTT(sc, u)
+			}
+		})
+	}
+	for i := 0; i < nops; i++ {
+		if err := lv.mconv.ConvertInto(sc.opE[i], sc.opQ[i]); err != nil {
+			return err
+		}
+	}
+
+	// 2. Tensor product. Q base: the operands are already evaluation
+	// rows, so each tower is three pointwise products and three inverse
+	// transforms — the forward half of the PR 5 tensor is gone. Ext base:
+	// the extended operands are coefficient rows; squaring halves the
+	// forward transforms.
+	if seq {
+		for tau := 0; tau < k; tau++ {
+			residentTensorQ(sc, tau)
+		}
+		for tau := 0; tau < m; tau++ {
+			residentTensorExt(sc, tau)
+		}
+	} else {
+		ring.ParallelChunks(k, b.workers, func(start, end int) {
+			for tau := start; tau < end; tau++ {
+				residentTensorQ(sc, tau)
+			}
+		})
+		ring.ParallelChunks(m, b.workers, func(start, end int) {
+			for tau := start; tau < end; tau++ {
+				residentTensorExt(sc, tau)
+			}
+		})
+	}
+
+	// 3. Fused divide-and-round per component.
+	b.residentScaleRound(lv, sc, sc.c0Q, sc.c0E)
+	b.residentScaleRound(lv, sc, sc.c1Q, sc.c1E)
+	b.residentScaleRound(lv, sc, sc.c2Q, sc.c2E)
+
+	// 4. Relinearize and return resident: digit rows once, then each
+	// tower accumulates its k digit transforms and adds NTT(c1/c0) to the
+	// evaluation-domain accumulators instead of leaving the domain.
+	if seq {
+		for i := 0; i < k; i++ {
+			relinDigitRow(sc, i)
+		}
+		for tau := 0; tau < k; tau++ {
+			relinTower(sc, tau, true)
+		}
+	} else {
+		ring.ParallelChunks(k, b.workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				relinDigitRow(sc, i)
+			}
+		})
+		ring.ParallelChunks(k, b.workers, func(start, end int) {
+			for tau := start; tau < end; tau++ {
+				relinTower(sc, tau, true)
+			}
+		})
+	}
+	return nil
+}
+
+// residentOpINTT inverse-transforms one (operand, tower) cell of the
+// resident operands into its pooled coefficient row.
+func residentOpINTT(sc *rnsMulScratch, u int) {
+	k := sc.lv.c.Channels()
+	idx, tau := u/k, u%k
+	sc.lv.c.Plans[tau].Generic().NegacyclicInverseInto(sc.opQ[idx].Res[tau], sc.in[idx].Res[tau])
+}
+
+// residentTensorQ is one Q-base tower of the resident tensor: pointwise
+// products of the operands' resident rows, inverse transforms of the
+// three results. Squaring doubles a∘b instead of computing the symmetric
+// product twice.
+func residentTensorQ(sc *rnsMulScratch, tau int) {
+	lv := sc.lv
+	plan := lv.c.Plans[tau].Generic()
+	mod := lv.c.Mods[tau]
+	a1, b1 := sc.in[0].Res[tau], sc.in[1].Res[tau]
+	a2, b2 := sc.in[2].Res[tau], sc.in[3].Res[tau]
+	t0, t1 := sc.evE[0].Res[tau], sc.evE[1].Res[tau]
+	plan.PointwiseMulInto(t0, b1, b2)
+	plan.NegacyclicInverseInto(sc.c0Q.Res[tau], t0)
+	plan.PointwiseMulInto(t0, a1, a2)
+	plan.NegacyclicInverseInto(sc.c2Q.Res[tau], t0)
+	plan.PointwiseMulInto(t0, a1, b2)
+	if sc.squaring {
+		addRow(t0, t0, mod) // a1∘b2 == a2∘b1: double instead of recompute
+	} else {
+		plan.PointwiseMulInto(t1, a2, b1)
+		addRow(t0, t1, mod)
+	}
+	plan.NegacyclicInverseInto(sc.c1Q.Res[tau], t0)
+}
+
+// residentTensorExt is one extension-base tower of the resident tensor,
+// consuming the base-extended coefficient rows.
+func residentTensorExt(sc *rnsMulScratch, tau int) {
+	lv := sc.lv
+	plan := lv.ext.Plans[tau].Generic()
+	mod := lv.ext.Mods[tau]
+	var ev [5][]uint64
+	for s := range ev {
+		ev[s] = sc.evE[s].Res[tau]
+	}
+	if sc.squaring {
+		a, bb := sc.opE[0].Res[tau], sc.opE[1].Res[tau]
+		plan.NegacyclicForwardInto(ev[0], a)
+		plan.NegacyclicForwardInto(ev[1], bb)
+		plan.PointwiseMulInto(ev[2], ev[1], ev[1])
+		plan.NegacyclicInverseInto(sc.c0E.Res[tau], ev[2])
+		plan.PointwiseMulInto(ev[2], ev[0], ev[0])
+		plan.NegacyclicInverseInto(sc.c2E.Res[tau], ev[2])
+		plan.PointwiseMulInto(ev[2], ev[0], ev[1])
+		addRow(ev[2], ev[2], mod)
+		plan.NegacyclicInverseInto(sc.c1E.Res[tau], ev[2])
+		return
+	}
+	tensorTower(plan, mod,
+		sc.opE[0].Res[tau], sc.opE[1].Res[tau], sc.opE[2].Res[tau], sc.opE[3].Res[tau],
+		&ev, sc.c0E.Res[tau], sc.c1E.Res[tau], sc.c2E.Res[tau])
+}
+
+// residentScaleRound is the fused divide-and-round: the Q-side digit of
+// the scaled tensor lands in one pass per tower (z_i = v_i*tQiInv +
+// hQiInv feeds the accumulate-only ConvertDigitsInto), and the extension
+// side folds its two scalar passes and the conversion subtraction into
+// one loop. Bit-identical to rnsLevel.scaleRound — same residues, fewer
+// memory passes.
+func (b *rnsBackend) residentScaleRound(lv *rnsLevel, sc *rnsMulScratch, cQ, cE rns.Poly) {
+	k, m := lv.c.Channels(), lv.ext.Channels()
+	if b.workers == 1 {
+		for i := 0; i < k; i++ {
+			residentDigitRow(sc, cQ, i)
+		}
+	} else {
+		ring.ParallelChunks(k, b.workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				residentDigitRow(sc, cQ, i)
+			}
+		})
+	}
+	must(lv.conv.ConvertDigitsInto(sc.convE, sc.zQ))
+	if b.workers == 1 {
+		for j := 0; j < m; j++ {
+			residentExtRound(sc, cE, j)
+		}
+	} else {
+		ring.ParallelChunks(m, b.workers, func(start, end int) {
+			for j := start; j < end; j++ {
+				residentExtRound(sc, cE, j)
+			}
+		})
+	}
+	must(lv.skConv.ConvertInto(cQ, cE))
+}
+
+// residentDigitRow computes one tower's FastBConv digit of the scaled
+// tensor in a single pass: z = v*(T*QiInv) + h*QiInv mod q_i.
+func residentDigitRow(sc *rnsMulScratch, cQ rns.Poly, i int) {
+	lv := sc.lv
+	mod := lv.c.Mods[i]
+	v, z := cQ.Res[i], sc.zQ.Res[i]
+	tq, tqPre, hq := lv.tQiInv[i], lv.tQiInvPre[i], lv.hQiInv[i]
+	for j := range v {
+		z[j] = mod.Add(mod.MulShoup(v[j], tq, tqPre), hq)
+	}
+}
+
+// residentExtRound finishes one extension tower of the divide-and-round
+// in a single pass: w = T*v + h, then (w - [w]_Q) * Q^-1.
+func residentExtRound(sc *rnsMulScratch, cE rns.Poly, j int) {
+	lv := sc.lv
+	mod := lv.ext.Mods[j]
+	we, ce := cE.Res[j], sc.convE.Res[j]
+	tE, tEPre, hE := lv.tResE[j], lv.tResEPre[j], lv.hResE[j]
+	qInv, qInvPre := lv.qInvE[j], lv.qInvEPre[j]
+	for idx := range we {
+		w := mod.Add(mod.MulShoup(we[idx], tE, tEPre), hE)
+		we[idx] = mod.MulShoup(mod.Sub(w, ce[idx]), qInv, qInvPre)
+	}
+}
+
+// relinDigitRow scales one tower of c2 into its CRT gadget digit row.
+func relinDigitRow(sc *rnsMulScratch, i int) {
+	c := sc.lv.c
+	c.Plans[i].Generic().ScalarMulInto(sc.zQ.Res[i], sc.c2Q.Res[i], c.QiInv(i))
+}
+
+// relinTower accumulates all k gadget digits into one tower of the
+// relinearized result, entirely in the evaluation domain, then lands the
+// tower's output: resident output adds NTT(c1/c0) to the accumulators
+// (NTT(INTT(acc) + c) = acc + NTT(c), exactly); coefficient output
+// inverse-transforms the accumulators and adds c1/c0 as PR 5 did. The
+// digit rows are canonical mod q_i with q_i < 2*q_tau, and the twist
+// pass's Shoup multiply is exact for any 64-bit input, so they feed the
+// forward transform directly — the per-pair reduction copy of the
+// sequential path is gone.
+func relinTower(sc *rnsMulScratch, tau int, resident bool) {
+	lv := sc.lv
+	c := lv.c
+	k := c.Channels()
+	plan := c.Plans[tau].Generic()
+	mod := c.Mods[tau]
+	accA, accB := sc.accA.Res[tau], sc.accB.Res[tau]
+	clearRow(accA)
+	clearRow(accB)
+	lift, prod := sc.liftQ.Res[tau], sc.prodQ.Res[tau]
+	if sc.keyNTTDomain && lv.relinLazy && len(sc.lkey.aPre) == k {
+		// Deferred-reduction inner product: the key rows are fixed, so
+		// each digit contributes one lazy Shoup product (< 2q) folded in
+		// with a plain integer add — relinLazy guarantees k of them fit
+		// the 64-bit accumulator — and the whole k-digit sum pays a
+		// single Barrett reduction per element at the end. Same residues
+		// as the canonical multiply-add chain, reduced once.
+		for i := 0; i < k; i++ {
+			plan.NegacyclicForwardInto(lift, sc.zQ.Res[i])
+			mulPreAddRow(accA, lift, sc.lkey.a[i].Res[tau], sc.lkey.aPre[i].Res[tau], mod.Q)
+			mulPreAddRow(accB, lift, sc.lkey.b[i].Res[tau], sc.lkey.bPre[i].Res[tau], mod.Q)
+		}
+		if resident {
+			plan.NegacyclicForwardInto(sc.outA.Res[tau], sc.c1Q.Res[tau])
+			reduceAddRow(sc.outA.Res[tau], accA, mod)
+			plan.NegacyclicForwardInto(sc.outB.Res[tau], sc.c0Q.Res[tau])
+			reduceAddRow(sc.outB.Res[tau], accB, mod)
+			return
+		}
+		// The inverse transform wants its relaxed domain (< 2q), not a
+		// raw 64-bit sum: land the accumulators first.
+		reduceRow(accA, mod)
+		reduceRow(accB, mod)
+		plan.NegacyclicInverseInto(sc.outA.Res[tau], accA)
+		addRow(sc.outA.Res[tau], sc.c1Q.Res[tau], mod)
+		plan.NegacyclicInverseInto(sc.outB.Res[tau], accB)
+		addRow(sc.outB.Res[tau], sc.c0Q.Res[tau], mod)
+		return
+	}
+	for i := 0; i < k; i++ {
+		plan.NegacyclicForwardInto(lift, sc.zQ.Res[i])
+		krowA, krowB := sc.lkey.a[i].Res[tau], sc.lkey.b[i].Res[tau]
+		if !sc.keyNTTDomain {
+			plan.NegacyclicForwardInto(sc.evE[2].Res[tau], krowA)
+			plan.NegacyclicForwardInto(sc.evE[3].Res[tau], krowB)
+			krowA, krowB = sc.evE[2].Res[tau], sc.evE[3].Res[tau]
+		}
+		plan.PointwiseMulInto(prod, lift, krowA)
+		addRow(accA, prod, mod)
+		plan.PointwiseMulInto(prod, lift, krowB)
+		addRow(accB, prod, mod)
+	}
+	if resident {
+		plan.NegacyclicForwardInto(sc.outA.Res[tau], sc.c1Q.Res[tau])
+		addRow(sc.outA.Res[tau], accA, mod)
+		plan.NegacyclicForwardInto(sc.outB.Res[tau], sc.c0Q.Res[tau])
+		addRow(sc.outB.Res[tau], accB, mod)
+		return
+	}
+	plan.NegacyclicInverseInto(sc.outA.Res[tau], accA)
+	addRow(sc.outA.Res[tau], sc.c1Q.Res[tau], mod)
+	plan.NegacyclicInverseInto(sc.outB.Res[tau], accB)
+	addRow(sc.outB.Res[tau], sc.c0Q.Res[tau], mod)
+}
+
+// mulPreAddRow folds one lazy Shoup product row into a raw 64-bit
+// accumulator row: acc[j] += a[j]*w[j] - floor(a[j]*pre[j]/2^64)*q, each
+// summand < 2q and congruent to a[j]*w[j] mod q for any 64-bit a[j].
+// Callers guarantee the no-wrap headroom (rnsLevel.relinLazy).
+func mulPreAddRow(acc, a, w, pre []uint64, q uint64) {
+	a = a[:len(acc)]
+	w = w[:len(acc)]
+	pre = pre[:len(acc)]
+	for j := range acc {
+		qhat, _ := bits.Mul64(a[j], pre[j])
+		acc[j] += a[j]*w[j] - qhat*q
+	}
+}
+
+// reduceAddRow lands a lazy accumulator row on a canonical row:
+// dst[j] = dst[j] + acc[j] mod q, one Barrett reduction per element for
+// the whole deferred inner product.
+func reduceAddRow(dst, acc []uint64, mod *modmath.Modulus64) {
+	q, mu, nb := mod.Q, mod.Mu, mod.N
+	acc = acc[:len(dst)]
+	for j := range dst {
+		dst[j] = mod.Add(dst[j], modmath.Barrett64Reduce(0, acc[j], q, mu, nb))
+	}
+}
+
+// reduceRow reduces a lazy accumulator row in place to canonical form.
+func reduceRow(acc []uint64, mod *modmath.Modulus64) {
+	q, mu, nb := mod.Q, mod.Mu, mod.N
+	for j := range acc {
+		acc[j] = modmath.Barrett64Reduce(0, acc[j], q, mu, nb)
+	}
+}
+
+// coeffTensorQ is one Q-base tower of the coefficient-domain tensor on
+// per-tower-disjoint scratch (the parallel dispatch variant).
+func coeffTensorQ(sc *rnsMulScratch, tau int) {
+	lv := sc.lv
+	var ev [5][]uint64
+	for s := range ev {
+		ev[s] = sc.evE[s].Res[tau]
+	}
+	tensorTower(lv.c.Plans[tau].Generic(), lv.c.Mods[tau],
+		sc.in[0].Res[tau], sc.in[1].Res[tau], sc.in[2].Res[tau], sc.in[3].Res[tau],
+		&ev, sc.c0Q.Res[tau], sc.c1Q.Res[tau], sc.c2Q.Res[tau])
+}
+
+// coeffTensorExt is one extension-base tower of the same.
+func coeffTensorExt(sc *rnsMulScratch, tau int) {
+	lv := sc.lv
+	var ev [5][]uint64
+	for s := range ev {
+		ev[s] = sc.evE[s].Res[tau]
+	}
+	tensorTower(lv.ext.Plans[tau].Generic(), lv.ext.Mods[tau],
+		sc.opE[0].Res[tau], sc.opE[1].Res[tau], sc.opE[2].Res[tau], sc.opE[3].Res[tau],
+		&ev, sc.c0E.Res[tau], sc.c1E.Res[tau], sc.c2E.Res[tau])
 }
 
 // ModSwitch drops one tower: dst = round(ct / q_{k-1-l}) via the PR 4
@@ -736,7 +1325,20 @@ func (b *rnsBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) err
 	if !ok3 || !ok4 {
 		return fmt.Errorf("fhe: foreign destination handle on the %s backend", b.Name())
 	}
+	if dst.Domain != ct.Domain {
+		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
+	}
 	r := b.levels[ct.Level].rescale
+	if ct.Domain == DomainNTT {
+		// Resident rescale: one inverse transform (the dropped tower)
+		// plus k-1 forward transforms of the correction term, instead of
+		// crossing the whole ciphertext out of the evaluation domain and
+		// back.
+		if err := r.RescaleNTTInto(dstA, srcA, b.workers); err != nil {
+			return err
+		}
+		return r.RescaleNTTInto(dstB, srcB, b.workers)
+	}
 	if err := r.RescaleInto(dstA, srcA); err != nil {
 		return err
 	}

@@ -93,6 +93,13 @@ func (s *Scheme) Encrypt(sk SecretKey, msg []uint64) (Ciphertext, error) {
 	if err != nil {
 		return Ciphertext{}, err
 	}
+	// The generic scheme hands out NTT-resident ciphertexts; this legacy
+	// wrapper's handles are coefficient-domain by contract (wrapCT tags
+	// them DomainCoeff), so cross back before unwrapping.
+	ct, err = s.bs.ConvertDomain(ct, DomainCoeff)
+	if err != nil {
+		return Ciphertext{}, err
+	}
 	return unwrapCT(ct), nil
 }
 

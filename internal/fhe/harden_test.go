@@ -1,6 +1,7 @@
 package fhe
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -191,6 +192,95 @@ func TestSchemeLayerRejectsMalformedInput(t *testing.T) {
 			return err
 		})
 	})
+}
+
+// TestDomainMismatchedHandlesAreRejected covers the representation half
+// of the hardening gate introduced with double-CRT residency: a pair of
+// handles resting in different domains must be refused — never silently
+// mixed, which would tensor evaluation points against coefficients — at
+// both the scheme layer and the raw backend seam, and an unknown domain
+// tag is rejected outright.
+func TestDomainMismatchedHandlesAreRejected(t *testing.T) {
+	const n, T = 32, 257
+	params, err := NewParams(modmath.DefaultModulus128(), n, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := rns.NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnsB, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Backend{NewRingBackend(params), rnsB} {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			s := NewBackendScheme(b, 61)
+			sk := s.KeyGen()
+			rlk := s.RelinKeyGen(sk)
+			res, err := s.Encrypt(sk, make([]uint64, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			coe, err := s.ConvertDomain(res, DomainCoeff)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Scheme layer: every two-operand entry point refuses the pair.
+			errNotPanic(t, "AddCiphertexts/mixedDomain", func() error {
+				_, err := s.AddCiphertexts(res, coe)
+				return err
+			})
+			errNotPanic(t, "SubCiphertexts/mixedDomain", func() error {
+				_, err := s.SubCiphertexts(coe, res)
+				return err
+			})
+			errNotPanic(t, "MulCiphertexts/mixedDomain", func() error {
+				_, err := s.MulCiphertexts(res, coe, rlk)
+				return err
+			})
+			// Unknown domain tag on an otherwise well-formed handle.
+			errNotPanic(t, "Decrypt/unknownDomainTag", func() error {
+				_, err := s.Decrypt(sk, BackendCiphertext{A: res.A, B: res.B, Domain: 7})
+				return err
+			})
+			errNotPanic(t, "ConvertDomain/unknownTarget", func() error {
+				_, err := s.ConvertDomain(res, 7)
+				return err
+			})
+
+			// Backend seam: destination tags that disagree with the
+			// operands select a pipeline the scratch was not shaped for,
+			// so MulCt and ModSwitch must reject them up front.
+			rng := rand.New(rand.NewSource(62))
+			bRlk := b.RelinKeyGen(sk.S, rng)
+			errNotPanic(t, "MulCt/dstDomainMismatch", func() error {
+				dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainCoeff}
+				return b.MulCt(&dst, res, res, bRlk)
+			})
+			errNotPanic(t, "MulCt/operandDomainMismatch", func() error {
+				dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
+				return b.MulCt(&dst, res, coe, bRlk)
+			})
+			errNotPanic(t, "ModSwitch/dstDomainMismatch", func() error {
+				dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1, Domain: DomainCoeff}
+				return b.ModSwitch(&dst, res)
+			})
+			// Coefficient-domain relin keys exist as a benchmark layout;
+			// feeding one to the resident pipeline must error rather than
+			// relinearize evaluation points against coefficient key rows.
+			if gen, okGen := b.(CoeffDomainRelinKeyGenerator); okGen {
+				cKey := gen.RelinKeyGenCoeffDomain(sk.S, rand.New(rand.NewSource(63)))
+				errNotPanic(t, "MulCt/coeffKeyResidentOperands", func() error {
+					dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
+					return b.MulCt(&dst, res, res, cKey)
+				})
+			}
+		})
+	}
 }
 
 // TestSchemeLayerRejectsUnreducedResidues covers the value-range half of

@@ -244,6 +244,121 @@ func TestLadderDepth3BudgetProperty(t *testing.T) {
 	t.Logf("depth-3: k=4 ladder budget %d bits at level %d; fixed k=2 budget %d", budget, ct.Level, budget2)
 }
 
+// TestResidentLadderMatchesCoeffPath is the PR 6 differential gate for
+// double-CRT residency: the same squaring-and-switching ladder runs twice
+// against ONE backend with ONE key set — one handle left in its natural
+// DomainNTT resting state, the other converted to DomainCoeff right after
+// encryption and kept there. Every transform on the resident pipeline is
+// exact, so after EVERY multiply and EVERY level drop the two handles
+// must decrypt bit-identically to each other and to the schoolbook
+// product — and, for the RNS backend, converting the resident handle
+// back to coefficient form must reproduce the coefficient handle's
+// residues bit for bit, not merely decrypt alike.
+func TestResidentLadderMatchesCoeffPath(t *testing.T) {
+	const T = 257
+	sizes := []int{64, 4096}
+	if testing.Short() {
+		sizes = []int{64, 1024}
+	}
+	for _, n := range sizes {
+		params, err := NewParams(modmath.DefaultModulus128(), n, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends := []Backend{NewRingBackend(params)}
+		for _, k := range []int{3, 4} {
+			c, err := rns.NewContext(59, k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := NewRNSBackend(c, T)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backends = append(backends, rb)
+		}
+		for _, b := range backends {
+			b := b
+			t.Run(fmt.Sprintf("n%d/%s/lv%d", n, b.Name(), b.Levels()), func(t *testing.T) {
+				s := NewBackendScheme(b, 606)
+				sk := s.KeyGen()
+				rlk := s.RelinKeyGen(sk)
+				rng := rand.New(rand.NewSource(int64(3*n + b.Levels())))
+				msg := make([]uint64, n)
+				for i := range msg {
+					msg[i] = rng.Uint64() % T
+				}
+				res := mustCT(s.Encrypt(sk, msg))
+				if res.Domain != DomainNTT {
+					t.Fatalf("fresh encryption rests in %s, want %s", res.Domain, DomainNTT)
+				}
+				coe := mustCT(s.ConvertDomain(res, DomainCoeff))
+
+				dec := func(ct BackendCiphertext) []uint64 {
+					t.Helper()
+					got, err := s.Decrypt(sk, ct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return got
+				}
+				check := func(stage string, expected []uint64) {
+					t.Helper()
+					gotR := dec(res)
+					gotC := dec(coe)
+					for j := range expected {
+						if gotR[j] != expected[j] || gotC[j] != expected[j] {
+							t.Fatalf("%s: coeff %d: resident %d, coeff-path %d, want %d",
+								stage, j, gotR[j], gotC[j], expected[j])
+						}
+					}
+					if _, isRNS := s.B.(*rnsBackend); !isRNS {
+						return
+					}
+					// Residue-level identity, stronger than matching
+					// decryptions: the resident handle crossed back into
+					// coefficient form must BE the coefficient handle.
+					down := mustCT(s.ConvertDomain(res, DomainCoeff))
+					for name, pair := range map[string][2]Poly{
+						"A": {down.A, coe.A}, "B": {down.B, coe.B},
+					} {
+						dp, cp := pair[0].(rns.Poly), pair[1].(rns.Poly)
+						for tau := range cp.Res {
+							for j := range cp.Res[tau] {
+								if dp.Res[tau][j] != cp.Res[tau][j] {
+									t.Fatalf("%s: component %s tower %d coeff %d: resident-converted %d != coeff-path %d",
+										stage, name, tau, j, dp.Res[tau][j], cp.Res[tau][j])
+								}
+							}
+						}
+					}
+				}
+
+				expected := append([]uint64(nil), msg...)
+				check("fresh", expected)
+				depth := min(b.Levels()-1, 3)
+				for level := 0; level < depth; level++ {
+					res = mustCT(s.MulCiphertexts(res, res, rlk))
+					coe = mustCT(s.MulCiphertexts(coe, coe, rlk))
+					if res.Domain != DomainNTT || coe.Domain != DomainCoeff {
+						t.Fatalf("multiply at level %d moved a handle: resident now %s, coeff-path now %s",
+							level, res.Domain, coe.Domain)
+					}
+					expected = NegacyclicProductModT(expected, expected, T)
+					check(fmt.Sprintf("after mul at level %d", level), expected)
+					res = mustCT(s.ModSwitch(res))
+					coe = mustCT(s.ModSwitch(coe))
+					if res.Domain != DomainNTT || coe.Domain != DomainCoeff {
+						t.Fatalf("drop to level %d moved a handle: resident now %s, coeff-path now %s",
+							level+1, res.Domain, coe.Domain)
+					}
+					check(fmt.Sprintf("after drop to level %d", level+1), expected)
+				}
+			})
+		}
+	}
+}
+
 // TestOracleRescaleOutOfRangeIsDetected drives the once-unreachable
 // "oracle rescale out of range" panic path with an adversarial ciphertext
 // whose coefficients are NOT reduced modulo q (over-noisy in the most

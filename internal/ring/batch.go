@@ -28,23 +28,28 @@ var workerPool struct {
 	jobs    chan func()
 }
 
-// submitJob hands f to the pool, starting workers as needed. Jobs must
-// not themselves submit to the pool (chunks never do), so the pool cannot
-// deadlock.
+// submitJob hands f to the pool, starting workers as needed. Each submit
+// starts AT MOST ONE new worker: a submit enqueues exactly one job, so one
+// extra goroutine is all that's needed to keep the batch fully parallel (a
+// w-chunk batch makes w-1 submits and therefore guarantees w-1 pool
+// workers), while a small batch — k=2 tower dispatch — no longer wakes
+// GOMAXPROCS idle workers it can never feed. The GOMAXPROCS cap is still
+// re-checked on every submit, so a raise after first use grows the pool
+// on demand instead of capping all future batches at the initial size.
+// Jobs must not themselves submit to the pool (chunks never do), so the
+// pool cannot deadlock.
 func submitJob(f func()) {
 	workerPool.mu.Lock()
 	if workerPool.jobs == nil {
 		workerPool.jobs = make(chan func(), 256)
 	}
-	if n := runtime.GOMAXPROCS(0); workerPool.started < n {
-		for w := workerPool.started; w < n; w++ {
-			go func() {
-				for job := range workerPool.jobs {
-					job()
-				}
-			}()
-		}
-		workerPool.started = n
+	if workerPool.started < runtime.GOMAXPROCS(0) {
+		go func() {
+			for job := range workerPool.jobs {
+				job()
+			}
+		}()
+		workerPool.started++
 	}
 	workerPool.mu.Unlock()
 	workerPool.jobs <- f

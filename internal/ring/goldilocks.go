@@ -2,6 +2,7 @@ package ring
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mqxgo/internal/modmath"
 )
@@ -73,9 +74,36 @@ func (Goldilocks) Fingerprint() Fingerprint {
 	return Fingerprint{QLo: modmath.GoldilocksPrime, Tag: TagGoldilocks}
 }
 
-// Span kernels: strict fused loops. The gl.* calls are value-receiver
-// functions on an empty struct with immediate constants, so they inline;
-// fusion removes the per-element dictionary dispatch of the fallback.
+// glMul is the span kernels' specialized twiddle multiply: the same
+// 2-adic reduction as modmath.Goldilocks.Mul (2^64 ≡ 2^32 - 1 and
+// 2^96 ≡ -1 mod p), reordered so every wrap correction is branch-free.
+// Subtracting t2 from lo FIRST makes the borrow correction safe without a
+// test: on borrow the word holds lo - t2 + 2^64 >= 2^64 - 2^32, which the
+// 2^32 - 1 correction cannot underflow. Adding mid = t1*(2^32-1) second
+// cannot need a double correction: on carry the word holds less than
+// mid <= (2^32-1)^2, and adding 2^32 - 1 to that stays under 2^64. The
+// result word is then < 2^64 < 2p, so one masked subtract canonicalizes.
+// Exact for ANY 64-bit operands (the reduction argument never assumes
+// reduced inputs). Inside the span loops this trades the generic path's
+// three data-dependent branches per multiply for straight-line code the
+// hardware can pipeline across iterations.
+func glMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	t1 := hi & 0xffffffff // bits 64..95 of the product
+	t2 := hi >> 32        // bits 96..127
+	r, borrow := bits.Sub64(lo, t2, 0)
+	r -= (1<<32 - 1) * borrow
+	mid := t1<<32 - t1
+	r, carry := bits.Add64(r, mid, 0)
+	r += (1<<32 - 1) * carry
+	red, under := bits.Sub64(r, modmath.GoldilocksPrime, 0)
+	return red + ((-under) & modmath.GoldilocksPrime)
+}
+
+// Span kernels: strict fused loops. The gl.Add/gl.Sub calls are
+// value-receiver functions on an empty struct with immediate constants,
+// so they inline; fusion removes the per-element dictionary dispatch of
+// the fallback, and every in-loop multiply is the branch-free glMul.
 
 // CTSpan: one forward stage, canonical throughout.
 func (r Goldilocks) CTSpan(out, lo, hi, w []uint64, pre []uint64) {
@@ -85,7 +113,7 @@ func (r Goldilocks) CTSpan(out, lo, hi, w []uint64, pre []uint64) {
 	for i := 0; i < n; i++ {
 		a, b := lo[i], hi[i]
 		out[2*i] = gl.Add(a, b)
-		out[2*i+1] = gl.Mul(gl.Sub(a, b), w[i])
+		out[2*i+1] = glMul(gl.Sub(a, b), w[i])
 	}
 }
 
@@ -101,7 +129,7 @@ func (r Goldilocks) GSSpan(oLo, oHi, in, w []uint64, pre []uint64) {
 	in = in[:2*n]
 	for i := 0; i < n; i++ {
 		e, o := in[2*i], in[2*i+1]
-		t := gl.Mul(o, w[i])
+		t := glMul(o, w[i])
 		oLo[i] = gl.Add(e, t)
 		oHi[i] = gl.Sub(e, t)
 	}
@@ -114,8 +142,8 @@ func (r Goldilocks) GSSpanLastScaled(oLo, oHi, in, w []uint64, pre []uint64, nIn
 	in = in[:2*n]
 	for i := 0; i < n; i++ {
 		e, o := in[2*i], in[2*i+1]
-		t := gl.Mul(o, w[i])
-		es := gl.Mul(e, nInv)
+		t := glMul(o, w[i])
+		es := glMul(e, nInv)
 		oLo[i] = gl.Add(es, t)
 		oHi[i] = gl.Sub(es, t)
 	}
@@ -126,7 +154,7 @@ func (Goldilocks) MulSpan(dst, a, b []uint64) {
 	n := len(dst)
 	a, b = a[:n], b[:n]
 	for i := 0; i < n; i++ {
-		dst[i] = gl.Mul(a[i], b[i])
+		dst[i] = glMul(a[i], b[i])
 	}
 }
 
@@ -135,7 +163,7 @@ func (r Goldilocks) MulPreSpan(dst, a, w []uint64, pre []uint64) {
 	n := len(dst)
 	a, w = a[:n], w[:n]
 	for i := 0; i < n; i++ {
-		dst[i] = gl.Mul(a[i], w[i])
+		dst[i] = glMul(a[i], w[i])
 	}
 }
 
@@ -149,7 +177,7 @@ func (Goldilocks) ScalarMulSpan(dst, a []uint64, w uint64, pre uint64) {
 	n := len(dst)
 	a = a[:n]
 	for i := 0; i < n; i++ {
-		dst[i] = gl.Mul(a[i], w)
+		dst[i] = glMul(a[i], w)
 	}
 }
 
@@ -158,6 +186,6 @@ func (Goldilocks) ScaleAddSpan(dst, a []uint64, m []uint64, w uint64, pre uint64
 	n := len(dst)
 	a, m = a[:n], m[:n]
 	for i := 0; i < n; i++ {
-		dst[i] = gl.Add(a[i], gl.Mul(m[i], w))
+		dst[i] = gl.Add(a[i], glMul(m[i], w))
 	}
 }

@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+)
+
+// glMulRef is the ground truth for a single product: the hardware 128-bit
+// remainder of a*b by the Goldilocks prime.
+func glMulRef(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return bits.Rem64(hi, lo, modmath.GoldilocksPrime)
+}
+
+// TestGoldilocksBranchlessMulExact proves the span kernels' branch-free
+// twiddle multiply exact against the 128-bit hardware remainder and
+// bit-identical to the generic modmath path, over the wrap-correction edge
+// cases (values straddling 2^32, p, and 2^64) and a random sweep of
+// UNREDUCED operands — glMul's reduction argument never assumes reduced
+// inputs, and the test holds it to that.
+func TestGoldilocksBranchlessMulExact(t *testing.T) {
+	p := modmath.GoldilocksPrime
+	edges := []uint64{
+		0, 1, 2,
+		1<<32 - 1, 1 << 32, 1<<32 + 1,
+		p - 1, p, p + 1,
+		1<<63 - 1, 1 << 63,
+		^uint64(0) - 1, ^uint64(0),
+	}
+	for _, a := range edges {
+		for _, b := range edges {
+			want := glMulRef(a, b)
+			if got := glMul(a, b); got != want {
+				t.Fatalf("glMul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+	var g modmath.Goldilocks
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 200000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		want := glMulRef(a, b)
+		if got := glMul(a, b); got != want {
+			t.Fatalf("glMul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+		}
+		// Reduced inputs must also agree bit-for-bit with the generic
+		// element-path multiply the kernels replaced.
+		ar, br := a%p, b%p
+		if got, want := glMul(ar, br), g.Mul(ar, br); got != want {
+			t.Fatalf("glMul(%#x, %#x) = %#x, generic Mul = %#x", ar, br, got, want)
+		}
+	}
+}
+
+// TestGoldilocksKernelsMatchElementPath is the transform-level
+// differential: the fused span kernels (built on glMul) against the
+// element-op fallback (ElementOnly forces it, so every multiply goes
+// through the generic modmath.Goldilocks.Mul). Negacyclic products and
+// round trips must be bit-identical between the two plans.
+func TestGoldilocksKernelsMatchElementPath(t *testing.T) {
+	g := NewGoldilocks()
+	for _, n := range []int{8, 64, 256} {
+		kp := MustPlan[uint64, Goldilocks](g, n)
+		ep := MustPlan[uint64, ElementOnly[uint64]](ElementOnly[uint64]{g}, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 8; trial++ {
+			a := make([]uint64, n)
+			b := make([]uint64, n)
+			for i := range a {
+				a[i] = rng.Uint64() % modmath.GoldilocksPrime
+				b[i] = rng.Uint64() % modmath.GoldilocksPrime
+			}
+			kProd := kp.PolyMulNegacyclic(a, b)
+			eProd := ep.PolyMulNegacyclic(a, b)
+			for i := range kProd {
+				if kProd[i] != eProd[i] {
+					t.Fatalf("n=%d trial %d: kernel product[%d] = %#x, element path %#x",
+						n, trial, i, kProd[i], eProd[i])
+				}
+			}
+			kf := kp.Forward(a)
+			ef := ep.Forward(a)
+			for i := range kf {
+				if kf[i] != ef[i] {
+					t.Fatalf("n=%d trial %d: kernel forward[%d] = %#x, element path %#x",
+						n, trial, i, kf[i], ef[i])
+				}
+			}
+			back := kp.Inverse(kf)
+			for i := range back {
+				if back[i] != a[i] {
+					t.Fatalf("n=%d trial %d: round trip[%d] = %#x, want %#x", n, trial, i, back[i], a[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGoldilocksMul pits the branch-free twiddle multiply against
+// the generic branchy reduction it specializes.
+func BenchmarkGoldilocksMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]uint64, 1024)
+	for i := range xs {
+		xs[i] = rng.Uint64() % modmath.GoldilocksPrime
+	}
+	b.Run("branchless", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc = glMul(acc^xs[i&1023], xs[(i+1)&1023])
+		}
+		sinkU64 = acc
+	})
+	b.Run("generic", func(b *testing.B) {
+		var g modmath.Goldilocks
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc = g.Mul(acc^xs[i&1023], xs[(i+1)&1023])
+		}
+		sinkU64 = acc
+	})
+}
+
+var sinkU64 uint64

@@ -62,6 +62,33 @@ type SpanKernels[T any] interface {
 	ScaleAddSpan(dst, a []T, m []uint64, w T, pre uint64)
 }
 
+// BlockedSpanKernels is the optional blocked extension of SpanKernels.
+// In the constant-geometry dataflow, stage s applies the same twiddle to
+// every butterfly of a contiguous 2^s-run (stageExp clears the low s
+// bits), so the dense N/2-entry stage table is 1<<s-fold redundant.
+// Implementations of this interface accept the COMPACT table — one
+// (w, pre) entry per run — and hoist the twiddle load out of the run
+// loop. On a k-tower ladder the dense tables are the dominant share of
+// transform memory traffic (2 streamed arrays per stage per direction per
+// tower); compacting them is a pure-bandwidth win with bit-identical
+// outputs, since the hoisted scalar is exactly the value the dense table
+// repeats. The residue-domain contract matches the dense counterparts:
+// CTSpanBlk/GSSpanBlk relaxed, CTSpanLastBlk canonical.
+//
+// Plans only dispatch blocked spans for blk >= 8 (below that the per-run
+// overhead cancels the load savings), so implementations may assume
+// blk is a power of two >= 8 dividing the span length.
+type BlockedSpanKernels[T any] interface {
+	// CTSpanBlk is CTSpan with w[b], pre[b] applied to butterflies
+	// [b*blk, (b+1)*blk).
+	CTSpanBlk(out, lo, hi, w []T, pre []uint64, blk int)
+	// CTSpanLastBlk is CTSpanLast, blocked.
+	CTSpanLastBlk(out, lo, hi, w []T, pre []uint64, blk int)
+	// GSSpanBlk is GSSpan with w[b], pre[b] applied to butterflies
+	// [b*blk, (b+1)*blk).
+	GSSpanBlk(oLo, oHi, in, w []T, pre []uint64, blk int)
+}
+
 // ElementOnly wraps a ring and hides any SpanKernels implementation it
 // has, forcing a Plan built over it onto the element-op fallback path.
 // It exists for differential testing and for benchmarking the kernel

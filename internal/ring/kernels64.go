@@ -132,6 +132,148 @@ func (r Shoup64) GSSpanLastScaled(oLo, oHi, in, w []uint64, pre []uint64, nInv u
 	}
 }
 
+// CTSpanBlk: one non-final forward stage over compact twiddles, relaxed
+// in, relaxed out. One (w, pre) entry covers each contiguous blk-run of
+// butterflies; the unit twiddle of the top stages degenerates to a pure
+// add/sub pass.
+func (r Shoup64) CTSpanBlk(out, lo, hi, w []uint64, pre []uint64, blk int) {
+	q := r.M.Q
+	twoQ := 2 * q
+	for b := range w {
+		base := b * blk
+		lob := lo[base : base+blk : base+blk]
+		hib := hi[base : base+blk : base+blk]
+		ob := out[2*base : 2*base+2*blk : 2*base+2*blk]
+		wb, pb := w[b], pre[b]
+		if wb == 1 {
+			for i := 0; i < blk; i++ {
+				a, c := lob[i], hib[i]
+				s := a + c
+				if s >= twoQ {
+					s -= twoQ
+				}
+				d := a + twoQ - c
+				if d >= twoQ {
+					d -= twoQ
+				}
+				ob[2*i] = s
+				ob[2*i+1] = d
+			}
+			continue
+		}
+		for i := 0; i < blk; i++ {
+			a, c := lob[i], hib[i]
+			s := a + c
+			if s >= twoQ {
+				s -= twoQ
+			}
+			d := a + twoQ - c
+			qhat, _ := bits.Mul64(d, pb)
+			ob[2*i] = s
+			ob[2*i+1] = d*wb - qhat*q
+		}
+	}
+}
+
+// CTSpanLastBlk: the final forward stage over compact twiddles; relaxed
+// in, canonical out.
+func (r Shoup64) CTSpanLastBlk(out, lo, hi, w []uint64, pre []uint64, blk int) {
+	q := r.M.Q
+	twoQ := 2 * q
+	for b := range w {
+		base := b * blk
+		lob := lo[base : base+blk : base+blk]
+		hib := hi[base : base+blk : base+blk]
+		ob := out[2*base : 2*base+2*blk : 2*base+2*blk]
+		wb, pb := w[b], pre[b]
+		if wb == 1 {
+			for i := 0; i < blk; i++ {
+				a, c := lob[i], hib[i]
+				s := a + c // < 4q
+				if s >= twoQ {
+					s -= twoQ
+				}
+				if s >= q {
+					s -= q
+				}
+				d := a + twoQ - c // < 4q
+				if d >= twoQ {
+					d -= twoQ
+				}
+				if d >= q {
+					d -= q
+				}
+				ob[2*i] = s
+				ob[2*i+1] = d
+			}
+			continue
+		}
+		for i := 0; i < blk; i++ {
+			a, c := lob[i], hib[i]
+			s := a + c
+			if s >= twoQ {
+				s -= twoQ
+			}
+			if s >= q {
+				s -= q
+			}
+			d := a + twoQ - c
+			qhat, _ := bits.Mul64(d, pb)
+			t := d*wb - qhat*q // < 2q
+			if t >= q {
+				t -= q
+			}
+			ob[2*i] = s
+			ob[2*i+1] = t
+		}
+	}
+}
+
+// GSSpanBlk: one non-final inverse stage over compact twiddles, relaxed
+// in, relaxed out.
+func (r Shoup64) GSSpanBlk(oLo, oHi, in, w []uint64, pre []uint64, blk int) {
+	q := r.M.Q
+	twoQ := 2 * q
+	for b := range w {
+		base := b * blk
+		lob := oLo[base : base+blk : base+blk]
+		hib := oHi[base : base+blk : base+blk]
+		ib := in[2*base : 2*base+2*blk : 2*base+2*blk]
+		wb, pb := w[b], pre[b]
+		if wb == 1 {
+			for i := 0; i < blk; i++ {
+				e, o := ib[2*i], ib[2*i+1] // o already in [0, 2q) — t = o·1
+				lo := e + o
+				if lo >= twoQ {
+					lo -= twoQ
+				}
+				hi := e + twoQ - o
+				if hi >= twoQ {
+					hi -= twoQ
+				}
+				lob[i] = lo
+				hib[i] = hi
+			}
+			continue
+		}
+		for i := 0; i < blk; i++ {
+			e, o := ib[2*i], ib[2*i+1]
+			qhat, _ := bits.Mul64(o, pb)
+			t := o*wb - qhat*q // ∈ [0, 2q)
+			lo := e + t        // < 4q
+			if lo >= twoQ {
+				lo -= twoQ
+			}
+			hi := e + twoQ - t // ∈ (0, 4q)
+			if hi >= twoQ {
+				hi -= twoQ
+			}
+			lob[i] = lo
+			hib[i] = hi
+		}
+	}
+}
+
 // MulSpan: canonical pointwise Barrett product via the one shared copy of
 // the single-word reduction (modmath.Barrett64Reduce — the same sequence
 // Modulus64.Mul runs), with the constants hoisted out of the loop.

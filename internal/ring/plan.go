@@ -30,6 +30,15 @@ type Plan[T any, R Ring[T]] struct {
 	fwdTw []table[T]
 	invTw []table[T]
 
+	// fwdTwC[s] and invTwC[s] are the compact stage tables: stage s
+	// repeats its twiddle across each contiguous 2^s-run of butterflies,
+	// so one entry per run carries the same information in 1/2^s the
+	// memory. Blocked kernels (BlockedSpanKernels) stream these instead
+	// of the dense tables; rings without blocked kernels never touch
+	// them.
+	fwdTwC []table[T]
+	invTwC []table[T]
+
 	// invTw0Scaled is invTw[0] with N^-1 folded in, so InverseInto can
 	// apply the 1/N scale inside its final stage instead of a separate
 	// pass; nInvPre is N^-1's own precomputation for the even lane.
@@ -50,7 +59,17 @@ type Plan[T any, R Ring[T]] struct {
 	// stage loops and the PolyMul* passes dispatch one interface call per
 	// span instead of dictionary-mediated element ops per butterfly.
 	kern SpanKernels[T]
+
+	// blk is the blocked-kernel extension of kern, asserted once at plan
+	// build alongside it (nil when the ring's kernels don't provide the
+	// compact-table spans).
+	blk BlockedSpanKernels[T]
 }
+
+// blockedMinBlk is the smallest twiddle-run length the stage loops hand
+// to a blocked kernel: below 8 the per-run slicing overhead eats the
+// hoisted-load savings, and the dense kernels are already optimal.
+const blockedMinBlk = 8
 
 // table is one twiddle table: the values and their MulPre constants.
 type table[T any] struct {
@@ -99,6 +118,11 @@ func NewPlan[T any, R Ring[T]](r R, n int) (*Plan[T, R], error) {
 	if k, ok := any(r).(SpanKernels[T]); ok {
 		if v, vetoable := any(r).(interface{ kernelsDisabled() bool }); !vetoable || !v.kernelsDisabled() {
 			p.kern = k
+			// The blocked extension only ever rides along with the span
+			// kernels: a ring that vetoes kernels vetoes both.
+			if bk, ok := any(r).(BlockedSpanKernels[T]); ok {
+				p.blk = bk
+			}
 		}
 	}
 	return p, nil
@@ -149,6 +173,8 @@ func (p *Plan[T, R]) buildStageTables() {
 	}
 	p.fwdTw = make([]table[T], p.M)
 	p.invTw = make([]table[T], p.M)
+	p.fwdTwC = make([]table[T], p.M)
+	p.invTwC = make([]table[T], p.M)
 	for s := 0; s < p.M; s++ {
 		fw := p.newTable(half)
 		iv := p.newTable(half)
@@ -159,6 +185,18 @@ func (p *Plan[T, R]) buildStageTables() {
 		}
 		p.fwdTw[s] = fw
 		p.invTw[s] = iv
+		// Compact form: one entry per 2^s-run (stageExp is constant on
+		// each run), indexed by run number b with exponent b<<s.
+		runs := half >> s
+		fwc := p.newTable(runs)
+		ivc := p.newTable(runs)
+		for b := 0; b < runs; b++ {
+			e := stageExp(s, b<<s)
+			p.setTable(fwc, b, pow[e])
+			p.setTable(ivc, b, powInv[e])
+		}
+		p.fwdTwC[s] = fwc
+		p.invTwC[s] = ivc
 	}
 	scaled := p.newTable(half)
 	for i := 0; i < half; i++ {
@@ -413,7 +451,12 @@ func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
 		lo := src[:half]
 		hi := src[half:p.N]
 		o := out[:p.N]
+		blk := 1 << s
 		switch {
+		case p.blk != nil && blk >= blockedMinBlk && s == p.M-1:
+			p.blk.CTSpanLastBlk(o, lo, hi, p.fwdTwC[s].w, p.fwdTwC[s].pre, blk)
+		case p.blk != nil && blk >= blockedMinBlk:
+			p.blk.CTSpanBlk(o, lo, hi, p.fwdTwC[s].w, p.fwdTwC[s].pre, blk)
 		case k != nil && s == p.M-1:
 			k.CTSpanLast(o, lo, hi, w, pre)
 		case k != nil:
@@ -458,9 +501,15 @@ func (p *Plan[T, R]) inverseStages(dst, y []T, sc *scratchPair[T], scale bool) {
 		in := src[:p.N]
 		oLo := out[:half]
 		oHi := out[half:p.N]
+		blk := 1 << s
 		switch {
 		case kern != nil && s == 0 && scale:
 			kern.GSSpanLastScaled(oLo, oHi, in, w, pre, p.NInv, p.nInvPre)
+		case p.blk != nil && blk >= blockedMinBlk:
+			// Non-final inverse stages (and the s>0 stages of an unscaled
+			// inverse) carry block-constant twiddles: stream the compact
+			// table. The s == 0 && scale case above never reaches here.
+			p.blk.GSSpanBlk(oLo, oHi, in, p.invTwC[s].w, p.invTwC[s].pre, blk)
 		case kern != nil:
 			// When scale is false the final pass stays relaxed: the
 			// caller's untwist (MulPreNormSpan) lands the normalization.

@@ -42,3 +42,36 @@ func TestWorkerPoolGrowsAfterGOMAXPROCSRaise(t *testing.T) {
 		t.Errorf("pool has %d workers after GOMAXPROCS raise to %d; re-check-on-submit did not grow it", got, target)
 	}
 }
+
+// TestSmallBatchDoesNotOversubscribePool regresses the PR 6 fix: a small
+// batch must start at most as many new workers as jobs it submits. Before
+// the fix, any submit eagerly spun the pool up to GOMAXPROCS, so a k=2
+// tower dispatch (one submitted job) woke a machine's worth of idle
+// workers. GOMAXPROCS is raised far above the current pool size first, so
+// there is headroom for the old behavior to manifest.
+func TestSmallBatchDoesNotOversubscribePool(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(old + 8)
+
+	before := poolStarted()
+	var ran atomic.Int64
+	// Two chunks: one runs on the caller, exactly one job is submitted.
+	ParallelChunks(2, 2, func(start, end int) { ran.Add(int64(end - start)) })
+	if got := int(ran.Load()); got != 2 {
+		t.Fatalf("chunks covered %d indices, want 2", got)
+	}
+	if got := poolStarted(); got > before+1 {
+		t.Errorf("pool grew from %d to %d workers on a single-job submit; want at most one new worker", before, got)
+	}
+}
+
+// BenchmarkParallelChunksSmallBatch measures the fixed dispatch cost of a
+// two-chunk batch — the k=2 RNS tower fan-out shape the oversubscription
+// fix targets.
+func BenchmarkParallelChunksSmallBatch(b *testing.B) {
+	var sink atomic.Int64
+	for i := 0; i < b.N; i++ {
+		ParallelChunks(2, 2, func(start, end int) { sink.Add(int64(end - start)) })
+	}
+}

@@ -3,7 +3,11 @@ package rns
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 	"sync"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/ring"
 )
 
 // This file implements the RNS base-management trio that a BFV-style
@@ -38,10 +42,101 @@ import (
 // allocation-free in steady state.
 
 // convScratch pools the digit rows (shaped like the source base) and the
-// correction row a conversion needs.
+// correction row a conversion needs. rows is only populated by the
+// Rescaler, whose NTT-resident path needs one coefficient-domain row per
+// prefix tower; accHi/accLo are the 128-bit accumulator lanes of the
+// wide conversion path (nil when the basis disqualifies it).
 type convScratch struct {
 	z     Poly
 	gamma []uint64
+	rows  [][]uint64
+
+	accHi, accLo []uint64
+}
+
+// wideOK reports whether the weighted digit sum of a conversion from one
+// base into another may run on the deferred 128-bit accumulator. Two
+// halves of the contract: the sum of terms z_i * m_i (canonical digits
+// z_i < 2^Nf times weights m_i < 2^Nt) must not wrap 128 bits, and the
+// low accumulator lane (< 2^64) must fit the target's q^2 Barrett
+// domain, i.e. every target prime exceeds 32 bits. The high lane needs
+// no domain check — it feeds the Shoup multiply, exact for any 64-bit
+// input.
+func wideOK(from, to *Context, terms int) bool {
+	if terms > 32 {
+		return false
+	}
+	var nf, nt uint
+	for _, mod := range from.Mods {
+		if mod.N > nf {
+			nf = mod.N
+		}
+	}
+	for _, mod := range to.Mods {
+		if mod.N < 33 {
+			return false
+		}
+		if mod.N > nt {
+			nt = mod.N
+		}
+	}
+	return nf+nt+uint(bits.Len(uint(terms-1))) <= 128
+}
+
+// r64Table precomputes R_j = 2^64 mod p_j (and its Shoup dual) for every
+// tower of a context — the radix constant that splits a 128-bit
+// accumulator reduction as x mod p = hi*R + [lo]_p. The Shoup multiply
+// is exact for ANY 64-bit first operand, so the raw high lane feeds it
+// directly: only the low lane ever pays a Barrett reduction.
+func r64Table(to *Context) (r, pre []uint64) {
+	radix := new(big.Int).Lsh(big.NewInt(1), 64)
+	t := new(big.Int)
+	r = make([]uint64, len(to.Mods))
+	pre = make([]uint64, len(to.Mods))
+	for j, mod := range to.Mods {
+		r[j] = t.Mod(radix, new(big.Int).SetUint64(mod.Q)).Uint64()
+		pre[j] = mod.ShoupPrecompute(r[j])
+	}
+	return r, pre
+}
+
+// wideMulRow initializes the accumulator lanes with the widening products
+// accHi:accLo = z[j] * w.
+func wideMulRow(accHi, accLo, z []uint64, w uint64) {
+	accHi = accHi[:len(accLo)]
+	z = z[:len(accLo)]
+	for j := range accLo {
+		accHi[j], accLo[j] = bits.Mul64(z[j], w)
+	}
+}
+
+// wideMACRow folds one more weighted digit row into the accumulator
+// lanes: accHi:accLo += z[j] * w, exact in 128 bits (callers guarantee
+// the no-wrap headroom via wideOK).
+func wideMACRow(accHi, accLo, z []uint64, w uint64) {
+	accHi = accHi[:len(accLo)]
+	z = z[:len(accLo)]
+	for j := range accLo {
+		hi, lo := bits.Mul64(z[j], w)
+		var c uint64
+		accLo[j], c = bits.Add64(accLo[j], lo, 0)
+		accHi[j] += hi + c
+	}
+}
+
+// wideReduceRow lands the accumulator lanes canonically on dst:
+// dst[j] = (accHi[j]*2^64 + accLo[j]) mod p — the one reduction the whole
+// deferred inner product pays, replacing one canonical scale-accumulate
+// pass per digit. The high lane rides the exact-for-any-input Shoup
+// multiply by R = 2^64 mod p; only the low lane pays a Barrett.
+func wideReduceRow(dst, accHi, accLo []uint64, mod *modmath.Modulus64, r64, r64Pre uint64) {
+	q, mu, nb := mod.Q, mod.Mu, mod.N
+	accHi = accHi[:len(dst)]
+	accLo = accLo[:len(dst)]
+	for j := range dst {
+		dst[j] = mod.Add(mod.MulShoup(accHi[j], r64, r64Pre),
+			modmath.Barrett64Reduce(0, accLo[j], q, mu, nb))
+	}
 }
 
 // BaseConverter converts polynomials from base Q (the from context) to a
@@ -51,6 +146,9 @@ type BaseConverter struct {
 
 	// m[j][i] = (Q/q_i) mod p_j, the cross-base CRT weight matrix.
 	m [][]uint64
+
+	r64, r64Pre []uint64 // 2^64 mod p_j and Shoup duals (wide radix)
+	wide        bool
 
 	scratch sync.Pool
 }
@@ -71,8 +169,15 @@ func NewBaseConverter(from, to *Context) (*BaseConverter, error) {
 		}
 		bc.m = append(bc.m, row)
 	}
+	bc.wide = wideOK(from, to, from.Channels())
+	bc.r64, bc.r64Pre = r64Table(to)
 	bc.scratch.New = func() any {
-		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		sc := &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		if bc.wide {
+			sc.accHi = make([]uint64, from.N)
+			sc.accLo = make([]uint64, from.N)
+		}
+		return sc
 	}
 	return bc, nil
 }
@@ -88,12 +193,25 @@ func (bc *BaseConverter) digitsInto(z, src Poly) {
 
 // accumulateInto folds the digit rows z against column i of the weight
 // matrix into every tower of dst: dst_j = sum_i z_i * m[j][i] mod p_j.
-func (bc *BaseConverter) accumulateInto(dst, z Poly) {
+// On a wide-eligible basis the k-term sum runs on the 128-bit
+// accumulator lanes and reduces once per element; otherwise it is the
+// canonical chain of scale-accumulate spans. Same sum, same canonical
+// representative — bit-identical either way.
+func (bc *BaseConverter) accumulateInto(sc *convScratch, dst, z Poly) {
+	k := bc.from.Channels()
 	for j := range bc.to.Mods {
-		plan := bc.to.Plans[j].Generic()
 		row := bc.m[j]
+		if bc.wide {
+			wideMulRow(sc.accHi, sc.accLo, z.Res[0], row[0])
+			for i := 1; i < k; i++ {
+				wideMACRow(sc.accHi, sc.accLo, z.Res[i], row[i])
+			}
+			wideReduceRow(dst.Res[j], sc.accHi, sc.accLo, bc.to.Mods[j], bc.r64[j], bc.r64Pre[j])
+			continue
+		}
+		plan := bc.to.Plans[j].Generic()
 		plan.ScalarMulInto(dst.Res[j], z.Res[0], row[0])
-		for i := 1; i < bc.from.Channels(); i++ {
+		for i := 1; i < k; i++ {
 			plan.ScaleAddInto(dst.Res[j], dst.Res[j], z.Res[i], row[i])
 		}
 	}
@@ -113,7 +231,26 @@ func (bc *BaseConverter) ConvertInto(dst, src Poly) error {
 	}
 	sc := bc.scratch.Get().(*convScratch)
 	bc.digitsInto(sc.z, src)
-	bc.accumulateInto(dst, sc.z)
+	bc.accumulateInto(sc, dst, sc.z)
+	bc.scratch.Put(sc)
+	return nil
+}
+
+// ConvertDigitsInto is ConvertInto with CALLER-COMPUTED digits: z_i must
+// already hold the fast-base-conversion digits [x_i * (Q/q_i)^-1]_{q_i}.
+// It exists for callers that can fuse the digit scalar into an adjacent
+// pass (the resident BEHZ divide-and-round folds T, the rounding offset,
+// and the digit constant into ONE span per tower instead of three);
+// the accumulation is unchanged. dst is canonical; allocates nothing.
+func (bc *BaseConverter) ConvertDigitsInto(dst, z Poly) error {
+	if err := bc.from.checkPoly(z); err != nil {
+		return err
+	}
+	if err := bc.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := bc.scratch.Get().(*convScratch)
+	bc.accumulateInto(sc, dst, z)
 	bc.scratch.Put(sc)
 	return nil
 }
@@ -157,6 +294,9 @@ type MontBaseConverter struct {
 	mtQModP  []uint64   // (m~ * Q) mod p_j, the centering subtract
 	mtInvP   []uint64   // m~^-1 mod p_j
 	mtInvPre []uint64   // Shoup precomputation of mtInvP
+	r64      []uint64   // 2^64 mod p_j (wide-accumulator radix)
+	r64Pre   []uint64   // Shoup duals of r64
+	wide     bool
 
 	scratch sync.Pool
 }
@@ -204,8 +344,15 @@ func NewMontBaseConverter(from, to *Context, mtilde uint64) (*MontBaseConverter,
 		bc.mtInvP = append(bc.mtInvP, inv)
 		bc.mtInvPre = append(bc.mtInvPre, mod.ShoupPrecompute(inv))
 	}
+	bc.wide = wideOK(from, to, from.Channels())
+	bc.r64, bc.r64Pre = r64Table(to)
 	bc.scratch.New = func() any {
-		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		sc := &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		if bc.wide {
+			sc.accHi = make([]uint64, from.N)
+			sc.accLo = make([]uint64, from.N)
+		}
+		return sc
 	}
 	return bc, nil
 }
@@ -231,21 +378,51 @@ func (bc *MontBaseConverter) ConvertInto(dst, src Poly) error {
 		bc.from.Plans[i].Generic().ScalarMulInto(z.Res[i], src.Res[i], bc.digitMul[i])
 	}
 	// r = [-V * Q^-1]_m~ per coefficient, from the digit residues mod m~.
-	// The accumulator is re-masked every term: a masked value times a
-	// residue below m~ <= 2^31 stays under 2^62, so adding the (< m~)
-	// running value never overflows.
-	for j := range r {
-		acc := uint64(0)
-		for i := 0; i < k; i++ {
-			acc = (acc + (z.Res[i][j]&mask)*bc.mRowMt[i]) & mask
+	// Row-sequential accumulation with plain wrapping adds: m~ is a power
+	// of two dividing 2^64, so overflow mod 2^64 preserves the residue
+	// mod m~ and a single final mask suffices — same r, streaming passes
+	// instead of a strided per-coefficient walk over the digit rows.
+	clear(r)
+	for i := 0; i < k; i++ {
+		zr := z.Res[i][:len(r)]
+		wmt := bc.mRowMt[i]
+		for j := range r {
+			r[j] += (zr[j] & mask) * wmt
 		}
-		r[j] = (acc * bc.negQInv) & mask
+	}
+	for j := range r {
+		r[j] = ((r[j] & mask) * bc.negQInv) & mask
 	}
 	half := bc.mt / 2
 	for jt, mod := range bc.to.Mods {
-		plan := bc.to.Plans[jt].Generic()
 		row := bc.m[jt]
 		dr := dst.Res[jt]
+		qp, mtq := bc.qModP[jt], bc.mtQModP[jt]
+		inv, pre := bc.mtInvP[jt], bc.mtInvPre[jt]
+		if bc.wide {
+			// Deferred FastBConv: the k-digit weighted sum V rides the
+			// 128-bit accumulator lanes and the Montgomery correction is
+			// fused into the single reduce pass — one canonical landing
+			// per element instead of k scale-accumulate spans plus a
+			// correction pass. Same residues, reduced once.
+			wideMulRow(sc.accHi, sc.accLo, z.Res[0], row[0])
+			for i := 1; i < k; i++ {
+				wideMACRow(sc.accHi, sc.accLo, z.Res[i], row[i])
+			}
+			q, mu, nb := mod.Q, mod.Mu, mod.N
+			r64, r64Pre := bc.r64[jt], bc.r64Pre[jt]
+			for j := range dr {
+				v := mod.Add(mod.MulShoup(sc.accHi[j], r64, r64Pre),
+					modmath.Barrett64Reduce(0, sc.accLo[j], q, mu, nb))
+				t := mod.Add(v, mod.Mul(r[j], qp))
+				if r[j] > half {
+					t = mod.Sub(t, mtq)
+				}
+				dr[j] = mod.MulShoup(t, inv, pre)
+			}
+			continue
+		}
+		plan := bc.to.Plans[jt].Generic()
 		// dst = sum_i z_i * (Q/q_i) mod p_j, the plain FastBConv value...
 		plan.ScalarMulInto(dr, z.Res[0], row[0])
 		for i := 1; i < k; i++ {
@@ -253,8 +430,6 @@ func (bc *MontBaseConverter) ConvertInto(dst, src Poly) error {
 		}
 		// ...then the Montgomery correction: (V + r*Q) * m~^-1, with r
 		// centered in (-m~/2, m~/2] (values above m~/2 stand for r - m~).
-		qp, mtq := bc.qModP[jt], bc.mtQModP[jt]
-		inv, pre := bc.mtInvP[jt], bc.mtInvPre[jt]
 		for j := range dr {
 			t := mod.Add(dr[j], mod.Mul(r[j], qp))
 			if r[j] > half {
@@ -280,6 +455,9 @@ type SKConverter struct {
 	mSK    []uint64   // (P/p_i) mod m_sk
 	pInvSK uint64     // P^-1 mod m_sk
 	negP   []uint64   // (-P) mod q_j, folds the gamma correction via ScaleAdd
+	r64    []uint64   // 2^64 mod q_j (wide-accumulator radix)
+	r64Pre []uint64   // Shoup duals of r64
+	wide   bool
 
 	scratch sync.Pool
 }
@@ -319,8 +497,16 @@ func NewSKConverter(from, to *Context) (*SKConverter, error) {
 		sk.m = append(sk.m, row)
 		sk.negP = append(sk.negP, mod.Neg(t.Mod(p, qb).Uint64()))
 	}
+	// l digit terms plus the gamma correction term ride the accumulator.
+	sk.wide = wideOK(from, to, l+1)
+	sk.r64, sk.r64Pre = r64Table(to)
 	sk.scratch.New = func() any {
-		return &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		sc := &convScratch{z: from.NewPoly(), gamma: make([]uint64, from.N)}
+		if sk.wide {
+			sc.accHi = make([]uint64, from.N)
+			sc.accLo = make([]uint64, from.N)
+		}
+		return sc
 	}
 	return sk, nil
 }
@@ -362,10 +548,21 @@ func (sk *SKConverter) ConvertInto(dst, src Poly) error {
 		g[j] = skMod.Sub(g[j], v)
 	}
 	skPlan.ScalarMulInto(g, g, sk.pInvSK)
-	// dst_j = sum_i z_i*(P/p_i) - gamma*P mod q_j.
+	// dst_j = sum_i z_i*(P/p_i) - gamma*P mod q_j. On a wide-eligible
+	// basis the whole thing — digits and the gamma correction — is one
+	// (l+1)-term deferred inner product with a single canonical landing.
 	for j := range sk.to.Mods {
-		plan := sk.to.Plans[j].Generic()
 		row := sk.m[j]
+		if sk.wide {
+			wideMulRow(sc.accHi, sc.accLo, z.Res[0], row[0])
+			for i := 1; i < sk.l; i++ {
+				wideMACRow(sc.accHi, sc.accLo, z.Res[i], row[i])
+			}
+			wideMACRow(sc.accHi, sc.accLo, g, sk.negP[j])
+			wideReduceRow(dst.Res[j], sc.accHi, sc.accLo, sk.to.Mods[j], sk.r64[j], sk.r64Pre[j])
+			continue
+		}
+		plan := sk.to.Plans[j].Generic()
 		plan.ScalarMulInto(dst.Res[j], z.Res[0], row[0])
 		for i := 1; i < sk.l; i++ {
 			plan.ScaleAddInto(dst.Res[j], dst.Res[j], z.Res[i], row[i])
@@ -416,7 +613,12 @@ func NewRescaler(from, to *Context) (*Rescaler, error) {
 		r.qkInvPre = append(r.qkInvPre, mod.ShoupPrecompute(inv))
 		r.halfRes = append(r.halfRes, r.half%mod.Q)
 	}
-	r.scratch.New = func() any { return &convScratch{gamma: make([]uint64, from.N)} }
+	r.scratch.New = func() any {
+		return &convScratch{
+			gamma: make([]uint64, from.N),
+			rows:  ring.AllocBatch[uint64](from.N, to.Channels()),
+		}
+	}
 	return r, nil
 }
 
@@ -468,4 +670,84 @@ func (r *Rescaler) RescaleInto(dst, a Poly) error {
 	}
 	r.scratch.Put(sc)
 	return nil
+}
+
+// RescaleNTTInto is RescaleInto for an NTT-RESIDENT polynomial: a's towers
+// hold twisted-evaluation (double-CRT) values and dst receives the rescale
+// result in the same domain, without ever materializing the prefix towers
+// in coefficient form. Only the dropped tower is inverse-transformed (its
+// remainder u is inherently positional); each prefix tower then builds the
+// correction polynomial w_i = (h_i - u) mod q_i, forward-transforms it,
+// and fuses dst_i = (a_i + NTT(w_i)) * q_k^-1 pointwise — bit-identical to
+// RescaleInto composed with transforms, by NTT linearity. The per-tower
+// work (one transform plus the fused pass) dispatches through
+// ring.ParallelChunks; workers follows the batch convention (0 means
+// GOMAXPROCS, 1 is the sequential zero-alloc path). dst rows may alias a's
+// prefix rows. Input rows may be lazy ([0, 2q)); dst is canonical.
+func (r *Rescaler) RescaleNTTInto(dst, a Poly, workers int) error {
+	if err := r.from.checkPoly(a); err != nil {
+		return err
+	}
+	if err := r.to.checkPoly(dst); err != nil {
+		return err
+	}
+	sc := r.scratch.Get().(*convScratch)
+	u := sc.gamma
+	kq := r.from.Channels() - 1
+	qk := r.from.Mods[kq].Q
+	r.from.Plans[kq].Generic().NegacyclicInverseInto(u, a.Res[kq])
+	// u[j] = (x_{k-1} + h) mod q_{k-1}: the rounded-division remainder
+	// (the inverse transform's output is canonical).
+	for j := range u {
+		s := u[j] + r.half // < 2*q_k, no overflow: q_k < 2^62
+		if s >= qk {
+			s -= qk
+		}
+		u[j] = s
+	}
+	towers := r.to.Channels()
+	// Named method, not a closure: a closure shared with the parallel
+	// branch would escape and put an allocation on the workers==1 path.
+	if workers == 1 || towers <= 1 {
+		for i := 0; i < towers; i++ {
+			r.rescaleNTTTower(sc, dst, a, i)
+		}
+	} else {
+		ring.ParallelChunks(towers, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				r.rescaleNTTTower(sc, dst, a, i)
+			}
+		})
+	}
+	r.scratch.Put(sc)
+	return nil
+}
+
+// rescaleNTTTower finishes one prefix tower of a resident rescale: build
+// the correction w_i = (h_i - u) mod q_i from the shared remainder in
+// sc.gamma, forward-transform it, and fuse the add-and-scale pass.
+func (r *Rescaler) rescaleNTTTower(sc *convScratch, dst, a Poly, i int) {
+	u := sc.gamma
+	mod := r.to.Mods[i]
+	q := mod.Q
+	w := sc.rows[i]
+	h := r.halfRes[i]
+	for j := range w {
+		t := u[j] // < q_k < 2q, one subtract reduces
+		if t >= q {
+			t -= q
+		}
+		w[j] = mod.Sub(h, t)
+	}
+	plan := r.to.Plans[i].Generic()
+	plan.NegacyclicForwardInto(w, w)
+	ar, dr := a.Res[i], dst.Res[i]
+	inv, pre := r.qkInv[i], r.qkInvPre[i]
+	for j := range dr {
+		v := ar[j]
+		if v >= q {
+			v -= q
+		}
+		dr[j] = mod.MulShoup(mod.Add(v, w[j]), inv, pre)
+	}
 }

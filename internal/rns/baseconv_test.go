@@ -326,6 +326,53 @@ func TestRescalerMatchesBigInt(t *testing.T) {
 	}
 }
 
+// TestRescaleNTTMatchesCoefficientPath: the resident rescale on an
+// NTT-domain polynomial must be BIT-IDENTICAL to transform -> RescaleInto
+// -> transform, for both the sequential and the tower-parallel dispatch —
+// the linearity argument (NTT(x + w) = NTT(x) + NTT(w), scalars commute)
+// checked in code rather than trusted.
+func TestRescaleNTTMatchesCoefficientPath(t *testing.T) {
+	f := convFix(t)
+	full, sub := f.q, f.sub
+	for seed := int64(0); seed < 4; seed++ {
+		for _, pattern := range []byte{0, 1, 2, 3, 4, 7} {
+			src := full.NewPoly()
+			fillResidues(src, full.Mods, seed, pattern)
+			for i, mod := range full.Mods {
+				for j := range src.Res[i] {
+					src.Res[i][j] %= mod.Q
+				}
+			}
+			want := sub.NewPoly()
+			if err := f.rs.RescaleInto(want, src); err != nil {
+				t.Fatal(err)
+			}
+			srcHat := full.NewPoly()
+			if err := full.NegacyclicNTTAll(srcHat, src, 1); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				gotHat := sub.NewPoly()
+				if err := f.rs.RescaleNTTInto(gotHat, srcHat, workers); err != nil {
+					t.Fatal(err)
+				}
+				got := sub.NewPoly()
+				if err := sub.NegacyclicINTTAll(got, gotHat, 1); err != nil {
+					t.Fatal(err)
+				}
+				for i := range got.Res {
+					for j := range got.Res[i] {
+						if got.Res[i][j] != want.Res[i][j] {
+							t.Fatalf("seed %d pattern %x workers %d: tower %d coeff %d: resident %d, coefficient path %d",
+								seed, pattern, workers, i, j, got.Res[i][j], want.Res[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestRescalerValidation(t *testing.T) {
 	f := convFix(t)
 	if _, err := NewRescaler(f.q, f.q); err == nil {

@@ -202,6 +202,50 @@ func (c *Context) MulAll(dst, a, b Poly, workers int) error {
 	return nil
 }
 
+// NegacyclicNTTAll converts every tower of a to the TWISTED evaluation
+// domain into dst — the double-CRT resting state of an NTT-resident
+// ciphertext, where pointwise products are negacyclic convolutions. It is
+// the domain MulAll uses internally; NTTAll's plain (cyclic) transform is
+// a different domain and the two must not be mixed. dst may alias a.
+func (c *Context) NegacyclicNTTAll(dst, a Poly, workers int) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	if c.seqTowers(workers) {
+		for i, p := range c.Plans {
+			p.Generic().NegacyclicForwardInto(dst.Res[i], a.Res[i])
+		}
+		return nil
+	}
+	ring.ParallelChunks(c.Channels(), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			c.Plans[i].Generic().NegacyclicForwardInto(dst.Res[i], a.Res[i])
+		}
+	})
+	return nil
+}
+
+// NegacyclicINTTAll converts every tower of a from the twisted evaluation
+// domain back to coefficient form into dst, with 1/N folded into the
+// untwist pass. dst may alias a.
+func (c *Context) NegacyclicINTTAll(dst, a Poly, workers int) error {
+	if err := c.checkPoly(dst, a); err != nil {
+		return err
+	}
+	if c.seqTowers(workers) {
+		for i, p := range c.Plans {
+			p.Generic().NegacyclicInverseInto(dst.Res[i], a.Res[i])
+		}
+		return nil
+	}
+	ring.ParallelChunks(c.Channels(), workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			c.Plans[i].Generic().NegacyclicInverseInto(dst.Res[i], a.Res[i])
+		}
+	})
+	return nil
+}
+
 // AddInto computes dst = a + b tower-wise. dst may alias a or b.
 func (c *Context) AddInto(dst, a, b Poly) error {
 	return c.ewiseInto(dst, a, b, func(m *modmath.Modulus64, x, y uint64) uint64 { return m.Add(x, y) })
