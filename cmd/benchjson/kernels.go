@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"mqxgo/internal/core"
@@ -226,11 +225,9 @@ func runKernelComparison(ctx *core.Context, path string) error {
 		"schema":         "mqxgo-bench/v1",
 		"pr":             3,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"sizes": sizes, "prime_bits_64": 59,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
+		}),
 		"verified": true,
 		"results":  results,
 		"acceptance": map[string]any{

@@ -65,6 +65,7 @@ import (
 
 	"mqxgo/internal/core"
 	"mqxgo/internal/ntt"
+	"mqxgo/internal/ring"
 	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 	"mqxgo/internal/u256"
@@ -152,6 +153,25 @@ func seedBatchForward(p *ntt.Plan, inputs [][]u128.U128, workers int) [][]u128.U
 	return out
 }
 
+// hostConfig merges the host identification every report shares — OS,
+// arch, GOMAXPROCS — plus the kernel tier the 64-bit plans select on this
+// host (after the MQXGO_KERNEL_TIER override, clamped to what the CPU
+// supports) and the detected vector features behind the selection, so
+// numbers from different hosts or forced tiers are never conflated.
+func hostConfig(cfg map[string]any) map[string]any {
+	sel := ring.DetectKernelTier()
+	if e := ring.EnvKernelTier(); e != ring.TierAuto && e < sel {
+		sel = e
+	}
+	cfg["goos"] = runtime.GOOS
+	cfg["goarch"] = runtime.GOARCH
+	cfg["gomaxprocs"] = runtime.GOMAXPROCS(0)
+	cfg["kernel_tier"] = sel.String()
+	cfg["kernel_tier_detected"] = ring.DetectKernelTier().String()
+	cfg["cpu_features"] = ring.CPUFeatures()
+	return cfg
+}
+
 type opResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -167,6 +187,7 @@ func main() {
 	out4 := flag.String("out4", "BENCH_PR4.json", "homomorphic multiply report path (empty to skip)")
 	out5 := flag.String("out5", "BENCH_PR5.json", "modulus ladder report path (empty to skip)")
 	out6 := flag.String("out6", "BENCH_PR6.json", "resident-vs-retensor report path (empty to skip)")
+	out7 := flag.String("out7", "BENCH_PR7.json", "vector kernel tier report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -207,6 +228,11 @@ func main() {
 	}
 	if *out6 != "" {
 		if err := runResidentComparison(*out6); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *out7 != "" {
+		if err := runSIMDComparison(*out7); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -273,11 +299,9 @@ func runSeedReport(ctx *core.Context, plan *ntt.Plan, out string, n, batch, work
 		"schema":         "mqxgo-bench/v1",
 		"pr":             1,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"n": n, "batch": batch, "workers": workers,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
+		}),
 		"verified": true,
 		"results":  results,
 		"speedups": map[string]float64{
@@ -408,11 +432,9 @@ func runBackendComparison(ctx *core.Context, path string) error {
 		"schema":         "mqxgo-bench/v1",
 		"pr":             2,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"sizes": sizes, "towers": towerCounts, "prime_bits": 59,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
+		}),
 		"verified": true,
 		"results":  results,
 		"acceptance": map[string]any{

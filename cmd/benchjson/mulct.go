@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"mqxgo/internal/fhe"
@@ -166,11 +165,9 @@ func runMulCtComparison(path string) error {
 		"schema":         "mqxgo-bench/v1",
 		"pr":             4,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"sizes": sizes, "towers": towerCounts, "prime_bits": 59, "plain_modulus": mulPlainMod,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
+		}),
 		"verified": true,
 		"results":  results,
 		"acceptance": map[string]any{

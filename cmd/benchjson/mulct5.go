@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"mqxgo/internal/fhe"
@@ -232,11 +231,9 @@ func runLadderComparison(path string) error {
 		"schema":         "mqxgo-bench/v1",
 		"pr":             5,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"n": n, "towers": k, "depth": depth, "prime_bits": 59, "plain_modulus": T,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0),
-		},
+		}),
 		"verified": true,
 		"results":  levels,
 		"acceptance": map[string]any{

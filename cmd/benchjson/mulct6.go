@@ -239,12 +239,11 @@ func runResidentComparison(path string) error {
 		"schema":         "mqxgo-bench/v1",
 		"pr":             6,
 		"generated_unix": time.Now().Unix(),
-		"config": map[string]any{
+		"config": hostConfig(map[string]any{
 			"n": n, "towers": k, "depth": depth, "prime_bits": 59, "plain_modulus": T,
-			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
-			"gomaxprocs": runtime.GOMAXPROCS(0), "host_cpus": runtime.NumCPU(),
-			"timing": fmt.Sprintf("min of %d interleaved rounds per contender", rounds),
-		},
+			"host_cpus": runtime.NumCPU(),
+			"timing":    fmt.Sprintf("min of %d interleaved rounds per contender", rounds),
+		}),
 		"verified":      true,
 		"results":       levels,
 		"tower_scaling": scaling,

@@ -1198,11 +1198,15 @@ func relinTower(sc *rnsMulScratch, tau int, resident bool) {
 		// with a plain integer add — relinLazy guarantees k of them fit
 		// the 64-bit accumulator — and the whole k-digit sum pays a
 		// single Barrett reduction per element at the end. Same residues
-		// as the canonical multiply-add chain, reduced once.
+		// as the canonical multiply-add chain, reduced once. The digit
+		// transform and both key-row MACs run as one fused pass
+		// (NegacyclicForwardMAC2): the final NTT stage's outputs are
+		// accumulated as they are produced instead of being written out
+		// and streamed back twice per digit.
 		for i := 0; i < k; i++ {
-			plan.NegacyclicForwardInto(lift, sc.zQ.Res[i])
-			mulPreAddRow(accA, lift, sc.lkey.a[i].Res[tau], sc.lkey.aPre[i].Res[tau], mod.Q)
-			mulPreAddRow(accB, lift, sc.lkey.b[i].Res[tau], sc.lkey.bPre[i].Res[tau], mod.Q)
+			ring.NegacyclicForwardMAC2(plan, accA, accB, sc.zQ.Res[i],
+				sc.lkey.a[i].Res[tau], sc.lkey.aPre[i].Res[tau],
+				sc.lkey.b[i].Res[tau], sc.lkey.bPre[i].Res[tau])
 		}
 		if resident {
 			plan.NegacyclicForwardInto(sc.outA.Res[tau], sc.c1Q.Res[tau])

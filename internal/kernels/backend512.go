@@ -227,6 +227,9 @@ func (b *B512) Deinterleave(r0, r1 vm.V) (vm.V, vm.V) {
 	return even, odd
 }
 
+// MinU implements MinUOps: VPMINUQ, native at every 512-bit level.
+func (b *B512) MinU(a, x vm.V) vm.V { return b.M.MinU(a, x) }
+
 // Shr implements Ops.
 func (b *B512) Shr(a vm.V, n uint) vm.V { return b.M.SrlI(a, n) }
 

@@ -91,6 +91,17 @@ type Ops[W, C any] interface {
 	Or(a, b W) W
 }
 
+// MinUOps is the optional unsigned-minimum extension: VPMINUQ on AVX-512.
+// Lazy-reduction kernels use it for the branchless conditional subtract
+// min(x, x-c) — correct for ANY unsigned x, because a wrapped difference
+// always exceeds the original value. Backends without a 64-bit unsigned
+// minimum (scalar x86-64, AVX2) do not implement it and pay the
+// compare/select sequence instead; generic code type-asserts.
+type MinUOps[W any] interface {
+	// MinU returns the lane-wise unsigned minimum of a and b.
+	MinU(a, b W) W
+}
+
 // PredOps is the optional predicated-execution extension of Section 5.5
 // (+M,C,P): predicated add/sub with carry/borrow-in that return the first
 // operand in lanes where pred is clear, without producing a carry-out.

@@ -15,19 +15,29 @@ type SW[W, C any] struct {
 	O   Ops[W, C]
 	Mod *modmath.Modulus64
 
-	q, mu W
-	n     uint
+	q, mu, twoQ W
+	n           uint
+
+	// minU is the backend's native unsigned minimum when it has one
+	// (AVX-512 VPMINUQ); the lazy conditional subtracts lower to
+	// min(x, x-c) there and to the compare/select sequence elsewhere.
+	minU MinUOps[W]
 }
 
 // NewSW broadcasts the modulus constants; call before BeginLoop.
 func NewSW[W, C any](o Ops[W, C], mod *modmath.Modulus64) *SW[W, C] {
-	return &SW[W, C]{
-		O:   o,
-		Mod: mod,
-		q:   o.Broadcast(mod.Q),
-		mu:  o.Broadcast(mod.Mu),
-		n:   mod.N,
+	s := &SW[W, C]{
+		O:    o,
+		Mod:  mod,
+		q:    o.Broadcast(mod.Q),
+		mu:   o.Broadcast(mod.Mu),
+		twoQ: o.Broadcast(2 * mod.Q),
+		n:    mod.N,
 	}
+	if m, ok := o.(MinUOps[W]); ok {
+		s.minU = m
+	}
+	return s
 }
 
 // AddMod returns (a + b) mod q per lane, for reduced inputs.
@@ -92,4 +102,77 @@ func (s *SW[W, C]) Butterfly(a, b, w, wPre W) (even, odd W) {
 	even = s.AddMod(a, b)
 	odd = s.MulShoup(s.SubMod(a, b), w, wPre)
 	return even, odd
+}
+
+// Lazy-reduction kernels (the PR 3 ring.SpanKernels discipline): residues
+// travel between stages in the relaxed domain [0, 2q), the conditional
+// subtract at the tail of the Shoup multiply is dropped entirely, and the
+// canonical subtract becomes a branchless a + 2q - b. Written once against
+// the backend vocabulary, these record per tier exactly the instruction
+// streams the ring package's AVX2/AVX-512 span kernels execute, so the
+// scheduler's projection of these bodies is the VM-side prediction for the
+// vector tier.
+
+// condSub2Q returns x - 2q if x >= 2q else x, for x < 4q. On backends with
+// a native unsigned minimum this is sub+min (the VPMINUQ trick — correct
+// for any x because a wrapped difference exceeds the input); elsewhere it
+// pays the compare/select sequence.
+func (s *SW[W, C]) condSub2Q(x W) W {
+	o := s.O
+	d := o.Sub(x, s.twoQ)
+	if s.minU != nil {
+		return s.minU.MinU(x, d)
+	}
+	keep := o.CmpLt(x, s.twoQ)
+	return o.Select(keep, d, x)
+}
+
+// condSubQLazy is condSub2Q with modulus q: the deferred-normalization
+// fold of the final stage.
+func (s *SW[W, C]) condSubQLazy(x W) W {
+	o := s.O
+	d := o.Sub(x, s.q)
+	if s.minU != nil {
+		return s.minU.MinU(x, d)
+	}
+	keep := o.CmpLt(x, s.q)
+	return o.Select(keep, d, x)
+}
+
+// AddLazy returns a + b reduced into [0, 2q), for relaxed inputs (< 2q
+// each; the sum < 4q never wraps since q < 2^62).
+func (s *SW[W, C]) AddLazy(a, b W) W {
+	return s.condSub2Q(s.O.Add(a, b))
+}
+
+// SubLazy returns a + 2q - b in (0, 4q) with NO conditional subtract: the
+// difference feeds MulShoupLazy directly, whose bound holds for any 64-bit
+// multiplicand.
+func (s *SW[W, C]) SubLazy(a, b W) W {
+	return s.O.Sub(s.O.Add(a, s.twoQ), b)
+}
+
+// MulShoupLazy returns a*w - floor(a*wPre/2^64)*q in [0, 2q): the Shoup
+// multiply without its correction step — one widening multiply for the
+// quotient and two low multiplies, no compare.
+func (s *SW[W, C]) MulShoupLazy(a, w, wPre W) W {
+	o := s.O
+	qhat, _ := o.MulWide(a, wPre) // high part only is needed
+	return o.Sub(o.MulLo(a, w), o.MulLo(qhat, s.q))
+}
+
+// LazyButterfly is the relaxed-domain CT butterfly (ring.Shoup64.CTSpan's
+// body): even = (a+b) mod 2q, odd = (a + 2q - b)·w via the lazy Shoup
+// multiply, relaxed in, relaxed out.
+func (s *SW[W, C]) LazyButterfly(a, b, w, wPre W) (even, odd W) {
+	even = s.AddLazy(a, b)
+	odd = s.MulShoupLazy(s.SubLazy(a, b), w, wPre)
+	return even, odd
+}
+
+// LazyButterflyLast is the final-stage variant (ring.Shoup64.CTSpanLast):
+// the same dataflow plus the deferred normalization landing on both lanes.
+func (s *SW[W, C]) LazyButterflyLast(a, b, w, wPre W) (even, odd W) {
+	even, odd = s.LazyButterfly(a, b, w, wPre)
+	return s.condSubQLazy(even), s.condSubQLazy(odd)
 }

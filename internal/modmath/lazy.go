@@ -16,6 +16,16 @@ import "math/bits"
 //	4q < 2^64   a sum of two relaxed residues, or a + 2q - b, never wraps
 //
 // so every intermediate the lazy butterflies form is exact in uint64.
+// The same inventory carries verbatim to the vector kernel tier
+// (internal/ring's kernels64_*_amd64.s): each SIMD lane is an
+// independent 64-bit word running exactly this arithmetic, the
+// conditional subtractions are branchless per-lane selects (VPMINUQ of x
+// and x - c on AVX-512; a sign-flipped VPCMPGTQ mask on AVX2, where the
+// flip is what makes the signed compare order unsigned values), and the
+// MulShoupLazy bound below needs no adjustment because it already holds
+// for ANY 64-bit a — which is also why the vector bodies are bit-exact
+// against the scalar kernels on arbitrary lane values, not just
+// in-contract residues.
 
 // MulShoupLazy returns r ≡ a * w (mod q) with r in [0, 2q), for ANY
 // a < 2^64 (it need not be reduced), w < q, and wPrecon =

@@ -225,6 +225,103 @@ func swIter[W, C any](m *vm.Machine, s *kernels.SW[W, C], buf []uint64, lanes in
 	o.Store(buf, 5*lanes, r1)
 }
 
+// LazySWButterflyBody records one steady-state iteration of the PR 3
+// lazy-reduction forward stage (ring.Shoup64.CTSpan) on a tier: four
+// streamed loads (inputs plus the dense twiddle/precomputation pair), the
+// relaxed [0, 2q) butterfly, interleave and stores. This is the candidate
+// body the vector span kernels implement, costed in the VM before the
+// assembly is written.
+func LazySWButterflyBody(level isa.Level, mod64 *modmath.Modulus64) *Body {
+	return recordSW(level, mod64, func(m *vm.Machine, r swAny) { r.lazyIter() })
+}
+
+// LazySWButterflyBlkBody is the blocked-kernel variant
+// (ring.BlockedSpanKernels.CTSpanBlk): the compact-table twiddle pair is
+// hoisted out of the run loop into broadcast registers, so the steady
+// state streams only the two data inputs — half the loads of the dense
+// body. This is the body the n=4096 hot stages (blk >= 8) execute.
+func LazySWButterflyBlkBody(level isa.Level, mod64 *modmath.Modulus64) *Body {
+	return recordSW(level, mod64, func(m *vm.Machine, r swAny) { r.lazyBlkIter() })
+}
+
+// swAny adapts the per-tier SW runners for body recording, like dwAny for
+// the double-word bodies.
+type swAny interface {
+	lazyIter()
+	lazyBlkIter()
+}
+
+type swRunner[W, C any] struct {
+	s     *kernels.SW[W, C]
+	buf   []uint64
+	w, wp W // broadcast twiddle pair for the blocked body (preamble)
+}
+
+func newSWRunner[W, C any](o kernels.Ops[W, C], mod64 *modmath.Modulus64) *swRunner[W, C] {
+	s := kernels.NewSW[W, C](o, mod64)
+	buf := make([]uint64, 8*o.Lanes())
+	for i := range buf {
+		buf[i] = uint64(i+1) % mod64.Q
+	}
+	wv := buf[1]
+	return &swRunner[W, C]{
+		s:   s,
+		buf: buf,
+		w:   o.Broadcast(wv),
+		wp:  o.Broadcast(mod64.ShoupPrecompute(wv)),
+	}
+}
+
+func (r *swRunner[W, C]) lazyIter() {
+	o := r.s.O
+	L := o.Lanes()
+	a := o.Load(r.buf, 0)
+	b := o.Load(r.buf, L)
+	w := o.Load(r.buf, 2*L)
+	wp := o.Load(r.buf, 3*L)
+	even, odd := r.s.LazyButterfly(a, b, w, wp)
+	r0, r1 := o.Interleave(even, odd)
+	o.Store(r.buf, 4*L, r0)
+	o.Store(r.buf, 5*L, r1)
+}
+
+func (r *swRunner[W, C]) lazyBlkIter() {
+	o := r.s.O
+	L := o.Lanes()
+	a := o.Load(r.buf, 0)
+	b := o.Load(r.buf, L)
+	even, odd := r.s.LazyButterfly(a, b, r.w, r.wp)
+	r0, r1 := o.Interleave(even, odd)
+	o.Store(r.buf, 4*L, r0)
+	o.Store(r.buf, 5*L, r1)
+}
+
+func recordSW(level isa.Level, mod64 *modmath.Modulus64, run func(*vm.Machine, swAny)) *Body {
+	m := vm.New(vm.TraceFull)
+	var runner swAny
+	var lanes int
+	switch level {
+	case isa.LevelScalar:
+		runner = newSWRunner[vm.S, vm.F](kernels.NewBScalar(m), mod64)
+		lanes = 1
+	case isa.LevelAVX2:
+		runner = newSWRunner[vm.V4, vm.V4](kernels.NewB256(m), mod64)
+		lanes = 4
+	default:
+		runner = newSWRunner[vm.V, vm.M](kernels.NewB512(m, level), mod64)
+		lanes = 8
+	}
+	m.BeginLoop()
+	run(m, runner)
+	loopOverhead(m)
+	return &Body{
+		Level:  level,
+		Lanes:  lanes,
+		Instrs: m.Body(),
+		Bytes:  m.BytesLoaded() + m.BytesStored(),
+	}
+}
+
 func record(level isa.Level, mod *modmath.Modulus128, withLoop bool, run func(o dwAny)) *Body {
 	m := vm.New(vm.TraceFull)
 	var runner dwAny

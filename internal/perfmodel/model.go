@@ -45,10 +45,20 @@ func NewKernelModel(mach *Machine, body *Body) *KernelModel {
 type NTTModel struct {
 	Kernel *KernelModel
 	N      int
+	// ElemBytes is the residue size for the working-set estimate: 16 for
+	// the double-word bodies (the default when zero), 8 for the
+	// single-word RNS-tower bodies.
+	ElemBytes int
 }
 
 // NewNTTModel builds the model for size n from a butterfly kernel model.
 func NewNTTModel(k *KernelModel, n int) *NTTModel { return &NTTModel{Kernel: k, N: n} }
+
+// NewNTTModel64 builds the model for size n over 8-byte residues (the
+// single-word lazy bodies).
+func NewNTTModel64(k *KernelModel, n int) *NTTModel {
+	return &NTTModel{Kernel: k, N: n, ElemBytes: 8}
+}
 
 // Stages returns log2(N).
 func (m *NTTModel) Stages() int {
@@ -65,7 +75,11 @@ func (m *NTTModel) Stages() int {
 // at 2^15, 2 MB at 2^16 vs. the 1.28 MB per-core Intel L2). Twiddle tables
 // are streamed once per stage and count toward traffic, not residency.
 func (m *NTTModel) WorkingSetBytes() int64 {
-	return int64(m.N) * 16 * 2
+	eb := int64(m.ElemBytes)
+	if eb == 0 {
+		eb = 16
+	}
+	return int64(m.N) * eb * 2
 }
 
 // CyclesTotal returns the projected cycles for the full transform on one

@@ -1,0 +1,146 @@
+package perfmodel
+
+import (
+	"sort"
+
+	"mqxgo/internal/isa"
+	"mqxgo/internal/modmath"
+)
+
+// This file teaches the performance-model tier the shapes added since the
+// seed: the PR 3 lazy-reduction span kernels (as VM-recorded bodies, see
+// bodies.go) and the PR 4/PR 6 BEHZ resident-multiply pipeline (as a
+// transform census over the NTT model). Together they make the model
+// predictive for the vector kernel tier: candidate bodies are recorded,
+// scheduled, ranked, and the chosen body's projected speedup lands next to
+// the measured one in BENCH_PR7.json.
+
+// BEHZResidentModel counts the mandatory transforms of one NTT-resident
+// BEHZ multiply (internal/fhe.mulResident) at a ladder level with K prime
+// towers and M = K+1 extension towers, and projects their total time from
+// a butterfly kernel model. The census mirrors the pipeline stage by
+// stage:
+//
+//	crossing:   nops·K inverse transforms (operands leave residence once)
+//	tensor Q:   3·K inverse transforms (operands consumed in place)
+//	tensor ext: (nops+3)·M transforms (nops forward + 3 inverse per tower)
+//	relin:      K·(K+2) forward transforms (K digit lifts + NTT(c1), NTT(c0)
+//	            per tower)
+//
+// where nops is 2 when squaring (the ladder's dominant workload — shared
+// operand rows) and 4 for a general product. At K=4 squaring this is the
+// ~69 mandatory transforms profiling attributes ~half the remaining
+// resident-multiply time to.
+type BEHZResidentModel struct {
+	NTT      *NTTModel
+	K        int
+	Squaring bool
+}
+
+// NewBEHZResidentModel builds the census over an NTT model (typically a
+// single-word lazy body at the ladder's ring size).
+func NewBEHZResidentModel(ntt *NTTModel, k int, squaring bool) *BEHZResidentModel {
+	return &BEHZResidentModel{NTT: ntt, K: k, Squaring: squaring}
+}
+
+// ExtTowers returns M, the BEHZ extension-base size (p_1..p_K plus m_sk).
+func (m *BEHZResidentModel) ExtTowers() int { return m.K + 1 }
+
+func (m *BEHZResidentModel) nops() int {
+	if m.Squaring {
+		return 2
+	}
+	return 4
+}
+
+// Transforms returns the mandatory transform count of one resident
+// multiply.
+func (m *BEHZResidentModel) Transforms() int {
+	k, ext, nops := m.K, m.ExtTowers(), m.nops()
+	return nops*k + 3*k + (nops+3)*ext + k*(k+2)
+}
+
+// TransformNs projects the single-core time of those transforms.
+func (m *BEHZResidentModel) TransformNs() float64 {
+	return float64(m.Transforms()) * m.NTT.TimeNs()
+}
+
+// MulCtSpeedup is the Amdahl bound for the whole resident multiply when
+// the transform share of its runtime is nttShare and the butterfly kernel
+// gets kernelSpeedup times faster: 1 / (1 - share + share/speedup).
+func MulCtSpeedup(nttShare, kernelSpeedup float64) float64 {
+	if kernelSpeedup <= 0 {
+		return 0
+	}
+	return 1 / (1 - nttShare + nttShare/kernelSpeedup)
+}
+
+// BodyCandidate is one ranked vector-body candidate: a lazy butterfly
+// body at an ISA tier, dense or blocked, with its projected cost.
+type BodyCandidate struct {
+	Name           string
+	Level          isa.Level
+	Blocked        bool
+	NsPerButterfly float64
+	BytesPerIter   int64
+	// SpeedupVsScalar is the projected gain over the scalar lazy dense
+	// body — the PR 3 kernel the vector tier must beat.
+	SpeedupVsScalar float64
+}
+
+// RankLazyBodies records, schedules, and ranks the candidate lazy
+// butterfly bodies for an n-point transform on a machine: dense and
+// blocked variants at scalar, AVX2 and AVX-512. The result is sorted
+// fastest first; the scalar dense body is the speedup baseline. This is
+// the paper's cost-before-commit methodology applied to the tier below
+// the span seam.
+func RankLazyBodies(mach *Machine, mod64 *modmath.Modulus64, n int) []BodyCandidate {
+	levels := []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512}
+	var out []BodyCandidate
+	var baseline float64
+	for _, lv := range levels {
+		for _, blocked := range []bool{false, true} {
+			var body *Body
+			name := lv.String() + "-dense"
+			if blocked {
+				body = LazySWButterflyBlkBody(lv, mod64)
+				name = lv.String() + "-blocked"
+			} else {
+				body = LazySWButterflyBody(lv, mod64)
+			}
+			ntt := NewNTTModel64(NewKernelModel(mach, body), n)
+			c := BodyCandidate{
+				Name:           name,
+				Level:          lv,
+				Blocked:        blocked,
+				NsPerButterfly: ntt.NsPerButterfly(),
+				BytesPerIter:   body.Bytes,
+			}
+			if lv == isa.LevelScalar && !blocked {
+				baseline = c.NsPerButterfly
+			}
+			out = append(out, c)
+		}
+	}
+	for i := range out {
+		if out[i].NsPerButterfly > 0 {
+			out[i].SpeedupVsScalar = baseline / out[i].NsPerButterfly
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].NsPerButterfly < out[j].NsPerButterfly
+	})
+	return out
+}
+
+// ProjectLazyNTT64 is the one-call helper for the single-word lazy tier:
+// model an n-point forward NTT for a level, dense or blocked body.
+func ProjectLazyNTT64(mach *Machine, level isa.Level, mod64 *modmath.Modulus64, n int, blocked bool) *NTTModel {
+	var body *Body
+	if blocked {
+		body = LazySWButterflyBlkBody(level, mod64)
+	} else {
+		body = LazySWButterflyBody(level, mod64)
+	}
+	return NewNTTModel64(NewKernelModel(mach, body), n)
+}

@@ -33,6 +33,107 @@ func TestPolyMulModel(t *testing.T) {
 	}
 }
 
+func lazyTestMod64(t *testing.T) *modmath.Modulus64 {
+	t.Helper()
+	ps, err := modmath.FindNTTPrimes64(59, 8192, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modmath.MustModulus64(ps[0])
+}
+
+// The lazy bodies must cost less than the strict seed-era body at every
+// tier: dropping the Shoup correction and the canonical subtract is the
+// PR 3 measured win, and the model has to reproduce its direction before
+// it can be trusted predictively.
+func TestLazyBodyBeatsStrict(t *testing.T) {
+	mod := lazyTestMod64(t)
+	for _, lv := range []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512} {
+		strictBody := SWButterflyBody(lv, mod)
+		lazyBody := LazySWButterflyBody(lv, mod)
+		strict := NewKernelModel(IntelXeon8352Y, strictBody)
+		lazy := NewKernelModel(IntelXeon8352Y, lazyBody)
+		// The lazy body is strictly shorter; projected cycles may only tie
+		// when another resource dominates (on the Ice Lake model the
+		// microcoded VPMULLQ keeps the AVX-512 port-0 pressure constant,
+		// so dropping the condsubs does not move the bound — exactly the
+		// kind of ranking insight the VM pass is for).
+		if len(lazyBody.Instrs) >= len(strictBody.Instrs) {
+			t.Errorf("%v: lazy body %d instrs not below strict %d",
+				lv, len(lazyBody.Instrs), len(strictBody.Instrs))
+		}
+		if lazy.CyclesPerIter > strict.CyclesPerIter {
+			t.Errorf("%v: lazy %.2f cycles/iter above strict %.2f",
+				lv, lazy.CyclesPerIter, strict.CyclesPerIter)
+		}
+	}
+}
+
+// The blocked body hoists the compact-table twiddle pair out of the run
+// loop: of the dense body's six streamed vectors (four loads, two
+// stores) the two table loads disappear, leaving two thirds the traffic.
+func TestBlockedBodyStreamsLess(t *testing.T) {
+	mod := lazyTestMod64(t)
+	for _, lv := range []isa.Level{isa.LevelScalar, isa.LevelAVX2, isa.LevelAVX512} {
+		dense := LazySWButterflyBody(lv, mod)
+		blk := LazySWButterflyBlkBody(lv, mod)
+		saved := int64(2 * 8 * lv.Lanes())
+		if dense.Bytes-blk.Bytes != saved {
+			t.Errorf("%v: blocked body streams %d bytes, dense %d (want %d saved)",
+				lv, blk.Bytes, dense.Bytes, saved)
+		}
+	}
+}
+
+// The predictive ranking must put a vector body first with a projected
+// win over the scalar lazy baseline — the go/no-go the assembly tier was
+// gated on — and keep the per-butterfly ordering AVX-512 <= AVX2 <=
+// scalar on dense bodies at the ladder's ring size.
+func TestRankLazyBodies(t *testing.T) {
+	mod := lazyTestMod64(t)
+	ranked := RankLazyBodies(IntelXeon8352Y, mod, 4096)
+	if len(ranked) != 6 {
+		t.Fatalf("got %d candidates, want 6", len(ranked))
+	}
+	if ranked[0].Level == isa.LevelScalar {
+		t.Errorf("fastest candidate is scalar (%+v); vector tier projected to lose", ranked[0])
+	}
+	if ranked[0].SpeedupVsScalar <= 1 {
+		t.Errorf("fastest candidate speedup %.2f not above 1", ranked[0].SpeedupVsScalar)
+	}
+	ns := map[string]float64{}
+	for _, c := range ranked {
+		ns[c.Name] = c.NsPerButterfly
+	}
+	if !(ns["avx512-dense"] <= ns["avx2-dense"] && ns["avx2-dense"] <= ns["scalar-dense"]) {
+		t.Errorf("dense tier ordering violated: %+v", ns)
+	}
+}
+
+// The BEHZ census must reproduce the profiled transform counts: the ~69
+// mandatory transforms of a k=4 resident squaring (the ladder workload)
+// and 87 for a general product.
+func TestBEHZResidentCensus(t *testing.T) {
+	mod := lazyTestMod64(t)
+	ntt := ProjectLazyNTT64(IntelXeon8352Y, isa.LevelScalar, mod, 4096, true)
+	sq := NewBEHZResidentModel(ntt, 4, true)
+	if got := sq.Transforms(); got != 69 {
+		t.Errorf("k=4 squaring census = %d transforms, want 69", got)
+	}
+	gen := NewBEHZResidentModel(ntt, 4, false)
+	if got := gen.Transforms(); got != 87 {
+		t.Errorf("k=4 general census = %d transforms, want 87", got)
+	}
+	if sq.TransformNs() <= 0 {
+		t.Errorf("TransformNs not positive")
+	}
+	// Amdahl sanity at the profiled ~0.5 NTT share: a 2x kernel win
+	// projects a ~1.33x multiply win.
+	if s := MulCtSpeedup(0.5, 2); s < 1.3 || s > 1.4 {
+		t.Errorf("MulCtSpeedup(0.5, 2) = %.3f, want ~1.33", s)
+	}
+}
+
 func TestSWButterflyBody(t *testing.T) {
 	ps, err := modmath.FindNTTPrimes64(60, 1<<10, 1)
 	if err != nil {

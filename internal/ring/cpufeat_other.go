@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package ring
+
+// Non-amd64 builds have no vector tier: detection pins the ceiling at
+// scalar and resolveKernelTier clamps every request down to it.
+
+func detectKernelTier() KernelTier { return TierScalar }
+
+// CPUFeatures reports the host's vector capabilities (none off amd64).
+func CPUFeatures() []string { return []string{} }

@@ -1,0 +1,56 @@
+package ring
+
+// Shared input generators for the kernel differential suites
+// (simd_test.go, fusedmac64_test.go): lazy-domain boundary values,
+// canonical residues, and valid Shoup twiddle pairs.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+)
+
+func simdMod(t testing.TB) *modmath.Modulus64 {
+	ps, err := modmath.FindNTTPrimes64(59, 8192, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modmath.MustModulus64(ps[0])
+}
+
+// fillBoundary fills dst with the lazy-domain edge values interleaved
+// with raw random 64-bit words.
+func fillBoundary(rng *rand.Rand, dst []uint64, q uint64) {
+	edges := []uint64{0, 1, q - 1, q, q + 1, 2*q - 1, 2 * q, 2*q + 1, 1<<63 - 1, 1 << 63, ^uint64(0)}
+	for i := range dst {
+		if i%3 == 0 {
+			dst[i] = edges[rng.Intn(len(edges))]
+		} else {
+			dst[i] = rng.Uint64()
+		}
+	}
+}
+
+func fillCanonical(rng *rand.Rand, dst []uint64, q uint64) {
+	for i := range dst {
+		dst[i] = rng.Uint64() % q
+	}
+}
+
+// fillTwiddles fills (w, pre) with valid Shoup pairs, w canonical.
+func fillTwiddles(rng *rand.Rand, m *modmath.Modulus64, w, pre []uint64) {
+	for i := range w {
+		w[i] = rng.Uint64() % m.Q
+		pre[i] = m.ShoupPrecompute(w[i])
+	}
+}
+
+func diffU64(t *testing.T, name string, got, want []uint64) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: lane %d: got %#x, want %#x", name, i, got[i], want[i])
+		}
+	}
+}

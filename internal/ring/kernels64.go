@@ -367,6 +367,13 @@ func (r Shoup64Strict) Fingerprint() Fingerprint {
 	return Fingerprint{QLo: r.M.Q, Tag: TagShoup64Strict}
 }
 
+// selectKernels pins the strict ring to its own scalar kernels: without
+// this override the method promoted from the embedded Shoup64 would hand
+// strict plans the lazy-domain vector tier.
+func (r Shoup64Strict) selectKernels() (span, blocked any, tier string) {
+	return nil, nil, "scalar"
+}
+
 // CTSpan: canonical in, canonical out (one extra conditional subtract per
 // lane versus the lazy kernel — exactly the cost lazy reduction removes).
 func (r Shoup64Strict) CTSpan(out, lo, hi, w []uint64, pre []uint64) {

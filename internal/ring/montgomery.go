@@ -1,0 +1,231 @@
+package ring
+
+import (
+	"math/bits"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+// Mont128 is the double-word ring over modmath.Montgomery128: the paper's
+// FPMM-baseline reduction strategy instantiated on the same span seam as
+// Barrett128, so the two general-modulus reduction algorithms meet the
+// transform engine through one interface and can be compared like for
+// like. Elements are carried in the Montgomery domain permanently — an
+// element x represents the residue x·R⁻¹ mod q (R = 2¹²⁸) — which is what
+// makes the strategy competitive: twiddle tables, the negacyclic twist
+// powers and the folded 1/N scalar are all built through ring ops and so
+// land in the domain for free, and every hot-loop multiply is a single
+// REDC with no boundary conversions. Conversions happen exactly where
+// data enters or leaves the ring: FromUint64 converts in, and callers
+// comparing against ordinary-domain rings convert out with FromMont.
+//
+// The modulus comes in as a *modmath.Modulus128 so Mont128 and Barrett128
+// plans can share a prime verbatim; the Barrett side of it also backs the
+// setup-only operations Montgomery reduction has no fast path for
+// (inverses and root finding), with domain conversions at both ends.
+type Mont128 struct {
+	MG *modmath.Montgomery128
+	M  *modmath.Modulus128
+}
+
+// NewMont128 wraps a 128-bit Barrett modulus as a Montgomery-domain Ring.
+// The modulus must be odd (every NTT prime is).
+func NewMont128(m *modmath.Modulus128) (Mont128, error) {
+	mg, err := modmath.NewMontgomery128(m.Q)
+	if err != nil {
+		return Mont128{}, err
+	}
+	return Mont128{MG: mg, M: m}, nil
+}
+
+// MustMont128 is NewMont128 panicking on error.
+func MustMont128(m *modmath.Modulus128) Mont128 {
+	r, err := NewMont128(m)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add, Sub and Neg are domain-agnostic: the Montgomery map x ↦ x·R is
+// additive, so plain modular add/sub on canonical representatives is
+// correct in either domain. q < 2¹²⁵ leaves a + b far from the 128-bit
+// wrap.
+func (r Mont128) Add(a, b u128.U128) u128.U128 {
+	s := a.Add(b)
+	if r.MG.Q.LessEq(s) {
+		s = s.Sub(r.MG.Q)
+	}
+	return s
+}
+
+func (r Mont128) Sub(a, b u128.U128) u128.U128 {
+	if a.Less(b) {
+		return a.Add(r.MG.Q).Sub(b)
+	}
+	return a.Sub(b)
+}
+
+func (r Mont128) Neg(a u128.U128) u128.U128 {
+	if a.IsZero() {
+		return a
+	}
+	return r.MG.Q.Sub(a)
+}
+
+// Mul is one Montgomery REDC: (aR)(bR)R⁻¹ = (ab)R.
+func (r Mont128) Mul(a, b u128.U128) u128.U128 { return r.MG.MulMont(a, b) }
+
+// MulPre is Montgomery multiplication; like Barrett128, the Shoup-style
+// precomputed word is unused (REDC needs no per-multiplicand constant).
+func (r Mont128) MulPre(a, w u128.U128, _ uint64) u128.U128 { return r.MG.MulMont(a, w) }
+func (r Mont128) Precompute(u128.U128) uint64               { return 0 }
+
+// Inv routes through the Barrett side (setup-only), with domain
+// conversions at both ends: (aR)⁻¹-in-domain is a⁻¹·R.
+func (r Mont128) Inv(a u128.U128) u128.U128 {
+	return r.MG.ToMont(r.M.Inv(r.MG.FromMont(a)))
+}
+
+func (r Mont128) FromUint64(v uint64) u128.U128 { return r.MG.ToMont(u128.From64(v)) }
+
+func (r Mont128) PrimitiveRootOfUnity(n uint64) (u128.U128, error) {
+	root, err := r.M.PrimitiveRootOfUnity(n)
+	if err != nil {
+		return u128.U128{}, err
+	}
+	return r.MG.ToMont(root), nil
+}
+
+func (r Mont128) Fingerprint() Fingerprint {
+	return Fingerprint{QHi: r.MG.Q.Hi, QLo: r.MG.Q.Lo, Tag: TagMontgomery128}
+}
+
+// ----------------------------------------------------------------------
+// Span kernels: strict (canonical residues throughout, relaxed ==
+// canonical), same discipline as Barrett128's. The win over the element
+// fallback is the same too — one interface call per span, branchless
+// mask-select corrections instead of data-dependent branches, and the
+// modulus words hoisted into a stack register file — while every
+// multiply is one REDC against Barrett's quotient-estimate sequence.
+
+type mont128Consts struct {
+	qHi, qLo uint64
+	mg       *modmath.Montgomery128
+}
+
+func (r Mont128) consts() mont128Consts {
+	return mont128Consts{qHi: r.MG.Q.Hi, qLo: r.MG.Q.Lo, mg: r.MG}
+}
+
+// add returns a + b mod q for canonical inputs, branchless.
+func (c *mont128Consts) add(a, b u128.U128) u128.U128 {
+	lo, cc := bits.Add64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Add64(a.Hi, b.Hi, cc)
+	sLo, bb := bits.Sub64(lo, c.qLo, 0)
+	sHi, bb2 := bits.Sub64(hi, c.qHi, bb)
+	m := bb2 - 1 // all ones when s >= q
+	return u128.U128{Hi: hi ^ ((hi ^ sHi) & m), Lo: lo ^ ((lo ^ sLo) & m)}
+}
+
+// sub returns a - b mod q for canonical inputs, branchless.
+func (c *mont128Consts) sub(a, b u128.U128) u128.U128 {
+	dLo, bb := bits.Sub64(a.Lo, b.Lo, 0)
+	dHi, bb2 := bits.Sub64(a.Hi, b.Hi, bb)
+	m := -bb2 // all ones when a < b
+	lo, cc := bits.Add64(dLo, c.qLo&m, 0)
+	hi, _ := bits.Add64(dHi, c.qHi&m, cc)
+	return u128.U128{Hi: hi, Lo: lo}
+}
+
+// CTSpan: one forward stage, canonical throughout.
+func (r Mont128) CTSpan(out, lo, hi, w []u128.U128, pre []uint64) {
+	c := r.consts()
+	n := len(w)
+	lo, hi = lo[:n], hi[:n]
+	out = out[:2*n]
+	for i := 0; i < n; i++ {
+		a, b := lo[i], hi[i]
+		out[2*i] = c.add(a, b)
+		out[2*i+1] = c.mg.MulMont(c.sub(a, b), w[i])
+	}
+}
+
+// CTSpanLast is CTSpan: strict outputs are already canonical.
+func (r Mont128) CTSpanLast(out, lo, hi, w []u128.U128, pre []uint64) {
+	r.CTSpan(out, lo, hi, w, pre)
+}
+
+// GSSpan: one inverse stage.
+func (r Mont128) GSSpan(oLo, oHi, in, w []u128.U128, pre []uint64) {
+	c := r.consts()
+	n := len(w)
+	oLo, oHi = oLo[:n], oHi[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		t := c.mg.MulMont(o, w[i])
+		oLo[i] = c.add(e, t)
+		oHi[i] = c.sub(e, t)
+	}
+}
+
+// GSSpanLastScaled: the final inverse stage with 1/N folded into the
+// twiddle table and applied to the even lane.
+func (r Mont128) GSSpanLastScaled(oLo, oHi, in, w []u128.U128, pre []uint64, nInv u128.U128, nInvPre uint64) {
+	c := r.consts()
+	n := len(w)
+	oLo, oHi = oLo[:n], oHi[:n]
+	in = in[:2*n]
+	for i := 0; i < n; i++ {
+		e, o := in[2*i], in[2*i+1]
+		t := c.mg.MulMont(o, w[i])
+		es := c.mg.MulMont(e, nInv)
+		oLo[i] = c.add(es, t)
+		oHi[i] = c.sub(es, t)
+	}
+}
+
+// MulSpan: pointwise product (the evaluation-domain Hadamard step).
+func (r Mont128) MulSpan(dst, a, b []u128.U128) {
+	mg := r.MG
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = mg.MulMont(a[i], b[i])
+	}
+}
+
+// MulPreSpan: the twist pass (REDC ignores the precomputed constants).
+func (r Mont128) MulPreSpan(dst, a, w []u128.U128, pre []uint64) {
+	r.MulSpan(dst, a, w)
+}
+
+// MulPreNormSpan: the untwist pass; canonical in this strict ring.
+func (r Mont128) MulPreNormSpan(dst, a, w []u128.U128, pre []uint64) {
+	r.MulSpan(dst, a, w)
+}
+
+// ScalarMulSpan: dst[i] = a[i]·w for one fixed scalar.
+func (r Mont128) ScalarMulSpan(dst, a []u128.U128, w u128.U128, pre uint64) {
+	mg := r.MG
+	n := len(dst)
+	a = a[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = mg.MulMont(a[i], w)
+	}
+}
+
+// ScaleAddSpan: dst[i] = a[i] + m[i]·w for small reduced ordinary-domain
+// m[i]. Matching the element fallback, each m[i] is lifted into the
+// domain first (one extra REDC) so the product lands in-domain.
+func (r Mont128) ScaleAddSpan(dst, a []u128.U128, m []uint64, w u128.U128, pre uint64) {
+	c := r.consts()
+	n := len(dst)
+	a, m = a[:n], m[:n]
+	for i := 0; i < n; i++ {
+		t := c.mg.MulMont(c.mg.ToMont(u128.From64(m[i])), w)
+		dst[i] = c.add(a[i], t)
+	}
+}

@@ -1,0 +1,165 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+// The Montgomery ring's two differential gates. Against Barrett128 at a
+// SHARED prime the comparison crosses the domain boundary: Mont128 plans
+// transform Montgomery-domain lanes, so inputs are converted in and
+// outputs converted back before requiring equality with the Barrett plan
+// lane for lane. Against its own element path (ElementOnly) the
+// comparison is in-domain and bit-exact: the span kernels must compute
+// exactly what the dictionary-mediated element ops compute.
+
+func montSharedModulus(t testing.TB, order uint64) *modmath.Modulus128 {
+	q, err := modmath.FindNTTPrime128(100, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modmath.MustModulus128(q)
+}
+
+func diffU128(t *testing.T, name string, got, want []u128.U128) {
+	t.Helper()
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: lane %d: got %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func randCanonical128(rng *rand.Rand, dst []u128.U128, m *modmath.Modulus128) {
+	for i := range dst {
+		dst[i] = u128.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.Mod(m.Q)
+	}
+}
+
+func TestMont128ElementsMatchBarrett(t *testing.T) {
+	m := montSharedModulus(t, 8)
+	rm := MustMont128(m)
+	mg := rm.MG
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		x := u128.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.Mod(m.Q)
+		y := u128.U128{Hi: rng.Uint64(), Lo: rng.Uint64()}.Mod(m.Q)
+		xm, ym := mg.ToMont(x), mg.ToMont(y)
+		check := func(name string, got u128.U128, want u128.U128) {
+			t.Helper()
+			if !mg.FromMont(got).Equal(want) {
+				t.Fatalf("%s: got %v, want %v", name, mg.FromMont(got), want)
+			}
+		}
+		check("Mul", rm.Mul(xm, ym), m.Mul(x, y))
+		check("Add", rm.Add(xm, ym), m.Add(x, y))
+		check("Sub", rm.Sub(xm, ym), m.Sub(x, y))
+		check("Neg", rm.Neg(xm), m.Neg(x))
+		if !x.IsZero() {
+			check("Inv", rm.Inv(xm), m.Inv(x))
+		}
+		if got := mg.FromMont(rm.FromUint64(uint64(trial))); !got.Equal(u128.From64(uint64(trial))) {
+			t.Fatalf("FromUint64(%d): got %v", trial, got)
+		}
+	}
+}
+
+func TestMont128PlanMatchesBarrett128SharedPrime(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		m := montSharedModulus(t, uint64(2*n))
+		rm := MustMont128(m)
+		mg := rm.MG
+		pB, err := NewPlan[u128.U128, Barrett128](NewBarrett128(m), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pM, err := NewPlan[u128.U128, Mont128](rm, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pM.HasSpanKernels() {
+			t.Fatal("Mont128 plan must attach span kernels")
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := make([]u128.U128, n)
+		b := make([]u128.U128, n)
+		randCanonical128(rng, a, m)
+		randCanonical128(rng, b, m)
+		aM := make([]u128.U128, n)
+		bM := make([]u128.U128, n)
+		for i := range a {
+			aM[i] = mg.ToMont(a[i])
+			bM[i] = mg.ToMont(b[i])
+		}
+		want := make([]u128.U128, n)
+		got := make([]u128.U128, n)
+		run := func(name string, fB func(dst []u128.U128), fM func(dst []u128.U128)) {
+			t.Helper()
+			fB(want)
+			fM(got)
+			for i := range got {
+				got[i] = mg.FromMont(got[i])
+			}
+			diffU128(t, name, got, want)
+		}
+		run("ForwardInto",
+			func(dst []u128.U128) { pB.ForwardInto(dst, a) },
+			func(dst []u128.U128) { pM.ForwardInto(dst, aM) })
+		run("InverseInto",
+			func(dst []u128.U128) { pB.InverseInto(dst, a) },
+			func(dst []u128.U128) { pM.InverseInto(dst, aM) })
+		run("PolyMulNegacyclicInto",
+			func(dst []u128.U128) { pB.PolyMulNegacyclicInto(dst, a, b) },
+			func(dst []u128.U128) { pM.PolyMulNegacyclicInto(dst, aM, bM) })
+
+		msg := make([]uint64, n)
+		for i := range msg {
+			msg[i] = rng.Uint64() % 1024
+		}
+		delta := a[0]
+		run("ScaleAddInto",
+			func(dst []u128.U128) { pB.ScaleAddInto(dst, a, msg, delta) },
+			func(dst []u128.U128) { pM.ScaleAddInto(dst, aM, msg, mg.ToMont(delta)) })
+	}
+}
+
+// TestMont128SpanVsElementPath pins the Mont128 span kernels to the
+// element-op fallback bit for bit, in-domain, through whole transforms.
+func TestMont128SpanVsElementPath(t *testing.T) {
+	for _, n := range []int{16, 128} {
+		m := montSharedModulus(t, uint64(2*n))
+		rm := MustMont128(m)
+		pK, err := NewPlan[u128.U128, Mont128](rm, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pE, err := NewPlan[u128.U128, ElementOnly[u128.U128]](ElementOnly[u128.U128]{rm}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pE.HasSpanKernels() {
+			t.Fatal("ElementOnly plan must not attach span kernels")
+		}
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		a := make([]u128.U128, n)
+		b := make([]u128.U128, n)
+		randCanonical128(rng, a, m)
+		randCanonical128(rng, b, m)
+		gotK, gotE := make([]u128.U128, n), make([]u128.U128, n)
+
+		pK.ForwardInto(gotK, a)
+		pE.ForwardInto(gotE, a)
+		diffU128(t, "ForwardInto", gotK, gotE)
+
+		pK.InverseInto(gotK, a)
+		pE.InverseInto(gotE, a)
+		diffU128(t, "InverseInto", gotK, gotE)
+
+		pK.PolyMulNegacyclicInto(gotK, a, b)
+		pE.PolyMulNegacyclicInto(gotE, a, b)
+		diffU128(t, "PolyMulNegacyclicInto", gotK, gotE)
+	}
+}

@@ -64,6 +64,23 @@ type Plan[T any, R Ring[T]] struct {
 	// build alongside it (nil when the ring's kernels don't provide the
 	// compact-table spans).
 	blk BlockedSpanKernels[T]
+
+	// kernTier names the span-kernel implementation the plan dispatches
+	// to: "element" (no kernels), "scalar" (the fused Go loops), or a
+	// vector tier ("avx2", "avx512") substituted by the ring's
+	// tierSelector at build time.
+	kernTier string
+}
+
+// tierSelector is the optional seam a ring implements to substitute a
+// feature-dispatched kernel implementation at plan build: it returns the
+// span and blocked kernel sets to use (as `any`, asserted against the
+// plan's element type) and the tier name, or a nil span to keep the
+// ring's own kernels. Shoup64 implements it on amd64 (selecting the
+// AVX2/AVX-512 assembly tiers); Shoup64Strict pins it to scalar so the
+// lazy-domain assembly can never ride in through embedding.
+type tierSelector interface {
+	selectKernels() (span, blocked any, tier string)
 }
 
 // blockedMinBlk is the smallest twiddle-run length the stage loops hand
@@ -125,8 +142,33 @@ func NewPlan[T any, R Ring[T]](r R, n int) (*Plan[T, R], error) {
 			}
 		}
 	}
+	p.kernTier = "element"
+	if p.kern != nil {
+		p.kernTier = "scalar"
+		// The vector tier seam: a ring may substitute feature-dispatched
+		// kernels (CPU detection + forcing knobs, resolved exactly once
+		// here). The substitute must carry the blocked extension itself;
+		// the scalar blocked kernels are not mixed into a vector tier.
+		if ts, ok := any(r).(tierSelector); ok {
+			if span, blocked, tier := ts.selectKernels(); span != nil {
+				if sk, ok := span.(SpanKernels[T]); ok {
+					p.kern = sk
+					p.kernTier = tier
+					p.blk = nil
+					if bk, ok := blocked.(BlockedSpanKernels[T]); ok {
+						p.blk = bk
+					}
+				}
+			}
+		}
+	}
 	return p, nil
 }
+
+// KernelTier names the span-kernel implementation the plan dispatches to:
+// "element", "scalar", "avx2" or "avx512". Benchmark reports record it so
+// measured trajectories stay attributable across hosts.
+func (p *Plan[T, R]) KernelTier() string { return p.kernTier }
 
 // HasSpanKernels reports whether transforms run on the fused span-kernel
 // path (true) or the element-op fallback (false).
@@ -435,13 +477,23 @@ func (p *Plan[T, R]) ScaleAddInto(dst, a []T, m []uint64, w T) {
 // writing). On the kernel path, intermediate stages may carry residues in
 // the kernel's relaxed domain; the final stage (CTSpanLast) is canonical.
 func (p *Plan[T, R]) forwardStages(dst, x []T, sc *scratchPair[T]) {
+	p.forwardStagesN(dst, x, sc, p.M)
+}
+
+// forwardStagesN runs the first m of the M forward stages, writing pass
+// m-1 to dst. With m == p.M this is the full transform (canonical
+// outputs via the final-stage kernels); with m < p.M the outputs stay in
+// the kernel's relaxed domain and a fused consumer (the relinearization
+// MAC) owns the remaining stages. m == 0 is a no-op: callers pass the
+// prepared input as dst.
+func (p *Plan[T, R]) forwardStagesN(dst, x []T, sc *scratchPair[T], m int) {
 	k := p.kern
 	r := p.R
 	half := p.N >> 1
 	src := x
-	for s := 0; s < p.M; s++ {
+	for s := 0; s < m; s++ {
 		out := sc.a
-		if s == p.M-1 {
+		if s == m-1 {
 			out = dst
 		} else if s&1 == 1 {
 			out = sc.b

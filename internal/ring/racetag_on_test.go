@@ -1,0 +1,8 @@
+//go:build race
+
+package ring
+
+// raceEnabledInternal mirrors the ring_test raceEnabled flag for tests
+// inside the package: race instrumentation allocates, so
+// allocation-regression assertions skip.
+const raceEnabledInternal = true

@@ -72,6 +72,7 @@ const (
 	TagShoup64
 	TagGoldilocks
 	TagShoup64Strict
+	TagMontgomery128
 	TagExternalBase uint32 = 8
 	// TagElementOnly marks a plan built over ElementOnly (kernel seam
 	// disabled); it must never share a cache entry with the kernel plan.
@@ -112,10 +113,25 @@ func (r Barrett128) Fingerprint() Fingerprint {
 // configuration the paper contrasts with double-word residues.
 type Shoup64 struct {
 	M *modmath.Modulus64
+
+	// tier requests a span-kernel implementation level; the zero value
+	// (TierAuto) resolves to the best the host supports at plan build.
+	// See selectKernels (kernels64_simd_*.go) and resolveKernelTier.
+	tier KernelTier
 }
 
-// NewShoup64 wraps a 64-bit modulus as a Ring.
+// NewShoup64 wraps a 64-bit modulus as a Ring. Plans built over it pick
+// the best supported kernel tier (scalar, AVX2 or AVX-512) automatically.
 func NewShoup64(m *modmath.Modulus64) Shoup64 { return Shoup64{M: m} }
+
+// NewShoup64Tier wraps a 64-bit modulus with an explicit kernel-tier
+// request, clamped at plan build to what the host CPU supports. Forcing
+// TierScalar pins the fused scalar Go kernels (the differential ground
+// truth); tests and CI use this to push every tier through the same
+// gates.
+func NewShoup64Tier(m *modmath.Modulus64, tier KernelTier) Shoup64 {
+	return Shoup64{M: m, tier: tier}
+}
 
 func (r Shoup64) Add(a, b uint64) uint64 { return r.M.Add(a, b) }
 func (r Shoup64) Sub(a, b uint64) uint64 { return r.M.Sub(a, b) }
@@ -133,6 +149,10 @@ func (r Shoup64) PrimitiveRootOfUnity(n uint64) (uint64, error) {
 	return r.M.PrimitiveRootOfUnity64(n)
 }
 
+// Fingerprint folds the RESOLVED kernel tier into the tag's high bits
+// (the Barrett128 MulAlgorithm precedent), so plans built at different
+// tiers — or under a different MQXGO_KERNEL_TIER — never share a cache
+// entry even at equal q.
 func (r Shoup64) Fingerprint() Fingerprint {
-	return Fingerprint{QLo: r.M.Q, Tag: TagShoup64}
+	return Fingerprint{QLo: r.M.Q, Tag: TagShoup64 | uint32(resolveKernelTier(r.tier))<<16}
 }

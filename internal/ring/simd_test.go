@@ -1,0 +1,246 @@
+//go:build amd64
+
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+)
+
+// Differential suite for the vector kernel tier: every assembly span
+// kernel must be bit-identical to the fused scalar Go kernels, which
+// remain the ground truth. The relaxed-domain kernels are pure wrapping
+// arithmetic plus branchless conditional subtracts, so bit identity is
+// checked on ARBITRARY 64-bit lane values — including the lazy-domain
+// boundary points q-1, q, 2q-1, 2q, 2^63, 2^64-1 — not just in-contract
+// residues. Only MulSpan constrains inputs (canonical, per its
+// contract): its scalar tail is a data-dependent subtract loop whose
+// 2-iteration Barrett bound needs in-range products.
+
+// simdTiers returns the vector kernel sets the host can run, with the
+// scalar ring they must match.
+func simdTiers(t testing.TB, m *modmath.Modulus64) map[string]SpanKernels[uint64] {
+	r := NewShoup64(m)
+	tiers := make(map[string]SpanKernels[uint64])
+	det := DetectKernelTier()
+	if det >= TierAVX2 {
+		tiers["avx2"] = shoup64AVX2{r}
+	}
+	if det >= TierAVX512 {
+		tiers["avx512"] = shoup64AVX512{r}
+	}
+	if len(tiers) == 0 {
+		t.Skip("no vector tier on this host")
+	}
+	return tiers
+}
+
+var simdSpanLens = []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 64, 100}
+
+func TestSIMDSpanBitIdentity(t *testing.T) {
+	m := simdMod(t)
+	scalar := NewShoup64(m)
+	q := m.Q
+	for tier, vec := range simdTiers(t, m) {
+		t.Run(tier, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for _, n := range simdSpanLens {
+				lo := make([]uint64, n)
+				hi := make([]uint64, n)
+				w := make([]uint64, n)
+				pre := make([]uint64, n)
+				in := make([]uint64, 2*n)
+				outS := make([]uint64, 2*n)
+				outV := make([]uint64, 2*n)
+				loS, loV := make([]uint64, n), make([]uint64, n)
+				hiS, hiV := make([]uint64, n), make([]uint64, n)
+				fillTwiddles(rng, m, w, pre)
+				nInv := rng.Uint64() % q
+				nInvPre := m.ShoupPrecompute(nInv)
+
+				fillBoundary(rng, lo, q)
+				fillBoundary(rng, hi, q)
+				fillBoundary(rng, in, q)
+
+				scalar.CTSpan(outS, lo, hi, w, pre)
+				vec.CTSpan(outV, lo, hi, w, pre)
+				diffU64(t, "CTSpan", outV, outS)
+
+				scalar.CTSpanLast(outS, lo, hi, w, pre)
+				vec.CTSpanLast(outV, lo, hi, w, pre)
+				diffU64(t, "CTSpanLast", outV, outS)
+
+				scalar.GSSpan(loS, hiS, in, w, pre)
+				vec.GSSpan(loV, hiV, in, w, pre)
+				diffU64(t, "GSSpan lo", loV, loS)
+				diffU64(t, "GSSpan hi", hiV, hiS)
+
+				scalar.GSSpanLastScaled(loS, hiS, in, w, pre, nInv, nInvPre)
+				vec.GSSpanLastScaled(loV, hiV, in, w, pre, nInv, nInvPre)
+				diffU64(t, "GSSpanLastScaled lo", loV, loS)
+				diffU64(t, "GSSpanLastScaled hi", hiV, hiS)
+
+				scalar.MulPreSpan(outS[:n], lo, w, pre)
+				vec.MulPreSpan(outV[:n], lo, w, pre)
+				diffU64(t, "MulPreSpan", outV[:n], outS[:n])
+
+				scalar.MulPreNormSpan(outS[:n], lo, w, pre)
+				vec.MulPreNormSpan(outV[:n], lo, w, pre)
+				diffU64(t, "MulPreNormSpan", outV[:n], outS[:n])
+
+				scalar.ScalarMulSpan(outS[:n], lo, w[0], pre[0])
+				vec.ScalarMulSpan(outV[:n], lo, w[0], pre[0])
+				diffU64(t, "ScalarMulSpan", outV[:n], outS[:n])
+
+				scalar.ScaleAddSpan(outS[:n], lo, hi, w[0], pre[0])
+				vec.ScaleAddSpan(outV[:n], lo, hi, w[0], pre[0])
+				diffU64(t, "ScaleAddSpan", outV[:n], outS[:n])
+
+				// MulSpan: canonical inputs per contract.
+				fillCanonical(rng, lo, q)
+				fillCanonical(rng, hi, q)
+				scalar.MulSpan(outS[:n], lo, hi)
+				vec.MulSpan(outV[:n], lo, hi)
+				diffU64(t, "MulSpan", outV[:n], outS[:n])
+			}
+		})
+	}
+}
+
+func TestSIMDBlockedBitIdentity(t *testing.T) {
+	m := simdMod(t)
+	scalar := NewShoup64(m)
+	q := m.Q
+	for tier, vecAny := range simdTiers(t, m) {
+		vec, ok := vecAny.(BlockedSpanKernels[uint64])
+		if !ok {
+			t.Fatalf("%s: vector tier must implement BlockedSpanKernels", tier)
+		}
+		t.Run(tier, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			for _, blk := range []int{8, 16, 32} {
+				for _, nBlocks := range []int{1, 2, 3} {
+					n := nBlocks * blk
+					lo := make([]uint64, n)
+					hi := make([]uint64, n)
+					in := make([]uint64, 2*n)
+					w := make([]uint64, nBlocks)
+					pre := make([]uint64, nBlocks)
+					outS, outV := make([]uint64, 2*n), make([]uint64, 2*n)
+					loS, loV := make([]uint64, n), make([]uint64, n)
+					hiS, hiV := make([]uint64, n), make([]uint64, n)
+					fillTwiddles(rng, m, w, pre)
+					// Force the unit-twiddle special path on block 0,
+					// the degenerate form the top Pease stages hit.
+					w[0], pre[0] = 1, m.ShoupPrecompute(1)
+					fillBoundary(rng, lo, q)
+					fillBoundary(rng, hi, q)
+					fillBoundary(rng, in, q)
+
+					scalar.CTSpanBlk(outS, lo, hi, w, pre, blk)
+					vec.CTSpanBlk(outV, lo, hi, w, pre, blk)
+					diffU64(t, "CTSpanBlk", outV, outS)
+
+					scalar.CTSpanLastBlk(outS, lo, hi, w, pre, blk)
+					vec.CTSpanLastBlk(outV, lo, hi, w, pre, blk)
+					diffU64(t, "CTSpanLastBlk", outV, outS)
+
+					scalar.GSSpanBlk(loS, hiS, in, w, pre, blk)
+					vec.GSSpanBlk(loV, hiV, in, w, pre, blk)
+					diffU64(t, "GSSpanBlk lo", loV, loS)
+					diffU64(t, "GSSpanBlk hi", hiV, hiS)
+				}
+			}
+		})
+	}
+}
+
+// TestSIMDPlanDifferential runs whole transforms through plans built at
+// each forced tier and requires bit identity with the scalar-kernel
+// plan: twist, all Pease stages (dense and blocked), untwist.
+func TestSIMDPlanDifferential(t *testing.T) {
+	m := simdMod(t)
+	q := m.Q
+	for _, n := range []int{16, 64, 4096} {
+		ps, err := NewPlan[uint64, Shoup64](NewShoup64Tier(m, TierScalar), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tier := range []KernelTier{TierAVX2, TierAVX512} {
+			if DetectKernelTier() < tier {
+				continue
+			}
+			pv, err := NewPlan[uint64, Shoup64](NewShoup64Tier(m, tier), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pv.KernelTier(); got != tier.String() {
+				t.Fatalf("plan tier = %s, want %s", got, tier)
+			}
+			rng := rand.New(rand.NewSource(int64(n)))
+			a := make([]uint64, n)
+			b := make([]uint64, n)
+			fillCanonical(rng, a, q)
+			fillCanonical(rng, b, q)
+			dstS, dstV := make([]uint64, n), make([]uint64, n)
+
+			ps.ForwardInto(dstS, a)
+			pv.ForwardInto(dstV, a)
+			diffU64(t, "ForwardInto", dstV, dstS)
+
+			ps.InverseInto(dstS, a)
+			pv.InverseInto(dstV, a)
+			diffU64(t, "InverseInto", dstV, dstS)
+
+			ps.PolyMulNegacyclicInto(dstS, a, b)
+			pv.PolyMulNegacyclicInto(dstV, a, b)
+			diffU64(t, "PolyMulNegacyclicInto", dstV, dstS)
+		}
+	}
+}
+
+// FuzzSIMDSpans drives the hot asm kernels against the scalar kernels
+// with fuzzer-chosen lane values planted at the span head, where both
+// the vector body and (for short n) the scalar tail see them.
+func FuzzSIMDSpans(f *testing.F) {
+	m := simdMod(f)
+	q := m.Q
+	f.Add(int64(1), uint64(0), uint64(0), uint(8))
+	f.Add(int64(2), q, 2*q-1, uint(12))
+	f.Add(int64(3), ^uint64(0), uint64(1)<<63, uint(5))
+	scalar := NewShoup64(m)
+	tiers := simdTiers(f, m)
+	f.Fuzz(func(t *testing.T, seed int64, x, y uint64, nRaw uint) {
+		n := int(nRaw%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		lo := make([]uint64, n)
+		hi := make([]uint64, n)
+		in := make([]uint64, 2*n)
+		w := make([]uint64, n)
+		pre := make([]uint64, n)
+		fillBoundary(rng, lo, q)
+		fillBoundary(rng, hi, q)
+		fillBoundary(rng, in, q)
+		fillTwiddles(rng, m, w, pre)
+		lo[0], hi[0], in[0], in[n] = x, y, y, x
+		outS, outV := make([]uint64, 2*n), make([]uint64, 2*n)
+		loS, loV := make([]uint64, n), make([]uint64, n)
+		hiS, hiV := make([]uint64, n), make([]uint64, n)
+		for tier, vec := range tiers {
+			scalar.CTSpan(outS, lo, hi, w, pre)
+			vec.CTSpan(outV, lo, hi, w, pre)
+			diffU64(t, tier+" CTSpan", outV, outS)
+
+			scalar.GSSpan(loS, hiS, in, w, pre)
+			vec.GSSpan(loV, hiV, in, w, pre)
+			diffU64(t, tier+" GSSpan lo", loV, loS)
+			diffU64(t, tier+" GSSpan hi", hiV, hiS)
+
+			scalar.MulPreSpan(outS[:n], lo, w, pre)
+			vec.MulPreSpan(outV[:n], lo, w, pre)
+			diffU64(t, tier+" MulPreSpan", outV[:n], outS[:n])
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build amd64.v3 || amd64.v4
+
+package ring
+
+// Compiled with GOAMD64=v3 or higher: AVX2 (and the OS state to run it)
+// is a load-time guarantee of the binary, so the detection floor rises —
+// the CI matrix uses this to pin the AVX2 tier without trusting runtime
+// CPUID on emulated runners.
+const goamd64MinTier = TierAVX2

@@ -1,0 +1,6 @@
+//go:build !amd64.v3 && !amd64.v4
+
+package ring
+
+// Baseline GOAMD64: every vector tier must be proven by runtime CPUID.
+const goamd64MinTier = TierScalar

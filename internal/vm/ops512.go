@@ -224,6 +224,23 @@ func (m *Machine) MaxU(a, b V) V {
 	return V{X: v, id: id}
 }
 
+// MinU is VPMINUQ: lane-wise unsigned minimum. Its headline use is the
+// branchless lazy conditional subtract min(x, x-c), which is the
+// conditional subtract for ANY unsigned x: when x >= c the difference is
+// the smaller value, and when x < c the difference wraps past 2^63 and
+// the original x wins.
+func (m *Machine) MinU(a, b V) V {
+	var v Vec
+	for i := range v {
+		v[i] = a.X[i]
+		if b.X[i] < v[i] {
+			v[i] = b.X[i]
+		}
+	}
+	id, _ := m.rec(isa.AVX512MinUQ, 1, a.id, b.id)
+	return V{X: v, id: id}
+}
+
 // Unpack instructions interleave 64-bit lanes of two vectors within each
 // 128-bit sub-lane, matching VPUNPCKLQDQ / VPUNPCKHQDQ zmm semantics.
 
