@@ -623,7 +623,10 @@ func benchMulCtFixture(b *testing.B, backend fhe.Backend) (fhe.BackendCiphertext
 	b.Helper()
 	s := fhe.NewBackendScheme(backend, 77)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		b.Fatal(rlkErr)
+	}
 	n := backend.N()
 	msg := make([]uint64, n)
 	for i := range msg {
@@ -694,7 +697,10 @@ func ladderFixture(b *testing.B, towers, level, n int) (fhe.Backend, fhe.Backend
 	}
 	s := fhe.NewBackendScheme(backend, 77)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		b.Fatal(rlkErr)
+	}
 	msg := make([]uint64, n)
 	for i := range msg {
 		msg[i] = uint64(i*13+5) % backend.PlainModulus()

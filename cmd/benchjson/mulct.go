@@ -50,7 +50,11 @@ type mulFixture struct {
 func newMulFixture(b fhe.Backend, seed int64, n int) (*mulFixture, error) {
 	f := &mulFixture{b: b, s: fhe.NewBackendScheme(b, seed)}
 	f.sk = f.s.KeyGen()
-	f.rlk = f.s.RelinKeyGen(f.sk)
+	rlk, err := f.s.RelinKeyGen(f.sk)
+	if err != nil {
+		return nil, err
+	}
+	f.rlk = rlk
 	rng := rand.New(rand.NewSource(seed * 31))
 	f.m1 = make([]uint64, n)
 	f.m2 = make([]uint64, n)
@@ -58,7 +62,6 @@ func newMulFixture(b fhe.Backend, seed int64, n int) (*mulFixture, error) {
 		f.m1[i] = rng.Uint64() % mulPlainMod
 		f.m2[i] = rng.Uint64() % mulPlainMod
 	}
-	var err error
 	if f.c1, err = f.s.Encrypt(f.sk, f.m1); err != nil {
 		return nil, err
 	}

@@ -75,7 +75,11 @@ func runLadderComparison(path string) error {
 		ch := &chain{s: fhe.NewBackendScheme(b, 555)}
 		ch.sk = ch.s.KeyGen()
 		if genKey {
-			ch.rlk = ch.s.RelinKeyGen(ch.sk)
+			rlk, err := ch.s.RelinKeyGen(ch.sk)
+			if err != nil {
+				return nil, err
+			}
+			ch.rlk = rlk
 		}
 		rng := rand.New(rand.NewSource(999))
 		msg := make([]uint64, n)

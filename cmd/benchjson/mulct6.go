@@ -302,7 +302,11 @@ func newLadderChain(b fhe.Backend, n int, genKey bool) (*ladderChain, error) {
 	ch := &ladderChain{s: fhe.NewBackendScheme(b, 555)}
 	ch.sk = ch.s.KeyGen()
 	if genKey {
-		ch.rlk = ch.s.RelinKeyGen(ch.sk)
+		rlk, err := ch.s.RelinKeyGen(ch.sk)
+		if err != nil {
+			return nil, err
+		}
+		ch.rlk = rlk
 	}
 	rng := rand.New(rand.NewSource(999))
 	msg := make([]uint64, n)

@@ -83,7 +83,10 @@ func main() {
 
 	// Homomorphic multiplication: ciphertext x ciphertext, decrypting to
 	// the negacyclic product of the plaintexts mod T.
-	rlk := scheme.RelinKeyGen(sk)
+	rlk, err := scheme.RelinKeyGen(sk)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prodCT, err := scheme.MulCiphertexts(c1, c2, rlk)
 	if err != nil {
 		log.Fatal(err)
@@ -148,7 +151,10 @@ func main() {
 	// product per tower, divide-and-round by Q/T, exact Shenoy-Kumaresan
 	// return to base Q, CRT-gadget relinearization with NTT-domain keys —
 	// residues end to end, no big integers on the hot path.
-	rrlk := rs.RelinKeyGen(rsk)
+	rrlk, err := rs.RelinKeyGen(rsk)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rprodCT, err := rs.MulCiphertexts(rc1, rc2, rrlk)
 	if err != nil {
 		log.Fatal(err)
@@ -198,7 +204,10 @@ func main() {
 		}
 		s := fhe.NewBackendScheme(b, 2026)
 		sk := s.KeyGen()
-		rlk := s.RelinKeyGen(sk)
+		rlk, err := s.RelinKeyGen(sk)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ct, err := s.Encrypt(sk, msg)
 		if err != nil {
 			log.Fatal(err)

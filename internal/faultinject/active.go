@@ -1,0 +1,141 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Enabled reports whether fault hooks are compiled in. This build has
+// them: every instrumented site probes the registry.
+const Enabled = true
+
+// registry is the process-wide armed-fault table. Sites are probed on
+// hot paths, so the common disarmed case is one RLock and a map miss.
+var registry struct {
+	sync.RWMutex
+	sites map[string]*armed
+}
+
+type armed struct {
+	spec Spec
+	hits int // probes observed at this site since arming
+}
+
+// fire consumes one probe at site and returns the spec if this hit is
+// inside the armed window.
+func fire(site string) (Spec, bool) {
+	registry.RLock()
+	_, present := registry.sites[site]
+	registry.RUnlock()
+	if !present {
+		return Spec{}, false
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	a, ok := registry.sites[site]
+	if !ok {
+		return Spec{}, false
+	}
+	a.hits++
+	if a.hits <= a.spec.After {
+		return Spec{}, false
+	}
+	if a.spec.Count > 0 && a.hits > a.spec.After+a.spec.Count {
+		return Spec{}, false
+	}
+	return a.spec, true
+}
+
+// Arm installs spec, replacing any spec already armed at the same site
+// (the hit counter restarts).
+func Arm(spec Spec) error {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.sites == nil {
+		registry.sites = make(map[string]*armed)
+	}
+	registry.sites[spec.Site] = &armed{spec: spec}
+	return nil
+}
+
+// Disarm removes any spec armed at site.
+func Disarm(site string) {
+	registry.Lock()
+	defer registry.Unlock()
+	delete(registry.sites, site)
+}
+
+// Reset disarms every site.
+func Reset() {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.sites = nil
+}
+
+// Armed returns the specs currently armed, for metrics and reports.
+func Armed() []Spec {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Spec, 0, len(registry.sites))
+	for _, a := range registry.sites {
+		out = append(out, a.spec)
+	}
+	return out
+}
+
+// Hit probes site for panic and latency faults. KindPanic panics with an
+// InjectedPanic; KindLatency sleeps for the spec's delay; other kinds
+// armed at the site are left for their own hooks (the probe still counts
+// the hit).
+func Hit(site string) {
+	spec, ok := fire(site)
+	if !ok {
+		return
+	}
+	switch spec.Kind {
+	case KindPanic:
+		panic(InjectedPanic{Site: site})
+	case KindLatency:
+		time.Sleep(spec.Delay)
+	}
+}
+
+// Err probes site for an error fault and returns an InjectedError when
+// one fires.
+func Err(site string) error {
+	if spec, ok := fire(site); ok && spec.Kind == KindError {
+		return InjectedError{Site: site}
+	}
+	return nil
+}
+
+// Exhausted probes site for a pool-exhaustion fault.
+func Exhausted(site string) bool {
+	spec, ok := fire(site)
+	return ok && spec.Kind == KindExhaust
+}
+
+// FlipBits probes site for a bit-flip fault and, when one fires, XORs
+// the spec's mask (bit 0 if the mask is zero) into the first element of
+// every non-empty row, reporting whether anything was flipped. The
+// corruption is deterministic and self-inverse.
+func FlipBits(site string, rows ...[]uint64) bool {
+	spec, ok := fire(site)
+	if !ok || spec.Kind != KindBitFlip {
+		return false
+	}
+	mask := spec.Mask
+	if mask == 0 {
+		mask = 1
+	}
+	flipped := false
+	for _, row := range rows {
+		if len(row) > 0 {
+			row[0] ^= mask
+			flipped = true
+		}
+	}
+	return flipped
+}

@@ -1,0 +1,199 @@
+// Package faultinject provides deterministic fault hooks for the serving
+// stack: named sites in the evaluation pipeline and the admission layer
+// call into this package, and armed fault specs make those sites panic,
+// sleep, return errors, flip ciphertext bits, or simulate pool
+// exhaustion — on exactly the hit the spec names, so every failure a test
+// provokes is reproducible.
+//
+// The package compiles in two modes, selected by the `faultinject` build
+// tag:
+//
+//   - Without the tag (production builds, the default), every hook is a
+//     no-op returning the zero value, Enabled is false, and Arm returns
+//     ErrNotCompiled. The hooks are small leaf functions, so production
+//     binaries pay a nil-check at most.
+//   - With `-tags faultinject`, hooks consult a process-wide registry of
+//     armed Specs. Triggering is counter-based (After skips the first N
+//     hits, Count bounds how many fire), never time- or rand-based, so a
+//     fault burst in CI reproduces bit-for-bit.
+//
+// Sites are plain strings; the Site* constants below name the seams the
+// repo instruments. Arming an unknown site is allowed (the spec just
+// never fires) so load drivers stay decoupled from library versions.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Instrumented sites. The fhe backend fires Hit at its multiply phase
+// boundaries; the serve layer fires the decode/pool/handler sites on its
+// request path.
+const (
+	// SiteMulExtend is the BEHZ base-extension phase of MulCt.
+	SiteMulExtend = "fhe.mul.extend"
+	// SiteMulTensor is the tensor-product phase of MulCt.
+	SiteMulTensor = "fhe.mul.tensor"
+	// SiteMulScale is the divide-and-round phase of MulCt.
+	SiteMulScale = "fhe.mul.scale"
+	// SiteMulRelin is the relinearization phase of MulCt.
+	SiteMulRelin = "fhe.mul.relin"
+	// SiteModSwitch is the ModSwitch rescale on the Backend seam.
+	SiteModSwitch = "fhe.modswitch"
+	// SiteServeDecode is the serve layer's request-decode boundary, where
+	// bit-flip faults corrupt stored ciphertext residues before an
+	// evaluation consumes them.
+	SiteServeDecode = "serve.decode"
+	// SiteServePool is the serve layer's scratch/queue admission, where
+	// exhaustion faults simulate a drained buffer pool.
+	SiteServePool = "serve.pool"
+	// SiteServeHandler is the top of the serve layer's evaluation
+	// handler (latency and panic faults on the request path itself).
+	SiteServeHandler = "serve.handler"
+)
+
+// Kind is the failure mode an armed Spec injects.
+type Kind uint8
+
+const (
+	// KindPanic makes Hit panic with an InjectedPanic value.
+	KindPanic Kind = iota
+	// KindLatency makes Hit sleep for Spec.Delay.
+	KindLatency
+	// KindError makes Err return an InjectedError.
+	KindError
+	// KindBitFlip makes FlipBits XOR Spec.Mask into the first residue of
+	// every row it is handed.
+	KindBitFlip
+	// KindExhaust makes Exhausted report true.
+	KindExhaust
+)
+
+var kindNames = map[Kind]string{
+	KindPanic:   "panic",
+	KindLatency: "latency",
+	KindError:   "error",
+	KindBitFlip: "bitflip",
+	KindExhaust: "exhaust",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Spec arms one failure mode at one site. Triggering is deterministic:
+// the site's hit counter increments on every probe, the spec stays dormant
+// for the first After hits, then fires on the next Count hits (Count <= 0
+// means every subsequent hit).
+type Spec struct {
+	Site  string        `json:"site"`
+	Kind  Kind          `json:"kind"`
+	After int           `json:"after,omitempty"`
+	Count int           `json:"count,omitempty"`
+	Delay time.Duration `json:"delay,omitempty"` // KindLatency
+	Mask  uint64        `json:"mask,omitempty"`  // KindBitFlip (0 means bit 0)
+}
+
+func (s Spec) String() string {
+	out := s.Site + ":" + s.Kind.String()
+	if s.After > 0 {
+		out += fmt.Sprintf(":after=%d", s.After)
+	}
+	if s.Count > 0 {
+		out += fmt.Sprintf(":count=%d", s.Count)
+	}
+	if s.Kind == KindLatency {
+		out += fmt.Sprintf(":delay=%s", s.Delay)
+	}
+	if s.Kind == KindBitFlip && s.Mask != 0 {
+		out += fmt.Sprintf(":mask=%#x", s.Mask)
+	}
+	return out
+}
+
+// ErrNotCompiled is returned by Arm in builds without the faultinject
+// tag: production binaries cannot be armed, by construction.
+var ErrNotCompiled = errors.New("faultinject: not compiled in (build with -tags faultinject)")
+
+// InjectedPanic is the value KindPanic panics with, so recovery layers
+// can tell an injected fault from an organic one in their reports.
+type InjectedPanic struct {
+	Site string
+}
+
+func (p InjectedPanic) Error() string {
+	return "faultinject: injected panic at " + p.Site
+}
+
+// InjectedError is the error KindError returns from Err.
+type InjectedError struct {
+	Site string
+}
+
+func (e InjectedError) Error() string {
+	return "faultinject: injected error at " + e.Site
+}
+
+// ParseSpec parses the textual form used by fheserver's -fault flag and
+// the serve admin endpoint: "site:kind[:after=N][:count=N][:delay=D][:mask=HEX]",
+// e.g. "fhe.mul.tensor:panic:after=100:count=5" or
+// "serve.handler:latency:delay=50ms:count=200".
+func ParseSpec(s string) (Spec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 {
+		return Spec{}, fmt.Errorf("faultinject: spec %q needs at least site:kind", s)
+	}
+	spec := Spec{Site: parts[0]}
+	kindOK := false
+	for k, name := range kindNames {
+		if name == parts[1] {
+			spec.Kind = k
+			kindOK = true
+		}
+	}
+	if !kindOK {
+		return Spec{}, fmt.Errorf("faultinject: unknown kind %q in spec %q", parts[1], s)
+	}
+	for _, opt := range parts[2:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faultinject: malformed option %q in spec %q", opt, s)
+		}
+		switch key {
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad after=%q in spec %q", val, s)
+			}
+			spec.After = n
+		case "count":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad count=%q in spec %q", val, s)
+			}
+			spec.Count = n
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Spec{}, fmt.Errorf("faultinject: bad delay=%q in spec %q", val, s)
+			}
+			spec.Delay = d
+		case "mask":
+			m, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), 16, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("faultinject: bad mask=%q in spec %q", val, s)
+			}
+			spec.Mask = m
+		default:
+			return Spec{}, fmt.Errorf("faultinject: unknown option %q in spec %q", key, s)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"fhe.mul.tensor:panic", Spec{Site: "fhe.mul.tensor", Kind: KindPanic}},
+		{"serve.handler:latency:delay=50ms:count=3",
+			Spec{Site: "serve.handler", Kind: KindLatency, Delay: 50 * time.Millisecond, Count: 3}},
+		{"fhe.mul.relin:panic:after=10:count=2",
+			Spec{Site: "fhe.mul.relin", Kind: KindPanic, After: 10, Count: 2}},
+		{"serve.decode:bitflip:mask=0x8000", Spec{Site: "serve.decode", Kind: KindBitFlip, Mask: 0x8000}},
+		{"serve.pool:exhaust:count=1", Spec{Site: "serve.pool", Kind: KindExhaust, Count: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "siteonly", "x:unknownkind", "x:panic:after=-1", "x:panic:noeq", "x:latency:delay=zzz"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestProductionBuildIsInert pins the no-tag contract: hooks do nothing,
+// Arm refuses. (Skipped under -tags faultinject, where the armed
+// behavior tests below run instead.)
+func TestProductionBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Skip("compiled with -tags faultinject")
+	}
+	if err := Arm(Spec{Site: "x", Kind: KindPanic}); !errors.Is(err, ErrNotCompiled) {
+		t.Fatalf("Arm = %v, want ErrNotCompiled", err)
+	}
+	Hit("x") // must not panic
+	if err := Err("x"); err != nil {
+		t.Fatalf("Err = %v, want nil", err)
+	}
+	if Exhausted("x") {
+		t.Fatal("Exhausted = true in production build")
+	}
+	row := []uint64{7}
+	if FlipBits("x", row) || row[0] != 7 {
+		t.Fatal("FlipBits corrupted data in production build")
+	}
+	if Armed() != nil {
+		t.Fatal("Armed() non-empty in production build")
+	}
+}
+
+// The armed-behavior tests run only with -tags faultinject (the CI serve
+// smoke job's configuration).
+
+func TestDeterministicWindow(t *testing.T) {
+	if !Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	defer Reset()
+	if err := Arm(Spec{Site: "t.window", Kind: KindError, After: 2, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []bool
+	for i := 0; i < 6; i++ {
+		fired = append(fired, Err("t.window") != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (all: %v)", i, fired[i], want[i], fired)
+		}
+	}
+}
+
+func TestPanicAndFlip(t *testing.T) {
+	if !Enabled {
+		t.Skip("needs -tags faultinject")
+	}
+	defer Reset()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Arm(Spec{Site: "t.panic", Kind: KindPanic, Count: 1}))
+	func() {
+		defer func() {
+			r := recover()
+			ip, ok := r.(InjectedPanic)
+			if !ok || ip.Site != "t.panic" {
+				t.Fatalf("recovered %v, want InjectedPanic{t.panic}", r)
+			}
+		}()
+		Hit("t.panic")
+	}()
+	Hit("t.panic") // outside the window: must not panic
+
+	must(Arm(Spec{Site: "t.flip", Kind: KindBitFlip, Mask: 0b100, Count: 1}))
+	a, b := []uint64{1, 2}, []uint64{3}
+	if !FlipBits("t.flip", a, b) {
+		t.Fatal("FlipBits did not fire")
+	}
+	if a[0] != 1^0b100 || b[0] != 3^0b100 || a[1] != 2 {
+		t.Fatalf("flip landed wrong: %v %v", a, b)
+	}
+	if FlipBits("t.flip", a) {
+		t.Fatal("FlipBits fired outside its window")
+	}
+
+	must(Arm(Spec{Site: "t.pool", Kind: KindExhaust, Count: 1}))
+	if !Exhausted("t.pool") || Exhausted("t.pool") {
+		t.Fatal("Exhausted window wrong")
+	}
+
+	if got := len(Armed()); got != 3 {
+		t.Fatalf("Armed() has %d entries, want 3", got)
+	}
+	Disarm("t.pool")
+	if got := len(Armed()); got != 2 {
+		t.Fatalf("after Disarm, Armed() has %d entries, want 2", got)
+	}
+}

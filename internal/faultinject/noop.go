@@ -1,0 +1,32 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether fault hooks are compiled in. Production builds
+// (no `faultinject` tag) compile every hook to a constant-returning leaf
+// the inliner erases; nothing can be armed.
+const Enabled = false
+
+// Arm reports that this build cannot inject faults.
+func Arm(Spec) error { return ErrNotCompiled }
+
+// Disarm is a no-op without the faultinject tag.
+func Disarm(string) {}
+
+// Reset is a no-op without the faultinject tag.
+func Reset() {}
+
+// Armed always reports nothing armed without the faultinject tag.
+func Armed() []Spec { return nil }
+
+// Hit is a no-op without the faultinject tag.
+func Hit(string) {}
+
+// Err never injects without the faultinject tag.
+func Err(string) error { return nil }
+
+// Exhausted never reports exhaustion without the faultinject tag.
+func Exhausted(string) bool { return false }
+
+// FlipBits never corrupts without the faultinject tag.
+func FlipBits(string, ...[]uint64) bool { return false }

@@ -22,7 +22,10 @@ func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRel
 	}
 	s := NewBackendScheme(b, 321)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		t.Fatal(rlkErr)
+	}
 	msg := make([]uint64, n)
 	for i := range msg {
 		msg[i] = uint64(3*i+1) % T

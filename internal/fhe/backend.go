@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"math/bits"
 	"math/rand"
+	"sync"
 )
 
 // Poly is an opaque backend-owned polynomial handle: []u128.U128 for the
@@ -193,9 +194,17 @@ type BackendCiphertext struct {
 // once against the Backend seam; fhe.Scheme specializes it to the 128-bit
 // ring for API compatibility. The rand.Rand source keeps examples and
 // tests reproducible; production code would use crypto/rand.
+//
+// A BackendScheme is safe for concurrent use: the evaluation entry points
+// share no mutable state (the backends keep per-call scratch in
+// sync.Pools), and the sampling entry points — KeyGen, Encrypt,
+// RelinKeyGen — serialize on an internal mutex because rand.Rand is not
+// goroutine-safe.
 type BackendScheme struct {
-	B   Backend
-	rng *rand.Rand
+	B Backend
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewBackendScheme builds a scheme on b with the given seed.
@@ -208,6 +217,8 @@ const noiseBound = 8
 
 // KeyGen samples a ternary secret s with coefficients in {-1, 0, 1}.
 func (s *BackendScheme) KeyGen() BackendSecretKey {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
 	n := s.B.N()
 	coeffs := make([]int64, n)
 	for i := range coeffs {
@@ -223,6 +234,20 @@ func (s *BackendScheme) KeyGen() BackendSecretKey {
 	sk := s.B.NewPoly()
 	s.B.SetSigned(sk, coeffs)
 	return BackendSecretKey{S: sk}
+}
+
+// checkSecret validates a secret-key handle's provenance before it is
+// handed to backend internals that index into it. A key from another
+// backend (or a zero-value BackendSecretKey) fails here with an error
+// instead of panicking in SecretAt's type assertion.
+func (s *BackendScheme) checkSecret(sk BackendSecretKey) error {
+	if sk.S == nil {
+		return fmt.Errorf("fhe: nil secret key handle")
+	}
+	if err := s.B.CheckPoly(0, sk.S); err != nil {
+		return fmt.Errorf("fhe: bad secret key: %w", err)
+	}
+	return nil
 }
 
 func (s *BackendScheme) checkMsg(msg []uint64) error {
@@ -272,16 +297,21 @@ func (s *BackendScheme) checkCts(cts ...BackendCiphertext) error {
 // — the last mandatory transform until Decrypt, as far as the linear ops,
 // MulCiphertexts, and ModSwitch are concerned.
 func (s *BackendScheme) Encrypt(sk BackendSecretKey, msg []uint64) (BackendCiphertext, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return BackendCiphertext{}, err
+	}
 	if err := s.checkMsg(msg); err != nil {
 		return BackendCiphertext{}, err
 	}
 	b := s.B
 	a := b.NewPoly()
-	b.SampleUniform(a, s.rng)
 	noise := make([]int64, b.N())
+	s.rngMu.Lock()
+	b.SampleUniform(a, s.rng)
 	for i := range noise {
 		noise[i] = int64(s.rng.Intn(2*noiseBound+1) - noiseBound)
 	}
+	s.rngMu.Unlock()
 	e := b.NewPoly()
 	b.SetSigned(e, noise)
 	bb := b.NewPoly()
@@ -341,6 +371,9 @@ func (s *BackendScheme) ConvertDomain(ct BackendCiphertext, d Domain) (BackendCi
 // inverse-transformed into scratch copies first — decryption is the other
 // boundary where coefficient form is mandatory.
 func (s *BackendScheme) Decrypt(sk BackendSecretKey, ct BackendCiphertext) ([]uint64, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return nil, err
+	}
 	if err := s.checkCts(ct); err != nil {
 		return nil, err
 	}
@@ -393,9 +426,16 @@ func (s *BackendScheme) Neg(ct BackendCiphertext) (BackendCiphertext, error) {
 
 // RelinKeyGen samples a relinearization key for sk, required by
 // MulCiphertexts. One key serves any number of multiplications at any
-// level of the chain.
-func (s *BackendScheme) RelinKeyGen(sk BackendSecretKey) BackendRelinKey {
-	return s.B.RelinKeyGen(sk.S, s.rng)
+// level of the chain. A secret-key handle from another backend is
+// rejected here — key generation indexes deep into the handle and must
+// never see a foreign one.
+func (s *BackendScheme) RelinKeyGen(sk BackendSecretKey) (BackendRelinKey, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return nil, err
+	}
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.B.RelinKeyGen(sk.S, s.rng), nil
 }
 
 // MulCiphertexts is homomorphic multiplication at the operands' shared
@@ -577,6 +617,9 @@ func NegacyclicProductModT(m1, m2 []uint64, t uint64) []uint64 {
 // the coefficients. Diagnostic only (requires the secret key); the
 // property tests compare it against MulNoiseBoundBits.
 func (s *BackendScheme) NoiseBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return 0, err
+	}
 	if err := s.checkCts(ct); err != nil {
 		return 0, err
 	}
@@ -600,6 +643,9 @@ func (s *BackendScheme) NoiseBits(sk BackendSecretKey, ct BackendCiphertext, msg
 // what it buys is cheaper arithmetic, not headroom. Diagnostic only
 // (requires the secret key).
 func (s *BackendScheme) NoiseBudgetBits(sk BackendSecretKey, ct BackendCiphertext, msg []uint64) (int, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return 0, err
+	}
 	if err := s.checkCts(ct); err != nil {
 		return 0, err
 	}

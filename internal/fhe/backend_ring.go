@@ -1,11 +1,13 @@
 package fhe
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
 	"sync"
 
+	"mqxgo/internal/faultinject"
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/ntt"
 	"mqxgo/internal/rns"
@@ -432,6 +434,13 @@ func (b *ringBackend) scaleRoundInto(lv *ringLevel, out []u128.U128, coeffs []*b
 // T/q_l, then 2^31-gadget relinearization with the level's keys. dst must
 // not alias the inputs.
 func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
+	return b.MulCtCtx(context.Background(), dst, ct1, ct2, rlk)
+}
+
+// MulCtCtx is MulCt with the DeadlineBackend contract: ctx is observed at
+// the same four phase boundaries as the RNS pipeline (lift/decompose,
+// integer tensor, exact rescale, relinearization).
+func (b *ringBackend) MulCtCtx(ctx context.Context, dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
 	key, ok := rlk.(*ringRelinKey)
 	if !ok {
 		return fmt.Errorf("fhe: foreign relinearization key %T on the %s backend", rlk, b.Name())
@@ -470,6 +479,9 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	// operands cross back to coefficient form through a scratch copy first:
 	// the oracle's integer tensor is defined on positional coefficients,
 	// and exactness — not transform count — is this backend's contract.
+	if err := phaseGate(ctx, faultinject.SiteMulExtend); err != nil {
+		return err
+	}
 	coeffs := make([]*big.Int, n)
 	t := new(big.Int)
 	ops := [4]Poly{ct1.A, ct1.B, ct2.A, ct2.B}
@@ -495,6 +507,9 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 
 	// Integer tensor product: c0 = b1*b2, c1 = a1*b2 + a2*b1, c2 = a1*a2,
 	// every product an exact negacyclic convolution (no tower wraps).
+	if err := phaseGate(ctx, faultinject.SiteMulTensor); err != nil {
+		return err
+	}
 	c0, c1, c2, tmp := w.NewPoly(), w.NewPoly(), w.NewPoly(), w.NewPoly()
 	must(w.MulAll(c0, b1, b2, 1))
 	must(w.MulAll(c1, a1, b2, 1))
@@ -502,6 +517,9 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 	must(w.AddInto(c1, c1, tmp))
 	must(w.MulAll(c2, a1, a2, 1))
 
+	if err := phaseGate(ctx, faultinject.SiteMulScale); err != nil {
+		return err
+	}
 	halfWideQ := new(big.Int).Rsh(w.Q, 1)
 	r0 := make([]u128.U128, n)
 	r1 := make([]u128.U128, n)
@@ -518,6 +536,9 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 
 	// Relinearize: digit-decompose r2 and fold the gadget encryptions of
 	// s^2 in the evaluation domain.
+	if err := phaseGate(ctx, faultinject.SiteMulRelin); err != nil {
+		return err
+	}
 	accA := make([]u128.U128, n)
 	accB := make([]u128.U128, n)
 	zd := make([]u128.U128, n)
@@ -575,6 +596,12 @@ func (b *ringBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, 
 // centered value — the bit-exactness ground truth the RNS Rescaler path
 // is differentially tested against.
 func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error {
+	return b.ModSwitchCtx(context.Background(), dst, ct)
+}
+
+// ModSwitchCtx is ModSwitch with the DeadlineBackend contract: ctx is
+// observed before the switch starts and between the two components.
+func (b *ringBackend) ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext) error {
 	if ct.Level < 0 || ct.Level+1 >= len(b.levels) {
 		return fmt.Errorf("fhe: cannot switch below level %d of a %d-level chain", ct.Level, len(b.levels))
 	}
@@ -584,6 +611,9 @@ func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) er
 	if dst.Domain != ct.Domain {
 		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
 	}
+	if err := phaseGate(ctx, faultinject.SiteModSwitch); err != nil {
+		return err
+	}
 	resident := ct.Domain == DomainNTT
 	from, to := b.levels[ct.Level], b.levels[ct.Level+1]
 	var coeffScratch []u128.U128
@@ -591,6 +621,11 @@ func (b *ringBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) er
 		coeffScratch = make([]u128.U128, b.p.N)
 	}
 	for i, pair := range [2][2]Poly{{ct.A, dst.A}, {ct.B, dst.B}} {
+		if i > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		src, ok := pair[0].([]u128.U128)
 		if !ok || len(src) != b.p.N {
 			return fmt.Errorf("fhe: malformed ModSwitch operand %d on the %s backend", i, b.Name())
@@ -634,4 +669,11 @@ func liftOne(dst *big.Int, v u128.U128, t *big.Int) {
 	dst.SetUint64(v.Hi)
 	dst.Lsh(dst, 64)
 	dst.Or(dst, t.SetUint64(v.Lo))
+}
+
+// MulNoiseModel exposes the MulNoiseBoundBits parameters of the oracle
+// pipeline at a level: the 2^31 gadget digits of the relin key, and zero
+// operand overshoot (the integer tensor is exact).
+func (b *ringBackend) MulNoiseModel(level int) (digits, digitBits, overshoot int) {
+	return b.levels[level].digits, oracleDigitBits, 0
 }

@@ -1,6 +1,7 @@
 package fhe
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mqxgo/internal/faultinject"
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/ring"
 	"mqxgo/internal/rns"
@@ -736,6 +738,18 @@ func addConstRow(row []uint64, mod *modmath.Modulus64, v uint64) {
 // two pipelines described on rnsBackend; they produce bit-identical
 // ciphertexts up to the final exact transform.
 func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
+	return b.MulCtCtx(context.Background(), dst, ct1, ct2, rlk)
+}
+
+// MulCtCtx is MulCt with the DeadlineBackend contract: ctx is observed at
+// the four BEHZ phase boundaries (base extension, tensor,
+// divide-and-round, relinearization) and the multiply aborts with
+// ctx.Err() — dst then holds garbage the scheme layer never returns. The
+// pooled scratch frame goes back to the pool on every ordinary exit,
+// including cancellation (the frame is intact, just abandoned mid-math);
+// a PANIC unwinding through the multiply quarantines it instead, because
+// a torn frame must never serve the next request.
+func (b *rnsBackend) MulCtCtx(ctx context.Context, dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error {
 	key, ok := rlk.(*rnsRelinKey)
 	if !ok {
 		return fmt.Errorf("fhe: foreign relinearization key %T on the %s backend", rlk, b.Name())
@@ -793,7 +807,21 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 		return fmt.Errorf("fhe: MulCt destination not shaped for level %d", ct1.Level)
 	}
 	sc := lv.mulPool.Get().(*rnsMulScratch)
-	defer lv.mulPool.Put(sc)
+	defer func() {
+		if r := recover(); r != nil {
+			// The panic unwound mid-pipeline: sc may be torn. Quarantine
+			// it (the GC reclaims it, the pool refills fresh) and let the
+			// panic continue to the caller's recovery layer.
+			quarantinedScratch.Add(1)
+			panic(r)
+		}
+		// Drop the caller's polynomials from the pooled frame so the pool
+		// never pins live ciphertext storage between multiplies.
+		sc.lv, sc.lkey = nil, nil
+		sc.in = [4]rns.Poly{}
+		sc.outA, sc.outB = rns.Poly{}, rns.Poly{}
+		lv.mulPool.Put(sc)
+	}()
 	sc.lv = lv
 	sc.in = [4]rns.Poly{a1, b1, a2, b2}
 	sc.outA, sc.outB = dstA, dstB
@@ -802,24 +830,12 @@ func (b *rnsBackend) MulCt(dst *BackendCiphertext, ct1, ct2 BackendCiphertext, r
 	sc.squaring = sameRows(a1, a2) && sameRows(b1, b2)
 
 	if resident {
-		if err := b.mulResident(lv, sc); err != nil {
-			return err
-		}
-	} else if b.workers == 1 {
-		if err := b.mulCoeffSequential(lv, sc, k, m); err != nil {
-			return err
-		}
-	} else {
-		if err := b.mulCoeffParallel(lv, sc, k, m); err != nil {
-			return err
-		}
+		return b.mulResident(ctx, lv, sc)
 	}
-	// Drop the caller's polynomials from the pooled frame so the pool
-	// never pins live ciphertext storage between multiplies.
-	sc.lv, sc.lkey = nil, nil
-	sc.in = [4]rns.Poly{}
-	sc.outA, sc.outB = rns.Poly{}, rns.Poly{}
-	return nil
+	if b.workers == 1 {
+		return b.mulCoeffSequential(ctx, lv, sc, k, m)
+	}
+	return b.mulCoeffParallel(ctx, lv, sc, k, m)
 }
 
 // sameRows reports whether two polynomials share their row storage — the
@@ -841,13 +857,16 @@ func sameRows(a, b rns.Poly) bool {
 // the explicit loops (no dispatch closures) are what escape analysis
 // keeps allocation-free, and it is the bit-exact baseline the resident
 // pipeline is measured and differentially tested against.
-func (b *rnsBackend) mulCoeffSequential(lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
+func (b *rnsBackend) mulCoeffSequential(ctx context.Context, lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
 	c, ext := lv.c, lv.ext
 
 	// 1. Base-extend the four operand polynomials into the extension
 	// base with the m~ correction: extended values are x + gamma*Q with
 	// gamma in {-1, 0}, so the tensor headroom validated at construction
 	// carries no k*Q operand overshoot.
+	if err := phaseGate(ctx, faultinject.SiteMulExtend); err != nil {
+		return err
+	}
 	for i := range sc.in {
 		if err := lv.mconv.ConvertInto(sc.opE[i], sc.in[i]); err != nil {
 			return err
@@ -855,6 +874,9 @@ func (b *rnsBackend) mulCoeffSequential(lv *rnsLevel, sc *rnsMulScratch, k, m in
 	}
 
 	// 2. Tensor product, tower by tower across both bases.
+	if err := phaseGate(ctx, faultinject.SiteMulTensor); err != nil {
+		return err
+	}
 	for tau := 0; tau < k; tau++ {
 		tensorTower(c.Plans[tau].Generic(), c.Mods[tau],
 			sc.in[0].Res[tau], sc.in[1].Res[tau], sc.in[2].Res[tau], sc.in[3].Res[tau],
@@ -868,10 +890,16 @@ func (b *rnsBackend) mulCoeffSequential(lv *rnsLevel, sc *rnsMulScratch, k, m in
 
 	// 3. Divide-and-round each component by Q_l/T; results land in the
 	// c*Q polys as the degree-2 scaled ciphertext.
+	if err := phaseGate(ctx, faultinject.SiteMulScale); err != nil {
+		return err
+	}
 	lv.scaleRound(sc, sc.c0Q, sc.c0E)
 	lv.scaleRound(sc, sc.c1Q, sc.c1E)
 	lv.scaleRound(sc, sc.c2Q, sc.c2E)
 
+	if err := phaseGate(ctx, faultinject.SiteMulRelin); err != nil {
+		return err
+	}
 	// 4. Relinearize: the towers of c2 are the gadget digits. Everything
 	// accumulates in the evaluation domain; one inverse per tower at the
 	// end. With NTT-domain keys (the default) the key rows are already
@@ -925,11 +953,17 @@ func (b *rnsBackend) mulCoeffSequential(lv *rnsLevel, sc *rnsMulScratch, k, m in
 // tensor and relin towers running concurrently on per-tower-disjoint
 // scratch rows. The base conversions stay sequential (they carry
 // cross-tower accumulations).
-func (b *rnsBackend) mulCoeffParallel(lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
+func (b *rnsBackend) mulCoeffParallel(ctx context.Context, lv *rnsLevel, sc *rnsMulScratch, k, m int) error {
+	if err := phaseGate(ctx, faultinject.SiteMulExtend); err != nil {
+		return err
+	}
 	for i := range sc.in {
 		if err := lv.mconv.ConvertInto(sc.opE[i], sc.in[i]); err != nil {
 			return err
 		}
+	}
+	if err := phaseGate(ctx, faultinject.SiteMulTensor); err != nil {
+		return err
 	}
 	ring.ParallelChunks(k, b.workers, func(start, end int) {
 		for tau := start; tau < end; tau++ {
@@ -941,9 +975,15 @@ func (b *rnsBackend) mulCoeffParallel(lv *rnsLevel, sc *rnsMulScratch, k, m int)
 			coeffTensorExt(sc, tau)
 		}
 	})
+	if err := phaseGate(ctx, faultinject.SiteMulScale); err != nil {
+		return err
+	}
 	lv.scaleRound(sc, sc.c0Q, sc.c0E)
 	lv.scaleRound(sc, sc.c1Q, sc.c1E)
 	lv.scaleRound(sc, sc.c2Q, sc.c2E)
+	if err := phaseGate(ctx, faultinject.SiteMulRelin); err != nil {
+		return err
+	}
 	ring.ParallelChunks(k, b.workers, func(start, end int) {
 		for i := start; i < end; i++ {
 			relinDigitRow(sc, i)
@@ -962,7 +1002,7 @@ func (b *rnsBackend) mulCoeffParallel(lv *rnsLevel, sc *rnsMulScratch, k, m int)
 // directly, coefficient form appears exactly where base conversion needs
 // positional digits, the divide-and-round runs as fused one-pass kernels,
 // and the result is returned resident.
-func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
+func (b *rnsBackend) mulResident(ctx context.Context, lv *rnsLevel, sc *rnsMulScratch) error {
 	k, m := lv.c.Channels(), lv.ext.Channels()
 	seq := b.workers == 1
 	nops := 4
@@ -974,6 +1014,9 @@ func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
 	// tower transforms — and base-extend with the m~ correction. Squared
 	// operands (identical rows, the ladder's dominant workload) make the
 	// crossing and both extensions once.
+	if err := phaseGate(ctx, faultinject.SiteMulExtend); err != nil {
+		return err
+	}
 	if seq {
 		for u := 0; u < nops*k; u++ {
 			residentOpINTT(sc, u)
@@ -996,6 +1039,9 @@ func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
 	// transforms — the forward half of the PR 5 tensor is gone. Ext base:
 	// the extended operands are coefficient rows; squaring halves the
 	// forward transforms.
+	if err := phaseGate(ctx, faultinject.SiteMulTensor); err != nil {
+		return err
+	}
 	if seq {
 		for tau := 0; tau < k; tau++ {
 			residentTensorQ(sc, tau)
@@ -1017,6 +1063,9 @@ func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
 	}
 
 	// 3. Fused divide-and-round per component.
+	if err := phaseGate(ctx, faultinject.SiteMulScale); err != nil {
+		return err
+	}
 	b.residentScaleRound(lv, sc, sc.c0Q, sc.c0E)
 	b.residentScaleRound(lv, sc, sc.c1Q, sc.c1E)
 	b.residentScaleRound(lv, sc, sc.c2Q, sc.c2E)
@@ -1024,6 +1073,9 @@ func (b *rnsBackend) mulResident(lv *rnsLevel, sc *rnsMulScratch) error {
 	// 4. Relinearize and return resident: digit rows once, then each
 	// tower accumulates its k digit transforms and adds NTT(c1/c0) to the
 	// evaluation-domain accumulators instead of leaving the domain.
+	if err := phaseGate(ctx, faultinject.SiteMulRelin); err != nil {
+		return err
+	}
 	if seq {
 		for i := 0; i < k; i++ {
 			relinDigitRow(sc, i)
@@ -1313,6 +1365,12 @@ func coeffTensorExt(sc *rnsMulScratch, tau int) {
 // Rescaler, residues only, allocation-free in steady state — the RNS
 // half of the ladder the oracle's big-integer switch ground-truths.
 func (b *rnsBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error {
+	return b.ModSwitchCtx(context.Background(), dst, ct)
+}
+
+// ModSwitchCtx is ModSwitch with the DeadlineBackend contract: ctx is
+// observed before the rescale starts and between the two components.
+func (b *rnsBackend) ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext) error {
 	if ct.Level < 0 || ct.Level+1 >= len(b.levels) {
 		return fmt.Errorf("fhe: cannot switch below level %d of a %d-level chain", ct.Level, len(b.levels))
 	}
@@ -1332,6 +1390,9 @@ func (b *rnsBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) err
 	if dst.Domain != ct.Domain {
 		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
 	}
+	if err := phaseGate(ctx, faultinject.SiteModSwitch); err != nil {
+		return err
+	}
 	r := b.levels[ct.Level].rescale
 	if ct.Domain == DomainNTT {
 		// Resident rescale: one inverse transform (the dropped tower)
@@ -1341,12 +1402,32 @@ func (b *rnsBackend) ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) err
 		if err := r.RescaleNTTInto(dstA, srcA, b.workers); err != nil {
 			return err
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return r.RescaleNTTInto(dstB, srcB, b.workers)
 	}
 	if err := r.RescaleInto(dstA, srcA); err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return r.RescaleInto(dstB, srcB)
+}
+
+// MulNoiseModel exposes the MulNoiseBoundBits parameters of the RNS
+// pipeline at a level: the gadget digits are the towers themselves (one
+// per channel, each below the widest tower modulus), and the m~-corrected
+// base extension bounds the operand overshoot at 1.
+func (b *rnsBackend) MulNoiseModel(level int) (digits, digitBits, overshoot int) {
+	lv := b.levels[level]
+	for _, mod := range lv.c.Mods {
+		if bl := bits.Len64(mod.Q); bl > digitBits {
+			digitBits = bl
+		}
+	}
+	return lv.c.Channels(), digitBits, 1
 }
 
 func clearRow(row []uint64) {

@@ -1,0 +1,84 @@
+package fhe
+
+import (
+	"context"
+	"fmt"
+)
+
+// DeadlineBackend is implemented by backends whose heavy evaluation ops
+// can observe a context between their internal phases. Both shipped
+// backends implement it; the interface is optional so the Backend seam —
+// and every existing implementation and test double — keeps compiling.
+//
+// Cancellation is checked at TOWER-PHASE boundaries (base extension,
+// tensor, divide-and-round, relinearization for MulCt; per component for
+// ModSwitch), the natural units of the BEHZ pipeline: a phase runs to
+// completion or not at all, so an aborted call never leaves a pool worker
+// mid-row. On a non-nil return the destination's contents are
+// unspecified and must be discarded — the scheme-layer wrappers do this
+// by never returning the partially-written ciphertext.
+type DeadlineBackend interface {
+	// MulCtCtx is Backend.MulCt with cancellation checked between phases.
+	// The returned error is ctx.Err() itself when the context fired, so
+	// errors.Is(err, context.DeadlineExceeded) works without unwrapping.
+	MulCtCtx(ctx context.Context, dst *BackendCiphertext, ct1, ct2 BackendCiphertext, rlk BackendRelinKey) error
+	// ModSwitchCtx is Backend.ModSwitch with the same contract.
+	ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext) error
+}
+
+// MulCiphertextsCtx is MulCiphertexts under a deadline: evaluation
+// observes ctx at the backend's phase boundaries and aborts with
+// ctx.Err() — never a partial ciphertext — once it fires. On backends
+// without phase-level cancellation the check brackets the whole multiply.
+func (s *BackendScheme) MulCiphertextsCtx(ctx context.Context, c1, c2 BackendCiphertext, rlk BackendRelinKey) (BackendCiphertext, error) {
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := s.checkCts(c1, c2); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := c1.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: c1.Domain}
+	if db, ok := s.B.(DeadlineBackend); ok {
+		if err := db.MulCtCtx(ctx, &out, c1, c2, rlk); err != nil {
+			return BackendCiphertext{}, err
+		}
+		return out, nil
+	}
+	if err := s.B.MulCt(&out, c1, c2, rlk); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
+}
+
+// ModSwitchCtx is ModSwitch under a deadline, with the same abort
+// semantics as MulCiphertextsCtx.
+func (s *BackendScheme) ModSwitchCtx(ctx context.Context, ct BackendCiphertext) (BackendCiphertext, error) {
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if ct.Level >= s.B.Levels()-1 {
+		return BackendCiphertext{}, fmt.Errorf("fhe: ciphertext already at bottom level %d", ct.Level)
+	}
+	l := ct.Level + 1
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
+	if db, ok := s.B.(DeadlineBackend); ok {
+		if err := db.ModSwitchCtx(ctx, &out, ct); err != nil {
+			return BackendCiphertext{}, err
+		}
+		return out, nil
+	}
+	if err := s.B.ModSwitch(&out, ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
+}

@@ -141,9 +141,15 @@ type RelinKey struct {
 	k BackendRelinKey
 }
 
-// RelinKeyGen samples the relinearization key MulCiphertexts needs.
-func (s *Scheme) RelinKeyGen(sk SecretKey) RelinKey {
-	return RelinKey{k: s.bs.RelinKeyGen(BackendSecretKey{S: sk.S})}
+// RelinKeyGen samples the relinearization key MulCiphertexts needs. A
+// malformed secret-key handle is rejected with an error (PR 5's hardening
+// contract, extended to key generation).
+func (s *Scheme) RelinKeyGen(sk SecretKey) (RelinKey, error) {
+	k, err := s.bs.RelinKeyGen(BackendSecretKey{S: sk.S})
+	if err != nil {
+		return RelinKey{}, err
+	}
+	return RelinKey{k: k}, nil
 }
 
 // MulCiphertexts is homomorphic multiplication: the result decrypts to

@@ -1,0 +1,76 @@
+package fhe
+
+import "math/bits"
+
+// Noise-budget guardrails: secret-key-free, conservative noise tracking
+// for a serving layer that must refuse an evaluation destined to decrypt
+// garbage rather than run it. The scheme's measured diagnostics
+// (NoiseBits, NoiseBudgetBits) need the secret key; a server holds only
+// ciphertexts, so it tracks an UPPER BOUND on each ciphertext's noise in
+// bits — fresh encryptions start at FreshNoiseBits, every multiply maps
+// the operands' bounds through PredictMulNoiseBits, every modulus switch
+// through PredictModSwitchNoiseBits — and compares the predicted
+// post-operation budget against a configured floor. The bound is the same
+// MulNoiseBoundBits model the depth property tests pin against measured
+// noise, so predicted budget never exceeds real budget: the guardrail
+// refuses too early, never too late.
+
+// FreshNoiseBits bounds the noise of a fresh encryption in bits: the
+// centered error magnitude is at most noiseBound per coefficient.
+const FreshNoiseBits = 4 // bits.Len(noiseBound), with noiseBound = 8
+
+// NoiseModeler is implemented by backends that expose their
+// MulNoiseBoundBits parameters — the relinearization gadget shape and the
+// base-conversion overshoot — so noise prediction needs no backend type
+// switches. Both shipped backends implement it.
+type NoiseModeler interface {
+	// MulNoiseModel returns the MulNoiseBoundBits parameters at a level:
+	// the gadget digit count, the per-digit magnitude in bits, and the
+	// base-conversion operand overshoot factor.
+	MulNoiseModel(level int) (digits, digitBits, overshoot int)
+}
+
+// modSwitchRoundBits bounds the additive rounding noise of one modulus
+// switch in bits: the rounding error per coefficient is at most
+// (1 + ||s||_1)/2 <= (n+1)/2 for a ternary secret.
+func (s *BackendScheme) modSwitchRoundBits() int {
+	return bits.Len(uint(s.B.N()+1)) - 1
+}
+
+// PredictMulNoiseBits bounds the noise (in bits) of a MulCt result at the
+// given level whose operands each carry at most opNoiseBits of noise.
+// Returns false when the backend exposes no noise model.
+func (s *BackendScheme) PredictMulNoiseBits(level, opNoiseBits int) (int, bool) {
+	nm, ok := s.B.(NoiseModeler)
+	if !ok {
+		return 0, false
+	}
+	digits, digitBits, overshoot := nm.MulNoiseModel(level)
+	return MulNoiseBoundBits(s.B.N(), s.B.PlainModulus(), opNoiseBits, digits, digitBits, overshoot), true
+}
+
+// PredictModSwitchNoiseBits bounds the noise of a ModSwitch result whose
+// input at the given level carries at most opNoiseBits: the noise divides
+// down with the modulus — the DeltaBits difference approximates the
+// dropped factor's bit width to within one bit, hence the +1 — plus the
+// rounding floor, which dominates once the scaled-down noise is small.
+func (s *BackendScheme) PredictModSwitchNoiseBits(level, opNoiseBits int) int {
+	drop := s.B.DeltaBits(level) - s.B.DeltaBits(level+1)
+	scaled := opNoiseBits - drop + 1
+	if floor := s.modSwitchRoundBits() + 1; scaled < floor {
+		return floor
+	}
+	return scaled
+}
+
+// PredictedBudgetBits converts a tracked noise bound at a level into the
+// remaining budget the guardrail compares against its floor:
+// DeltaBits - noise - 1, clamped at zero — the same shape as the measured
+// NoiseBudgetBits, with the bound in place of the measurement.
+func (s *BackendScheme) PredictedBudgetBits(level, noiseBits int) int {
+	budget := s.B.DeltaBits(level) - noiseBits - 1
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}

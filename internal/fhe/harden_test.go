@@ -58,7 +58,11 @@ func TestSchemeLayerRejectsMalformedInput(t *testing.T) {
 	msg := make([]uint64, n)
 	for name, s := range schemes {
 		keys[name] = s.KeyGen()
-		relin[name] = s.RelinKeyGen(keys[name])
+		rk, rkErr := s.RelinKeyGen(keys[name])
+		if rkErr != nil {
+			t.Fatal(rkErr)
+		}
+		relin[name] = rk
 		ct, err := s.Encrypt(keys[name], msg)
 		if err != nil {
 			t.Fatal(err)
@@ -117,7 +121,10 @@ func TestSchemeLayerRejectsMalformedInput(t *testing.T) {
 					otherB = NewRingBackend(p2)
 				}
 				os := NewBackendScheme(otherB, 3)
-				otherKey := os.RelinKeyGen(os.KeyGen())
+				otherKey, keyErr := os.RelinKeyGen(os.KeyGen())
+				if keyErr != nil {
+					return keyErr
+				}
 				_, err := s.MulCiphertexts(ok, ok, otherKey)
 				return err
 			})
@@ -219,7 +226,10 @@ func TestDomainMismatchedHandlesAreRejected(t *testing.T) {
 		t.Run(b.Name(), func(t *testing.T) {
 			s := NewBackendScheme(b, 61)
 			sk := s.KeyGen()
-			rlk := s.RelinKeyGen(sk)
+			rlk, rlkErr := s.RelinKeyGen(sk)
+			if rlkErr != nil {
+				t.Fatal(rlkErr)
+			}
 			res, err := s.Encrypt(sk, make([]uint64, n))
 			if err != nil {
 				t.Fatal(err)

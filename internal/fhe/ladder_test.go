@@ -63,7 +63,11 @@ func TestLadderDifferentialAcrossBackends(t *testing.T) {
 				for _, b := range []Backend{oracle, rb} {
 					ch := &chain{s: NewBackendScheme(b, 42)}
 					ch.sk = ch.s.KeyGen()
-					ch.rlk = ch.s.RelinKeyGen(ch.sk)
+					rk, rkErr := ch.s.RelinKeyGen(ch.sk)
+					if rkErr != nil {
+						t.Fatal(rkErr)
+					}
+					ch.rlk = rk
 					var err error
 					if ch.ct, err = ch.s.Encrypt(ch.sk, msg); err != nil {
 						t.Fatal(err)
@@ -180,7 +184,10 @@ func TestLadderDepth3BudgetProperty(t *testing.T) {
 	runChain := func(b Backend, switching bool) (ct BackendCiphertext, s *BackendScheme, sk BackendSecretKey) {
 		s = NewBackendScheme(b, 9)
 		sk = s.KeyGen()
-		rlk := s.RelinKeyGen(sk)
+		rlk, rlkErr := s.RelinKeyGen(sk)
+		if rlkErr != nil {
+			t.Fatal(rlkErr)
+		}
 		ct, err := s.Encrypt(sk, msg)
 		if err != nil {
 			t.Fatal(err)
@@ -282,7 +289,10 @@ func TestResidentLadderMatchesCoeffPath(t *testing.T) {
 			t.Run(fmt.Sprintf("n%d/%s/lv%d", n, b.Name(), b.Levels()), func(t *testing.T) {
 				s := NewBackendScheme(b, 606)
 				sk := s.KeyGen()
-				rlk := s.RelinKeyGen(sk)
+				rlk, rlkErr := s.RelinKeyGen(sk)
+				if rlkErr != nil {
+					t.Fatal(rlkErr)
+				}
 				rng := rand.New(rand.NewSource(int64(3*n + b.Levels())))
 				msg := make([]uint64, n)
 				for i := range msg {
@@ -375,7 +385,10 @@ func TestOracleRescaleOutOfRangeIsDetected(t *testing.T) {
 	b := NewRingBackend(params)
 	s := NewBackendScheme(b, 5)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		t.Fatal(rlkErr)
+	}
 
 	evil := func() BackendCiphertext {
 		a := make([]u128.U128, n)

@@ -47,7 +47,10 @@ func mulTrace(t *testing.T, b Backend, seed int64, m1, m2 []uint64) []uint64 {
 	t.Helper()
 	s := NewBackendScheme(b, seed)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		t.Fatal(rlkErr)
+	}
 	c1, err := s.Encrypt(sk, m1)
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +126,10 @@ func TestMulCiphertextsLegacyScheme(t *testing.T) {
 	}
 	s := NewScheme(params, 7)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		t.Fatal(rlkErr)
+	}
 	m1 := make([]uint64, n)
 	m2 := make([]uint64, n)
 	for i := range m1 {
@@ -186,7 +192,10 @@ func TestMulCtNoiseBudgetProperty(t *testing.T) {
 		t.Run(tc.b.Name(), func(t *testing.T) {
 			s := NewBackendScheme(tc.b, 99)
 			sk := s.KeyGen()
-			rlk := s.RelinKeyGen(sk)
+			rlk, rlkErr := s.RelinKeyGen(sk)
+			if rlkErr != nil {
+				t.Fatal(rlkErr)
+			}
 			rng := rand.New(rand.NewSource(5))
 			msg := make([]uint64, n)
 			for i := range msg {
@@ -290,7 +299,10 @@ func TestMtildeReclaimsNoiseBoundBits(t *testing.T) {
 	}
 	s := NewBackendScheme(rb, 2026)
 	sk := s.KeyGen()
-	rlk := s.RelinKeyGen(sk)
+	rlk, rlkErr := s.RelinKeyGen(sk)
+	if rlkErr != nil {
+		t.Fatal(rlkErr)
+	}
 	rng := rand.New(rand.NewSource(11))
 	msg := make([]uint64, n)
 	for i := range msg {

@@ -1,0 +1,32 @@
+package fhe
+
+import (
+	"context"
+	"sync/atomic"
+
+	"mqxgo/internal/faultinject"
+)
+
+// quarantinedScratch counts pooled scratch frames dropped instead of
+// recycled because a panic unwound through the evaluation holding them.
+// A panicking multiply may leave its frame half-written by any phase;
+// recycling it would hand torn state to an unrelated request, so the
+// frame is abandoned to the GC and the pool refills with a fresh one.
+var quarantinedScratch atomic.Uint64
+
+// QuarantinedScratch reports how many pooled evaluation scratch frames
+// have been quarantined process-wide — a serving layer's health metric:
+// a nonzero steady-state rate means requests are panicking inside the
+// evaluation pipeline.
+func QuarantinedScratch() uint64 { return quarantinedScratch.Load() }
+
+// phaseGate marks a tower-phase boundary in an evaluation pipeline: the
+// fault-injection probe for the site fires first (so a forced panic or
+// injected latency lands attributed to the phase it names), then the
+// context is observed. Phases run to completion or not at all; a non-nil
+// return is ctx.Err() itself, so callers surface
+// context.DeadlineExceeded unwrapped.
+func phaseGate(ctx context.Context, site string) error {
+	faultinject.Hit(site)
+	return ctx.Err()
+}

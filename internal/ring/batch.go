@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -60,6 +61,13 @@ func submitJob(f func()) {
 // goroutine and the rest on the persistent pool. chunk must be safe for
 // concurrent invocation on disjoint ranges. This is the batch dispatch
 // primitive shared by Plan batches and RNS tower fan-out.
+//
+// A panic inside chunk — on the pool or on the calling goroutine — is
+// re-raised on the calling goroutine after every other chunk has finished,
+// so a recover() around the dispatch observes it and the pool workers
+// survive for the next batch. Without this a chunk panic on a pool
+// goroutine would kill the whole process, which no serving layer can
+// tolerate.
 func ParallelChunks(n, workers int, chunk func(start, end int)) {
 	if n <= 0 {
 		return
@@ -74,9 +82,15 @@ func ParallelChunks(n, workers int, chunk func(start, end int)) {
 		chunk(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+		hasPanic bool
+	)
 	base, rem := n/workers, n%workers
 	start := 0
+	callerStart, callerEnd := 0, 0
 	for w := 0; w < workers; w++ {
 		size := base
 		if w < rem {
@@ -85,16 +99,54 @@ func ParallelChunks(n, workers int, chunk func(start, end int)) {
 		s, e := start, start+size
 		start = e
 		if w == workers-1 {
-			chunk(s, e)
+			callerStart, callerEnd = s, e
 			break
 		}
 		wg.Add(1)
 		submitJob(func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !hasPanic {
+						hasPanic, panicked = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			chunk(s, e)
 		})
 	}
-	wg.Wait()
+	// Run the caller's own range under a deferred Wait so that even if it
+	// panics, the pool chunks finish before the stack unwinds — their
+	// closures reference the caller's buffers.
+	func() {
+		defer wg.Wait()
+		chunk(callerStart, callerEnd)
+	}()
+	if hasPanic {
+		panic(panicked)
+	}
+}
+
+// ParallelChunksCtx is ParallelChunks with a cancellation check in the
+// dispatch: ctx is tested before any work starts and again immediately
+// before each chunk body runs, and the context's error is returned when it
+// fires. Ranges whose check observed the cancellation are skipped, so on a
+// non-nil return the outputs are partial and must be discarded; a nil
+// return means every index was processed. Chunk panics propagate exactly
+// as in ParallelChunks.
+func ParallelChunksCtx(ctx context.Context, n, workers int, chunk func(start, end int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ParallelChunks(n, workers, func(start, end int) {
+		if ctx.Err() != nil {
+			return
+		}
+		chunk(start, end)
+	})
+	return ctx.Err()
 }
 
 // BatchForward runs the forward transform over every input, in parallel
@@ -111,12 +163,10 @@ func (p *Plan[T, R]) BatchForward(inputs [][]T, workers int) [][]T {
 // cost (one closure and one scratch checkout per chunk) it allocates
 // nothing.
 func (p *Plan[T, R]) BatchForwardInto(dst, inputs [][]T, workers int) {
-	checkBatchLens(len(dst), len(inputs))
+	p.checkBatch(dst, inputs)
 	ParallelChunks(len(inputs), workers, func(start, end int) {
 		sc := p.getScratch()
 		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(inputs[i]))
 			p.forwardStages(dst[i], inputs[i], sc)
 		}
 		p.putScratch(sc)
@@ -132,12 +182,10 @@ func (p *Plan[T, R]) BatchInverse(inputs [][]T, workers int) [][]T {
 
 // BatchInverseInto is BatchInverse with caller-provided destinations.
 func (p *Plan[T, R]) BatchInverseInto(dst, inputs [][]T, workers int) {
-	checkBatchLens(len(dst), len(inputs))
+	p.checkBatch(dst, inputs)
 	ParallelChunks(len(inputs), workers, func(start, end int) {
 		sc := p.getScratch()
 		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(inputs[i]))
 			p.inverseStages(dst[i], inputs[i], sc, true)
 		}
 		p.putScratch(sc)
@@ -156,13 +204,15 @@ func (p *Plan[T, R]) BatchPolyMulNegacyclic(pairs [][2][]T, workers int) [][]T {
 // caller-provided destinations.
 func (p *Plan[T, R]) BatchPolyMulNegacyclicInto(dst [][]T, pairs [][2][]T, workers int) {
 	checkBatchLens(len(dst), len(pairs))
+	for i := range dst {
+		p.checkLen(len(dst[i]))
+		p.checkLen(len(pairs[i][0]))
+		p.checkLen(len(pairs[i][1]))
+	}
 	ParallelChunks(len(pairs), workers, func(start, end int) {
 		poly := p.getScratch()
 		ping := p.getScratch()
 		for i := start; i < end; i++ {
-			p.checkLen(len(dst[i]))
-			p.checkLen(len(pairs[i][0]))
-			p.checkLen(len(pairs[i][1]))
 			p.polyMulNegacyclicScratch(dst[i], pairs[i][0], pairs[i][1], poly, ping)
 		}
 		p.putScratch(ping)
@@ -187,5 +237,17 @@ func AllocBatch[T any](n, count int) [][]T {
 func checkBatchLens(dst, src int) {
 	if dst != src {
 		panic("ring: batch destination count does not match input count")
+	}
+}
+
+// checkBatch validates every row length before parallel dispatch, so a
+// malformed batch panics deterministically on the calling goroutine —
+// where a serving layer's recover can see it — rather than inside a pool
+// worker mid-flight.
+func (p *Plan[T, R]) checkBatch(dst, inputs [][]T) {
+	checkBatchLens(len(dst), len(inputs))
+	for i := range dst {
+		p.checkLen(len(dst[i]))
+		p.checkLen(len(inputs[i]))
 	}
 }

@@ -1,0 +1,147 @@
+package ring
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mqxgo/internal/modmath"
+)
+
+// TestParallelChunksPanicPropagates pins the serving-layer contract: a
+// panic inside a chunk running on a pool goroutine reaches the CALLING
+// goroutine, where recover() can see it, and the pool keeps working for
+// subsequent batches.
+func TestParallelChunksPanicPropagates(t *testing.T) {
+	const n, workers = 64, 4
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		ParallelChunks(n, workers, func(start, end int) {
+			if start == 0 { // first range runs on a pool worker
+				panic("chunk boom")
+			}
+		})
+		return nil
+	}()
+	if caught != "chunk boom" {
+		t.Fatalf("recovered %v, want \"chunk boom\"", caught)
+	}
+
+	// The pool must survive: a follow-up dispatch covers every index.
+	var covered atomic.Int64
+	ParallelChunks(n, workers, func(start, end int) {
+		covered.Add(int64(end - start))
+	})
+	if covered.Load() != n {
+		t.Fatalf("post-panic dispatch covered %d of %d indices", covered.Load(), n)
+	}
+}
+
+// TestParallelChunksCallerPanicWaitsForPool proves the caller's own chunk
+// panicking does not unwind past in-flight pool chunks (their closures
+// reference the caller's buffers).
+func TestParallelChunksCallerPanicWaitsForPool(t *testing.T) {
+	const n, workers = 64, 4
+	var poolDone atomic.Int64
+	var mu sync.Mutex
+	lastRange := n * (workers - 1) / workers // caller runs the final range
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		ParallelChunks(n, workers, func(start, end int) {
+			if start >= lastRange {
+				panic("caller boom")
+			}
+			mu.Lock()
+			poolDone.Add(int64(end - start))
+			mu.Unlock()
+		})
+		return nil
+	}()
+	if caught != "caller boom" {
+		t.Fatalf("recovered %v, want \"caller boom\"", caught)
+	}
+	if got := poolDone.Load(); got != int64(lastRange) {
+		t.Fatalf("pool chunks completed %d indices before unwind, want %d", got, lastRange)
+	}
+}
+
+func TestParallelChunksCtx(t *testing.T) {
+	const n = 64
+	t.Run("nil_error_covers_everything", func(t *testing.T) {
+		var covered atomic.Int64
+		err := ParallelChunksCtx(context.Background(), n, 4, func(start, end int) {
+			covered.Add(int64(end - start))
+		})
+		if err != nil {
+			t.Fatalf("ParallelChunksCtx: %v", err)
+		}
+		if covered.Load() != n {
+			t.Fatalf("covered %d of %d indices", covered.Load(), n)
+		}
+	})
+	t.Run("pre_cancelled_runs_nothing", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		ran := false
+		err := ParallelChunksCtx(ctx, n, 4, func(start, end int) { ran = true })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if ran {
+			t.Fatal("chunk ran after pre-cancelled context")
+		}
+	})
+	t.Run("deadline_error_identity", func(t *testing.T) {
+		// An already-expired deadline must surface as DeadlineExceeded —
+		// the error the serve layer maps to its timeout status.
+		ctx, cancel := context.WithTimeout(context.Background(), -1)
+		defer cancel()
+		err := ParallelChunksCtx(ctx, n, 4, func(start, end int) {})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+	t.Run("cancel_during_dispatch_is_reported", func(t *testing.T) {
+		// workers=1 keeps the ordering deterministic: one chunk, which
+		// cancels the context mid-flight; the dispatch must report it.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		err := ParallelChunksCtx(ctx, n, 1, func(start, end int) { cancel() })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestBatchLenValidationBeforeDispatch pins that a malformed batch panics
+// on the calling goroutine before any parallel work is dispatched.
+func TestBatchLenValidationBeforeDispatch(t *testing.T) {
+	p, err := NewPlan[uint64, Shoup64](NewShoup64(modmath.MustModulus64(257)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := AllocBatch[uint64](8, 4)
+	bad := AllocBatch[uint64](8, 4)
+	bad[2] = bad[2][:5] // wrong row length
+
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"forward_bad_input", func() { p.BatchForwardInto(good, bad, 2) }},
+		{"forward_bad_dst", func() { p.BatchForwardInto(bad, good, 2) }},
+		{"inverse_bad_input", func() { p.BatchInverseInto(good, bad, 2) }},
+		{"count_mismatch", func() { p.BatchForwardInto(good[:3], good, 2) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("malformed batch did not panic")
+				}
+			}()
+			tc.call()
+		})
+	}
+}

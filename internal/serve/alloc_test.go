@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServeEvalSteadyStateAllocs extends the repo's zero-allocation
+// discipline through the serving layer's evaluation core: with a
+// destination handle reused via the in-place path (the steady-state
+// serving loop), applyEval — handle lookups, guardrail prediction, the
+// backend multiply through its pooled scratch, bound update — allocates
+// nothing. JSON transport is excluded by design: encoding/json allocates
+// and is measured by the load driver instead.
+func TestServeEvalSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s := newTestServer(t, nil)
+	ten, apiErr := s.reg.create("alloc", s.cfg.Scheme)
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	enc1, apiErr := s.applyEncrypt(ten, testMsg(20))
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	enc2, apiErr := s.applyEncrypt(ten, testMsg(21))
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	ctx := context.Background()
+	mulReq := evalRequest{Tenant: "alloc", Op: "mul", Args: []string{enc1.Handle, enc2.Handle}}
+	dst, apiErr := s.applyEval(ctx, ten, mulReq) // creates the destination handle
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	mulReq.Out = dst.Handle
+	if _, apiErr := s.applyEval(ctx, ten, mulReq); apiErr != nil { // warm the in-place path
+		t.Fatal(apiErr)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if _, apiErr := s.applyEval(ctx, ten, mulReq); apiErr != nil {
+			t.Fatal(apiErr)
+		}
+	}); got != 0 {
+		t.Errorf("steady-state serve mul allocates %.1f per run, want 0", got)
+	}
+
+	// The modswitch in-place path holds the same bar.
+	msReq := evalRequest{Tenant: "alloc", Op: "modswitch", Args: []string{dst.Handle}}
+	low, apiErr := s.applyEval(ctx, ten, msReq)
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	msReq.Out = low.Handle
+	if _, apiErr := s.applyEval(ctx, ten, msReq); apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if _, apiErr := s.applyEval(ctx, ten, msReq); apiErr != nil {
+			t.Fatal(apiErr)
+		}
+	}); got != 0 {
+		t.Errorf("steady-state serve modswitch allocates %.1f per run, want 0", got)
+	}
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mqxgo/internal/faultinject"
+)
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/keygen", s.handleKeygen)
+	mux.HandleFunc("/v1/encrypt", s.evalClass("encrypt", s.doEncrypt))
+	mux.HandleFunc("/v1/eval", s.evalClass("", s.doEval))
+	mux.HandleFunc("/v1/decrypt", s.evalClass("decrypt", s.doDecrypt))
+	mux.HandleFunc("/v1/fault", s.handleFault)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, e *apiError) {
+	switch {
+	case e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable:
+		// Shed and drain responses carry a retry hint so well-behaved
+		// clients back off instead of hammering a saturated queue.
+		w.Header().Set("Retry-After", "1")
+	}
+	if e.Status >= 500 {
+		s.m.failed5xx.Add(1)
+	} else if e.Status >= 400 {
+		s.m.failed4xx.Add(1)
+	}
+	writeJSON(w, e.Status, map[string]*apiError{"error": e})
+}
+
+func decode[T any](r *http.Request, into *T) *apiError {
+	if r.Method != http.MethodPost {
+		return errf(http.StatusMethodNotAllowed, CodeBadRequest, "use POST")
+	}
+	if err := faultinject.Err(faultinject.SiteServeDecode); err != nil {
+		return errBadRequest("decode: %v", err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		return errBadRequest("decode: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+func (s *Server) handleKeygen(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tenant string `json:"tenant"`
+	}
+	if apiErr := decode(r, &req); apiErr != nil {
+		s.writeErr(w, apiErr)
+		return
+	}
+	if _, apiErr := s.reg.create(req.Tenant, s.cfg.Scheme); apiErr != nil {
+		s.writeErr(w, apiErr)
+		return
+	}
+	b := s.cfg.Scheme.B
+	deltaBits := make([]int, b.Levels())
+	for l := range deltaBits {
+		deltaBits[l] = b.DeltaBits(l)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":            req.Tenant,
+		"backend":           b.Name(),
+		"n":                 b.N(),
+		"plain_modulus":     b.PlainModulus(),
+		"levels":            b.Levels(),
+		"delta_bits":        deltaBits,
+		"budget_floor_bits": s.cfg.BudgetFloorBits,
+	})
+}
+
+// tighten narrows an already-deadlined request context when the client
+// asked for less time than the server cap.
+func tighten(ctx context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	if timeoutMS <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+}
+
+// evalClass wraps an evaluation-class endpoint with the full hardened
+// request path: admission, deadline, panic recovery, latency metrics.
+// opName labels the latency histogram; when empty the decoded op field
+// is used.
+func (s *Server) evalClass(opName string, op func(ctx context.Context, r *http.Request) (evalResponse, string, *apiError)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if faultinject.Exhausted(faultinject.SiteServePool) {
+			s.writeErr(w, errf(http.StatusServiceUnavailable, CodePoolExhausted, "scratch pool exhausted"))
+			return
+		}
+		// The per-request deadline covers the whole stay in the server:
+		// time spent queued counts against it, so a saturated queue turns
+		// into fast 504s instead of unbounded client-side hangs.
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		release, apiErr := s.admit(ctx)
+		if apiErr != nil {
+			s.writeErr(w, apiErr)
+			return
+		}
+		defer release()
+		start := time.Now()
+		resp, label, apiErr := s.recoverEval(ctx, op, r)
+		if opName != "" {
+			label = opName
+		}
+		if apiErr != nil {
+			s.writeErr(w, apiErr)
+			return
+		}
+		s.m.completed.Add(1)
+		s.m.observe(label, time.Since(start))
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// recoverEval runs an evaluation op with panic containment: a panic —
+// organic or injected — is recovered here, counted, and surfaced as a
+// typed 500. The fhe layer has already quarantined any pooled scratch
+// the panic unwound through, so the next request starts from clean
+// buffers.
+func (s *Server) recoverEval(ctx context.Context, op func(ctx context.Context, r *http.Request) (evalResponse, string, *apiError), r *http.Request) (resp evalResponse, label string, apiErr *apiError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.m.panics.Add(1)
+			apiErr = errf(http.StatusInternalServerError, CodeInternal,
+				"evaluation panicked (recovered, scratch quarantined): %v", rec)
+		}
+	}()
+	faultinject.Hit(faultinject.SiteServeHandler)
+	return op(ctx, r)
+}
+
+func (s *Server) doEncrypt(_ context.Context, r *http.Request) (evalResponse, string, *apiError) {
+	var req evalRequest
+	if apiErr := decode(r, &req); apiErr != nil {
+		return evalResponse{}, "encrypt", apiErr
+	}
+	t, apiErr := s.reg.get(req.Tenant)
+	if apiErr != nil {
+		return evalResponse{}, "encrypt", apiErr
+	}
+	resp, apiErr := s.applyEncrypt(t, req.Values)
+	return resp, "encrypt", apiErr
+}
+
+func (s *Server) doEval(ctx context.Context, r *http.Request) (evalResponse, string, *apiError) {
+	var req evalRequest
+	if apiErr := decode(r, &req); apiErr != nil {
+		return evalResponse{}, "eval", apiErr
+	}
+	t, apiErr := s.reg.get(req.Tenant)
+	if apiErr != nil {
+		return evalResponse{}, req.Op, apiErr
+	}
+	evalCtx, cancel := tighten(ctx, req.TimeoutMS)
+	defer cancel()
+	resp, apiErr := s.applyEval(evalCtx, t, req)
+	return resp, req.Op, apiErr
+}
+
+func (s *Server) doDecrypt(_ context.Context, r *http.Request) (evalResponse, string, *apiError) {
+	var req evalRequest
+	if apiErr := decode(r, &req); apiErr != nil {
+		return evalResponse{}, "decrypt", apiErr
+	}
+	t, apiErr := s.reg.get(req.Tenant)
+	if apiErr != nil {
+		return evalResponse{}, "decrypt", apiErr
+	}
+	resp, apiErr := s.applyDecrypt(t, req.Handle)
+	return resp, "decrypt", apiErr
+}
+
+// handleFault is the test-only fault administration endpoint. On
+// production builds (no faultinject tag) it answers 501 for arming and
+// succeeds only for reset/disarm, which are no-ops there.
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Spec   string `json:"spec,omitempty"`
+		Disarm string `json:"disarm,omitempty"`
+		Reset  bool   `json:"reset,omitempty"`
+	}
+	if apiErr := decode(r, &req); apiErr != nil {
+		s.writeErr(w, apiErr)
+		return
+	}
+	switch {
+	case req.Reset:
+		faultinject.Reset()
+	case req.Disarm != "":
+		faultinject.Disarm(req.Disarm)
+	case req.Spec != "":
+		spec, err := faultinject.ParseSpec(req.Spec)
+		if err != nil {
+			s.writeErr(w, errBadRequest("%v", err))
+			return
+		}
+		if err := faultinject.Arm(spec); err != nil {
+			s.writeErr(w, errf(http.StatusNotImplemented, CodeNotCompiled, "%v", err))
+			return
+		}
+	default:
+		s.writeErr(w, errBadRequest("need one of spec, disarm, reset"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"armed": armedStrings(), "enabled": faultinject.Enabled})
+}
+
+func armedStrings() []string {
+	if !faultinject.Enabled {
+		return nil
+	}
+	specs := faultinject.Armed()
+	out := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		out = append(out, sp.String())
+	}
+	return out
+}
+
+// RetryAfter parses a Retry-After header value in seconds; helper shared
+// with the load driver.
+func RetryAfter(v string) time.Duration {
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}

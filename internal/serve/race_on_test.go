@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-regression tests skip.
+const raceEnabled = true

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mqxgo/internal/fhe"
+)
+
+// entry is one server-resident ciphertext: the handle the client holds
+// plus the guardrail's tracked noise bound. The bound is conservative —
+// fresh encryptions start at fhe.FreshNoiseBits and every operation maps
+// it through the scheme's predictors — so the budget the server enforces
+// never exceeds the budget the secret key would measure.
+type entry struct {
+	ct        fhe.BackendCiphertext
+	noiseBits int
+}
+
+// tenant is one key registry slot: keygen once, evaluate many. The mutex
+// serializes evaluations that touch this tenant's store (operand reads,
+// in-place destination writes, handle allocation); different tenants
+// evaluate concurrently up to the server's worker limit.
+type tenant struct {
+	mu     sync.Mutex
+	sk     fhe.BackendSecretKey
+	rlk    fhe.BackendRelinKey
+	cts    map[string]*entry
+	nextID uint64
+}
+
+// newHandle allocates the next ciphertext handle. Caller holds t.mu.
+func (t *tenant) newHandle() string {
+	t.nextID++
+	return fmt.Sprintf("ct-%d", t.nextID)
+}
+
+// registry maps tenant names to their key material and ciphertext stores.
+type registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+func (r *registry) get(name string) (*tenant, *apiError) {
+	r.mu.RLock()
+	t := r.tenants[name]
+	r.mu.RUnlock()
+	if t == nil {
+		return nil, errf(http.StatusNotFound, CodeUnknownTenant, "tenant %q has no keys; call /v1/keygen first", name)
+	}
+	return t, nil
+}
+
+// create registers a tenant, generating its secret and relinearization
+// keys. Re-registering an existing tenant is an error: silently rotating
+// keys would orphan every ciphertext the tenant already holds.
+func (r *registry) create(name string, s *fhe.BackendScheme) (*tenant, *apiError) {
+	if name == "" {
+		return nil, errBadRequest("tenant name must be non-empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenants == nil {
+		r.tenants = make(map[string]*tenant)
+	}
+	if _, ok := r.tenants[name]; ok {
+		return nil, errf(http.StatusConflict, CodeBadRequest, "tenant %q already registered", name)
+	}
+	sk := s.KeyGen()
+	rlk, err := s.RelinKeyGen(sk)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, CodeInternal, "relin keygen: %v", err)
+	}
+	t := &tenant{sk: sk, rlk: rlk, cts: make(map[string]*entry)}
+	r.tenants[name] = t
+	return t, nil
+}
