@@ -47,9 +47,17 @@
 // the resident product checked bit-identical to the coefficient path at
 // every level first.
 //
+// A ninth report (BENCH_PR9.json) measures the slot-packing layer: the
+// per-level Galois rotation latency down the RNS ladder (single-hop,
+// multi-hop and conjugation, steady-state into preallocated
+// destinations) and the packed-vs-scalar-message MulCt amortization —
+// one packed multiply buys n slot products — plus the full dot-product
+// rotate-and-add fold. Both backends are gated against the plaintext
+// slot model before anything is timed.
+//
 // Usage:
 //
-//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-n 4096] [-batch 64] [-workers 8]
+//	benchjson [-out BENCH_PR1.json] [-out2 BENCH_PR2.json] [-out3 BENCH_PR3.json] [-out4 BENCH_PR4.json] [-out5 BENCH_PR5.json] [-out6 BENCH_PR6.json] [-out7 BENCH_PR7.json] [-out9 BENCH_PR9.json] [-n 4096] [-batch 64] [-workers 8]
 package main
 
 import (
@@ -188,6 +196,7 @@ func main() {
 	out5 := flag.String("out5", "BENCH_PR5.json", "modulus ladder report path (empty to skip)")
 	out6 := flag.String("out6", "BENCH_PR6.json", "resident-vs-retensor report path (empty to skip)")
 	out7 := flag.String("out7", "BENCH_PR7.json", "vector kernel tier report path (empty to skip)")
+	out9 := flag.String("out9", "BENCH_PR9.json", "rotation / packed workload report path (empty to skip)")
 	n := flag.Int("n", 4096, "transform size (power of two)")
 	batch := flag.Int("batch", 64, "transforms per batch")
 	workers := flag.Int("workers", 8, "batch worker cap")
@@ -233,6 +242,11 @@ func main() {
 	}
 	if *out7 != "" {
 		if err := runSIMDComparison(*out7); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *out9 != "" {
+		if err := runRotateComparison(*out9); err != nil {
 			log.Fatal(err)
 		}
 	}

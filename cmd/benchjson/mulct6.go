@@ -256,6 +256,14 @@ func runResidentComparison(path string) error {
 			"resident_path_zero_allocs":         allocClean,
 		},
 	}
+	// The near-kx tower-parallel claim only belongs in the acceptance
+	// block when the parallel axis actually ran parallel; on 1-CPU hosts
+	// the tower_scaling section is stamped "placeholder": true instead.
+	if !scalingIsPlaceholder() {
+		if sp, ok := scaling["speedup"].(float64); ok {
+			report["acceptance"].(map[string]any)["tower_parallel_speedup"] = sp
+		}
+	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -320,9 +328,12 @@ func newLadderChain(b fhe.Backend, n int, genKey bool) (*ladderChain, error) {
 }
 
 // towerScaling measures the resident MulCt at workers=1 against the
-// GOMAXPROCS worker pool on a fresh level-0 fixture. On a single-CPU
-// host this honestly reports ~1x: the per-tower dispatch exists for
-// multi-core hosts, and host_cpus in the config says which one ran.
+// GOMAXPROCS worker pool on a fresh level-0 fixture. On a host where
+// the parallel axis cannot actually run parallel (one CPU, or
+// GOMAXPROCS pinned to 1) the ~1x it reports is scheduling overhead,
+// not a scaling measurement — the section stamps "placeholder": true
+// so downstream readers never mistake it for one, and host_cpus /
+// gomaxprocs record why.
 func towerScaling(n, k, rounds int) (map[string]any, error) {
 	c, err := rns.NewContext(59, k, n)
 	if err != nil {
@@ -357,11 +368,22 @@ func towerScaling(n, k, rounds int) (map[string]any, error) {
 		return nil, err
 	}
 	mins := minInterleaved(rounds, seqOp, parOp)
-	return map[string]any{
+	out := map[string]any{
 		"workers1_mulct_ns":   mins[0],
 		"gomaxprocs_mulct_ns": mins[1],
 		"speedup":             mins[0] / mins[1],
 		"gomaxprocs":          runtime.GOMAXPROCS(0),
 		"host_cpus":           runtime.NumCPU(),
-	}, nil
+	}
+	if scalingIsPlaceholder() {
+		out["placeholder"] = true
+	}
+	return out, nil
+}
+
+// scalingIsPlaceholder reports whether the tower_scaling section can be
+// a real measurement on this host: both axes need at least two CPUs the
+// runtime is allowed to use.
+func scalingIsPlaceholder() bool {
+	return runtime.NumCPU() < 2 || runtime.GOMAXPROCS(0) < 2
 }

@@ -44,6 +44,9 @@ const (
 	SiteMulRelin = "fhe.mul.relin"
 	// SiteModSwitch is the ModSwitch rescale on the Backend seam.
 	SiteModSwitch = "fhe.modswitch"
+	// SiteRotate is the Galois key-switch hop inside RotateSlots and
+	// Conjugate on the Backend seam.
+	SiteRotate = "fhe.rotate"
 	// SiteServeDecode is the serve layer's request-decode boundary, where
 	// bit-flip faults corrupt stored ciphertext residues before an
 	// evaluation consumes them.

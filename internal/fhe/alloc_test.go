@@ -8,8 +8,9 @@ import (
 
 // allocFixture builds a single-worker RNS backend (the zero-allocation
 // configuration: the tower dispatch runs as plain loops, no pool
-// submission) with two encryptions of the same message and a relin key.
-func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRelinKey, BackendCiphertext, BackendCiphertext) {
+// submission) with two encryptions of the same message and relin and
+// Galois keys.
+func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRelinKey, BackendGaloisKey, BackendCiphertext, BackendCiphertext) {
 	t.Helper()
 	const n, T = 256, 257
 	c, err := rns.NewContext(59, levels, n)
@@ -26,6 +27,10 @@ func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRel
 	if rlkErr != nil {
 		t.Fatal(rlkErr)
 	}
+	gk, gkErr := s.GaloisKeyGen(sk)
+	if gkErr != nil {
+		t.Fatal(gkErr)
+	}
 	msg := make([]uint64, n)
 	for i := range msg {
 		msg[i] = uint64(3*i+1) % T
@@ -38,7 +43,7 @@ func allocFixture(t *testing.T, levels int) (Backend, *BackendScheme, BackendRel
 	if err != nil {
 		t.Fatal(err)
 	}
-	return b, s, rlk, c1, c2
+	return b, s, rlk, gk, c1, c2
 }
 
 // Steady-state allocation regression for the BEHZ multiply, extending the
@@ -52,7 +57,7 @@ func TestRNSMulCtDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, _, rlk, c1, c2 := allocFixture(t, 2)
+	b, _, rlk, _, c1, c2 := allocFixture(t, 2)
 	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
 	if err := b.MulCt(&dst, c1, c2, rlk); err != nil { // warm the multiply and transform pools
 		t.Fatal(err)
@@ -74,7 +79,7 @@ func TestRNSMulCtSquaringDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, _, rlk, c1, _ := allocFixture(t, 2)
+	b, _, rlk, _, c1, _ := allocFixture(t, 2)
 	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
 	if err := b.MulCt(&dst, c1, c1, rlk); err != nil {
 		t.Fatal(err)
@@ -95,7 +100,7 @@ func TestRNSMulCtCoeffDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, s, rlk, c1, c2 := allocFixture(t, 2)
+	b, s, rlk, _, c1, c2 := allocFixture(t, 2)
 	cc1, err := s.ConvertDomain(c1, DomainCoeff)
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +130,7 @@ func TestRNSModSwitchDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, _, _, ct, _ := allocFixture(t, 3)
+	b, _, _, _, ct, _ := allocFixture(t, 3)
 	dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1, Domain: DomainNTT}
 	if err := b.ModSwitch(&dst, ct); err != nil { // warm the rescale scratch pool
 		t.Fatal(err)
@@ -144,7 +149,7 @@ func TestRNSModSwitchCoeffDoesNotAllocate(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, s, _, ct, _ := allocFixture(t, 3)
+	b, s, _, _, ct, _ := allocFixture(t, 3)
 	cct, err := s.ConvertDomain(ct, DomainCoeff)
 	if err != nil {
 		t.Fatal(err)
@@ -159,5 +164,76 @@ func TestRNSModSwitchCoeffDoesNotAllocate(t *testing.T) {
 		}
 	}); got != 0 {
 		t.Errorf("RNS coefficient ModSwitch allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestRNSRotateDoesNotAllocate extends the gate to the Galois key-switch
+// chain: with the multiply scratch pool warmed and a reused destination,
+// a resident multi-hop rotation — eval-domain permutation, gadget
+// decomposition, fused MAC accumulation, landing — allocates nothing.
+// Rotation is plain ring arithmetic mod Q, so the gate runs on the
+// standard fixture regardless of the plaintext modulus.
+func TestRNSRotateDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	b, _, _, gk, c1, _ := allocFixture(t, 2)
+	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
+	if err := b.RotateSlots(&dst, c1, 3, gk); err != nil { // 2 hops; warms the pools
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.RotateSlots(&dst, c1, 3, gk); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS resident RotateSlots allocates %.1f per run, want 0", got)
+	}
+	if err := b.Conjugate(&dst, c1, gk); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := b.Conjugate(&dst, c1, gk); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("RNS resident Conjugate allocates %.1f per run, want 0", got)
+	}
+}
+
+// TestSlotEncoderDoesNotAllocate pins the plaintext-CRT transforms: with
+// the encoder's scratch pool warmed, EncodeInto and DecodeInto allocate
+// nothing — they are the per-request core of the serve layer's
+// encode/decode ops.
+func TestSlotEncoderDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const n, T = 256, 40961
+	e, err := NewSlotEncoder(n, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := make([]uint64, n)
+	msg := make([]uint64, n)
+	for i := range slots {
+		slots[i] = uint64(7*i+5) % T
+	}
+	if err := e.EncodeInto(msg, slots); err != nil { // warm the scratch pool
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := e.EncodeInto(msg, slots); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("EncodeInto allocates %.1f per run, want 0", got)
+	}
+	if got := testing.AllocsPerRun(10, func() {
+		if err := e.DecodeInto(slots, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("DecodeInto allocates %.1f per run, want 0", got)
 	}
 }

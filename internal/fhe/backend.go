@@ -1,6 +1,7 @@
 package fhe
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -159,10 +160,34 @@ type Backend interface {
 	// is inverse-transformed (rns.Rescaler.RescaleNTTInto). The RNS path
 	// is allocation-free in steady state.
 	ModSwitch(dst *BackendCiphertext, ct BackendCiphertext) error
+	// GaloisKeyGen builds the slot-rotation key set for the secret s: at
+	// every level of the chain, gadget encryptions of tau_g(s) — the
+	// same per-level NTT-domain gadget RelinKeyGen uses — for the
+	// power-of-two rotation elements g = 3^(2^j) mod 2N plus the
+	// conjugation element 2N-1. RotateSlots composes power-of-two hops,
+	// so one key set covers every rotation amount with O(log N) key
+	// material. The key representation is backend-owned and must not be
+	// mixed across backends.
+	GaloisKeyGen(s Poly, rng *rand.Rand) BackendGaloisKey
+	// RotateSlots key-switches ct through the automorphism that rotates
+	// both slot rows left by steps (negative steps rotate right),
+	// writing the result into dst: dst must be shaped for ct's level
+	// with dst.Level and dst.Domain already matching and storage not
+	// aliasing ct's. Resident (DomainNTT) ciphertexts stay resident —
+	// the automorphism is a pure permutation of the evaluation rows and
+	// the key-switch accumulates in the evaluation domain. The RNS path
+	// is allocation-free in steady state (workers == 1).
+	RotateSlots(dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error
+	// Conjugate applies the row-swap automorphism x -> x^(2N-1) with the
+	// same contract as RotateSlots.
+	Conjugate(dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error
 }
 
 // BackendRelinKey is an opaque backend-owned relinearization key handle.
 type BackendRelinKey any
+
+// BackendGaloisKey is an opaque backend-owned slot-rotation key handle.
+type BackendGaloisKey any
 
 // CoeffDomainRelinKeyGenerator is implemented by backends that can also
 // build their relinearization keys in the COEFFICIENT domain — the PR 4
@@ -205,6 +230,13 @@ type BackendScheme struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Slot encoder, built lazily on first EncodeSlots/DecodeSlots: it
+	// exists only when the backend's (N, T) pair supports the plaintext
+	// CRT, and the construction error is sticky.
+	slotOnce sync.Once
+	slotEnc  *SlotEncoder
+	slotErr  error
 }
 
 // NewBackendScheme builds a scheme on b with the given seed.
@@ -436,6 +468,34 @@ func (s *BackendScheme) RelinKeyGen(sk BackendSecretKey) (BackendRelinKey, error
 	s.rngMu.Lock()
 	defer s.rngMu.Unlock()
 	return s.B.RelinKeyGen(sk.S, s.rng), nil
+}
+
+// GaloisKeyGen samples the slot-rotation key set for sk, required by
+// RotateSlots and Conjugate. One key set serves every rotation amount at
+// every level of the chain (power-of-two hops compose). Foreign secret
+// keys are rejected, as in RelinKeyGen.
+func (s *BackendScheme) GaloisKeyGen(sk BackendSecretKey) (BackendGaloisKey, error) {
+	if err := s.checkSecret(sk); err != nil {
+		return nil, err
+	}
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.B.GaloisKeyGen(sk.S, s.rng), nil
+}
+
+// RotateSlots homomorphically rotates both slot rows of ct left by steps
+// (negative steps rotate right): the result decrypts — after DecodeSlots —
+// to the slot vector of ct rotated within each row. Requires a Galois key
+// from this scheme's backend; the key-switch adds relin-gadget-sized
+// noise per power-of-two hop.
+func (s *BackendScheme) RotateSlots(ct BackendCiphertext, steps int, gk BackendGaloisKey) (BackendCiphertext, error) {
+	return s.RotateSlotsCtx(context.Background(), ct, steps, gk)
+}
+
+// Conjugate homomorphically swaps the two slot rows of ct (the Galois
+// element -1), with the same contract as RotateSlots.
+func (s *BackendScheme) Conjugate(ct BackendCiphertext, gk BackendGaloisKey) (BackendCiphertext, error) {
+	return s.ConjugateCtx(context.Background(), ct, gk)
 }
 
 // MulCiphertexts is homomorphic multiplication at the operands' shared

@@ -10,6 +10,7 @@ import (
 	"mqxgo/internal/faultinject"
 	"mqxgo/internal/modmath"
 	"mqxgo/internal/ntt"
+	"mqxgo/internal/ring"
 	"mqxgo/internal/rns"
 	"mqxgo/internal/u128"
 )
@@ -589,6 +590,255 @@ func (b *ringBackend) MulCtCtx(ctx context.Context, dst *BackendCiphertext, ct1,
 		dstB[j] = mod.Add(dstB[j], r0[j])
 	}
 	return nil
+}
+
+// ringGaloisKey is the oracle's Galois key set, mirroring the RNS
+// backend's exactly: one 2^31-gadget key-switch key per automorphism
+// element (the binary rotation ladder plus the conjugation), each an
+// encryption of 2^(31d) * tau_g(s) per level, stored in the level's
+// evaluation domain.
+type ringGaloisKey struct {
+	n       int
+	entries map[uint64]*ringGaloisEntry
+}
+
+type ringGaloisEntry struct {
+	g      uint64
+	tab    *ring.GaloisTables
+	levels []ringLevelKey
+}
+
+// GaloisKeyGen builds the oracle's Galois keys: RelinKeyGen with
+// tau_g(s) in place of s^2 for each covered element. The automorphism is
+// applied to the level's re-encoded secret (SecretAt changes the modulus,
+// and tau commutes with the re-encoding coefficient-wise).
+func (b *ringBackend) GaloisKeyGen(s Poly, rng *rand.Rand) BackendGaloisKey {
+	p := b.p
+	key := &ringGaloisKey{n: p.N, entries: make(map[uint64]*ringGaloisEntry)}
+	noise := make([]int64, p.N)
+	for _, gal := range galoisKeyElements(p.N) {
+		tab, err := ring.GaloisTablesFor(p.N, gal)
+		must(err)
+		entry := &ringGaloisEntry{g: gal, tab: tab}
+		for l, lv := range b.levels {
+			g := lv.plan.Generic()
+			sk := b.SecretAt(l, s).([]u128.U128)
+			tauS := make([]u128.U128, p.N)
+			g.AutomorphismCoeffInto(tab, tauS, sk)
+			lk := ringLevelKey{}
+			e := make([]u128.U128, p.N)
+			tmp := make([]u128.U128, p.N)
+			for d := 0; d < lv.digits; d++ {
+				a := make([]u128.U128, p.N)
+				b.sampleUniformAt(l, a, rng)
+				for i := range noise {
+					noise[i] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+				}
+				b.setSignedAt(l, e, noise)
+				bb := make([]u128.U128, p.N)
+				lv.plan.PolyMulNegacyclicInto(bb, a, sk) // a_d * s
+				b.Add(l, bb, bb, e)                      // + e_d
+				g.ScalarMulInto(tmp, tauS, u128.One.Lsh(uint(oracleDigitBits*d)).Mod(lv.mod.Q))
+				b.Add(l, bb, bb, tmp) // + 2^(31d) * tau_g(s)
+				ahat := make([]u128.U128, p.N)
+				bhat := make([]u128.U128, p.N)
+				g.NegacyclicForwardInto(ahat, a)
+				g.NegacyclicForwardInto(bhat, bb)
+				lk.ahat = append(lk.ahat, ahat)
+				lk.bhat = append(lk.bhat, bhat)
+			}
+			entry.levels = append(entry.levels, lk)
+		}
+		key.entries[gal] = entry
+	}
+	return key
+}
+
+func (b *ringBackend) RotateSlots(dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error {
+	return b.RotateSlotsCtx(context.Background(), dst, ct, steps, gk)
+}
+
+func (b *ringBackend) Conjugate(dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error {
+	return b.ConjugateCtx(context.Background(), dst, ct, gk)
+}
+
+// RotateSlotsCtx rotates both slot rows left by steps, one key-switch hop
+// per set bit of the rotation. Like the oracle's MulCt, every hop runs
+// the automorphism on positional coefficients (resident inputs cross out
+// through a scratch copy first — exactness over transform count) and
+// allocates freely; the RNS backend is the performance configuration.
+func (b *ringBackend) RotateSlotsCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error {
+	key, err := b.checkGaloisCall(dst, ct, gk)
+	if err != nil {
+		return err
+	}
+	rows := b.p.N / 2
+	steps = ((steps % rows) + rows) % rows
+	return b.galoisChain(ctx, dst, ct, key, steps, false)
+}
+
+// ConjugateCtx applies the row-swap automorphism with the same contract
+// as RotateSlotsCtx.
+func (b *ringBackend) ConjugateCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error {
+	key, err := b.checkGaloisCall(dst, ct, gk)
+	if err != nil {
+		return err
+	}
+	return b.galoisChain(ctx, dst, ct, key, 0, true)
+}
+
+func (b *ringBackend) checkGaloisCall(dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) (*ringGaloisKey, error) {
+	key, ok := gk.(*ringGaloisKey)
+	if !ok {
+		return nil, fmt.Errorf("fhe: foreign galois key %T on the %s backend", gk, b.Name())
+	}
+	if key.n != b.p.N {
+		return nil, fmt.Errorf("fhe: galois key built for degree %d, want %d", key.n, b.p.N)
+	}
+	if ct.Level < 0 || ct.Level >= len(b.levels) {
+		return nil, fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if dst.Level != ct.Level {
+		return nil, fmt.Errorf("fhe: rotate level mismatch: %d -> %d", ct.Level, dst.Level)
+	}
+	if dst.Domain != ct.Domain {
+		return nil, fmt.Errorf("fhe: rotate domain mismatch: %s -> %s", ct.Domain, dst.Domain)
+	}
+	for i, op := range []Poly{ct.A, ct.B} {
+		if x, ok := op.([]u128.U128); !ok || len(x) != b.p.N {
+			return nil, fmt.Errorf("fhe: malformed rotate operand %d on the %s backend", i, b.Name())
+		}
+	}
+	for i, op := range []Poly{dst.A, dst.B} {
+		if x, ok := op.([]u128.U128); !ok || len(x) != b.p.N {
+			return nil, fmt.Errorf("fhe: malformed rotate destination %d on the %s backend", i, b.Name())
+		}
+	}
+	return key, nil
+}
+
+// galoisChain runs the oracle's hop sequence: entries for the set bits of
+// steps (lowest first), then the conjugation when asked.
+func (b *ringBackend) galoisChain(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, key *ringGaloisKey, steps int, conj bool) error {
+	n := b.p.N
+	lv := b.levels[ct.Level]
+	var hops []*ringGaloisEntry
+	g := uint64(ring.SlotGenerator)
+	twoN := uint64(2 * n)
+	for s := steps; s != 0; s >>= 1 {
+		if s&1 == 1 {
+			e := key.entries[g]
+			if e == nil {
+				return fmt.Errorf("fhe: galois key missing rotation element %d", g)
+			}
+			hops = append(hops, e)
+		}
+		g = g * g % twoN
+	}
+	if conj {
+		e := key.entries[ring.ConjugationElement(n)]
+		if e == nil {
+			return fmt.Errorf("fhe: galois key missing the conjugation element")
+		}
+		hops = append(hops, e)
+	}
+	srcA, srcB := ct.A.([]u128.U128), ct.B.([]u128.U128)
+	dstA, dstB := dst.A.([]u128.U128), dst.B.([]u128.U128)
+	if len(hops) == 0 {
+		copy(dstA, srcA)
+		copy(dstB, srcB)
+		return nil
+	}
+	for _, e := range hops {
+		if ct.Level >= len(e.levels) {
+			return fmt.Errorf("fhe: galois key covers %d levels, ciphertext at level %d", len(e.levels), ct.Level)
+		}
+		lk := &e.levels[ct.Level]
+		if len(lk.ahat) != lv.digits || len(lk.bhat) != lv.digits {
+			return fmt.Errorf("fhe: galois key has %d digits at level %d, want %d", len(lk.ahat), ct.Level, lv.digits)
+		}
+		for d := 0; d < lv.digits; d++ {
+			if len(lk.ahat[d]) != n || len(lk.bhat[d]) != n {
+				return fmt.Errorf("fhe: galois key digit %d shaped for another backend", d)
+			}
+		}
+	}
+	resident := ct.Domain == DomainNTT
+	hopA, hopB := srcA, srcB
+	for h, e := range hops {
+		if err := phaseGate(ctx, faultinject.SiteRotate); err != nil {
+			return err
+		}
+		outA, outB := dstA, dstB
+		if h != len(hops)-1 {
+			outA = make([]u128.U128, n)
+			outB = make([]u128.U128, n)
+		}
+		b.galoisHop(lv, &e.levels[ct.Level], e.tab, outA, outB, hopA, hopB, resident)
+		hopA, hopB = outA, outB
+	}
+	return nil
+}
+
+// galoisHop applies one automorphism + 2^31-gadget key switch:
+// (A', B') = (-sum_d zhat_d ∘ ahat_d, tau(B) - sum_d zhat_d ∘ bhat_d)
+// where the z_d are the gadget digits of tau(A). The key's b rows
+// encrypt tau_g(s) under s, so B' - A'*s = tau(B) - tau(A)*tau(s) plus
+// the digit noise.
+func (b *ringBackend) galoisHop(lv *ringLevel, lkey *ringLevelKey, tab *ring.GaloisTables, outA, outB, srcA, srcB []u128.U128, resident bool) {
+	n := b.p.N
+	g := lv.plan.Generic()
+	mod := lv.mod
+	coefA, coefB := srcA, srcB
+	if resident {
+		ca := make([]u128.U128, n)
+		cb := make([]u128.U128, n)
+		g.NegacyclicInverseInto(ca, srcA)
+		g.NegacyclicInverseInto(cb, srcB)
+		coefA, coefB = ca, cb
+	}
+	tauA := make([]u128.U128, n)
+	tauB := make([]u128.U128, n)
+	g.AutomorphismCoeffInto(tab, tauA, coefA)
+	g.AutomorphismCoeffInto(tab, tauB, coefB)
+	accA := make([]u128.U128, n)
+	accB := make([]u128.U128, n)
+	zd := make([]u128.U128, n)
+	zhat := make([]u128.U128, n)
+	prod := make([]u128.U128, n)
+	for d := range lkey.ahat {
+		shift := uint(oracleDigitBits * d)
+		for j := range zd {
+			zd[j] = u128.From64(tauA[j].Rsh(shift).Lo & (1<<oracleDigitBits - 1))
+		}
+		g.NegacyclicForwardInto(zhat, zd)
+		g.PointwiseMulInto(prod, zhat, lkey.ahat[d])
+		for j := range accA {
+			accA[j] = mod.Add(accA[j], prod[j])
+		}
+		g.PointwiseMulInto(prod, zhat, lkey.bhat[d])
+		for j := range accB {
+			accB[j] = mod.Add(accB[j], prod[j])
+		}
+	}
+	if resident {
+		for j := range outA {
+			outA[j] = mod.Neg(accA[j])
+		}
+		g.NegacyclicForwardInto(zhat, tauB)
+		for j := range outB {
+			outB[j] = mod.Sub(zhat[j], accB[j])
+		}
+		return
+	}
+	g.NegacyclicInverseInto(zhat, accA)
+	for j := range outA {
+		outA[j] = mod.Neg(zhat[j])
+	}
+	g.NegacyclicInverseInto(zhat, accB)
+	for j := range outB {
+		outB[j] = mod.Sub(tauB[j], zhat[j])
+	}
 }
 
 // ModSwitch is the oracle's exact modulus switch: every coefficient moves

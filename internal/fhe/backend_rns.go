@@ -151,7 +151,8 @@ type rnsMulScratch struct {
 	outA, outB   rns.Poly
 	lkey         *rnsLevelRelin
 	keyNTTDomain bool
-	squaring     bool // operand rows of ct1 and ct2 are identical slices
+	squaring     bool               // operand rows of ct1 and ct2 are identical slices
+	gtab         *ring.GaloisTables // the galois hop's index maps (rotation path)
 }
 
 // NewRNSBackend wraps an RNS context and plaintext modulus t as a
@@ -657,6 +658,413 @@ func (b *rnsBackend) relinKeyGen(s Poly, rng *rand.Rand, nttDomain bool) Backend
 		key.levels = append(key.levels, lk)
 	}
 	return key
+}
+
+// rnsGaloisKey is the Galois key set: one CRT-gadget key-switch key per
+// automorphism element, covering the power-of-two rotation elements
+// 3^(2^j) mod 2n plus the conjugation element 2n-1 — O(log n) keys
+// decompose every rotation amount. Each entry mirrors the relin key's
+// per-level NTT-domain layout exactly (same gadget, same lazy Shoup
+// precomputations), encrypting tau_g(s) instead of s^2.
+type rnsGaloisKey struct {
+	n       int
+	entries map[uint64]*rnsGaloisEntry
+}
+
+type rnsGaloisEntry struct {
+	g      uint64
+	tab    *ring.GaloisTables // resolved once at keygen: rotation never hits the cache
+	levels []rnsLevelRelin
+}
+
+// galoisKeyElements lists the automorphism elements GaloisKeyGen covers:
+// the binary ladder of rotation elements plus the conjugation.
+func galoisKeyElements(n int) []uint64 {
+	twoN := uint64(2 * n)
+	var gs []uint64
+	g := uint64(ring.SlotGenerator)
+	for m := 1; m < n/2; m *= 2 {
+		gs = append(gs, g)
+		g = g * g % twoN
+	}
+	return append(gs, ring.ConjugationElement(n))
+}
+
+// GaloisKeyGen builds the per-level Galois key-switch keys, stored in the
+// NTT domain. Structurally this is RelinKeyGen with tau_g(s) in place of
+// s^2: for each covered element g and each tower i of level l, an
+// encryption (a_i, a_i*s + e_i + (Q_l/q_i)*tau_g(s)) under that level's
+// basis. tau_g(s) is computed once per g at level 0 in the coefficient
+// domain; a lower rung's secret is a tower PREFIX, and the automorphism
+// acts row-wise, so the restriction commutes with tau for free.
+func (b *rnsBackend) GaloisKeyGen(s Poly, rng *rand.Rand) BackendGaloisKey {
+	sk0 := s.(rns.Poly)
+	n := b.N()
+	c0 := b.levels[0].c
+	tauS := c0.NewPoly()
+	noise := make([]int64, n)
+	key := &rnsGaloisKey{n: n, entries: make(map[uint64]*rnsGaloisEntry)}
+	for _, g := range galoisKeyElements(n) {
+		tab, err := ring.GaloisTablesFor(n, g)
+		must(err)
+		for tau := range c0.Mods {
+			c0.Plans[tau].Generic().AutomorphismCoeffInto(tab, tauS.Res[tau], sk0.Res[tau])
+		}
+		entry := &rnsGaloisEntry{g: g, tab: tab}
+		for l, lv := range b.levels {
+			c := lv.c
+			k := c.Channels()
+			sk := b.SecretAt(l, s).(rns.Poly)
+			e := c.NewPoly()
+			lk := rnsLevelRelin{}
+			for i := 0; i < k; i++ {
+				a := c.NewPoly()
+				sampleUniformCtx(c, a, rng)
+				for j := range noise {
+					noise[j] = int64(rng.Intn(2*noiseBound+1) - noiseBound)
+				}
+				b.setSignedCtx(c, e, noise)
+				bb := c.NewPoly()
+				must(c.MulAll(bb, a, sk, 1)) // a_i * s
+				must(c.AddInto(bb, bb, e))   // + e_i
+				for tau := 0; tau < k; tau++ {
+					// + (Q_l/q_i mod q_tau) * tau_g(s)
+					c.Plans[tau].Generic().ScaleAddInto(bb.Res[tau], bb.Res[tau], tauS.Res[tau], lv.gadget[i][tau])
+				}
+				aPre, bPre := c.NewPoly(), c.NewPoly()
+				for tau := 0; tau < k; tau++ {
+					plan := c.Plans[tau].Generic()
+					plan.NegacyclicForwardInto(a.Res[tau], a.Res[tau])
+					plan.NegacyclicForwardInto(bb.Res[tau], bb.Res[tau])
+					mod := c.Mods[tau]
+					for j, v := range a.Res[tau] {
+						aPre.Res[tau][j] = mod.ShoupPrecompute(v)
+					}
+					for j, v := range bb.Res[tau] {
+						bPre.Res[tau][j] = mod.ShoupPrecompute(v)
+					}
+				}
+				lk.a = append(lk.a, a)
+				lk.b = append(lk.b, bb)
+				lk.aPre = append(lk.aPre, aPre)
+				lk.bPre = append(lk.bPre, bPre)
+			}
+			entry.levels = append(entry.levels, lk)
+		}
+		key.entries[g] = entry
+	}
+	return key
+}
+
+func (b *rnsBackend) RotateSlots(dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error {
+	return b.RotateSlotsCtx(context.Background(), dst, ct, steps, gk)
+}
+
+func (b *rnsBackend) Conjugate(dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error {
+	return b.ConjugateCtx(context.Background(), dst, ct, gk)
+}
+
+// RotateSlotsCtx rotates both slot rows left by steps via the binary
+// decomposition of the rotation: one Galois key-switch hop per set bit,
+// each hop a permutation + CRT-gadget key switch that reuses the multiply
+// pipeline's pooled scratch and lazy fused-MAC accumulation. ctx is
+// observed before every hop. Zero allocations in steady state when
+// workers == 1; dst must not alias ct.
+func (b *rnsBackend) RotateSlotsCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error {
+	key, err := b.checkGaloisCall(dst, ct, gk)
+	if err != nil {
+		return err
+	}
+	rows := b.N() / 2
+	steps = ((steps % rows) + rows) % rows
+	return b.galoisChain(ctx, dst, ct, key, steps, false)
+}
+
+// ConjugateCtx applies the row-swap automorphism (Galois element 2n-1)
+// with the same contract as RotateSlotsCtx.
+func (b *rnsBackend) ConjugateCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error {
+	key, err := b.checkGaloisCall(dst, ct, gk)
+	if err != nil {
+		return err
+	}
+	return b.galoisChain(ctx, dst, ct, key, 0, true)
+}
+
+// checkGaloisCall validates the rotate/conjugate arguments the way
+// MulCtCtx validates its own: key provenance first, then level and domain
+// agreement, then handle types and destination shape.
+func (b *rnsBackend) checkGaloisCall(dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) (*rnsGaloisKey, error) {
+	key, ok := gk.(*rnsGaloisKey)
+	if !ok {
+		return nil, fmt.Errorf("fhe: foreign galois key %T on the %s backend", gk, b.Name())
+	}
+	if key.n != b.N() {
+		return nil, fmt.Errorf("fhe: galois key built for degree %d, want %d", key.n, b.N())
+	}
+	if ct.Level < 0 || ct.Level >= len(b.levels) {
+		return nil, fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if dst.Level != ct.Level {
+		return nil, fmt.Errorf("fhe: rotate level mismatch: %d -> %d", ct.Level, dst.Level)
+	}
+	if dst.Domain != ct.Domain {
+		return nil, fmt.Errorf("fhe: rotate domain mismatch: %s -> %s", ct.Domain, dst.Domain)
+	}
+	c := b.levels[ct.Level].c
+	k := c.Channels()
+	srcA, ok1 := ct.A.(rns.Poly)
+	srcB, ok2 := ct.B.(rns.Poly)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("fhe: foreign ciphertext handle on the %s backend", b.Name())
+	}
+	dstA, okA := dst.A.(rns.Poly)
+	dstB, okB := dst.B.(rns.Poly)
+	if !okA || !okB {
+		return nil, fmt.Errorf("fhe: foreign destination handle on the %s backend", b.Name())
+	}
+	if len(srcA.Res) != k || len(srcB.Res) != k || len(dstA.Res) != k || len(dstB.Res) != k ||
+		len(dstA.Res[0]) != c.N || len(dstB.Res[0]) != c.N {
+		return nil, fmt.Errorf("fhe: rotate operands not shaped for level %d", ct.Level)
+	}
+	return key, nil
+}
+
+// galoisChain runs the hop sequence for one rotation: the entries for the
+// set bits of steps (lowest first), then the conjugation when asked.
+// Intermediate hops alternate through the scratch frame's operand
+// buffers, arranged so the final hop lands in dst and no hop ever reads
+// the rows it is writing.
+func (b *rnsBackend) galoisChain(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, key *rnsGaloisKey, steps int, conj bool) error {
+	n := b.N()
+	lv := b.levels[ct.Level]
+	c := lv.c
+	k := c.Channels()
+	var hops [65]*rnsGaloisEntry
+	nh := 0
+	g := uint64(ring.SlotGenerator)
+	twoN := uint64(2 * n)
+	for s := steps; s != 0; s >>= 1 {
+		if s&1 == 1 {
+			e := key.entries[g]
+			if e == nil {
+				return fmt.Errorf("fhe: galois key missing rotation element %d", g)
+			}
+			hops[nh] = e
+			nh++
+		}
+		g = g * g % twoN
+	}
+	if conj {
+		e := key.entries[ring.ConjugationElement(n)]
+		if e == nil {
+			return fmt.Errorf("fhe: galois key missing the conjugation element")
+		}
+		hops[nh] = e
+		nh++
+	}
+	srcA, srcB := ct.A.(rns.Poly), ct.B.(rns.Poly)
+	dstA, dstB := dst.A.(rns.Poly), dst.B.(rns.Poly)
+	if nh == 0 {
+		// The identity rotation is a plain copy.
+		for i := 0; i < k; i++ {
+			copy(dstA.Res[i], srcA.Res[i])
+			copy(dstB.Res[i], srcB.Res[i])
+		}
+		return nil
+	}
+	// A key of the right type and degree can still come from another
+	// backend instance: validate every hop's per-level shape before any
+	// hop indexes into it.
+	for h := 0; h < nh; h++ {
+		if ct.Level >= len(hops[h].levels) {
+			return fmt.Errorf("fhe: galois key covers %d levels, ciphertext at level %d", len(hops[h].levels), ct.Level)
+		}
+		lk := &hops[h].levels[ct.Level]
+		if len(lk.a) != k || len(lk.b) != k {
+			return fmt.Errorf("fhe: galois key has %d digits at level %d, want %d", len(lk.a), ct.Level, k)
+		}
+		for i := 0; i < k; i++ {
+			if len(lk.a[i].Res) != k || len(lk.b[i].Res) != k ||
+				len(lk.a[i].Res[0]) != c.N || len(lk.b[i].Res[0]) != c.N {
+				return fmt.Errorf("fhe: galois key digit %d shaped for another backend", i)
+			}
+		}
+	}
+	resident := ct.Domain == DomainNTT
+	sc := lv.mulPool.Get().(*rnsMulScratch)
+	defer func() {
+		if r := recover(); r != nil {
+			quarantinedScratch.Add(1)
+			panic(r)
+		}
+		sc.lv, sc.lkey, sc.gtab = nil, nil, nil
+		sc.in = [4]rns.Poly{}
+		sc.outA, sc.outB = rns.Poly{}, rns.Poly{}
+		lv.mulPool.Put(sc)
+	}()
+	sc.lv = lv
+	sc.keyNTTDomain = true
+	hopA, hopB := srcA, srcB
+	for h := 0; h < nh; h++ {
+		if err := phaseGate(ctx, faultinject.SiteRotate); err != nil {
+			return err
+		}
+		outA, outB := dstA, dstB
+		if h != nh-1 {
+			if h%2 == 0 {
+				outA, outB = sc.opQ[0], sc.opQ[1]
+			} else {
+				outA, outB = sc.opQ[2], sc.opQ[3]
+			}
+		}
+		sc.in[0], sc.in[1] = hopA, hopB
+		sc.outA, sc.outB = outA, outB
+		sc.lkey = &hops[h].levels[ct.Level]
+		sc.gtab = hops[h].tab
+		b.galoisHop(sc, k, resident)
+		hopA, hopB = outA, outB
+	}
+	return nil
+}
+
+// galoisHop applies one automorphism + key switch: permute both
+// components (phase 1), scale tau(A) into its gadget digit rows (phase 2,
+// the relin digit map verbatim), then accumulate the key inner product
+// per tower and land the hop (phase 3). The phases dispatch through the
+// worker pool exactly like the multiply's.
+func (b *rnsBackend) galoisHop(sc *rnsMulScratch, k int, resident bool) {
+	if b.workers == 1 {
+		for tau := 0; tau < k; tau++ {
+			galoisPermuteTower(sc, tau, resident)
+		}
+		for i := 0; i < k; i++ {
+			relinDigitRow(sc, i)
+		}
+		for tau := 0; tau < k; tau++ {
+			galoisTower(sc, tau, resident)
+		}
+		return
+	}
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for tau := start; tau < end; tau++ {
+			galoisPermuteTower(sc, tau, resident)
+		}
+	})
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			relinDigitRow(sc, i)
+		}
+	})
+	ring.ParallelChunks(k, b.workers, func(start, end int) {
+		for tau := start; tau < end; tau++ {
+			galoisTower(sc, tau, resident)
+		}
+	})
+}
+
+// galoisPermuteTower permutes one tower of both ciphertext components:
+// tau(A) lands in c2Q in COEFFICIENT form (the gadget decomposition needs
+// positional digits), tau(B) lands directly in the hop's output rows, in
+// the ciphertext's own domain. Resident rows permute in the evaluation
+// domain — a pure index map — and only tau(A) pays an inverse transform.
+func galoisPermuteTower(sc *rnsMulScratch, tau int, resident bool) {
+	lv := sc.lv
+	plan := lv.c.Plans[tau].Generic()
+	srcA, srcB := sc.in[0].Res[tau], sc.in[1].Res[tau]
+	if resident {
+		tmp := sc.evE[0].Res[tau]
+		plan.AutomorphismEvalInto(sc.gtab, tmp, srcA)
+		plan.NegacyclicInverseInto(sc.c2Q.Res[tau], tmp)
+		plan.AutomorphismEvalInto(sc.gtab, sc.outB.Res[tau], srcB)
+		return
+	}
+	plan.AutomorphismCoeffInto(sc.gtab, sc.c2Q.Res[tau], srcA)
+	plan.AutomorphismCoeffInto(sc.gtab, sc.outB.Res[tau], srcB)
+}
+
+// galoisTower accumulates the k gadget digits of tau(A) against one
+// tower of the hop's key rows — the relinTower inner product, including
+// the lazy fused-MAC path — and lands the key-switched pair
+// (A', B') = (-acc_a, tau(B) - acc_b): the key's b rows encrypt
+// tau_g(s) under s, so B' - A'*s = tau(B) - tau(A)*tau(s) + small noise.
+func galoisTower(sc *rnsMulScratch, tau int, resident bool) {
+	lv := sc.lv
+	c := lv.c
+	k := c.Channels()
+	plan := c.Plans[tau].Generic()
+	mod := c.Mods[tau]
+	accA, accB := sc.accA.Res[tau], sc.accB.Res[tau]
+	clearRow(accA)
+	clearRow(accB)
+	outA, outB := sc.outA.Res[tau], sc.outB.Res[tau]
+	if lv.relinLazy && len(sc.lkey.aPre) == k {
+		for i := 0; i < k; i++ {
+			ring.NegacyclicForwardMAC2(plan, accA, accB, sc.zQ.Res[i],
+				sc.lkey.a[i].Res[tau], sc.lkey.aPre[i].Res[tau],
+				sc.lkey.b[i].Res[tau], sc.lkey.bPre[i].Res[tau])
+		}
+		if resident {
+			reduceNegRow(outA, accA, mod)
+			reduceSubRow(outB, accB, mod)
+			return
+		}
+		reduceRow(accA, mod)
+		reduceRow(accB, mod)
+	} else {
+		lift, prod := sc.liftQ.Res[tau], sc.prodQ.Res[tau]
+		for i := 0; i < k; i++ {
+			plan.NegacyclicForwardInto(lift, sc.zQ.Res[i])
+			plan.PointwiseMulInto(prod, lift, sc.lkey.a[i].Res[tau])
+			addRow(accA, prod, mod)
+			plan.PointwiseMulInto(prod, lift, sc.lkey.b[i].Res[tau])
+			addRow(accB, prod, mod)
+		}
+		if resident {
+			negRowInto(outA, accA, mod)
+			subRow(outB, accB, mod)
+			return
+		}
+	}
+	// Coefficient-domain landing: the accumulators live in the
+	// evaluation domain; cross them out, then negate/subtract against
+	// the already-permuted coefficient rows.
+	lift := sc.liftQ.Res[tau]
+	plan.NegacyclicInverseInto(lift, accA)
+	negRowInto(outA, lift, mod)
+	plan.NegacyclicInverseInto(lift, accB)
+	subRow(outB, lift, mod)
+}
+
+// reduceNegRow lands a lazy accumulator row negated on a canonical row:
+// dst[j] = -acc[j] mod q, one Barrett reduction per element.
+func reduceNegRow(dst, acc []uint64, mod *modmath.Modulus64) {
+	q, mu, nb := mod.Q, mod.Mu, mod.N
+	acc = acc[:len(dst)]
+	for j := range dst {
+		dst[j] = mod.Neg(modmath.Barrett64Reduce(0, acc[j], q, mu, nb))
+	}
+}
+
+// reduceSubRow lands a lazy accumulator row subtracted from a canonical
+// row: dst[j] = dst[j] - acc[j] mod q.
+func reduceSubRow(dst, acc []uint64, mod *modmath.Modulus64) {
+	q, mu, nb := mod.Q, mod.Mu, mod.N
+	acc = acc[:len(dst)]
+	for j := range dst {
+		dst[j] = mod.Sub(dst[j], modmath.Barrett64Reduce(0, acc[j], q, mu, nb))
+	}
+}
+
+func negRowInto(dst, src []uint64, mod *modmath.Modulus64) {
+	for j := range dst {
+		dst[j] = mod.Neg(src[j])
+	}
+}
+
+func subRow(dst, src []uint64, mod *modmath.Modulus64) {
+	for j := range dst {
+		dst[j] = mod.Sub(dst[j], src[j])
+	}
 }
 
 func (b *rnsBackend) setSignedCtx(c *rns.Context, dst rns.Poly, coeffs []int64) {

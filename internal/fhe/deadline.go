@@ -26,6 +26,19 @@ type DeadlineBackend interface {
 	ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext) error
 }
 
+// RotateDeadlineBackend is the optional deadline seam for the slot
+// automorphism ops, separate from DeadlineBackend so implementations of
+// the PR 8 interface keep compiling. Both shipped backends implement it:
+// ctx is observed per power-of-two hop (the natural key-switch unit).
+type RotateDeadlineBackend interface {
+	// RotateSlotsCtx is Backend.RotateSlots with cancellation checked
+	// between key-switch hops; the returned error is ctx.Err() itself
+	// when the context fired.
+	RotateSlotsCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, steps int, gk BackendGaloisKey) error
+	// ConjugateCtx is Backend.Conjugate with the same contract.
+	ConjugateCtx(ctx context.Context, dst *BackendCiphertext, ct BackendCiphertext, gk BackendGaloisKey) error
+}
+
 // MulCiphertextsCtx is MulCiphertexts under a deadline: evaluation
 // observes ctx at the backend's phase boundaries and aborts with
 // ctx.Err() — never a partial ciphertext — once it fires. On backends
@@ -75,6 +88,58 @@ func (s *BackendScheme) ModSwitchCtx(ctx context.Context, ct BackendCiphertext) 
 		return out, nil
 	}
 	if err := s.B.ModSwitch(&out, ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
+}
+
+// RotateSlotsCtx is RotateSlots under a deadline, with the same abort
+// semantics as MulCiphertextsCtx.
+func (s *BackendScheme) RotateSlotsCtx(ctx context.Context, ct BackendCiphertext, steps int, gk BackendGaloisKey) (BackendCiphertext, error) {
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := ct.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
+	if db, ok := s.B.(RotateDeadlineBackend); ok {
+		if err := db.RotateSlotsCtx(ctx, &out, ct, steps, gk); err != nil {
+			return BackendCiphertext{}, err
+		}
+		return out, nil
+	}
+	if err := s.B.RotateSlots(&out, ct, steps, gk); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	return out, nil
+}
+
+// ConjugateCtx is Conjugate under a deadline, with the same abort
+// semantics as MulCiphertextsCtx.
+func (s *BackendScheme) ConjugateCtx(ctx context.Context, ct BackendCiphertext, gk BackendGaloisKey) (BackendCiphertext, error) {
+	if err := ctx.Err(); err != nil {
+		return BackendCiphertext{}, err
+	}
+	if err := s.checkCts(ct); err != nil {
+		return BackendCiphertext{}, err
+	}
+	l := ct.Level
+	out := BackendCiphertext{A: s.B.NewPolyAt(l), B: s.B.NewPolyAt(l), Level: l, Domain: ct.Domain}
+	if db, ok := s.B.(RotateDeadlineBackend); ok {
+		if err := db.ConjugateCtx(ctx, &out, ct, gk); err != nil {
+			return BackendCiphertext{}, err
+		}
+		return out, nil
+	}
+	if err := s.B.Conjugate(&out, ct, gk); err != nil {
 		return BackendCiphertext{}, err
 	}
 	if err := ctx.Err(); err != nil {

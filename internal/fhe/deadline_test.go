@@ -210,7 +210,7 @@ func TestCancelledMulLeaksNoPooledBuffers(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
-	b, _, rlk, c1, c2 := allocFixture(t, 2)
+	b, _, rlk, _, c1, c2 := allocFixture(t, 2)
 	db := b.(DeadlineBackend)
 	dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: DomainNTT}
 	if err := b.MulCt(&dst, c1, c2, rlk); err != nil { // warm the scratch pool

@@ -50,17 +50,65 @@ func (s *BackendScheme) PredictMulNoiseBits(level, opNoiseBits int) (int, bool) 
 }
 
 // PredictModSwitchNoiseBits bounds the noise of a ModSwitch result whose
-// input at the given level carries at most opNoiseBits: the noise divides
-// down with the modulus — the DeltaBits difference approximates the
-// dropped factor's bit width to within one bit, hence the +1 — plus the
-// rounding floor, which dominates once the scaled-down noise is small.
+// input at the given level carries at most opNoiseBits. Three terms sum:
+// the scaled-down input noise — the DeltaBits difference approximates the
+// dropped factor's bit width to within one bit, hence the +1 — the
+// rounding error (1 + ||s||_1)/2 <= (n+1)/2, and the Delta misalignment
+// term: Delta_l does not divide exactly by the dropped factor, and the
+// residual multiplies the message, contributing up to T per coefficient.
+// (The misalignment term is why the old max(scaled, rounding) shape was
+// optimistic by a bit once T outgrew n: at T=40961, n=256 the measured
+// post-switch noise is ~bits.Len(T), above both old terms.) The sum of
+// three bounded terms is below 4x the largest, hence max + 2.
 func (s *BackendScheme) PredictModSwitchNoiseBits(level, opNoiseBits int) int {
 	drop := s.B.DeltaBits(level) - s.B.DeltaBits(level+1)
-	scaled := opNoiseBits - drop + 1
-	if floor := s.modSwitchRoundBits() + 1; scaled < floor {
-		return floor
+	out := opNoiseBits - drop + 1
+	if rb := s.modSwitchRoundBits(); rb > out {
+		out = rb
 	}
-	return scaled
+	if tb := bits.Len64(s.B.PlainModulus()); tb > out {
+		out = tb
+	}
+	return out + 2
+}
+
+// PredictRotateNoiseBits bounds the noise of a RotateSlots result at the
+// given level whose input carries at most opNoiseBits. A rotation is a
+// chain of key-switch hops, one per set bit of the (row-normalized) step
+// count; each hop permutes the existing noise unchanged and adds the
+// key-switch term sum_i d_i*e_i, bounded by digits * n * 2^digitBits *
+// noiseBound — the relin term of MulNoiseBoundBits with the same gadget.
+// Returns false when the backend exposes no noise model.
+func (s *BackendScheme) PredictRotateNoiseBits(level, opNoiseBits, steps int) (int, bool) {
+	rows := s.B.N() / 2
+	steps = ((steps % rows) + rows) % rows
+	return s.predictHopChainNoiseBits(level, opNoiseBits, bits.OnesCount(uint(steps)))
+}
+
+// PredictConjugateNoiseBits is PredictRotateNoiseBits for the row-swap
+// automorphism: always exactly one key-switch hop.
+func (s *BackendScheme) PredictConjugateNoiseBits(level, opNoiseBits int) (int, bool) {
+	return s.predictHopChainNoiseBits(level, opNoiseBits, 1)
+}
+
+func (s *BackendScheme) predictHopChainNoiseBits(level, opNoiseBits, hops int) (int, bool) {
+	nm, ok := s.B.(NoiseModeler)
+	if !ok {
+		return 0, false
+	}
+	if hops == 0 {
+		return opNoiseBits, true
+	}
+	digits, digitBits, _ := nm.MulNoiseModel(level)
+	ks := bits.Len(uint(digits)) + bits.Len(uint(s.B.N())) + digitBits + bits.Len(uint(noiseBound))
+	out := opNoiseBits
+	for h := 0; h < hops; h++ {
+		if ks > out {
+			out = ks
+		}
+		out++ // the hop's sum of permuted noise and key-switch term
+	}
+	return out, true
 }
 
 // PredictedBudgetBits converts a tracked noise bound at a level into the

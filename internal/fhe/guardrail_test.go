@@ -1,6 +1,7 @@
 package fhe
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -13,9 +14,18 @@ import (
 // every step (fresh, depth-1 multiply, modulus switch) the predicted
 // noise bound must be at least the measured noise and the predicted
 // budget at most the measured budget — the guardrail may refuse early,
-// never late.
+// never late. Runs at both the legacy T=257 and the packed-friendly
+// T=40961 — the larger plaintext modulus is where the modswitch Delta
+// misalignment term (~T per coefficient) outgrows the rounding floor and
+// caught the predictor being a bit optimistic.
 func TestGuardrailPredictionsAreConservative(t *testing.T) {
-	const n, T = 256, 257
+	for _, T := range []uint64{257, 40961} {
+		t.Run(fmt.Sprintf("T=%d", T), func(t *testing.T) { testGuardrailConservative(t, T) })
+	}
+}
+
+func testGuardrailConservative(t *testing.T, T uint64) {
+	const n = 256
 	backends := map[string]Backend{}
 	c, err := rns.NewContext(59, 2, n)
 	if err != nil {
@@ -114,6 +124,40 @@ func TestGuardrailPredictionsAreConservative(t *testing.T) {
 			}
 			if pred := s.PredictedBudgetBits(1, predLow); pred > lowBudget {
 				t.Fatalf("post-switch predicted budget %d > measured %d", pred, lowBudget)
+			}
+
+			// Rotation: the predictor's key-switch hop chain must cover
+			// the measured noise too. Only meaningful at a packed-friendly
+			// T, where slot semantics give us the expected plaintext.
+			if _, encErr := s.SlotEncoder(); encErr == nil {
+				gk, err := s.GaloisKeyGen(sk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const steps = 3
+				rot, err := s.RotateSlots(prod, steps, gk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slots, err := s.DecodeSlots(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rotWant, err := s.EncodeSlots(rotatedModel(slots, steps))
+				if err != nil {
+					t.Fatal(err)
+				}
+				predRot, ok := s.PredictRotateNoiseBits(0, predNoise, steps)
+				if !ok {
+					t.Fatalf("%s backend exposes no noise model for rotate", name)
+				}
+				rotNoise, err := s.NoiseBits(sk, rot, rotWant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rotNoise > predRot {
+					t.Fatalf("rotate measured noise %d > predicted bound %d", rotNoise, predRot)
+				}
 			}
 		})
 	}

@@ -293,6 +293,127 @@ func TestDomainMismatchedHandlesAreRejected(t *testing.T) {
 	}
 }
 
+// TestGaloisCallsRejectMalformedInput extends the hardening gate to the
+// rotation seam: foreign ciphertexts and Galois keys, keys of the right
+// type from a differently-shaped backend instance, nil keys, and
+// destination tags (level, domain) that disagree with the source must all
+// be refused with an error — never a panic or a silently wrong
+// permutation.
+func TestGaloisCallsRejectMalformedInput(t *testing.T) {
+	const n, T = 32, 257
+	params, err := NewParams(modmath.DefaultModulus128(), n, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringB := NewRingBackend(params)
+	c, err := rns.NewContext(59, 3, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnsB, err := NewRNSBackend(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	schemes := map[string]*BackendScheme{
+		ringB.Name(): NewBackendScheme(ringB, 41),
+		rnsB.Name():  NewBackendScheme(rnsB, 41),
+	}
+	galois := map[string]BackendGaloisKey{}
+	good := map[string]BackendCiphertext{}
+	for name, s := range schemes {
+		sk := s.KeyGen()
+		gk, gkErr := s.GaloisKeyGen(sk)
+		if gkErr != nil {
+			t.Fatal(gkErr)
+		}
+		galois[name] = gk
+		ct, err := s.Encrypt(sk, make([]uint64, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		good[name] = ct
+	}
+	otherOf := map[string]string{ringB.Name(): rnsB.Name(), rnsB.Name(): ringB.Name()}
+
+	for name, s := range schemes {
+		s := s
+		ok, gk := good[name], galois[name]
+		foreign := good[otherOf[name]]
+		foreignKey := galois[otherOf[name]]
+		t.Run(name, func(t *testing.T) {
+			errNotPanic(t, "RotateSlots/foreignCt", func() error {
+				_, err := s.RotateSlots(foreign, 1, gk)
+				return err
+			})
+			errNotPanic(t, "RotateSlots/foreignKey", func() error {
+				_, err := s.RotateSlots(ok, 1, foreignKey)
+				return err
+			})
+			errNotPanic(t, "Conjugate/nilKey", func() error {
+				_, err := s.Conjugate(ok, nil)
+				return err
+			})
+			// A key of the RIGHT type from a backend with a different ring
+			// degree: it passes the type assertion, so the shape check has
+			// to catch it before the permutation tables index out of range.
+			errNotPanic(t, "RotateSlots/sameTypeOtherBackendKey", func() error {
+				var otherB Backend
+				switch s.B.(type) {
+				case *rnsBackend:
+					c2, err := rns.NewContext(59, 2, 2*n)
+					if err != nil {
+						return err
+					}
+					if otherB, err = NewRNSBackend(c2, T); err != nil {
+						return err
+					}
+				default:
+					p2, err := NewParams(modmath.DefaultModulus128(), 2*n, T)
+					if err != nil {
+						return err
+					}
+					otherB = NewRingBackend(p2)
+				}
+				os := NewBackendScheme(otherB, 43)
+				otherKey, keyErr := os.GaloisKeyGen(os.KeyGen())
+				if keyErr != nil {
+					return keyErr
+				}
+				_, err := s.RotateSlots(ok, 1, otherKey)
+				return err
+			})
+			errNotPanic(t, "RotateSlots/nilCt", func() error {
+				_, err := s.RotateSlots(BackendCiphertext{}, 1, gk)
+				return err
+			})
+			errNotPanic(t, "RotateSlots/hugeLevel", func() error {
+				_, err := s.RotateSlots(BackendCiphertext{A: ok.A, B: ok.B, Level: 99, Domain: ok.Domain}, 1, gk)
+				return err
+			})
+
+			// Backend seam: destination tags that disagree with the source.
+			b := s.B
+			errNotPanic(t, "RotateSlots/dstLevelMismatch", func() error {
+				dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1, Domain: ok.Domain}
+				return b.RotateSlots(&dst, ok, 1, gk)
+			})
+			errNotPanic(t, "RotateSlots/dstDomainMismatch", func() error {
+				wrong := DomainCoeff
+				if ok.Domain == DomainCoeff {
+					wrong = DomainNTT
+				}
+				dst := BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: wrong}
+				return b.RotateSlots(&dst, ok, 1, gk)
+			})
+			errNotPanic(t, "Conjugate/dstLevelMismatch", func() error {
+				dst := BackendCiphertext{A: b.NewPolyAt(1), B: b.NewPolyAt(1), Level: 1, Domain: ok.Domain}
+				return b.Conjugate(&dst, ok, gk)
+			})
+		})
+	}
+}
+
 // TestSchemeLayerRejectsUnreducedResidues covers the value-range half of
 // the gate: handles with coefficients at or above the (level) modulus are
 // adversarial inputs — on the oracle they are exactly what used to reach

@@ -24,15 +24,23 @@ type KernelModel struct {
 	BytesPerIter int64
 }
 
-// NewKernelModel schedules a body on a machine.
+// NewKernelModel schedules a body on a machine. Scalar bodies are
+// derated by the machine's ScalarSchedFactor (see Machine): the
+// port-pressure bound is tight for the hand-scheduled vector asm but
+// optimistic for compiled scalar loops, and calibrated machines carry
+// the measured ratio.
 func NewKernelModel(mach *Machine, body *Body) *KernelModel {
 	rep := sched.Analyze(mach.March, body.Instrs)
+	cycles := rep.Cycles
+	if body.Level == isa.LevelScalar && mach.ScalarSchedFactor > 0 {
+		cycles *= mach.ScalarSchedFactor
+	}
 	return &KernelModel{
 		Machine:       mach,
 		Level:         body.Level,
 		Body:          body,
 		Report:        rep,
-		CyclesPerIter: rep.Cycles,
+		CyclesPerIter: cycles,
 		BytesPerIter:  body.Bytes,
 	}
 }

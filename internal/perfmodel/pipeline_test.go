@@ -110,6 +110,65 @@ func TestRankLazyBodies(t *testing.T) {
 	}
 }
 
+// The calibrated bench-host machine must predict the committed
+// BENCH_PR7 measurements within a bounded drift, so RankLazyBodies
+// cannot silently rank the wrong body again. ROADMAP recorded the
+// uncalibrated VM as ~2x conservative on the bench host: the
+// port-pressure bound was tight for the asm tiers but optimistic for
+// the compiled scalar baseline, which inflated nothing in isolation
+// but skewed every SpeedupVsScalar the ranking is gated on.
+// CIBenchHost carries the fitted ScalarSchedFactor; this test replays
+// the frozen anchor and bounds per-tier absolute drift and the
+// speedup-vs-scalar drift at 30%.
+func TestCIBenchHostDriftBound(t *testing.T) {
+	mod := lazyTestMod64(t)
+	a := BenchPR7Anchor
+	ranked := RankLazyBodies(CIBenchHost, mod, a.N)
+	if ranked[0].Name != "avx512-dense" && ranked[0].Name != "avx512-blocked" {
+		t.Errorf("fastest candidate on bench host is %s; measured fastest tier is avx512", ranked[0].Name)
+	}
+	ns := map[string]float64{}
+	speedup := map[string]float64{}
+	for _, c := range ranked {
+		ns[c.Name] = c.NsPerButterfly
+		speedup[c.Name] = c.SpeedupVsScalar
+	}
+	butterflies := float64(a.N / 2 * 12) // log2(4096) stages
+	measured := map[string]float64{
+		"scalar-dense": a.ScalarNs / butterflies,
+		"avx2-dense":   a.AVX2Ns / butterflies,
+		"avx512-dense": a.AVX512Ns / butterflies,
+	}
+	const maxDrift = 0.30
+	for name, m := range measured {
+		drift := ns[name]/m - 1
+		if drift < -maxDrift || drift > maxDrift {
+			t.Errorf("%s: predicted %.3f ns/bfly vs measured %.3f (drift %+.0f%%, bound ±%.0f%%)",
+				name, ns[name], m, 100*drift, 100*maxDrift)
+		}
+	}
+	for name, mNs := range measured {
+		if name == "scalar-dense" {
+			continue
+		}
+		want := measured["scalar-dense"] / mNs
+		got := speedup[name]
+		drift := got/want - 1
+		if drift < -maxDrift || drift > maxDrift {
+			t.Errorf("%s: predicted speedup %.2f vs measured %.2f (drift %+.0f%%)",
+				name, got, want, 100*drift)
+		}
+	}
+	// The paper machines stay uncalibrated: Table 4 fidelity (the 2.4x
+	// Intel scalar->AVX-512 gain TestPaperShapeNTT logs) must not move.
+	for _, m := range MeasurementMachines {
+		if m.ScalarSchedFactor != 0 {
+			t.Errorf("%s: paper machine carries ScalarSchedFactor %.2f, must stay 0",
+				m.Name, m.ScalarSchedFactor)
+		}
+	}
+}
+
 // The BEHZ census must reproduce the profiled transform counts: the ~69
 // mandatory transforms of a k=4 resident squaring (the ladder workload)
 // and 87 for a general product.

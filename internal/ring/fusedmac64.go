@@ -65,16 +65,41 @@ func NegacyclicForwardMAC2(p *Plan[uint64, Shoup64], accA, accB, x, wA, preA, wB
 		src = sc.b[:p.N]
 	}
 
-	// Fused final stage. Inputs are relaxed (< 2q): s = a+b < 4q and
-	// d = a+2q-b in (0, 4q), and two conditional subtracts land each on
-	// its canonical residue. The Shoup MAC summand d*w - qhat*q is then
-	// the same value the unfused mulPreAddRow folds in.
-	q := p.R.M.Q
-	twoQ := 2 * q
+	// Fused final stage, dispatched to the plan's kernel tier when it
+	// provides the fused body (the AVX2/AVX-512 sets do; the scalar tier
+	// and element-only rings run the Go loop).
 	half := p.N >> 1
 	lo := src[:half]
 	hi := src[half:p.N]
-	for i := 0; i < half; i++ {
+	if k, ok := p.kern.(fusedMACSpanKernels); ok {
+		k.MACFinal2Span(accA, accB, lo, hi, wA, preA, wB, preB)
+	} else {
+		macFinal2SpanScalar(p.R.M.Q, accA, accB, lo, hi, wA, preA, wB, preB)
+	}
+	p.putScratch(ping)
+	p.putScratch(sc)
+}
+
+// fusedMACSpanKernels is the optional kernel extension for the fused
+// final stage: given the penultimate stage's relaxed outputs split into
+// lo/hi halves of h butterflies, produce the canonical final-stage
+// outputs (s, d interleaved, exactly CTSpanLast at unit twiddle) and
+// fold the two-row lazy Shoup MAC into accA/accB (each of length 2h)
+// without materializing the transform. Bit-identical to
+// macFinal2SpanScalar on arbitrary 64-bit lane values.
+type fusedMACSpanKernels interface {
+	MACFinal2Span(accA, accB, lo, hi, wA, preA, wB, preB []uint64)
+}
+
+// macFinal2SpanScalar is the ground-truth final-stage body the vector
+// tiers are differential-tested against, and the tail loop behind their
+// full vectors. Inputs are relaxed (< 2q): s = a+b < 4q and d = a+2q-b
+// in (0, 4q), and two conditional subtracts land each on its canonical
+// residue. The Shoup MAC summand d*w - qhat*q is then the same value
+// the unfused mulPreAddRow folds in.
+func macFinal2SpanScalar(q uint64, accA, accB, lo, hi, wA, preA, wB, preB []uint64) {
+	twoQ := 2 * q
+	for i := range lo {
 		a, b := lo[i], hi[i]
 		s := a + b
 		if s >= twoQ {
@@ -100,6 +125,4 @@ func NegacyclicForwardMAC2(p *Plan[uint64, Shoup64], accA, accB, x, wA, preA, wB
 		qhat, _ = bits.Mul64(d, preB[o])
 		accB[o] += d*wB[o] - qhat*q
 	}
-	p.putScratch(ping)
-	p.putScratch(sc)
 }

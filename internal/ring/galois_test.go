@@ -1,0 +1,196 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqxgo/internal/modmath"
+	"mqxgo/internal/u128"
+)
+
+func galoisPlan64(t *testing.T, n int) *Plan[uint64, Shoup64] {
+	t.Helper()
+	primes, err := modmath.FindNTTPrimes64(59, uint64(2*n), 1)
+	if err != nil {
+		t.Fatalf("FindNTTPrimes64: %v", err)
+	}
+	p, err := NewPlan(NewShoup64(modmath.MustModulus64(primes[0])), n)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	return p
+}
+
+// TestGaloisExponentMap pins the position<->exponent correspondence the
+// evaluation-domain permutation is built on: the forward transform of the
+// monomial x must read psi^(2*bitrev(p)+1) at every output position.
+func TestGaloisExponentMap(t *testing.T) {
+	for _, n := range []int{8, 64, 256, 1024} {
+		p := galoisPlan64(t, n)
+		mod := p.R.M
+		x := make([]uint64, n)
+		x[1] = 1
+		out := make([]uint64, n)
+		p.NegacyclicForwardInto(out, x)
+		m := 0
+		for 1<<m < n {
+			m++
+		}
+		for pos := 0; pos < n; pos++ {
+			e := 2*bitrev(uint64(pos), m) + 1
+			want := mod.Pow(p.Psi, e)
+			if out[pos] != want {
+				t.Fatalf("n=%d pos=%d: transform of x reads %d, want psi^%d = %d", n, pos, out[pos], e, want)
+			}
+		}
+	}
+}
+
+// TestGaloisCoeffEvalCommute checks that the coefficient-domain
+// automorphism and the evaluation-domain permutation compute the same
+// map: NTT(tau_g(x)) == perm_g(NTT(x)) for random inputs and a spread of
+// odd Galois elements, on both the 64-bit and the 128-bit rings.
+func TestGaloisCoeffEvalCommute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{8, 64, 1024} {
+		p := galoisPlan64(t, n)
+		q := p.R.M.Q
+		gs := []uint64{3, 5, uint64(2*n - 1), RotationElement(n, 1), RotationElement(n, n/4)}
+		for _, g := range gs {
+			tab, err := GaloisTablesFor(n, g)
+			if err != nil {
+				t.Fatalf("GaloisTablesFor(%d, %d): %v", n, g, err)
+			}
+			x := make([]uint64, n)
+			for i := range x {
+				x[i] = rng.Uint64() % q
+			}
+			viaCoeff := make([]uint64, n)
+			p.AutomorphismCoeffInto(tab, viaCoeff, x)
+			p.NegacyclicForwardInto(viaCoeff, viaCoeff)
+			ev := make([]uint64, n)
+			p.NegacyclicForwardInto(ev, x)
+			viaEval := make([]uint64, n)
+			p.AutomorphismEvalInto(tab, viaEval, ev)
+			for i := range viaCoeff {
+				if viaCoeff[i] != viaEval[i] {
+					t.Fatalf("n=%d g=%d: NTT∘tau != perm∘NTT at %d: %d vs %d", n, g, i, viaCoeff[i], viaEval[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGaloisCoeffEvalCommute128 runs the commute check on the 128-bit
+// Barrett ring the oracle backend uses.
+func TestGaloisCoeffEvalCommute128(t *testing.T) {
+	n := 64
+	mod := modmath.DefaultModulus128()
+	p, err := NewPlan(NewBarrett128(mod), n)
+	if err != nil {
+		t.Fatalf("NewPlan: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []uint64{3, uint64(2*n - 1), RotationElement(n, 5)} {
+		tab, err := GaloisTablesFor(n, g)
+		if err != nil {
+			t.Fatalf("GaloisTablesFor: %v", err)
+		}
+		x := make([]u128.U128, n)
+		for i := range x {
+			x[i] = u128.New(rng.Uint64(), rng.Uint64()).Mod(mod.Q)
+		}
+		viaCoeff := make([]u128.U128, n)
+		p.AutomorphismCoeffInto(tab, viaCoeff, x)
+		p.NegacyclicForwardInto(viaCoeff, viaCoeff)
+		ev := make([]u128.U128, n)
+		p.NegacyclicForwardInto(ev, x)
+		viaEval := make([]u128.U128, n)
+		p.AutomorphismEvalInto(tab, viaEval, ev)
+		for i := range viaCoeff {
+			if viaCoeff[i] != viaEval[i] {
+				t.Fatalf("g=%d: NTT∘tau != perm∘NTT at %d", g, i)
+			}
+		}
+	}
+}
+
+// TestGaloisComposition: tau_g1 ∘ tau_g2 == tau_(g1*g2) in the
+// coefficient domain.
+func TestGaloisComposition(t *testing.T) {
+	n := 256
+	p := galoisPlan64(t, n)
+	q := p.R.M.Q
+	rng := rand.New(rand.NewSource(9))
+	g1, g2 := RotationElement(n, 3), RotationElement(n, 17)
+	t1, _ := GaloisTablesFor(n, g1)
+	t2, _ := GaloisTablesFor(n, g2)
+	t12, _ := GaloisTablesFor(n, g1*g2)
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = rng.Uint64() % q
+	}
+	step := make([]uint64, n)
+	composed := make([]uint64, n)
+	p.AutomorphismCoeffInto(t2, step, x)
+	p.AutomorphismCoeffInto(t1, composed, step)
+	direct := make([]uint64, n)
+	p.AutomorphismCoeffInto(t12, direct, x)
+	for i := range direct {
+		if direct[i] != composed[i] {
+			t.Fatalf("composition mismatch at %d", i)
+		}
+	}
+}
+
+// TestGaloisRejects pins the validation errors.
+func TestGaloisRejects(t *testing.T) {
+	if _, err := GaloisTablesFor(64, 4); err == nil {
+		t.Fatal("even galois element accepted")
+	}
+	if _, err := GaloisTablesFor(48, 3); err == nil {
+		t.Fatal("non-power-of-two degree accepted")
+	}
+	if _, err := SlotPositions(2); err == nil {
+		t.Fatal("slot layout for n=2 accepted")
+	}
+}
+
+// TestSlotPositionsCoverAllSlots: the two rows' exponent orbits must
+// cover every odd exponent exactly once — the CRT slot map is a
+// bijection.
+func TestSlotPositionsCoverAllSlots(t *testing.T) {
+	for _, n := range []int{4, 64, 1024} {
+		pos, err := SlotPositions(n)
+		if err != nil {
+			t.Fatalf("SlotPositions(%d): %v", n, err)
+		}
+		seen := make(map[int32]bool, n)
+		for _, p := range pos {
+			if p < 0 || int(p) >= n {
+				t.Fatalf("n=%d: position %d out of range", n, p)
+			}
+			if seen[p] {
+				t.Fatalf("n=%d: position %d repeated", n, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRotationElementOrbit: rotating by r then by s equals rotating by
+// r+s, and a full row cycle is the identity.
+func TestRotationElementOrbit(t *testing.T) {
+	n := 64
+	twoN := uint64(2 * n)
+	if g := RotationElement(n, n/2); g != 1 {
+		t.Fatalf("full-cycle rotation element %d, want 1", g)
+	}
+	r, s := 5, 11
+	if got, want := RotationElement(n, r)*RotationElement(n, s)%twoN, RotationElement(n, r+s); got != want {
+		t.Fatalf("rotation elements do not compose: %d vs %d", got, want)
+	}
+	if got, want := RotationElement(n, -3), RotationElement(n, n/2-3); got != want {
+		t.Fatalf("negative steps: %d vs %d", got, want)
+	}
+}

@@ -427,6 +427,80 @@ ctbnext:
 	VZEROUPPER
 	RET
 
+// func macFinal2SpanAVX2(q uint64, accA, accB, lo, hi, wA, preA, wB, preB *uint64, n int)
+// Fused final-stage MAC: the unit-twiddle add/sub pass (canonical s and
+// d, two condsubs each from relaxed inputs) interleaved exactly as
+// ctSpanAVX2 interleaves (s, t), then the two-row lazy Shoup MAC folded
+// into accA/accB with plain wrapping adds — the raw 64-bit accumulator
+// discipline of NegacyclicForwardMAC2. n counts butterflies (multiple
+// of 4); acc/w/pre advance at 2n.
+TEXT ·macFinal2SpanAVX2(SB), NOSPLIT, $0-80
+	MOVQ q+0(FP), AX
+	MOVQ accA+8(FP), DI
+	MOVQ accB+16(FP), SI
+	MOVQ lo+24(FP), DX
+	MOVQ hi+32(FP), R10
+	MOVQ wA+40(FP), R8
+	MOVQ preA+48(FP), R9
+	MOVQ wB+56(FP), R11
+	MOVQ preB+64(FP), R12
+	MOVQ n+72(FP), CX
+	LAZYCONSTS
+	XORQ R13, AX                  // qF = q^2^63 (R13 still 2^63)
+	MOVQ AX, X11
+	VPBROADCASTQ X11, Y11
+
+macloop:
+	VMOVDQU (DX), Y0              // a
+	VMOVDQU (R10), Y1             // b
+	VPADDQ  Y1, Y0, Y4            // s = a + b
+	CONDSUB(Y4, Y14, Y13, Y5, Y6)
+	CONDSUB(Y4, Y12, Y11, Y5, Y6)
+	VPADDQ  Y14, Y0, Y5
+	VPSUBQ  Y1, Y5, Y5            // d = a + 2q - b
+	CONDSUB(Y5, Y14, Y13, Y6, Y7)
+	CONDSUB(Y5, Y12, Y11, Y6, Y7)
+	VPUNPCKLQDQ Y5, Y4, Y0        // s0 d0 s2 d2
+	VPUNPCKHQDQ Y5, Y4, Y1        // s1 d1 s3 d3
+	VPERM2I128  $0x20, Y1, Y0, Y2 // v0 = s0 d0 s1 d1
+	VPERM2I128  $0x31, Y1, Y0, Y3 // v1 = s2 d2 s3 d3
+	VMOVDQU (R8), Y0              // wA
+	VMOVDQU (R9), Y1              // preA
+	SHOUPMUL(Y2, Y0, Y1, Y4, Y5, Y6, Y7, Y8)
+	VMOVDQU (DI), Y0
+	VPADDQ  Y4, Y0, Y0            // accA += summand (wrapping)
+	VMOVDQU Y0, (DI)
+	VMOVDQU 32(R8), Y0
+	VMOVDQU 32(R9), Y1
+	SHOUPMUL(Y3, Y0, Y1, Y4, Y5, Y6, Y7, Y8)
+	VMOVDQU 32(DI), Y0
+	VPADDQ  Y4, Y0, Y0
+	VMOVDQU Y0, 32(DI)
+	VMOVDQU (R11), Y0             // wB
+	VMOVDQU (R12), Y1             // preB
+	SHOUPMUL(Y2, Y0, Y1, Y4, Y5, Y6, Y7, Y8)
+	VMOVDQU (SI), Y0
+	VPADDQ  Y4, Y0, Y0
+	VMOVDQU Y0, (SI)
+	VMOVDQU 32(R11), Y0
+	VMOVDQU 32(R12), Y1
+	SHOUPMUL(Y3, Y0, Y1, Y4, Y5, Y6, Y7, Y8)
+	VMOVDQU 32(SI), Y0
+	VPADDQ  Y4, Y0, Y0
+	VMOVDQU Y0, 32(SI)
+	ADDQ    $32, DX
+	ADDQ    $32, R10
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, R11
+	ADDQ    $64, R12
+	ADDQ    $64, DI
+	ADDQ    $64, SI
+	SUBQ    $4, CX
+	JNZ     macloop
+	VZEROUPPER
+	RET
+
 // func gsSpanBlkAVX2(q uint64, oLo, oHi, in, w, pre *uint64, nBlocks, blk int)
 TEXT ·gsSpanBlkAVX2(SB), NOSPLIT, $0-64
 	MOVQ q+0(FP), AX

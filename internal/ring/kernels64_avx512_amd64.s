@@ -415,6 +415,79 @@ ctbnext:
 	VZEROUPPER
 	RET
 
+// func macFinal2SpanAVX512(q uint64, accA, accB, lo, hi, wA, preA, wB, preB *uint64, n int)
+// Fused final-stage MAC: the unit-twiddle add/sub pass (canonical s and
+// d, two condsubs each from relaxed inputs) interleaved through the
+// ·nttIlv tables exactly as ctSpanAVX512, then the two-row lazy Shoup
+// MAC folded into accA/accB with plain wrapping adds — the raw 64-bit
+// accumulator discipline of NegacyclicForwardMAC2. n counts butterflies
+// (multiple of 8); acc/w/pre advance at 2n.
+TEXT ·macFinal2SpanAVX512(SB), NOSPLIT, $0-80
+	MOVQ q+0(FP), AX
+	MOVQ accA+8(FP), DI
+	MOVQ accB+16(FP), SI
+	MOVQ lo+24(FP), DX
+	MOVQ hi+32(FP), R10
+	MOVQ wA+40(FP), R8
+	MOVQ preA+48(FP), R9
+	MOVQ wB+56(FP), R11
+	MOVQ preB+64(FP), R12
+	MOVQ n+72(FP), CX
+	VPBROADCASTQ AX, Z31          // q
+	VPADDQ       Z31, Z31, Z30   // 2q
+	VMOVDQU64    ·nttIlvLo(SB), Z29
+	VMOVDQU64    ·nttIlvHi(SB), Z28
+
+macloop:
+	VMOVDQU64 (DX), Z0            // a
+	VMOVDQU64 (R10), Z1           // b
+	VPADDQ    Z1, Z0, Z4          // s = a + b
+	CONDSUB(Z4, Z30, Z5)
+	CONDSUB(Z4, Z31, Z5)
+	VPADDQ    Z30, Z0, Z5
+	VPSUBQ    Z1, Z5, Z5          // d = a + 2q - b
+	CONDSUB(Z5, Z30, Z6)
+	CONDSUB(Z5, Z31, Z6)
+	VMOVDQA64 Z4, Z2
+	VPERMT2Q  Z5, Z29, Z2         // v0 = s0 d0 .. s3 d3
+	VPERMT2Q  Z5, Z28, Z4         // v1 = s4 d4 .. s7 d7
+	VMOVDQU64 (R8), Z0            // wA
+	VMOVDQU64 (R9), Z1            // preA
+	SHOUPMUL(Z2, Z0, Z1, Z5, Z6, Z7, Z8, Z9)
+	VMOVDQU64 (DI), Z0
+	VPADDQ    Z5, Z0, Z0          // accA += summand (wrapping)
+	VMOVDQU64 Z0, (DI)
+	VMOVDQU64 64(R8), Z0
+	VMOVDQU64 64(R9), Z1
+	SHOUPMUL(Z4, Z0, Z1, Z5, Z6, Z7, Z8, Z9)
+	VMOVDQU64 64(DI), Z0
+	VPADDQ    Z5, Z0, Z0
+	VMOVDQU64 Z0, 64(DI)
+	VMOVDQU64 (R11), Z0           // wB
+	VMOVDQU64 (R12), Z1           // preB
+	SHOUPMUL(Z2, Z0, Z1, Z5, Z6, Z7, Z8, Z9)
+	VMOVDQU64 (SI), Z0
+	VPADDQ    Z5, Z0, Z0
+	VMOVDQU64 Z0, (SI)
+	VMOVDQU64 64(R11), Z0
+	VMOVDQU64 64(R12), Z1
+	SHOUPMUL(Z4, Z0, Z1, Z5, Z6, Z7, Z8, Z9)
+	VMOVDQU64 64(SI), Z0
+	VPADDQ    Z5, Z0, Z0
+	VMOVDQU64 Z0, 64(SI)
+	ADDQ      $64, DX
+	ADDQ      $64, R10
+	ADDQ      $128, R8
+	ADDQ      $128, R9
+	ADDQ      $128, R11
+	ADDQ      $128, R12
+	ADDQ      $128, DI
+	ADDQ      $128, SI
+	SUBQ      $8, CX
+	JNZ       macloop
+	VZEROUPPER
+	RET
+
 // func gsSpanBlkAVX512(q uint64, oLo, oHi, in, w, pre *uint64, nBlocks, blk int)
 TEXT ·gsSpanBlkAVX512(SB), NOSPLIT, $0-64
 	MOVQ q+0(FP), AX

@@ -50,6 +50,9 @@ func ctSpanBlkAVX512(q uint64, out, lo, hi, w, pre *uint64, nBlocks, blk int)
 //go:noescape
 func gsSpanBlkAVX512(q uint64, oLo, oHi, in, w, pre *uint64, nBlocks, blk int)
 
+//go:noescape
+func macFinal2SpanAVX512(q uint64, accA, accB, lo, hi, wA, preA, wB, preB *uint64, n int)
+
 // Dense-span assembly, AVX2 (4 lanes). Same contracts.
 
 //go:noescape
@@ -81,6 +84,9 @@ func ctSpanBlkAVX2(q uint64, out, lo, hi, w, pre *uint64, nBlocks, blk int)
 
 //go:noescape
 func gsSpanBlkAVX2(q uint64, oLo, oHi, in, w, pre *uint64, nBlocks, blk int)
+
+//go:noescape
+func macFinal2SpanAVX2(q uint64, accA, accB, lo, hi, wA, preA, wB, preB *uint64, n int)
 
 // selectKernels implements tierSelector for Shoup64 on amd64: resolve the
 // requested tier against the environment knob and the CPU's ceiling, and
@@ -238,6 +244,21 @@ func (r shoup64AVX512) GSSpanBlk(oLo, oHi, in, w []uint64, pre []uint64, blk int
 	gsSpanBlkAVX512(r.M.Q, &oLo[0], &oHi[0], &in[0], &w[0], &pre[0], len(w), blk)
 }
 
+// MACFinal2Span is the fused relin-MAC final stage: the unit-twiddle
+// add/sub pass of CTSpanLast interleaved in registers with the two-row
+// lazy Shoup MAC, so the transform output never touches memory.
+func (r shoup64AVX512) MACFinal2Span(accA, accB, lo, hi, wA, preA, wB, preB []uint64) {
+	n := len(lo)
+	nv := n &^ 7
+	if nv > 0 {
+		macFinal2SpanAVX512(r.M.Q, &accA[0], &accB[0], &lo[0], &hi[0], &wA[0], &preA[0], &wB[0], &preB[0], nv)
+	}
+	if nv < n {
+		macFinal2SpanScalar(r.M.Q, accA[2*nv:], accB[2*nv:], lo[nv:], hi[nv:],
+			wA[2*nv:], preA[2*nv:], wB[2*nv:], preB[2*nv:])
+	}
+}
+
 // shoup64AVX2 is the 4-lane tier: sign-flipped VPCMPGTQ + VPBLENDVB
 // conditional subtracts, VPMULUDQ-composed 64-bit products, and
 // unpack/permute interleaves — the lane layouts sketched by the seed's
@@ -365,9 +386,24 @@ func (r shoup64AVX2) GSSpanBlk(oLo, oHi, in, w []uint64, pre []uint64, blk int) 
 	gsSpanBlkAVX2(r.M.Q, &oLo[0], &oHi[0], &in[0], &w[0], &pre[0], len(w), blk)
 }
 
+// MACFinal2Span: see the AVX-512 variant; 4-lane layout.
+func (r shoup64AVX2) MACFinal2Span(accA, accB, lo, hi, wA, preA, wB, preB []uint64) {
+	n := len(lo)
+	nv := n &^ 3
+	if nv > 0 {
+		macFinal2SpanAVX2(r.M.Q, &accA[0], &accB[0], &lo[0], &hi[0], &wA[0], &preA[0], &wB[0], &preB[0], nv)
+	}
+	if nv < n {
+		macFinal2SpanScalar(r.M.Q, accA[2*nv:], accB[2*nv:], lo[nv:], hi[nv:],
+			wA[2*nv:], preA[2*nv:], wB[2*nv:], preB[2*nv:])
+	}
+}
+
 var (
 	_ SpanKernels[uint64]        = shoup64AVX512{}
 	_ BlockedSpanKernels[uint64] = shoup64AVX512{}
+	_ fusedMACSpanKernels        = shoup64AVX512{}
 	_ SpanKernels[uint64]        = shoup64AVX2{}
 	_ BlockedSpanKernels[uint64] = shoup64AVX2{}
+	_ fusedMACSpanKernels        = shoup64AVX2{}
 )

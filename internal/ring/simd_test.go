@@ -98,6 +98,26 @@ func TestSIMDSpanBitIdentity(t *testing.T) {
 				vec.ScaleAddSpan(outV[:n], lo, hi, w[0], pre[0])
 				diffU64(t, "ScaleAddSpan", outV[:n], outS[:n])
 
+				// Fused final-stage MAC: raw 64-bit accumulators (any
+				// wrapped value is legal), relaxed lo/hi, two twiddle rows.
+				wA2 := make([]uint64, 2*n)
+				preA2 := make([]uint64, 2*n)
+				wB2 := make([]uint64, 2*n)
+				preB2 := make([]uint64, 2*n)
+				fillTwiddles(rng, m, wA2, preA2)
+				fillTwiddles(rng, m, wB2, preB2)
+				accAS, accBS := make([]uint64, 2*n), make([]uint64, 2*n)
+				for i := range accAS {
+					accAS[i] = rng.Uint64()
+					accBS[i] = rng.Uint64()
+				}
+				accAV := append([]uint64(nil), accAS...)
+				accBV := append([]uint64(nil), accBS...)
+				macFinal2SpanScalar(q, accAS, accBS, lo, hi, wA2, preA2, wB2, preB2)
+				vec.(fusedMACSpanKernels).MACFinal2Span(accAV, accBV, lo, hi, wA2, preA2, wB2, preB2)
+				diffU64(t, "MACFinal2Span accA", accAV, accAS)
+				diffU64(t, "MACFinal2Span accB", accBV, accBS)
+
 				// MulSpan: canonical inputs per contract.
 				fillCanonical(rng, lo, q)
 				fillCanonical(rng, hi, q)

@@ -17,8 +17,9 @@ type evalRequest struct {
 	Op        string   `json:"op"`
 	Args      []string `json:"args"`
 	Out       string   `json:"out,omitempty"`        // optional: overwrite this handle in place
+	Steps     int      `json:"steps,omitempty"`      // rotate: slot rotation amount (may be negative)
 	TimeoutMS int      `json:"timeout_ms,omitempty"` // optional: tighter than the server cap
-	Values    []uint64 `json:"values,omitempty"`     // encrypt
+	Values    []uint64 `json:"values,omitempty"`     // encrypt / encode / decode
 	Handle    string   `json:"handle,omitempty"`     // decrypt / free
 }
 
@@ -213,6 +214,85 @@ func (s *Server) applyEval(ctx context.Context, t *tenant, req evalRequest) (eva
 		}
 		return evalResponse{Handle: h, Level: level + 1, NoiseBits: pred, BudgetBits: sch.PredictedBudgetBits(level+1, pred)}, nil
 
+	case "rotate", "conjugate":
+		if len(req.Args) != 1 {
+			return evalResponse{}, errBadRequest("op %q takes exactly 1 arg", req.Op)
+		}
+		e, apiErr := t.lookup(req.Args[0])
+		if apiErr != nil {
+			return evalResponse{}, apiErr
+		}
+		injectFlip(e.ct)
+		level := e.ct.Level
+		var pred int
+		var ok bool
+		if req.Op == "rotate" {
+			pred, ok = sch.PredictRotateNoiseBits(level, e.noiseBits, req.Steps)
+		} else {
+			pred, ok = sch.PredictConjugateNoiseBits(level, e.noiseBits)
+		}
+		if !ok {
+			// No noise model: the guardrail cannot predict, so it admits
+			// and relies on the decrypt-time integrity check.
+			pred = e.noiseBits
+		} else if budget := sch.PredictedBudgetBits(level, pred); budget < s.cfg.BudgetFloorBits {
+			return evalResponse{}, errf(http.StatusUnprocessableEntity, CodeBudgetExhausted,
+				"%s at level %d would leave %d budget bits (floor %d)", req.Op, level, budget, s.cfg.BudgetFloorBits)
+		}
+		// In-place fast path, same shape as mul: a rotation lands in an
+		// existing same-level destination with zero allocation beyond the
+		// backend's pooled scratch.
+		if dst := s.reusableDst(t, req.Out, level, e.ct.Domain, req.Args[0], ""); dst != nil {
+			if rb, rok := sch.B.(fhe.RotateDeadlineBackend); rok {
+				var err error
+				if req.Op == "rotate" {
+					err = rb.RotateSlotsCtx(ctx, &dst.ct, e.ct, req.Steps, t.gk)
+				} else {
+					err = rb.ConjugateCtx(ctx, &dst.ct, e.ct, t.gk)
+				}
+				if err != nil {
+					return evalResponse{}, ctxErr(s, err)
+				}
+				dst.noiseBits = pred
+				return evalResponse{Handle: req.Out, Level: level, NoiseBits: pred, BudgetBits: sch.PredictedBudgetBits(level, pred)}, nil
+			}
+		}
+		var out fhe.BackendCiphertext
+		var err error
+		if req.Op == "rotate" {
+			out, err = sch.RotateSlotsCtx(ctx, e.ct, req.Steps, t.gk)
+		} else {
+			out, err = sch.ConjugateCtx(ctx, e.ct, t.gk)
+		}
+		if err != nil {
+			return evalResponse{}, ctxErr(s, err)
+		}
+		h, apiErr := t.store(s, out, pred)
+		if apiErr != nil {
+			return evalResponse{}, apiErr
+		}
+		return evalResponse{Handle: h, Level: level, NoiseBits: pred, BudgetBits: sch.PredictedBudgetBits(level, pred)}, nil
+
+	case "encode", "decode":
+		// Plaintext slot transforms: encode maps n slot values to the
+		// coefficient message /v1/encrypt accepts (so rotations on the
+		// resulting ciphertext rotate slots); decode inverts it on
+		// decrypted values. The transform is in place over req.Values —
+		// the steady-state serving core allocates nothing.
+		if len(req.Args) != 0 {
+			return evalResponse{}, errBadRequest("op %q takes values, not handle args", req.Op)
+		}
+		var err error
+		if req.Op == "encode" {
+			err = sch.EncodeSlotsInto(req.Values, req.Values)
+		} else {
+			err = sch.DecodeSlotsInto(req.Values, req.Values)
+		}
+		if err != nil {
+			return evalResponse{}, errBadRequest("%s: %v", req.Op, err)
+		}
+		return evalResponse{Values: req.Values}, nil
+
 	case "free":
 		if len(req.Args) != 1 {
 			return evalResponse{}, errBadRequest("op free takes exactly 1 arg")
@@ -224,7 +304,7 @@ func (s *Server) applyEval(ctx context.Context, t *tenant, req evalRequest) (eva
 		return evalResponse{}, nil
 
 	default:
-		return evalResponse{}, errBadRequest("unknown op %q (want mul, square, add, modswitch, free)", req.Op)
+		return evalResponse{}, errBadRequest("unknown op %q (want mul, square, add, modswitch, rotate, conjugate, encode, decode, free)", req.Op)
 	}
 }
 

@@ -26,6 +26,7 @@ type tenant struct {
 	mu     sync.Mutex
 	sk     fhe.BackendSecretKey
 	rlk    fhe.BackendRelinKey
+	gk     fhe.BackendGaloisKey
 	cts    map[string]*entry
 	nextID uint64
 }
@@ -72,7 +73,14 @@ func (r *registry) create(name string, s *fhe.BackendScheme) (*tenant, *apiError
 	if err != nil {
 		return nil, errf(http.StatusInternalServerError, CodeInternal, "relin keygen: %v", err)
 	}
-	t := &tenant{sk: sk, rlk: rlk, cts: make(map[string]*entry)}
+	// Galois keys power the rotate/conjugate ops. They are ring-level key
+	// material (independent of the plaintext modulus being NTT-friendly),
+	// so generation succeeds even when slot encoding is unavailable.
+	gk, err := s.GaloisKeyGen(sk)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, CodeInternal, "galois keygen: %v", err)
+	}
+	t := &tenant{sk: sk, rlk: rlk, gk: gk, cts: make(map[string]*entry)}
 	r.tenants[name] = t
 	return t, nil
 }

@@ -17,7 +17,10 @@ import (
 
 const (
 	testN = 256
-	testT = 257
+	// testT is NTT-friendly at testN (40961 = 5*2^13 + 1, prime, splits
+	// for 2n = 512), so the packed encode/rotate ops work on the same
+	// fixture that exercises the scalar paths.
+	testT = 40961
 )
 
 // newTestServer builds a server over a 3-level sequential RNS backend
