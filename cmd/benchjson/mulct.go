@@ -68,7 +68,10 @@ func newMulFixture(b fhe.Backend, seed int64, n int) (*mulFixture, error) {
 	if f.c2, err = f.s.Encrypt(f.sk, f.m2); err != nil {
 		return nil, err
 	}
-	f.dst = fhe.BackendCiphertext{A: b.NewPoly(), B: b.NewPoly()}
+	// Encrypt returns NTT-resident ciphertexts since the residency PR; the
+	// destination handle must carry the operands' domain tag (and level)
+	// before the call, per the Backend.MulCt contract.
+	f.dst = fhe.BackendCiphertext{A: b.NewPoly(), B: b.NewPoly(), Domain: f.c1.Domain, Level: f.c1.Level}
 	if err := b.MulCt(&f.dst, f.c1, f.c2, f.rlk); err != nil {
 		return nil, err
 	}

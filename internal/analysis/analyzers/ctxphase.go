@@ -1,0 +1,247 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// CtxPhase enforces the context-threading convention at the BEHZ phase
+// boundaries. Two rules:
+//
+//  1. Every exported function or method whose name ends in "Ctx" and
+//     takes a context.Context must actually thread it: somewhere in its
+//     body there must be a call to phaseGate, or a call to another
+//     *Ctx function that receives the context (the scheme-layer
+//     wrappers delegate; the backend pipelines gate each tower phase).
+//     A Ctx suffix over a body that ignores its context is a lie in the
+//     API.
+//
+//  2. In packages carrying a //mqx:ctxstrict directive (internal/serve —
+//     the request path where deadlines are load-bearing), calling a
+//     function or method from another package is forbidden when a
+//     sibling with the same name plus "Ctx" exists: the bare BEHZ
+//     internals bypass admission deadlines. Call the Ctx variant.
+var CtxPhase = &mqx.Analyzer{
+	Name: "ctxphase",
+	Doc:  "exported ...Ctx APIs must thread their context into a phase gate; ctxstrict packages must not call bare siblings of Ctx APIs",
+	Run:  runCtxPhase,
+}
+
+func runCtxPhase(pass *mqx.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxThreading(pass, fd)
+			if pass.Pkg.CtxStrict() {
+				checkCtxStrictCalls(pass, fd)
+			}
+		}
+	}
+	_ = info
+	return nil
+}
+
+// ctxParam returns the first parameter of type context.Context, or nil.
+func ctxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && namedIn(obj.Type(), "context", "Context") {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func checkCtxThreading(pass *mqx.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !ast.IsExported(name) || !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+		return
+	}
+	info := pass.Pkg.Info
+	ctx := ctxParam(info, fd)
+	if ctx == nil {
+		return
+	}
+	th := &threadCheck{prog: pass.Prog, memo: make(map[*types.Func]bool)}
+	if !th.threads(info, fd.Body, ctx, 6) {
+		pass.Reportf(fd.Name.Pos(), "%s is exported with a Ctx suffix but never threads its context into a phaseGate or *Ctx callee: the deadline is dead on arrival", name)
+	}
+}
+
+// threadCheck decides whether a body threads a specific context
+// parameter into a phase boundary. Threading means: calling phaseGate or
+// a *Ctx function with the context, observing the context directly
+// (ctx.Err(), ctx.Done(), ctx.Deadline()), or handing it to a
+// module-local callee whose own body threads its context parameter —
+// that last rule is what lets RotateSlotsCtx delegate to an unexported
+// galoisChain that gates each hop. Recursion is memoized per callee and
+// depth-limited; an in-progress callee answers false, so a cycle of
+// functions that only pass the context around never counts as threading.
+type threadCheck struct {
+	prog *mqx.Program
+	memo map[*types.Func]bool
+}
+
+func (th *threadCheck) threads(info *types.Info, body *ast.BlockStmt, ctx types.Object, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == ctx {
+				found = true // a method on the context itself observes it
+				return false
+			}
+		}
+		callee := calleeName(info, call)
+		if callee == "" || !callArgUsesObj(info, call, ctx) {
+			return true
+		}
+		if callee == "phaseGate" || strings.HasSuffix(callee, "Ctx") {
+			found = true
+			return false
+		}
+		if depth > 0 {
+			if fn := calledFunc(info, call); fn != nil && th.calleeThreads(fn, depth-1) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (th *threadCheck) calleeThreads(fn *types.Func, depth int) bool {
+	if done, ok := th.memo[fn]; ok {
+		return done
+	}
+	th.memo[fn] = false // in-progress: cycles don't thread
+	fi := th.prog.FuncInfo(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		return false
+	}
+	calleeCtx := ctxParam(fi.Pkg.Info, fi.Decl)
+	if calleeCtx == nil {
+		return false
+	}
+	ok := th.threads(fi.Pkg.Info, fi.Decl.Body, calleeCtx, depth)
+	th.memo[fn] = ok
+	return ok
+}
+
+// calleeName names the called function for both plain and selector
+// calls, including interface methods (which staticCallee refuses).
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// callArgUsesObj reports whether any argument expression mentions obj
+// (the context parameter, possibly via a derived selector like
+// ctx.Done() — a mention is a thread).
+func callArgUsesObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	for _, a := range call.Args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxStrictCalls flags calls from a //mqx:ctxstrict package to
+// cross-package functions or methods that have a Ctx sibling.
+func checkCtxStrictCalls(pass *mqx.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calledFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg.Types {
+			return true
+		}
+		if strings.HasSuffix(fn.Name(), "Ctx") {
+			return true
+		}
+		if sibling := ctxSibling(fn); sibling != nil {
+			pass.Reportf(call.Pos(), "calls %s.%s from a //mqx:ctxstrict package, but %s exists: the bare variant bypasses deadline propagation", recvOrPkg(fn), fn.Name(), sibling.Name())
+		}
+		return true
+	})
+}
+
+// calledFunc resolves the callee including interface methods (unlike
+// staticCallee, which treats them as boundaries).
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	if fn := staticCallee(info, call); fn != nil {
+		return fn
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// ctxSibling looks up a method or package function named fn.Name()+"Ctx"
+// on the same receiver type or in the same package.
+func ctxSibling(fn *types.Func) *types.Func {
+	want := fn.Name() + "Ctx"
+	sig := fn.Signature()
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok {
+			return m
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok {
+		return m
+	}
+	return nil
+}
+
+func recvOrPkg(fn *types.Func) string {
+	if recv := fn.Signature().Recv(); recv != nil {
+		return strings.TrimPrefix(types.TypeString(recv.Type(), func(p *types.Package) string { return p.Name() }), "*")
+	}
+	return fn.Pkg().Name()
+}

@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// DomainTag enforces the PR 6 residency convention at API boundaries:
+// since Encrypt started emitting NTT-resident handles, every ciphertext
+// carries a Domain tag, and pointwise arithmetic on components of
+// mismatched or unknown domains is silently wrong (not a crash — wrong
+// plaintexts). The convention is that every EXPORTED function reading
+// BackendCiphertext component polys (the A/B fields) first passes
+// through a recognized domain validation: a call to a function annotated
+// //mqx:domaincheck (checkCts, CheckCiphertext and friends), or an
+// explicit read of the .Domain tag. Unexported helpers are inside the
+// validated perimeter and exempt; validators themselves are annotated.
+//
+// The check is ordered: the validation must occur before (in source
+// order) the first component read, so a check bolted on after the
+// arithmetic does not count.
+var DomainTag = &mqx.Analyzer{
+	Name: "domaintag",
+	Doc:  "exported readers of BackendCiphertext components must validate domain tags first",
+	Run:  runDomainTag,
+}
+
+func runDomainTag(pass *mqx.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				if fi := pass.Prog.FuncInfo(fn); fi != nil && fi.Annot().DomainCheck {
+					continue // the validator itself
+				}
+			}
+			checkDomainReads(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDomainReads(pass *mqx.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var validatedAt token.Pos = token.NoPos
+	type read struct {
+		pos   token.Pos
+		field string
+	}
+	var firstRead *read
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			fn := calledFunc(info, x)
+			if fn == nil {
+				return true
+			}
+			fi := pass.Prog.FuncInfo(fn)
+			if fi != nil && fi.Annot().DomainCheck {
+				if validatedAt == token.NoPos || x.Pos() < validatedAt {
+					validatedAt = x.Pos()
+				}
+			}
+		case *ast.SelectorExpr:
+			tv, ok := info.Types[x.X]
+			if !ok || !namedIn(tv.Type, "internal/fhe", "BackendCiphertext") {
+				return true
+			}
+			switch x.Sel.Name {
+			case "Domain":
+				if validatedAt == token.NoPos || x.Pos() < validatedAt {
+					validatedAt = x.Pos()
+				}
+			case "A", "B":
+				if firstRead == nil || x.Pos() < firstRead.pos {
+					firstRead = &read{x.Pos(), x.Sel.Name}
+				}
+			}
+		}
+		return true
+	})
+	if firstRead == nil {
+		return
+	}
+	if validatedAt != token.NoPos && validatedAt < firstRead.pos {
+		return
+	}
+	pass.Reportf(firstRead.pos, "%s reads BackendCiphertext.%s without a prior domain check: call a //mqx:domaincheck validator or inspect .Domain before touching components", fd.Name.Name, firstRead.field)
+}

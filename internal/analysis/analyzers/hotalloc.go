@@ -1,0 +1,484 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// HotAlloc enforces the repo's 0-alloc convention at compile time: every
+// function annotated //mqx:hotpath — and everything it statically calls
+// within the module — must be free of allocation sites. The runtime
+// AllocsPerRun gates only defend the paths a test happens to drive; this
+// analyzer walks the whole static call graph.
+//
+// Flagged inside a hot call graph: make/new/append, slice, map and
+// &composite literals, closure literals, go statements, allocating
+// string conversions and concatenation, interface boxing at call
+// arguments, calls through function values, and calls to external
+// (non-module) functions not on the proven-free allowlist (math/bits,
+// sync, sync/atomic, math, and a few named runtime/time helpers —
+// sync.Pool.Get/Put are allowed because pool hits are allocation-free in
+// steady state and misses are warm-up).
+//
+// Deliberate blind spots: interface method calls are dynamic-dispatch
+// boundaries (annotate the concrete implementations instead), and
+// allocation sites on panic-only paths are skipped — a hot function may
+// allocate while dying.
+var HotAlloc = &mqx.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//mqx:hotpath call graphs must be allocation-free",
+	Run:  runHotAlloc,
+}
+
+var hotAllowedPkgs = map[string]bool{
+	"math/bits":   true,
+	"sync/atomic": true,
+	"sync":        true,
+	"math":        true,
+}
+
+var hotAllowedFuncs = map[string]bool{
+	"runtime.KeepAlive": true,
+	"time.Now":          true,
+	"time.Since":        true,
+}
+
+type hotWorkItem struct {
+	fn    *types.Func
+	chain string
+}
+
+func runHotAlloc(pass *mqx.Pass) error {
+	// Seed the worklist with this package's annotated roots, in source
+	// order for deterministic chain attribution.
+	var queue []hotWorkItem
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := pass.Prog.FuncInfo(fn)
+			if fi != nil && fi.Annot().Hotpath {
+				queue = append(queue, hotWorkItem{fn, fd.Name.Name})
+			}
+		}
+	}
+	visited := make(map[*types.Func]bool)
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if visited[item.fn] {
+			continue
+		}
+		visited[item.fn] = true
+		fi := pass.Prog.FuncInfo(item.fn)
+		if fi == nil || fi.Decl.Body == nil {
+			continue
+		}
+		callees := scanHotFunc(pass, fi, item.chain)
+		for _, c := range callees {
+			if !visited[c] {
+				chain := item.chain
+				if len(chain) < 120 {
+					chain += " → " + c.Name()
+				}
+				queue = append(queue, hotWorkItem{c, chain})
+			}
+		}
+	}
+	return nil
+}
+
+// scanHotFunc reports allocation sites in one function body and returns
+// the module-local functions it statically calls.
+func scanHotFunc(pass *mqx.Pass, fi *mqx.FuncInfo, chain string) []*types.Func {
+	info := fi.Pkg.Info
+	var callees []*types.Func
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path %s", what, chain)
+	}
+
+	var walkExpr func(e ast.Expr, suppressed bool)
+	var walkStmt func(s ast.Stmt, suppressed bool)
+
+	walkExprs := func(es []ast.Expr, suppressed bool) {
+		for _, e := range es {
+			walkExpr(e, suppressed)
+		}
+	}
+
+	walkExpr = func(e ast.Expr, suppressed bool) {
+		switch x := e.(type) {
+		case nil:
+		case *ast.ParenExpr:
+			walkExpr(x.X, suppressed)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					if !suppressed {
+						report(x.Pos(), "heap allocation (&composite literal)")
+					}
+					// Still walk the literal's elements, but skip the
+					// literal's own slice/map check (already reported).
+					for _, el := range unparen(x.X).(*ast.CompositeLit).Elts {
+						walkExpr(el, suppressed)
+					}
+					return
+				}
+			}
+			walkExpr(x.X, suppressed)
+		case *ast.CompositeLit:
+			if !suppressed {
+				switch info.Types[x].Type.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "heap allocation (slice literal)")
+				case *types.Map:
+					report(x.Pos(), "heap allocation (map literal)")
+				}
+			}
+			walkExprs(x.Elts, suppressed)
+		case *ast.FuncLit:
+			if !suppressed {
+				report(x.Pos(), "closure literal (may allocate; hoist or annotate)")
+			}
+			// Body intentionally not followed: the closure itself is
+			// already the finding.
+		case *ast.BinaryExpr:
+			if !suppressed && x.Op == token.ADD {
+				if t, ok := info.Types[x]; ok {
+					if b, ok := t.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(x.Pos(), "string concatenation")
+					}
+				}
+			}
+			walkExpr(x.X, suppressed)
+			walkExpr(x.Y, suppressed)
+		case *ast.CallExpr:
+			walkHotCall(pass, fi, x, suppressed, report, &callees, walkExpr)
+		case *ast.KeyValueExpr:
+			walkExpr(x.Key, suppressed)
+			walkExpr(x.Value, suppressed)
+		case *ast.IndexExpr:
+			walkExpr(x.X, suppressed)
+			walkExpr(x.Index, suppressed)
+		case *ast.IndexListExpr:
+			walkExpr(x.X, suppressed)
+			walkExprs(x.Indices, suppressed)
+		case *ast.SliceExpr:
+			walkExpr(x.X, suppressed)
+			walkExpr(x.Low, suppressed)
+			walkExpr(x.High, suppressed)
+			walkExpr(x.Max, suppressed)
+		case *ast.SelectorExpr:
+			walkExpr(x.X, suppressed)
+		case *ast.StarExpr:
+			walkExpr(x.X, suppressed)
+		case *ast.TypeAssertExpr:
+			walkExpr(x.X, suppressed)
+		}
+	}
+
+	// blockEndsCold recognizes the two guarded early-exit shapes that are
+	// off the steady-state path by construction: a body ending in panic
+	// (shape checks), and a body ending in a return that hands back a
+	// constructed (non-nil) error — the validation exits every *Into API
+	// runs before touching data. A fast-path return of ordinary values
+	// stays hot.
+	blockEndsCold := func(b *ast.BlockStmt) bool {
+		if b == nil || len(b.List) == 0 {
+			return false
+		}
+		switch last := b.List[len(b.List)-1].(type) {
+		case *ast.ExprStmt:
+			call, ok := last.X.(*ast.CallExpr)
+			return ok && isBuiltin(info, call, "panic")
+		case *ast.ReturnStmt:
+			for _, r := range last.Results {
+				if tv, ok := info.Types[r]; ok && tv.Type != nil && !tv.IsNil() && isErrorLike(tv.Type) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	walkStmts := func(ss []ast.Stmt, suppressed bool) {
+		for _, s := range ss {
+			walkStmt(s, suppressed)
+		}
+	}
+
+	walkStmt = func(s ast.Stmt, suppressed bool) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.ExprStmt:
+			walkExpr(x.X, suppressed)
+		case *ast.AssignStmt:
+			walkExprs(x.Lhs, suppressed)
+			walkExprs(x.Rhs, suppressed)
+		case *ast.IfStmt:
+			walkStmt(x.Init, suppressed)
+			walkExpr(x.Cond, suppressed)
+			// An if-body that ends in panic or an error return is an
+			// error path: a hot function may allocate while failing.
+			walkStmt(x.Body, suppressed || blockEndsCold(x.Body))
+			walkStmt(x.Else, suppressed)
+		case *ast.BlockStmt:
+			walkStmts(x.List, suppressed)
+		case *ast.ForStmt:
+			walkStmt(x.Init, suppressed)
+			walkExpr(x.Cond, suppressed)
+			walkStmt(x.Post, suppressed)
+			walkStmt(x.Body, suppressed)
+		case *ast.RangeStmt:
+			walkExpr(x.X, suppressed)
+			walkStmt(x.Body, suppressed)
+		case *ast.ReturnStmt:
+			walkExprs(x.Results, suppressed)
+		case *ast.GoStmt:
+			if !suppressed {
+				report(x.Pos(), "go statement (allocates a goroutine)")
+			}
+			walkExpr(x.Call, suppressed)
+		case *ast.DeferStmt:
+			// defer is open-coded in the steady state; its call is still
+			// scanned for allocating arguments and callees.
+			walkExpr(x.Call, suppressed)
+		case *ast.SwitchStmt:
+			walkStmt(x.Init, suppressed)
+			walkExpr(x.Tag, suppressed)
+			walkStmt(x.Body, suppressed)
+		case *ast.TypeSwitchStmt:
+			walkStmt(x.Init, suppressed)
+			walkStmt(x.Assign, suppressed)
+			walkStmt(x.Body, suppressed)
+		case *ast.CaseClause:
+			walkExprs(x.List, suppressed)
+			walkStmts(x.Body, suppressed)
+		case *ast.SelectStmt:
+			walkStmt(x.Body, suppressed)
+		case *ast.CommClause:
+			walkStmt(x.Comm, suppressed)
+			walkStmts(x.Body, suppressed)
+		case *ast.LabeledStmt:
+			walkStmt(x.Stmt, suppressed)
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						walkExprs(vs.Values, suppressed)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			walkExpr(x.X, suppressed)
+		case *ast.SendStmt:
+			walkExpr(x.Chan, suppressed)
+			walkExpr(x.Value, suppressed)
+		}
+	}
+
+	walkStmt(fi.Decl.Body, false)
+	return callees
+}
+
+func walkHotCall(pass *mqx.Pass, fi *mqx.FuncInfo, call *ast.CallExpr, suppressed bool,
+	report func(token.Pos, string), callees *[]*types.Func, walkExpr func(ast.Expr, bool)) {
+	info := fi.Pkg.Info
+
+	// Builtins.
+	switch {
+	case isBuiltin(info, call, "panic"):
+		// Error path: arguments may allocate while dying.
+		for _, a := range call.Args {
+			walkExpr(a, true)
+		}
+		return
+	case isBuiltin(info, call, "make"):
+		if !suppressed {
+			report(call.Pos(), "heap allocation (make)")
+		}
+	case isBuiltin(info, call, "new"):
+		if !suppressed {
+			report(call.Pos(), "heap allocation (new)")
+		}
+	case isBuiltin(info, call, "append"):
+		if !suppressed {
+			report(call.Pos(), "append (may grow the backing array)")
+		}
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			for _, a := range call.Args {
+				walkExpr(a, suppressed)
+			}
+			return
+		}
+	}
+
+	// Conversions.
+	if isConversion(info, call) {
+		if !suppressed && len(call.Args) == 1 {
+			dst := info.Types[call.Fun].Type
+			src := info.Types[call.Args[0]].Type
+			if allocatingConversion(dst, src) {
+				report(call.Pos(), fmt.Sprintf("allocating conversion to %s", dst))
+			}
+		}
+		for _, a := range call.Args {
+			walkExpr(a, suppressed)
+		}
+		return
+	}
+
+	fn := staticCallee(info, call)
+	sig := callSignature(info, call)
+
+	// Interface boxing at argument positions.
+	if !suppressed && sig != nil {
+		reportBoxedArgs(info, call, sig, report)
+	}
+
+	switch {
+	case fn == nil:
+		// Either an interface method (dynamic dispatch boundary —
+		// annotate the implementations) or a call through a function
+		// value, which the call graph cannot follow.
+		if !suppressed && !isInterfaceMethodCall(info, call) {
+			report(call.Pos(), "call through function value (call graph cannot follow it)")
+		}
+	case pass.Prog.FuncInfo(fn) != nil:
+		*callees = append(*callees, fn)
+	default:
+		if !suppressed && !hotExternalAllowed(fn) {
+			report(call.Pos(), fmt.Sprintf("call to %s (external, not proven allocation-free)", externalName(fn)))
+		}
+	}
+
+	walkExpr(call.Fun, suppressed)
+	for _, a := range call.Args {
+		walkExpr(a, suppressed)
+	}
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isInterfaceMethodCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal && types.IsInterface(s.Recv())
+}
+
+func reportBoxedArgs(info *types.Info, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string)) {
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // forwarding a slice, no per-arg boxing
+			}
+			pt = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || at.IsNil() || types.IsInterface(at.Type.Underlying()) {
+			continue
+		}
+		if pointerShaped(at.Type) {
+			continue // a pointer word fits the interface directly, no allocation
+		}
+		report(arg.Pos(), fmt.Sprintf("interface boxing of %s argument", at.Type))
+	}
+}
+
+func allocatingConversion(dst, src types.Type) bool {
+	du, su := dst.Underlying(), src.Underlying()
+	dstStr := isBasicString(du)
+	srcStr := isBasicString(su)
+	_, dstSlice := du.(*types.Slice)
+	_, srcSlice := su.(*types.Slice)
+	if dstStr && (srcSlice || isBasicInt(su)) {
+		return true
+	}
+	if dstSlice && srcStr {
+		return true
+	}
+	return false
+}
+
+func isBasicString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBasicInt(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pointerShaped reports whether boxing a value of t into an interface
+// stores the word directly instead of heap-allocating a copy.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorLike(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+func hotExternalAllowed(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true
+	}
+	if hotAllowedPkgs[pkg.Path()] {
+		return true
+	}
+	return hotAllowedFuncs[pkg.Path()+"."+fn.Name()]
+}
+
+func externalName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		return strings.TrimPrefix(types.TypeString(recv.Type(), nil), "*") + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

@@ -1,0 +1,717 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// LazyRange machine-checks the lazy-reduction headroom proofs that
+// modmath/lazy.go and the ring span kernels previously carried only as
+// prose. It runs an interval analysis over uint64 residues, tracking
+// value classes as multiples of the modulus q:
+//
+//	[0, q)   canonical (strict)
+//	[0, 2q)  relaxed — what MulShoupLazy produces and ReduceLazy consumes
+//	[0, 4q)  butterfly intermediates (sums and a+2q-b differences)
+//
+// Classes propagate through assignments, sums (bounds add), the
+// conditional-subtraction idiom `if x >= C { x -= C }` for C ∈ {q, 2q}
+// (refines [0,2C) to [0,C)), and the inlined Shoup multiply pattern
+// `qhat, _ := bits.Mul64(d, pre); t := d*w - qhat*q`, whose [0, 2q)
+// output bound holds for ANY 64-bit d — the proof in modmath/lazy.go.
+//
+// Contracts come from //mqx:lazy annotations (see mqx.FuncAnnot): an
+// unannotated uint64 slice parameter is documented canonical, so storing
+// a relaxed value into it is reported; likewise passing a relaxed value
+// to an unannotated parameter of a module function, returning one from a
+// function not marked `//mqx:lazy returns`, and forming a sum whose
+// bound exceeds the 4q < 2^64 inventory (it could wrap). Deleting a
+// ReduceLazy call or a conditional subtraction upgrades a store from
+// canonical to relaxed and is caught by the first rule.
+//
+// Untracked values (products, external calls, non-residue integers) are
+// Top and never reported: the analyzer proves what the annotations and
+// idioms let it prove, exactly like the hand proofs did. Only functions
+// that visibly touch the lazy domain (a Modulus64.Q read, a call to an
+// annotated function, a lazy annotation of their own, or a uint64
+// parameter literally named q) are analyzed, so generic integer code
+// stays out of scope.
+var LazyRange = &mqx.Analyzer{
+	Name: "lazyrange",
+	Doc:  "lazy [0,2q) residues must be reduced before reaching strict APIs",
+	Run:  runLazyRange,
+}
+
+// interval is a value class: the value provably lies in [lo*q, hi*q).
+// hi == 0 means untracked (Top).
+type interval struct{ lo, hi int }
+
+var top = interval{}
+
+func (iv interval) tracked() bool { return iv.hi > 0 }
+
+func runLazyRange(pass *mqx.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lz := newLazyScan(pass, fd)
+			if lz == nil {
+				continue
+			}
+			lz.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+type lazyScan struct {
+	pass  *mqx.Pass
+	info  *types.Info
+	annot *mqx.FuncAnnot
+	fname string
+
+	env      map[types.Object]interval
+	modClass map[types.Object]int    // object holds q (1) or 2q (2)
+	shoup    map[types.Object]string // qhat object -> multiplicand expr string
+	params   map[types.Object]string // uint64-slice parameters, by name
+}
+
+func newLazyScan(pass *mqx.Pass, fd *ast.FuncDecl) *lazyScan {
+	info := pass.Pkg.Info
+	var annot *mqx.FuncAnnot
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		if fi := pass.Prog.FuncInfo(fn); fi != nil {
+			annot = fi.Annot()
+		}
+	}
+	if annot == nil {
+		annot = &mqx.FuncAnnot{}
+	}
+	lz := &lazyScan{
+		pass:     pass,
+		info:     info,
+		annot:    annot,
+		fname:    fd.Name.Name,
+		env:      make(map[types.Object]interval),
+		modClass: make(map[types.Object]int),
+		shoup:    make(map[types.Object]string),
+		params:   make(map[types.Object]string),
+	}
+	touches := annot.HasLazy()
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isUint64Slice(obj.Type()) {
+					lz.params[obj] = name.Name
+				}
+				// Scalar uint64 parameters documented relaxed start
+				// tracked; everything else starts untracked (a plain
+				// uint64 parameter may be a counter, not a residue).
+				if isUint64(obj.Type()) && annot.LazyParams[name.Name] && !annot.WideParams[name.Name] {
+					lz.env[obj] = interval{0, 2}
+				}
+				if name.Name == "q" && isUint64(obj.Type()) {
+					lz.modClass[obj] = 1
+					touches = true
+				}
+				if name.Name == "twoQ" && isUint64(obj.Type()) {
+					lz.modClass[obj] = 2
+				}
+			}
+		}
+	}
+	if !touches {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if touches {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if lz.modSelector(x) {
+					touches = true
+				}
+			case *ast.CallExpr:
+				if fn := staticCallee(info, x); fn != nil {
+					if fi := pass.Prog.FuncInfo(fn); fi != nil && fi.Annot().HasLazy() {
+						touches = true
+					}
+				}
+			}
+			return !touches
+		})
+	}
+	if !touches {
+		return nil
+	}
+	return lz
+}
+
+// modSelector reports whether sel reads the Q field of a
+// modmath.Modulus64 (the modulus itself).
+func (lz *lazyScan) modSelector(sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Q" {
+		return false
+	}
+	tv, ok := lz.info.Types[sel.X]
+	return ok && namedIn(tv.Type, "internal/modmath", "Modulus64")
+}
+
+// modClassOf classifies an expression as the modulus q (1), the relaxed
+// bound 2q (2), or neither (0).
+func (lz *lazyScan) modClassOf(e ast.Expr) int {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := lz.info.Uses[x]; obj != nil {
+			return lz.modClass[obj]
+		}
+	case *ast.SelectorExpr:
+		if lz.modSelector(x) {
+			return 1
+		}
+	case *ast.BinaryExpr:
+		if x.Op == token.MUL {
+			if isIntLit(x.X, "2") && lz.modClassOf(x.Y) == 1 {
+				return 2
+			}
+			if isIntLit(x.Y, "2") && lz.modClassOf(x.X) == 1 {
+				return 2
+			}
+		}
+	}
+	return 0
+}
+
+func isIntLit(e ast.Expr, v string) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == v
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func isUint64Slice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isUint64(s.Elem())
+}
+
+// classOf evaluates the interval class of an expression under the
+// current environment.
+func (lz *lazyScan) classOf(e ast.Expr) interval {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if obj := lz.info.Uses[x]; obj != nil {
+			return lz.env[obj]
+		}
+	case *ast.IndexExpr:
+		// Reads from uint64 slice parameters carry the parameter's
+		// documented class; everything else is untracked.
+		if id, ok := unparen(x.X).(*ast.Ident); ok {
+			if obj := lz.info.Uses[id]; obj != nil {
+				if name, isParam := lz.params[obj]; isParam {
+					switch {
+					case lz.annot.WideParams[name]:
+						return top
+					case lz.annot.LazyParams[name]:
+						return interval{0, 2}
+					default:
+						return interval{0, 1}
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if fn := staticCallee(lz.info, x); fn != nil {
+			if fi := lz.pass.Prog.FuncInfo(fn); fi != nil {
+				a := fi.Annot()
+				switch {
+				case a.LazyReturns:
+					return interval{0, 2}
+				case a.LazyStrict:
+					return interval{0, 1}
+				}
+			}
+		}
+	case *ast.BinaryExpr:
+		return lz.classOfBinary(x)
+	}
+	return top
+}
+
+func (lz *lazyScan) classOfBinary(x *ast.BinaryExpr) interval {
+	switch x.Op {
+	case token.ADD:
+		l, r := lz.addOperand(x.X), lz.addOperand(x.Y)
+		if !l.tracked() || !r.tracked() {
+			return top
+		}
+		sum := interval{l.lo + r.lo, l.hi + r.hi}
+		if sum.hi > 4 {
+			lz.pass.Reportf(x.Pos(), "lazy headroom: sum is bounded only by %dq, exceeding the 4q < 2^64 inventory (it may wrap)", sum.hi)
+			return top
+		}
+		return sum
+	case token.SUB:
+		if lz.isShoupProduct(x) {
+			return interval{0, 2}
+		}
+		l := lz.addOperand(x.X)
+		if !l.tracked() {
+			return top
+		}
+		if c := lz.modClassOf(x.Y); c > 0 {
+			if l.lo >= c {
+				return interval{l.lo - c, l.hi - c}
+			}
+			return top
+		}
+		r := lz.addOperand(x.Y)
+		if r.tracked() && l.lo >= r.hi {
+			return interval{0, l.hi}
+		}
+		return top
+	}
+	return top
+}
+
+// addOperand classifies an operand of +/-: a q or 2q variable acts as
+// the exact interval [c*q, c*q+...); tracked residues keep their class.
+func (lz *lazyScan) addOperand(e ast.Expr) interval {
+	if c := lz.modClassOf(e); c > 0 {
+		return interval{c, c} // exactly c*q: [c*q, c*q], hi is exclusive bound in q units
+	}
+	return lz.classOf(e)
+}
+
+// isShoupProduct matches the inlined lazy Shoup multiply:
+//
+//	qhat, _ := bits.Mul64(d, pre)
+//	t := d*w - qhat*q
+//
+// whose result is in [0, 2q) for any 64-bit d (modmath/lazy.go's proof,
+// assuming — as the hand proof does — that (w, pre) is a Shoup pair for
+// the modulus q).
+func (lz *lazyScan) isShoupProduct(x *ast.BinaryExpr) bool {
+	l, lok := unparen(x.X).(*ast.BinaryExpr)
+	r, rok := unparen(x.Y).(*ast.BinaryExpr)
+	if !lok || !rok || l.Op != token.MUL || r.Op != token.MUL {
+		return false
+	}
+	// Right side must be qhat*q (either order).
+	var qhatID *ast.Ident
+	switch {
+	case lz.modClassOf(r.Y) == 1:
+		qhatID, _ = unparen(r.X).(*ast.Ident)
+	case lz.modClassOf(r.X) == 1:
+		qhatID, _ = unparen(r.Y).(*ast.Ident)
+	}
+	if qhatID == nil {
+		return false
+	}
+	obj := lz.info.Uses[qhatID]
+	if obj == nil {
+		return false
+	}
+	mul, ok := lz.shoup[obj]
+	if !ok {
+		return false
+	}
+	// The multiplicand recorded at the bits.Mul64 must reappear as a
+	// factor of the left product.
+	return types.ExprString(unparen(l.X)) == mul || types.ExprString(unparen(l.Y)) == mul
+}
+
+func (lz *lazyScan) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		lz.walkStmt(s)
+	}
+}
+
+func (lz *lazyScan) walkStmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	lz.checkCalls(s)
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		lz.assign(x)
+	case *ast.IfStmt:
+		if lz.condsub(x) {
+			return
+		}
+		lz.walkStmt(x.Init)
+		saved := lz.cloneEnv()
+		lz.walkStmt(x.Body)
+		thenEnv := lz.env
+		lz.env = saved
+		if x.Else != nil {
+			lz.walkStmt(x.Else)
+		}
+		lz.joinEnv(thenEnv)
+	case *ast.BlockStmt:
+		lz.walkStmts(x.List)
+	case *ast.ForStmt:
+		lz.walkStmt(x.Init)
+		lz.invalidateAssigned(x.Body)
+		lz.walkStmt(x.Body)
+		lz.walkStmt(x.Post)
+	case *ast.RangeStmt:
+		lz.invalidateAssigned(x.Body)
+		lz.walkStmt(x.Body)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if !isUint64(lz.typeOf(r)) {
+				continue
+			}
+			c := lz.classOf(r)
+			switch {
+			case c.hi > 2:
+				lz.pass.Reportf(r.Pos(), "%s returns a value bounded only by %dq; reduce before returning", lz.fname, c.hi)
+			case c.hi == 2 && !lz.annot.LazyReturns:
+				lz.pass.Reportf(r.Pos(), "%s returns a relaxed [0,2q) value but is not annotated `//mqx:lazy returns`; call ReduceLazy or annotate", lz.fname)
+			}
+		}
+	case *ast.SwitchStmt:
+		lz.walkStmt(x.Init)
+		lz.invalidateAssigned(x.Body)
+		lz.walkStmt(x.Body)
+	case *ast.CaseClause:
+		saved := lz.cloneEnv()
+		lz.walkStmts(x.Body)
+		lz.env = saved
+	case *ast.LabeledStmt:
+		lz.walkStmt(x.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							if obj := lz.info.Defs[name]; obj != nil {
+								lz.env[obj] = lz.classOf(vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// condsub recognizes `if x >= C { x -= C }` for C ∈ {q, 2q} and applies
+// the refinement: a value < 2C lands in [0, C); larger tracked bounds
+// land at max(C, hi-C).
+func (lz *lazyScan) condsub(x *ast.IfStmt) bool {
+	if x.Init != nil || x.Else != nil || len(x.Body.List) != 1 {
+		return false
+	}
+	cond, ok := unparen(x.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.GEQ {
+		return false
+	}
+	id, ok := unparen(cond.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	c := lz.modClassOf(cond.Y)
+	if c == 0 {
+		return false
+	}
+	as, ok := x.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.SUB_ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lid, ok := unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || lid.Name != id.Name {
+		return false
+	}
+	if types.ExprString(unparen(as.Rhs[0])) != types.ExprString(unparen(cond.Y)) {
+		return false
+	}
+	obj := lz.info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	cur := lz.env[obj]
+	if !cur.tracked() {
+		return true // recognized but nothing to refine
+	}
+	hi := cur.hi - c
+	if hi < c {
+		hi = c
+	}
+	lz.env[obj] = interval{0, hi}
+	return true
+}
+
+func (lz *lazyScan) assign(x *ast.AssignStmt) {
+	// Shoup quotient record: qhat, _ := bits.Mul64(d, pre).
+	if len(x.Lhs) == 2 && len(x.Rhs) == 1 {
+		if call, ok := unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := staticCallee(lz.info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "math/bits" && fn.Name() == "Mul64" && len(call.Args) == 2 {
+				if id, ok := unparen(x.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					obj := lz.info.Defs[id]
+					if obj == nil {
+						obj = lz.info.Uses[id]
+					}
+					if obj != nil {
+						lz.shoup[obj] = types.ExprString(unparen(call.Args[0]))
+					}
+				}
+				return
+			}
+		}
+	}
+	rhsFor := func(i int) ast.Expr {
+		if len(x.Rhs) == len(x.Lhs) {
+			return x.Rhs[i]
+		}
+		return nil
+	}
+	for i, lhs := range x.Lhs {
+		rhs := rhsFor(i)
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := lz.info.Defs[l]
+			if obj == nil {
+				obj = lz.info.Uses[l]
+			}
+			if obj == nil {
+				continue
+			}
+			delete(lz.shoup, obj)
+			if rhs == nil {
+				lz.env[obj] = top
+				continue
+			}
+			switch x.Tok {
+			case token.ASSIGN, token.DEFINE:
+				// Modulus bookkeeping: q := m.Q, twoQ := 2 * q.
+				if c := lz.modClassOf(rhs); c > 0 {
+					lz.modClass[obj] = c
+					delete(lz.env, obj)
+					continue
+				}
+				delete(lz.modClass, obj)
+				lz.env[obj] = lz.classOf(rhs)
+			case token.SUB_ASSIGN:
+				// x -= C outside the condsub idiom: only sound when the
+				// lower bound clears C.
+				cur := lz.env[obj]
+				if c := lz.modClassOf(rhs); c > 0 && cur.tracked() && cur.lo >= c {
+					lz.env[obj] = interval{cur.lo - c, cur.hi - c}
+				} else {
+					lz.env[obj] = top
+				}
+			default:
+				lz.env[obj] = top
+			}
+		case *ast.IndexExpr:
+			if rhs != nil {
+				lz.checkStore(l, rhs, x.Tok)
+			}
+		}
+	}
+}
+
+// checkStore enforces slice-parameter contracts: an unannotated uint64
+// slice parameter is documented canonical, slices= permits relaxed
+// stores, and wide= accepts anything (a raw 64-bit accumulator whose
+// headroom is the caller's contract). Compound stores account for the
+// element already there: acc[j] += v lands old + v, not v.
+func (lz *lazyScan) checkStore(l *ast.IndexExpr, rhs ast.Expr, tok token.Token) {
+	id, ok := unparen(l.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := lz.info.Uses[id]
+	if obj == nil {
+		return
+	}
+	name, isParam := lz.params[obj]
+	if !isParam || lz.annot.WideParams[name] {
+		return
+	}
+	var c interval
+	switch tok {
+	case token.ASSIGN:
+		c = lz.classOf(rhs)
+	case token.ADD_ASSIGN:
+		old, add := lz.classOf(l), lz.classOf(rhs)
+		if old.tracked() && add.tracked() {
+			c = interval{old.lo + add.lo, old.hi + add.hi}
+		} else {
+			c = top
+		}
+	default:
+		c = top
+	}
+	switch {
+	case c.hi > 2:
+		lz.pass.Reportf(rhs.Pos(), "stores a value bounded only by %dq into %s; reduce it first", c.hi, name)
+	case c.hi == 2 && !lz.annot.LazySlices[name]:
+		lz.pass.Reportf(rhs.Pos(), "stores a relaxed [0,2q) value into %s, which is documented canonical; reduce it or annotate `//mqx:lazy slices=%s`", name, name)
+	}
+}
+
+// checkCalls validates argument classes against callee contracts for
+// every call in the statement (evaluated under the pre-statement env).
+func (lz *lazyScan) checkCalls(s ast.Stmt) {
+	// Blocks and control-flow bodies are walked by walkStmt; only check
+	// the expressions evaluated at this statement itself.
+	var exprs []ast.Expr
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		exprs = append(exprs, x.Rhs...)
+	case *ast.ExprStmt:
+		exprs = append(exprs, x.X)
+	case *ast.ReturnStmt:
+		exprs = append(exprs, x.Results...)
+	case *ast.IfStmt:
+		exprs = append(exprs, x.Cond)
+	case *ast.ForStmt:
+		exprs = append(exprs, x.Cond)
+	default:
+		return
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(lz.info, call)
+			if fn == nil {
+				return true
+			}
+			fi := lz.pass.Prog.FuncInfo(fn)
+			if fi == nil {
+				return true // external contract unknown; untracked
+			}
+			lz.checkCallArgs(call, fn, fi)
+			return true
+		})
+	}
+}
+
+func (lz *lazyScan) checkCallArgs(call *ast.CallExpr, fn *types.Func, fi *mqx.FuncInfo) {
+	annot := fi.Annot()
+	sig := fn.Signature()
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() || (sig.Variadic() && i >= params.Len()-1) {
+			break
+		}
+		p := params.At(i)
+		if !isUint64(p.Type()) {
+			continue
+		}
+		c := lz.classOf(arg)
+		if c.hi < 2 {
+			continue
+		}
+		switch {
+		case annot.WideParams[p.Name()]:
+		case annot.LazyParams[p.Name()] && c.hi <= 2:
+		case annot.LazyParams[p.Name()]:
+			lz.pass.Reportf(arg.Pos(), "passes a value bounded only by %dq to parameter %q of %s, which accepts at most [0,2q)", c.hi, p.Name(), fn.Name())
+		default:
+			lz.pass.Reportf(arg.Pos(), "passes a relaxed [0,%dq) value to strict parameter %q of %s; reduce it or annotate the callee `//mqx:lazy params=%s`", c.hi, p.Name(), fn.Name(), p.Name())
+		}
+	}
+}
+
+func (lz *lazyScan) typeOf(e ast.Expr) types.Type {
+	if tv, ok := lz.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (lz *lazyScan) cloneEnv() map[types.Object]interval {
+	c := make(map[types.Object]interval, len(lz.env))
+	for k, v := range lz.env {
+		c[k] = v
+	}
+	return c
+}
+
+// joinEnv merges another branch's environment into the current one:
+// agreeing classes survive, disagreements widen (max hi, min lo), and
+// anything tracked on only one side goes to Top.
+func (lz *lazyScan) joinEnv(other map[types.Object]interval) {
+	for k, v := range lz.env {
+		o, ok := other[k]
+		if !ok {
+			lz.env[k] = top
+			continue
+		}
+		if o != v {
+			if !o.tracked() || !v.tracked() {
+				lz.env[k] = top
+				continue
+			}
+			lo := v.lo
+			if o.lo < lo {
+				lo = o.lo
+			}
+			hi := v.hi
+			if o.hi > hi {
+				hi = o.hi
+			}
+			lz.env[k] = interval{lo, hi}
+		}
+	}
+	for k := range other {
+		if _, ok := lz.env[k]; !ok {
+			lz.env[k] = top
+		}
+	}
+}
+
+// invalidateAssigned sets every variable assigned inside a loop body to
+// Top before the body is walked: residue classes in the repo's kernels
+// are re-seeded from slice reads each iteration, so loop-carried
+// precision is not needed, only soundness.
+func (lz *lazyScan) invalidateAssigned(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				if id, ok := unparen(l).(*ast.Ident); ok {
+					if obj := lz.info.Uses[id]; obj != nil {
+						if _, tracked := lz.env[obj]; tracked {
+							lz.env[obj] = top
+						}
+						delete(lz.shoup, obj)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(x.X).(*ast.Ident); ok {
+				if obj := lz.info.Uses[id]; obj != nil {
+					lz.env[obj] = top
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,402 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// ScratchEscape enforces the pooled-scratch lifetime convention: a value
+// obtained from sync.Pool.Get — or from a wrapper annotated //mqx:scratch,
+// like the ring plan's getScratch — is only valid between its Get and the
+// matching Put. Within one function body (statements taken in source
+// order) it flags:
+//
+//   - storing the pooled value, or anything aliasing it (field
+//     selections, sub-slices, &elem), into a struct field reachable from
+//     a parameter or receiver, or into a package-level variable;
+//   - returning the pooled value or an alias (unless the function is
+//     itself a //mqx:scratch accessor);
+//   - using the pooled value, or any alias, after a non-deferred Put —
+//     the exact shape of the PR 7 fused-MAC m==1 aliasing bug, where a
+//     scratch sub-buffer stayed live past its window.
+//
+// Deferred Puts are the sanctioned cleanup idiom and do not end the
+// window. The walk is linear (no path-sensitivity): both branches of an
+// if are scanned in order, which matches the straight-line shape of the
+// repo's scratch windows.
+var ScratchEscape = &mqx.Analyzer{
+	Name: "scratchescape",
+	Doc:  "pooled scratch must not escape its Get/Put window",
+	Run:  runScratchEscape,
+}
+
+func runScratchEscape(pass *mqx.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanScratchFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type scratchState struct {
+	pass     *mqx.Pass
+	info     *types.Info
+	fnAnnot  *mqx.FuncAnnot
+	boundary map[types.Object]bool // params, receiver, results: stores into these escape
+	pkgScope *types.Scope
+
+	pooled map[types.Object]int // alias object -> pool token
+	killed map[int]bool         // tokens recycled by a non-deferred Put
+	nextID int
+}
+
+func scanScratchFunc(pass *mqx.Pass, fd *ast.FuncDecl) {
+	fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+	var annot *mqx.FuncAnnot
+	if fn != nil {
+		if fi := pass.Prog.FuncInfo(fn); fi != nil {
+			annot = fi.Annot()
+		}
+	}
+	if annot == nil {
+		annot = &mqx.FuncAnnot{}
+	}
+	st := &scratchState{
+		pass:     pass,
+		info:     pass.Pkg.Info,
+		fnAnnot:  annot,
+		boundary: funcScopeObjects(pass.Pkg.Info, fd),
+		pkgScope: pass.Pkg.Types.Scope(),
+		pooled:   make(map[types.Object]int),
+		killed:   make(map[int]bool),
+	}
+	st.walkStmts(fd.Body.List)
+}
+
+// poolGet reports whether the expression produces a pooled value: a
+// sync.Pool Get call, a //mqx:scratch wrapper call, or either of those
+// behind a type assertion.
+func (st *scratchState) poolGet(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return st.poolGet(x.X)
+	case *ast.CallExpr:
+		if st.isSyncPoolMethod(x, "Get") {
+			return true
+		}
+		if fn := staticCallee(st.info, x); fn != nil {
+			if fi := st.pass.Prog.FuncInfo(fn); fi != nil && fi.Annot().Scratch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// poolPut returns the recycled argument if the call is a sync.Pool Put
+// or a //mqx:scratchput wrapper; nil otherwise.
+func (st *scratchState) poolPut(call *ast.CallExpr) ast.Expr {
+	if st.isSyncPoolMethod(call, "Put") && len(call.Args) == 1 {
+		return call.Args[0]
+	}
+	if fn := staticCallee(st.info, call); fn != nil {
+		if fi := st.pass.Prog.FuncInfo(fn); fi != nil && fi.Annot().ScratchPut && len(call.Args) >= 1 {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+func (st *scratchState) isSyncPoolMethod(call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := st.info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return namedIn(s.Recv(), "sync", "Pool")
+}
+
+// pooledToken returns the pool token an expression aliases, or -1. An
+// expression of basic type (tmp[p] on a pooled []uint64, len(tmp)) is a
+// value copied OUT of the slab, not an alias into it — reading elements
+// into caller memory is the whole point of a scratch buffer.
+func (st *scratchState) pooledToken(e ast.Expr) int {
+	if tv, ok := st.info.Types[e]; ok && tv.Type != nil {
+		if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+			return -1
+		}
+	}
+	if id := rootIdent(e); id != nil {
+		if obj := st.info.Uses[id]; obj != nil {
+			if tok, ok := st.pooled[obj]; ok {
+				return tok
+			}
+		}
+	}
+	return -1
+}
+
+func (st *scratchState) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		st.walkStmt(s)
+	}
+}
+
+func (st *scratchState) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		st.assign(x)
+	case *ast.ExprStmt:
+		if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+			if arg := st.poolPut(call); arg != nil {
+				if tok := st.pooledToken(arg); tok >= 0 {
+					st.killed[tok] = true
+				}
+				return
+			}
+		}
+		st.checkUses(x.X)
+	case *ast.DeferStmt:
+		// Deferred Put is the sanctioned cleanup; a deferred closure is
+		// scanned for escapes only (it runs at exit, outside the linear
+		// window model).
+		if st.poolPut(x.Call) != nil {
+			return
+		}
+		if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+			st.walkClosure(lit)
+			return
+		}
+		st.checkUses(x.Call)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			st.checkUses(r)
+			if tok := st.pooledToken(r); tok >= 0 && !st.fnAnnot.Scratch {
+				st.pass.Reportf(r.Pos(), "pooled scratch returned from %s: it outlives its Get/Put window (annotate the accessor //mqx:scratch if intentional)", describeExpr(r))
+			}
+		}
+	case *ast.IfStmt:
+		st.walkStmt(x.Init)
+		st.checkUses(x.Cond)
+		st.walkStmt(x.Body)
+		st.walkStmt(x.Else)
+	case *ast.BlockStmt:
+		st.walkStmts(x.List)
+	case *ast.ForStmt:
+		st.walkStmt(x.Init)
+		st.checkUses(x.Cond)
+		st.walkStmt(x.Body)
+		st.walkStmt(x.Post)
+	case *ast.RangeStmt:
+		st.checkUses(x.X)
+		st.walkStmt(x.Body)
+	case *ast.SwitchStmt:
+		st.walkStmt(x.Init)
+		st.checkUses(x.Tag)
+		st.walkStmt(x.Body)
+	case *ast.TypeSwitchStmt:
+		st.walkStmt(x.Init)
+		st.walkStmt(x.Assign)
+		st.walkStmt(x.Body)
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			st.checkUses(e)
+		}
+		st.walkStmts(x.Body)
+	case *ast.SelectStmt:
+		st.walkStmt(x.Body)
+	case *ast.CommClause:
+		st.walkStmt(x.Comm)
+		st.walkStmts(x.Body)
+	case *ast.LabeledStmt:
+		st.walkStmt(x.Stmt)
+	case *ast.GoStmt:
+		st.checkUses(x.Call)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st.checkUses(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		st.checkUses(x.X)
+	case *ast.SendStmt:
+		st.checkUses(x.Chan)
+		st.checkUses(x.Value)
+	}
+}
+
+func (st *scratchState) assign(x *ast.AssignStmt) {
+	for _, r := range x.Rhs {
+		st.checkUses(r)
+	}
+	// Pooledness of each RHS position (1:1 or single tuple RHS).
+	rhsFor := func(i int) ast.Expr {
+		if len(x.Rhs) == len(x.Lhs) {
+			return x.Rhs[i]
+		}
+		if len(x.Rhs) == 1 {
+			return x.Rhs[0]
+		}
+		return nil
+	}
+	for i, lhs := range x.Lhs {
+		rhs := rhsFor(i)
+		if rhs == nil {
+			continue
+		}
+		fresh := st.poolGet(rhs)
+		aliasTok := st.pooledToken(rhs)
+
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			if l.Name == "_" {
+				continue
+			}
+			obj := st.info.Defs[l]
+			if obj == nil {
+				obj = st.info.Uses[l]
+			}
+			if obj == nil {
+				continue
+			}
+			switch {
+			case fresh:
+				st.nextID++
+				st.pooled[obj] = st.nextID
+			case aliasTok >= 0:
+				if st.isGlobal(obj) {
+					st.pass.Reportf(lhs.Pos(), "pooled scratch stored into package-level variable %s: it escapes its Get/Put window", l.Name)
+					continue
+				}
+				st.pooled[obj] = aliasTok
+			default:
+				delete(st.pooled, obj) // reassigned to something fresh
+			}
+		default:
+			// Store into a field, element, or dereference. Escape if the
+			// destination is rooted outside this function's locals and
+			// the value is pooled.
+			if !fresh && aliasTok < 0 {
+				continue
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				st.pass.Reportf(lhs.Pos(), "pooled scratch stored through an unanalyzable destination")
+				continue
+			}
+			obj := st.info.Uses[root]
+			if obj == nil {
+				obj = st.info.Defs[root]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, destPooled := st.pooled[obj]; destPooled {
+				continue // sc.a = sc.b: stays inside the window
+			}
+			if st.boundary[obj] || st.isGlobal(obj) {
+				st.pass.Reportf(lhs.Pos(), "pooled scratch stored into %s, which is reachable outside this call: it escapes its Get/Put window", describeExpr(lhs))
+			}
+		}
+	}
+}
+
+func (st *scratchState) isGlobal(obj types.Object) bool {
+	return obj.Parent() == st.pkgScope
+}
+
+// checkUses reports identifiers that alias a pool token already recycled
+// by a non-deferred Put. Closure literals are scanned for escapes only.
+func (st *scratchState) checkUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			st.walkClosure(x)
+			return false
+		case *ast.Ident:
+			obj := st.info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			if tok, ok := st.pooled[obj]; ok && st.killed[tok] {
+				st.pass.Reportf(x.Pos(), "use of pooled scratch %s after Put: the buffer may already be reused by another goroutine", x.Name)
+			}
+		}
+		return true
+	})
+}
+
+// walkClosure scans a closure body for escape stores (fields of captured
+// non-locals, globals) without applying the linear Put/use-after model,
+// since the closure's execution point is not tied to its position.
+func (st *scratchState) walkClosure(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if st.pooledToken(as.Rhs[i]) < 0 {
+				continue
+			}
+			if _, isIdent := unparen(lhs).(*ast.Ident); isIdent {
+				continue
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			obj := st.info.Uses[root]
+			if obj == nil {
+				continue
+			}
+			if _, destPooled := st.pooled[obj]; destPooled {
+				continue
+			}
+			if st.boundary[obj] || st.isGlobal(obj) {
+				st.pass.Reportf(lhs.Pos(), "pooled scratch stored into %s from a closure: it escapes its Get/Put window", describeExpr(lhs))
+			}
+		}
+		return true
+	})
+}
+
+func describeExpr(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if root := rootIdent(x); root != nil {
+			return root.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	case *ast.IndexExpr:
+		return describeExpr(x.X) + "[...]"
+	case *ast.SliceExpr:
+		return describeExpr(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

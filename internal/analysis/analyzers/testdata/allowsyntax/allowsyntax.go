@@ -1,0 +1,9 @@
+// Package fixture holds a reasonless //mqx:allow: it must suppress
+// nothing and be reported as malformed itself.
+package fixture
+
+//mqx:hotpath
+func warm(n int) []uint64 {
+	//mqx:allow hotalloc
+	return make([]uint64, n)
+}

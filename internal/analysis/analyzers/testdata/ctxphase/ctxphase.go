@@ -1,0 +1,78 @@
+// Package fixture exercises the ctxphase analyzer: exported ...Ctx APIs
+// must actually thread their context, and — because this package carries
+// the //mqx:ctxstrict directive, like internal/serve — calls to bare
+// siblings of Ctx APIs in other packages are forbidden.
+//
+//mqx:ctxstrict
+package fixture
+
+import (
+	"context"
+
+	"mqxgo/internal/fhe"
+)
+
+// phaseGate mirrors the backends' tower-phase checkpoint.
+func phaseGate(ctx context.Context, phase string) error {
+	_ = phase
+	return ctx.Err()
+}
+
+// DeadCtx is the lie the analyzer exists for: a Ctx suffix over a body
+// that ignores its context.
+func DeadCtx(ctx context.Context, n int) int { // want `DeadCtx is exported with a Ctx suffix but never threads its context`
+	return n * 2
+}
+
+// GateCtx threads the context straight into the phase gate.
+func GateCtx(ctx context.Context) error {
+	return phaseGate(ctx, "gate")
+}
+
+// ObserveCtx observes the context directly instead of gating.
+func ObserveCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// ChainCtx delegates to an unexported helper that gates each hop — the
+// galoisChain shape the transitive rule exists for.
+func ChainCtx(ctx context.Context, hops int) error {
+	return chain(ctx, hops)
+}
+
+func chain(ctx context.Context, hops int) error {
+	for i := 0; i < hops; i++ {
+		if err := phaseGate(ctx, "hop"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LaunderCtx hands its context to a helper that also ignores it: passing
+// the context around is not threading it.
+func LaunderCtx(ctx context.Context, n int) int { // want `LaunderCtx is exported with a Ctx suffix but never threads its context`
+	return launder(ctx, n)
+}
+
+func launder(ctx context.Context, n int) int {
+	_ = ctx
+	return n + 1
+}
+
+// evalBare calls the bare scheme API from a ctxstrict package: the
+// admission deadline never reaches the tower phases.
+func evalBare(s *fhe.BackendScheme, ct fhe.BackendCiphertext) {
+	s.ModSwitch(ct) // want `calls fhe\.BackendScheme\.ModSwitch from a //mqx:ctxstrict package, but ModSwitchCtx exists`
+}
+
+// evalCtx is the compliant caller.
+func evalCtx(ctx context.Context, s *fhe.BackendScheme, ct fhe.BackendCiphertext) (fhe.BackendCiphertext, error) {
+	return s.ModSwitchCtx(ctx, ct)
+}
+
+// evalAllowed is evalBare consciously accepted, reason in scope.
+func evalAllowed(s *fhe.BackendScheme, ct fhe.BackendCiphertext) {
+	//mqx:allow ctxphase fixture exercises the bare path deliberately
+	s.ModSwitch(ct)
+}

@@ -1,0 +1,65 @@
+// Package fixture exercises the domaintag analyzer: exported readers of
+// BackendCiphertext component polys must validate the domain tag before
+// touching .A or .B.
+package fixture
+
+import (
+	"fmt"
+
+	"mqxgo/internal/fhe"
+)
+
+// Validate is the fixture's domain validator; the annotation is what
+// makes calls to it satisfy the ordered-check rule.
+//
+//mqx:domaincheck
+func Validate(ct fhe.BackendCiphertext) error {
+	if ct.Domain > fhe.DomainNTT {
+		return fmt.Errorf("fixture: unknown domain tag %d", ct.Domain)
+	}
+	return nil
+}
+
+// Components reads the component polys with no check at all.
+func Components(ct fhe.BackendCiphertext) (fhe.Poly, fhe.Poly) {
+	return ct.A, ct.B // want `Components reads BackendCiphertext\.A without a prior domain check`
+}
+
+// ComponentsChecked validates before the reads.
+func ComponentsChecked(ct fhe.BackendCiphertext) (fhe.Poly, fhe.Poly, error) {
+	if err := Validate(ct); err != nil {
+		return nil, nil, err
+	}
+	return ct.A, ct.B, nil
+}
+
+// ComponentTagged inspects the tag inline instead of calling a validator.
+func ComponentTagged(ct fhe.BackendCiphertext) fhe.Poly {
+	if ct.Domain != fhe.DomainNTT {
+		return nil
+	}
+	return ct.A
+}
+
+// LateCheck bolts the validation on after the arithmetic: the ordered
+// rule still reports it.
+func LateCheck(ct fhe.BackendCiphertext) fhe.Poly {
+	a := ct.A // want `LateCheck reads BackendCiphertext\.A without a prior domain check`
+	if err := Validate(ct); err != nil {
+		return nil
+	}
+	return a
+}
+
+// componentInternal is unexported: inside the validated perimeter, exempt.
+func componentInternal(ct fhe.BackendCiphertext) fhe.Poly {
+	return ct.A
+}
+
+// ComponentAllowed reads without a check, consciously accepted.
+func ComponentAllowed(ct fhe.BackendCiphertext) fhe.Poly {
+	//mqx:allow domaintag fixture reads a component deliberately
+	return ct.A
+}
+
+var _ = componentInternal

@@ -1,0 +1,117 @@
+// Package fixture exercises the hotalloc analyzer: allocation sites in
+// //mqx:hotpath call graphs are reported, cold paths and allowlisted
+// callees are not, and //mqx:allow suppresses a conscious exception.
+package fixture
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// hot is an annotated root: its own allocations and those of everything
+// it statically calls are findings.
+//
+//mqx:hotpath
+func hot(dst []uint64, n int) []uint64 {
+	buf := make([]uint64, n) // want `heap allocation \(make\) in hot path hot`
+	helper(dst)
+	return buf
+}
+
+// helper is unannotated but reached from hot, so it is scanned under
+// hot's chain.
+func helper(dst []uint64) {
+	dst = append(dst, 1) // want `append \(may grow the backing array\) in hot path hot → helper`
+	_ = dst
+}
+
+// cold has the same body as hot but no annotation and no hot caller:
+// nothing is reported.
+func cold(n int) []uint64 {
+	return make([]uint64, n)
+}
+
+// guarded shows the two cold-path suppressions: a body ending in panic
+// and a body ending in a constructed error return may allocate.
+//
+//mqx:hotpath
+func guarded(a, b []uint64) error {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fixture: length mismatch %d != %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return fmt.Errorf("fixture: empty input")
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return nil
+}
+
+// boxes passes a non-pointer-shaped value to an interface parameter.
+//
+//mqx:hotpath
+func boxes(v int) {
+	sink(v) // want `interface boxing of int argument in hot path boxes`
+}
+
+func sink(v any) { _ = v }
+
+// noBox passes pointer-shaped values: a pointer word fits the interface
+// directly, no finding.
+//
+//mqx:hotpath
+func noBox(p *int) {
+	sink(p)
+}
+
+// spawns starts a goroutine through a function value: both the go
+// statement and the unfollowable call are findings.
+//
+//mqx:hotpath
+func spawns(f func()) {
+	go f() // want `go statement \(allocates a goroutine\) in hot path spawns` `call through function value \(call graph cannot follow it\) in hot path spawns`
+}
+
+// external calls outside the module off the proven-free allowlist.
+//
+//mqx:hotpath
+func external(s string) int {
+	return strings.Count(s, "x") // want `call to strings\.Count \(external, not proven allocation-free\) in hot path external`
+}
+
+// allowlisted calls math/bits and friends: proven allocation-free.
+//
+//mqx:hotpath
+func allowlisted(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// closes builds a closure literal in the hot body.
+//
+//mqx:hotpath
+func closes(n int) func() int {
+	f := func() int { return n } // want `closure literal \(may allocate; hoist or annotate\) in hot path closes`
+	return f
+}
+
+// warm allocates once deliberately, excused by a line-scoped allow.
+//
+//mqx:hotpath
+func warm(n int) []uint64 {
+	//mqx:allow hotalloc fixture demonstrates a deliberate warm-up allocation
+	buf := make([]uint64, n)
+	return buf
+}
+
+// warmDoc allocates under a doc-scoped allow covering the whole body.
+//
+//mqx:hotpath
+//mqx:allow hotalloc warm-up allocation audited by this fixture
+func warmDoc(n int) []uint64 {
+	return make([]uint64, n)
+}
+
+var _ = []any{hot, cold, guarded, boxes, noBox, spawns, external, allowlisted, closes, warm, warmDoc}

@@ -1,0 +1,117 @@
+// Package fixture exercises the lazyrange analyzer: the machine-checked
+// replacement for the prose headroom proofs. reduceRowMissing is the
+// acceptance shape — reduceRow with its conditional subtraction deleted
+// — and must be caught.
+package fixture
+
+import "math/bits"
+
+// mulLazy is the fixture's MulShoupLazy: the inlined Shoup idiom lands
+// in [0, 2q) for ANY 64-bit a, and the contract says so.
+//
+//mqx:lazy returns wide=a
+func mulLazy(a, w, pre, q uint64) uint64 {
+	qhat, _ := bits.Mul64(a, pre)
+	return a*w - qhat*q
+}
+
+// mulLeaky is the same body without the `returns` contract: handing a
+// relaxed value to callers documented canonical is reported.
+//
+//mqx:lazy wide=a
+func mulLeaky(a, w, pre, q uint64) uint64 {
+	qhat, _ := bits.Mul64(a, pre)
+	return a*w - qhat*q // want `mulLeaky returns a relaxed \[0,2q\) value but is not annotated`
+}
+
+// reduceRow reduces each relaxed input to canonical before the store:
+// the conditional subtraction is what discharges the proof obligation.
+//
+//mqx:lazy params=in
+func reduceRow(out, in []uint64, q uint64) {
+	for j := range in {
+		x := in[j]
+		if x >= q {
+			x -= q
+		}
+		out[j] = x
+	}
+}
+
+// reduceRowMissing is reduceRow with the condsub deleted — the exact
+// edit the analyzer exists to catch: a [0,2q) value stored into a slice
+// parameter documented canonical.
+//
+//mqx:lazy params=in
+func reduceRowMissing(out, in []uint64, q uint64) {
+	for j := range in {
+		x := in[j]
+		out[j] = x // want `stores a relaxed \[0,2q\) value into out, which is documented canonical`
+	}
+}
+
+// sumHeadroom stays inside the 4q < 2^64 inventory: two relaxed values
+// sum to [0, 4q) and two conditional subtracts land canonical.
+//
+//mqx:lazy params=a,b
+func sumHeadroom(a, b, q uint64) uint64 {
+	twoQ := 2 * q
+	s := a + b
+	if s >= twoQ {
+		s -= twoQ
+	}
+	if s >= q {
+		s -= q
+	}
+	return s
+}
+
+// sumOverflow adds a third relaxed term: bounded only by 6q, past the
+// proved no-wrap envelope.
+//
+//mqx:lazy params=a,b
+func sumOverflow(a, b, q uint64) uint64 {
+	s := a + b
+	d := s + a // want `lazy headroom: sum is bounded only by 6q`
+	return d
+}
+
+// canonOnly documents canonical inputs and outputs.
+//
+//mqx:lazy strict
+func canonOnly(x, q uint64) uint64 {
+	if x >= q {
+		x -= q
+	}
+	return x
+}
+
+// passesRelaxed hands a relaxed residue to canonOnly's strict parameter.
+//
+//mqx:lazy params=a
+func passesRelaxed(a, q uint64) uint64 {
+	return canonOnly(a, q) // want `passes a relaxed \[0,2q\) value to strict parameter "x" of canonOnly`
+}
+
+// reduceFirst is the corrected caller: condsub, then the strict call.
+//
+//mqx:lazy params=a
+func reduceFirst(a, q uint64) uint64 {
+	if a >= q {
+		a -= q
+	}
+	return canonOnly(a, q)
+}
+
+// allowedStore keeps a relaxed store on purpose, with the reason
+// recorded in scope.
+//
+//mqx:lazy params=in
+func allowedStore(out, in []uint64, q uint64) {
+	for j := range in {
+		//mqx:allow lazyrange fixture keeps a deliberate relaxed store
+		out[j] = in[j]
+	}
+}
+
+var _ = []any{mulLazy, mulLeaky, reduceRow, reduceRowMissing, sumHeadroom, sumOverflow, canonOnly, passesRelaxed, reduceFirst, allowedStore}

@@ -1,0 +1,165 @@
+// Package analyzers holds the five mqxlint analyzers. Each one encodes a
+// convention the repo's hot paths rely on but that only runtime tests
+// defended before: allocation-free //mqx:hotpath call graphs (hotalloc),
+// pool-scoped scratch lifetimes (scratchescape), machine-checked lazy
+// reduction headroom (lazyrange), context threading at BEHZ phase
+// boundaries (ctxphase), and domain-tag validation before ciphertext
+// component access (domaintag).
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mqxgo/internal/analysis/mqx"
+)
+
+// All is the mqxlint suite in reporting order.
+var All = []*mqx.Analyzer{
+	HotAlloc,
+	ScratchEscape,
+	LazyRange,
+	CtxPhase,
+	DomainTag,
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes:
+// package-level functions, methods with a concrete receiver, and
+// qualified imports. Interface method calls and indirect calls through
+// function values return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch boundary
+			}
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr:
+		// Explicitly instantiated generic function: f[T](...).
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// namedIn reports whether t (after pointer dereference) is the named
+// type pkgSuffix.name, matching the package by import-path suffix so the
+// check holds for both the real module path and fixture stand-ins.
+func namedIn(t types.Type, pkgSuffix, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgSuffix || hasPathSuffix(path, pkgSuffix)
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// rootIdent walks selector/index/star/slice chains to the base
+// identifier: rootIdent(a.b[i].c) == a. Returns nil for rootless
+// expressions (calls, literals).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcScopeObjects collects the objects declared by a function's
+// receiver, parameters, and named results.
+func funcScopeObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := info.Defs[n]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	if fd.Recv != nil {
+		addFields(fd.Recv)
+	}
+	if fd.Type.Params != nil {
+		addFields(fd.Type.Params)
+	}
+	if fd.Type.Results != nil {
+		addFields(fd.Type.Results)
+	}
+	return objs
+}

@@ -1,0 +1,103 @@
+package mqx
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppressions: `//mqx:allow <analyzer> <reason>` silences one
+// analyzer's findings in a bounded scope. The reason is mandatory — an
+// allow with no justification does not suppress anything (and mqxlint
+// reports it as malformed). Scopes:
+//
+//   - a trailing comment suppresses findings on its own line;
+//   - a comment on its own line suppresses findings on the next line;
+//   - an allow inside a function's doc comment suppresses findings
+//     anywhere in that function's body.
+type allowIndex struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzers allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// ranges are function-scoped allows.
+	ranges []allowRange
+	// malformed are //mqx:allow comments missing analyzer or reason.
+	malformed []Diagnostic
+}
+
+type allowRange struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+func buildAllowIndex(fset *token.FileSet, pkgs []*Package) *allowIndex {
+	idx := &allowIndex{fset: fset, byLine: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			idx.addFile(f)
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) addFile(f *ast.File) {
+	// Doc-scoped allows: an allow in a FuncDecl doc covers the body.
+	docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			docs[fd.Doc] = fd
+		}
+	}
+	for _, cg := range f.Comments {
+		fd := docs[cg]
+		for _, c := range cg.List {
+			line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(line, "mqx:allow") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(line, "mqx:allow"))
+			if len(fields) < 2 {
+				idx.malformed = append(idx.malformed, Diagnostic{
+					Pos:      c.Pos(),
+					Analyzer: "mqxallow",
+					Message:  "malformed //mqx:allow: need `//mqx:allow <analyzer> <reason>` (reason is mandatory)",
+				})
+				continue
+			}
+			analyzer := fields[0]
+			pos := idx.fset.Position(c.Pos())
+			if fd != nil {
+				start := idx.fset.Position(fd.Pos()).Line
+				end := idx.fset.Position(fd.End()).Line
+				idx.ranges = append(idx.ranges, allowRange{pos.Filename, start, end, analyzer})
+				continue
+			}
+			lines := idx.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				idx.byLine[pos.Filename] = lines
+			}
+			for _, ln := range []int{pos.Line, pos.Line + 1} {
+				if lines[ln] == nil {
+					lines[ln] = make(map[string]bool)
+				}
+				lines[ln][analyzer] = true
+			}
+		}
+	}
+}
+
+// allowed reports whether d is suppressed by an in-scope allow.
+func (idx *allowIndex) allowed(d Diagnostic) bool {
+	pos := idx.fset.Position(d.Pos)
+	if m := idx.byLine[pos.Filename]; m != nil && m[pos.Line][d.Analyzer] {
+		return true
+	}
+	for _, r := range idx.ranges {
+		if r.analyzer == d.Analyzer && r.file == pos.Filename && pos.Line >= r.start && pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package mqx is a self-contained analysis framework: the narrow slice
+// of golang.org/x/tools/go/analysis this repository needs, rebuilt on
+// the standard library alone (go/parser + go/types + the source
+// importer, with package discovery delegated to `go list`). The shape
+// deliberately mirrors go/analysis — an Analyzer owns a Run function
+// over a Pass — so the suite can migrate to the real multichecker
+// verbatim once the x/tools dependency is available; until then nothing
+// outside the toolchain is required to build or run the linters.
+//
+// Two repo-specific mechanisms live here rather than in the analyzers:
+//
+//   - Annotations (annot.go): `//mqx:` directive comments on functions
+//     and packages (hotpath, lazy-domain contracts, domain-check and
+//     scratch-pool markers) that the analyzers read as machine-checked
+//     API documentation.
+//   - Suppressions (allow.go): `//mqx:allow <analyzer> <reason>` filters
+//     findings the repo has consciously accepted, with the reason kept
+//     next to the code it excuses.
+package mqx
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics and
+// in //mqx:allow suppressions), one-paragraph documentation, and the Run
+// function invoked once per analyzed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced
+// it. Pos resolves through the Program's shared FileSet, so findings may
+// point into a dependency package (hotalloc reports allocation sites in
+// callees reached from another package's hot root).
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries everything one analyzer invocation may inspect: the
+// package under analysis plus the whole loaded Program for cross-package
+// queries (call graphs, annotations on callees in other packages).
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos. Duplicate (position, message) pairs
+// for the same analyzer are collapsed by the runner, so analyzers that
+// reach one site from several roots need not dedupe themselves.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

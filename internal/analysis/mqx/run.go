@@ -1,0 +1,50 @@
+package mqx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run invokes each analyzer over every target package of the program,
+// filters suppressed findings through the //mqx:allow index, dedupes,
+// and returns the remaining diagnostics in file/position order.
+// Malformed //mqx:allow comments are themselves reported.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildAllowIndex(prog.Fset, prog.Packages)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Targets() {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	diags = append(diags, idx.malformed...)
+
+	kept := diags[:0]
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.Analyzer != "mqxallow" && idx.allowed(d) {
+			continue
+		}
+		pos := prog.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, d)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		pi, pj := prog.Position(kept[i].Pos), prog.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return kept, nil
+}

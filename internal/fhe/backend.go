@@ -302,6 +302,8 @@ func (s *BackendScheme) checkMsg(msg []uint64) error {
 // converted: a resident and a coefficient handle meeting in one operation
 // means some caller lost track of representation state, and an implicit
 // transform would bury that bug under a correctness-preserving cost.
+//
+//mqx:domaincheck
 func (s *BackendScheme) checkCts(cts ...BackendCiphertext) error {
 	for i, ct := range cts {
 		if ct.Domain > DomainNTT {

@@ -163,9 +163,13 @@ func (b *ringBackend) CheckPoly(level int, a Poly) error {
 	return b.checkPolyAt(level, a)
 }
 
+//mqx:domaincheck
 func (b *ringBackend) CheckCiphertext(ct BackendCiphertext) error {
 	if ct.Level < 0 || ct.Level >= len(b.levels) {
 		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if ct.Domain > DomainNTT {
+		return fmt.Errorf("fhe: unknown domain tag %d", ct.Domain)
 	}
 	if ct.A == nil || ct.B == nil {
 		return fmt.Errorf("fhe: malformed ciphertext (nil component)")

@@ -434,9 +434,13 @@ func (b *rnsBackend) CheckPoly(level int, a Poly) error {
 	return b.checkPolyAt(level, a)
 }
 
+//mqx:domaincheck
 func (b *rnsBackend) CheckCiphertext(ct BackendCiphertext) error {
 	if ct.Level < 0 || ct.Level >= len(b.levels) {
 		return fmt.Errorf("fhe: level %d outside the %d-level chain", ct.Level, len(b.levels))
+	}
+	if ct.Domain > DomainNTT {
+		return fmt.Errorf("fhe: unknown domain tag %d", ct.Domain)
 	}
 	if ct.A == nil || ct.B == nil {
 		return fmt.Errorf("fhe: malformed ciphertext (nil component)")
@@ -1715,6 +1719,9 @@ func relinTower(sc *rnsMulScratch, tau int, resident bool) {
 // accumulator row: acc[j] += a[j]*w[j] - floor(a[j]*pre[j]/2^64)*q, each
 // summand < 2q and congruent to a[j]*w[j] mod q for any 64-bit a[j].
 // Callers guarantee the no-wrap headroom (rnsLevel.relinLazy).
+//
+//mqx:hotpath
+//mqx:lazy wide=a,acc
 func mulPreAddRow(acc, a, w, pre []uint64, q uint64) {
 	a = a[:len(acc)]
 	w = w[:len(acc)]
@@ -1728,6 +1735,8 @@ func mulPreAddRow(acc, a, w, pre []uint64, q uint64) {
 // reduceAddRow lands a lazy accumulator row on a canonical row:
 // dst[j] = dst[j] + acc[j] mod q, one Barrett reduction per element for
 // the whole deferred inner product.
+//
+//mqx:hotpath
 func reduceAddRow(dst, acc []uint64, mod *modmath.Modulus64) {
 	q, mu, nb := mod.Q, mod.Mu, mod.N
 	acc = acc[:len(dst)]
@@ -1785,6 +1794,9 @@ func (b *rnsBackend) ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, c
 	if dst.Level != ct.Level+1 {
 		return fmt.Errorf("fhe: ModSwitch destination at level %d, want %d", dst.Level, ct.Level+1)
 	}
+	if dst.Domain != ct.Domain {
+		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
+	}
 	srcA, ok1 := ct.A.(rns.Poly)
 	srcB, ok2 := ct.B.(rns.Poly)
 	if !ok1 || !ok2 {
@@ -1794,9 +1806,6 @@ func (b *rnsBackend) ModSwitchCtx(ctx context.Context, dst *BackendCiphertext, c
 	dstB, ok4 := dst.B.(rns.Poly)
 	if !ok3 || !ok4 {
 		return fmt.Errorf("fhe: foreign destination handle on the %s backend", b.Name())
-	}
-	if dst.Domain != ct.Domain {
-		return fmt.Errorf("fhe: ModSwitch domain mismatch: %s -> %s", ct.Domain, dst.Domain)
 	}
 	if err := phaseGate(ctx, faultinject.SiteModSwitch); err != nil {
 		return err
@@ -1844,6 +1853,7 @@ func clearRow(row []uint64) {
 	}
 }
 
+//mqx:hotpath
 func addRow(dst, src []uint64, mod *modmath.Modulus64) {
 	for j := range dst {
 		dst[j] = mod.Add(dst[j], src[j])

@@ -1,0 +1,82 @@
+package ring
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAsmStubParity cross-checks the assembly kernels against their Go
+// declarations: every `TEXT ·sym` in a *_amd64.s file must have exactly
+// one body-less Go stub in a *_amd64.go file, and vice versa. go vet's
+// asmdecl pass validates argument frames only for symbols that HAVE a Go
+// declaration — a TEXT body with no stub (or a stub whose TEXT was
+// renamed) silently falls outside its coverage, which is exactly the
+// drift this test pins down.
+func TestAsmStubParity(t *testing.T) {
+	textRe := regexp.MustCompile(`(?m)^TEXT ·([A-Za-z0-9_]+)`)
+	asmSyms := map[string]string{}
+	goStubs := map[string]string{}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, "_amd64.s"):
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range textRe.FindAllStringSubmatch(string(src), -1) {
+				if prev, dup := asmSyms[m[1]]; dup {
+					t.Errorf("TEXT ·%s defined in both %s and %s", m[1], prev, name)
+				}
+				asmSyms[m[1]] = name
+			}
+		case strings.HasSuffix(name, "_amd64.go") && !strings.HasSuffix(name, "_test.go"):
+			f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body != nil || fd.Recv != nil {
+					continue
+				}
+				goStubs[fd.Name.Name] = name
+			}
+		}
+	}
+	if len(asmSyms) == 0 {
+		t.Fatal("no TEXT symbols found; the scan is broken")
+	}
+	for _, sym := range sortedKeys(asmSyms) {
+		if _, ok := goStubs[sym]; !ok {
+			t.Errorf("TEXT ·%s (%s) has no body-less Go declaration: asmdecl cannot check its frame", sym, asmSyms[sym])
+		}
+	}
+	for _, sym := range sortedKeys(goStubs) {
+		if _, ok := asmSyms[sym]; !ok {
+			t.Errorf("Go stub %s (%s) has no TEXT body in any *_amd64.s file", sym, goStubs[sym])
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

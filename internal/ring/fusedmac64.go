@@ -28,6 +28,8 @@ import "math/bits"
 // unique value the fused final-stage kernels write.
 //
 // Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func NegacyclicForwardMAC2(p *Plan[uint64, Shoup64], accA, accB, x, wA, preA, wB, preB []uint64) {
 	p.checkLen(len(accA))
 	p.checkLen(len(accB))
@@ -97,6 +99,9 @@ type fusedMACSpanKernels interface {
 // in (0, 4q), and two conditional subtracts land each on its canonical
 // residue. The Shoup MAC summand d*w - qhat*q is then the same value
 // the unfused mulPreAddRow folds in.
+//
+//mqx:hotpath
+//mqx:lazy params=lo,hi wide=accA,accB
 func macFinal2SpanScalar(q uint64, accA, accB, lo, hi, wA, preA, wB, preB []uint64) {
 	twoQ := 2 * q
 	for i := range lo {

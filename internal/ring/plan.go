@@ -288,7 +288,15 @@ func (p *Plan[T, R]) UntwistTable() (w []T, pre []uint64) {
 	return p.untwist.w, p.untwist.pre
 }
 
-func (p *Plan[T, R]) getScratch() *scratchPair[T]  { return p.scratch.Get().(*scratchPair[T]) }
+// getScratch checks a ping/pong buffer pair out of the plan pool; the
+// value is only valid until the matching putScratch.
+//
+//mqx:scratch
+func (p *Plan[T, R]) getScratch() *scratchPair[T] { return p.scratch.Get().(*scratchPair[T]) }
+
+// putScratch recycles a pair checked out by getScratch.
+//
+//mqx:scratchput
 func (p *Plan[T, R]) putScratch(s *scratchPair[T]) { p.scratch.Put(s) }
 
 func (p *Plan[T, R]) checkLen(n int) {
@@ -300,6 +308,8 @@ func (p *Plan[T, R]) checkLen(n int) {
 // ForwardInto computes the forward NTT of x (natural order) into dst
 // (bit-reversed order). dst and x must both have length N; dst may alias
 // x for an in-place transform. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) ForwardInto(dst, x []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(x))
@@ -311,6 +321,8 @@ func (p *Plan[T, R]) ForwardInto(dst, x []T) {
 // InverseInto computes the inverse NTT of y (bit-reversed order) into dst
 // (natural order), with the 1/N scale folded into the final stage. dst
 // may alias y. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) InverseInto(dst, y []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(y))
@@ -321,6 +333,8 @@ func (p *Plan[T, R]) InverseInto(dst, y []T) {
 
 // PolyMulNegacyclicInto computes dst = a*b in Z_q[x]/(x^n + 1) via the
 // twisted NTT. dst may alias a or b. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) PolyMulNegacyclicInto(dst, a, b []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
@@ -334,6 +348,8 @@ func (p *Plan[T, R]) PolyMulNegacyclicInto(dst, a, b []T) {
 
 // PolyMulCyclicInto computes dst = a*b in Z_q[x]/(x^n - 1) by plain NTT
 // convolution. dst may alias a or b. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) PolyMulCyclicInto(dst, a, b []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
@@ -377,6 +393,8 @@ func (p *Plan[T, R]) PolyMulNegacyclic(a, b []T) []T {
 // many products over few operands (ciphertext tensor products) transform
 // each operand once. Outputs are canonical; dst may alias a. Steady-state
 // it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) NegacyclicForwardInto(dst, a []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
@@ -400,6 +418,8 @@ func (p *Plan[T, R]) NegacyclicForwardInto(dst, a []T) {
 // PolyMulNegacyclicInto, so NegacyclicForwardInto on two operands, a
 // pointwise product, and this call compose to the same bits as the fused
 // path. dst may alias y. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) NegacyclicInverseInto(dst, y []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(y))
@@ -421,6 +441,8 @@ func (p *Plan[T, R]) NegacyclicInverseInto(dst, y []T) {
 // PointwiseMulInto computes the coefficient-wise product dst[i] = a[i]·b[i]
 // (the evaluation-domain Hadamard product) on the kernel path when the
 // ring provides one. dst may alias a or b; it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) PointwiseMulInto(dst, a, b []T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
@@ -438,6 +460,8 @@ func (p *Plan[T, R]) PointwiseMulInto(dst, a, b []T) {
 // ScalarMulInto computes dst[i] = a[i]·w for one reduced scalar w,
 // precomputing the ring's per-multiplicand constant once for the whole
 // span. dst may alias a; it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) ScalarMulInto(dst, a []T, w T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))
@@ -455,6 +479,8 @@ func (p *Plan[T, R]) ScalarMulInto(dst, a []T, w T) {
 // ScaleAddInto is the scale-accumulate entry point dst[i] = a[i] + m[i]·w
 // for small already-reduced integers m[i] (the encrypt-side Δ·message fold
 // of the fhe backends). dst may alias a; it allocates nothing.
+//
+//mqx:hotpath
 func (p *Plan[T, R]) ScaleAddInto(dst, a []T, m []uint64, w T) {
 	p.checkLen(len(dst))
 	p.checkLen(len(a))

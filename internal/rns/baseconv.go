@@ -102,6 +102,8 @@ func r64Table(to *Context) (r, pre []uint64) {
 
 // wideMulRow initializes the accumulator lanes with the widening products
 // accHi:accLo = z[j] * w.
+//
+//mqx:hotpath
 func wideMulRow(accHi, accLo, z []uint64, w uint64) {
 	accHi = accHi[:len(accLo)]
 	z = z[:len(accLo)]
@@ -113,6 +115,8 @@ func wideMulRow(accHi, accLo, z []uint64, w uint64) {
 // wideMACRow folds one more weighted digit row into the accumulator
 // lanes: accHi:accLo += z[j] * w, exact in 128 bits (callers guarantee
 // the no-wrap headroom via wideOK).
+//
+//mqx:hotpath
 func wideMACRow(accHi, accLo, z []uint64, w uint64) {
 	accHi = accHi[:len(accLo)]
 	z = z[:len(accLo)]
@@ -129,6 +133,8 @@ func wideMACRow(accHi, accLo, z []uint64, w uint64) {
 // deferred inner product pays, replacing one canonical scale-accumulate
 // pass per digit. The high lane rides the exact-for-any-input Shoup
 // multiply by R = 2^64 mod p; only the low lane pays a Barrett.
+//
+//mqx:hotpath
 func wideReduceRow(dst, accHi, accLo []uint64, mod *modmath.Modulus64, r64, r64Pre uint64) {
 	q, mu, nb := mod.Q, mod.Mu, mod.N
 	accHi = accHi[:len(dst)]
@@ -222,6 +228,8 @@ func (bc *BaseConverter) accumulateInto(sc *convScratch, dst, z Poly) {
 // where x in [0, Q) is the value src represents and k is the source tower
 // count. src rows may carry lazy [0, 2q) residues; dst is canonical.
 // Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (bc *BaseConverter) ConvertInto(dst, src Poly) error {
 	if err := bc.from.checkPoly(src); err != nil {
 		return err
@@ -242,6 +250,8 @@ func (bc *BaseConverter) ConvertInto(dst, src Poly) error {
 // pass (the resident BEHZ divide-and-round folds T, the rounding offset,
 // and the digit constant into ONE span per tower instead of three);
 // the accumulation is unchanged. dst is canonical; allocates nothing.
+//
+//mqx:hotpath
 func (bc *BaseConverter) ConvertDigitsInto(dst, z Poly) error {
 	if err := bc.from.checkPoly(z); err != nil {
 		return err
@@ -362,6 +372,8 @@ func NewMontBaseConverter(from, to *Context, mtilde uint64) (*MontBaseConverter,
 // y = x + gamma*Q with gamma in {-1, 0} (so |y| < Q — no k*Q overshoot).
 // src rows may carry lazy [0, 2q) residues; dst is canonical. Steady-state
 // it allocates nothing.
+//
+//mqx:hotpath
 func (bc *MontBaseConverter) ConvertInto(dst, src Poly) error {
 	if err := bc.from.checkPoly(src); err != nil {
 		return err
@@ -516,6 +528,8 @@ func NewSKConverter(from, to *Context) (*SKConverter, error) {
 // centered value y with |y| < P/2; dst receives y mod q_j exactly —
 // negative y wrap to q_j - |y| as ordinary signed residues do. src rows
 // may carry lazy [0, 2q) residues. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (sk *SKConverter) ConvertInto(dst, src Poly) error {
 	if err := sk.from.checkPoly(src); err != nil {
 		return err
@@ -627,6 +641,8 @@ func NewRescaler(from, to *Context) (*Rescaler, error) {
 // with h = floor(q_{k-1}/2), the divide-and-round that drops the last
 // tower. Input rows may be lazy ([0, 2q)); dst is canonical. dst rows may
 // alias a's prefix rows. Steady-state it allocates nothing.
+//
+//mqx:hotpath
 func (r *Rescaler) RescaleInto(dst, a Poly) error {
 	if err := r.from.checkPoly(a); err != nil {
 		return err

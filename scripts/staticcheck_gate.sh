@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# staticcheck as a hard gate with a tracked allowlist.
+#
+# Runs staticcheck over the module and fails on any finding not excused
+# by a fixed-string pattern in .lint/staticcheck.allow. When the binary
+# is not installed (local dev containers without network), the gate
+# skips with a notice — CI installs a pinned version first, so the gate
+# is always live where it matters.
+set -u
+cd "$(dirname "$0")/.."
+ALLOW=.lint/staticcheck.allow
+
+if ! command -v staticcheck >/dev/null 2>&1; then
+  echo "staticcheck_gate: staticcheck not installed; skipping (CI pins and installs it)" >&2
+  exit 0
+fi
+
+echo "staticcheck_gate: $(staticcheck -version)"
+out=$(staticcheck ./... 2>&1)
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  echo "staticcheck_gate: clean"
+  exit 0
+fi
+
+patterns=$(grep -vE '^[[:space:]]*(#|$)' "$ALLOW" || true)
+if [ -n "$patterns" ]; then
+  remaining=$(printf '%s\n' "$out" | grep -vF "$patterns" || true)
+else
+  remaining="$out"
+fi
+remaining=$(printf '%s\n' "$remaining" | grep -vE '^[[:space:]]*$' || true)
+
+if [ -n "$remaining" ]; then
+  echo "staticcheck_gate: findings not covered by $ALLOW:" >&2
+  printf '%s\n' "$remaining" >&2
+  exit 1
+fi
+echo "staticcheck_gate: all findings covered by $ALLOW"
+exit 0
